@@ -1,0 +1,116 @@
+// Distribution sweep: where the Table 1 benches report worst cases, this
+// one shows how concentrated the running time is across many random
+// admissible schedules per instance — min / mean / max over 60 seeds, with
+// the Table 1 U as the ceiling. Two readings the aggregate benches hide:
+//
+//  * A(sp)'s time distribution tightens as the delay window narrows
+//    (condition 2 becomes deterministic);
+//  * the semi-synchronous auto strategy's spread stays within [L-ish, U]
+//    regardless of the seed — the bounds really are schedule-independent.
+
+#include <iostream>
+#include <string>
+
+#include "adversary/delay_strategies.hpp"
+#include "adversary/step_schedulers.hpp"
+#include "algorithms/mpm/semisync_alg.hpp"
+#include "algorithms/mpm/sporadic_alg.hpp"
+#include "analysis/bounds.hpp"
+#include "sim/experiment.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+using namespace sesp;
+
+namespace {
+constexpr int kSeeds = 60;
+}
+
+int main() {
+  bool ok = true;
+
+  {
+    std::cout << "== A(sp) time distribution over " << kSeeds
+              << " random schedules (s=5, n=4, c1=1, d2=24) ==\n";
+    TextTable table({"d1", "u", "min", "mean", "max", "max gamma",
+                     "all within Thm 6.1 bound"});
+    for (const std::int64_t d1v : {22, 16, 8, 0}) {
+      const ProblemSpec spec{5, 4, 2};
+      const auto constraints =
+          TimingConstraints::sporadic(Duration(1), Duration(d1v),
+                                      Duration(24));
+      SporadicMpmFactory factory;
+      Summary summary;
+      Duration max_gamma(0);
+      bool within = true;
+      for (int seed = 0; seed < kSeeds; ++seed) {
+        BurstyScheduler sched(Duration(1), 1, 7, 6, 1000 + 17 * seed);
+        UniformRandomDelay delay(Duration(d1v), Duration(24),
+                                 2000 + 19 * seed);
+        const MpmOutcome out =
+            run_mpm_once(spec, constraints, factory, sched, delay);
+        ok = ok && out.verdict.solves && out.verdict.admissible;
+        summary.add(*out.verdict.termination_time);
+        const Duration gamma = *out.verdict.gamma;
+        if (max_gamma < gamma) max_gamma = gamma;
+        within = within &&
+                 *out.verdict.termination_time <=
+                     bounds::sporadic_mp_upper(spec, Duration(1),
+                                               Duration(d1v), Duration(24),
+                                               gamma);
+      }
+      ok = ok && within;
+      table.add_row({std::to_string(d1v), std::to_string(24 - d1v),
+                     fmt(summary.min()),
+                     fmt_approx(Ratio(static_cast<std::int64_t>(
+                                          summary.mean() * 1000),
+                                      1000)),
+                     fmt(summary.max()), fmt(max_gamma),
+                     within ? "yes" : "NO"});
+    }
+    table.print(std::cout);
+    std::cout << '\n';
+  }
+
+  {
+    std::cout << "== semi-sync auto strategy over " << kSeeds
+              << " random schedules (s=5, n=4, c1=1, d2=16) ==\n";
+    TextTable table({"c2", "branch", "min", "mean", "max", "Table 1 U",
+                     "all within U"});
+    for (const std::int64_t c2v : {2, 6, 24}) {
+      const ProblemSpec spec{5, 4, 2};
+      const auto constraints = TimingConstraints::semi_synchronous(
+          Duration(1), Duration(c2v), Duration(16));
+      SemiSyncMpmFactory factory;
+      Summary summary;
+      bool within = true;
+      const Ratio upper = bounds::semisync_mp_upper(
+          spec, Duration(1), Duration(c2v), Duration(16));
+      for (int seed = 0; seed < kSeeds; ++seed) {
+        UniformGapScheduler sched(Duration(1), Duration(c2v),
+                                  3000 + 23 * seed);
+        UniformRandomDelay delay(Duration(0), Duration(16), 4000 + 29 * seed);
+        const MpmOutcome out =
+            run_mpm_once(spec, constraints, factory, sched, delay);
+        ok = ok && out.verdict.solves && out.verdict.admissible;
+        summary.add(*out.verdict.termination_time);
+        within = within && *out.verdict.termination_time <= upper;
+      }
+      ok = ok && within;
+      const char* branch = SemiSyncMpmFactory::pick(constraints) ==
+                                   SemiSyncStrategy::kStepCount
+                               ? "steps"
+                               : "comm";
+      table.add_row({std::to_string(c2v), branch, fmt(summary.min()),
+                     fmt_approx(Ratio(static_cast<std::int64_t>(
+                                          summary.mean() * 1000),
+                                      1000)),
+                     fmt(summary.max()), fmt(upper), within ? "yes" : "NO"});
+    }
+    table.print(std::cout);
+  }
+
+  std::cout << (ok ? "[OK] every sampled schedule solved within its bound\n"
+                   : "[FAIL] a sampled schedule escaped its bound\n");
+  return ok ? 0 : 1;
+}

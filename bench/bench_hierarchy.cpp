@@ -1,0 +1,83 @@
+// Derived experiment H-hierarchy: the paper's Section-1 claim that the
+// timing models form a hierarchy for the session problem. One workload
+// (same s, n, b, same base step scale), every model's best algorithm, the
+// measured worst-case time over each model's adversary family:
+//
+//   synchronous <= periodic <= semi-synchronous <= asynchronous    (MP)
+//
+// plus the periodic-vs-sporadic comparison the paper calls out (periodic
+// wins when c_max < floor(u/4c1)*K).
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "algorithms/mpm/async_alg.hpp"
+#include "algorithms/mpm/periodic_alg.hpp"
+#include "algorithms/mpm/semisync_alg.hpp"
+#include "algorithms/mpm/sporadic_alg.hpp"
+#include "algorithms/mpm/sync_alg.hpp"
+#include "analysis/report.hpp"
+#include "sim/experiment.hpp"
+#include "util/table.hpp"
+
+using namespace sesp;
+
+int main() {
+  bool ok = true;
+  std::cout << "== Hierarchy of timing models (MP), same workload ==\n";
+  TextTable table({"s", "n", "sync", "periodic", "semi-sync", "sporadic",
+                   "async", "sync<=per<=semi<=async"});
+
+  for (const std::int64_t s : {2, 4, 8, 16}) {
+    for (const std::int32_t n : {2, 4, 8}) {
+      const ProblemSpec spec{s, n, 2};
+      // Common scale: unit step lower bound, c2 = 4, d2 = 8.
+      const Duration c1(1), c2(4), d1(2), d2(8);
+
+      SyncMpmFactory sync_f;
+      const WorstCase sync_wc =
+          mpm_worst_case(spec, TimingConstraints::synchronous(c2, d2), sync_f);
+
+      PeriodicMpmFactory per_f;
+      const WorstCase per_wc = mpm_worst_case(
+          spec,
+          TimingConstraints::periodic(
+              std::vector<Duration>(static_cast<std::size_t>(n), c2), d2),
+          per_f);
+
+      SemiSyncMpmFactory semi_f;
+      const WorstCase semi_wc = mpm_worst_case(
+          spec, TimingConstraints::semi_synchronous(c1, c2, d2), semi_f,
+          /*random_runs=*/3);
+
+      SporadicMpmFactory spor_f;
+      const WorstCase spor_wc = mpm_worst_case(
+          spec, TimingConstraints::sporadic(c1, d1, d2), spor_f,
+          /*random_runs=*/3);
+
+      AsyncMpmFactory async_f;
+      const WorstCase async_wc = mpm_worst_case(
+          spec, TimingConstraints::asynchronous(c2, d2), async_f,
+          /*random_runs=*/3);
+
+      ok = ok && sync_wc.all_solved && per_wc.all_solved &&
+           semi_wc.all_solved && spor_wc.all_solved && async_wc.all_solved;
+
+      const bool ordered = sync_wc.max_termination <= per_wc.max_termination &&
+                           per_wc.max_termination <= semi_wc.max_termination &&
+                           semi_wc.max_termination <= async_wc.max_termination;
+      ok = ok && ordered;
+      table.add_row({std::to_string(s), std::to_string(n),
+                     fmt(sync_wc.max_termination),
+                     fmt(per_wc.max_termination),
+                     fmt(semi_wc.max_termination),
+                     fmt(spor_wc.max_termination),
+                     fmt(async_wc.max_termination), ordered ? "yes" : "NO"});
+    }
+  }
+  table.print(std::cout);
+  std::cout << (ok ? "[OK] hierarchy holds on every workload\n"
+                   : "[FAIL] hierarchy violated\n");
+  return ok ? 0 : 1;
+}

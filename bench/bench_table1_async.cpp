@@ -1,0 +1,70 @@
+// Reproduces Table 1, row "Async.":
+//   SM ([2], measured in rounds): (s-1)*floor(log_b n) <= rounds <=
+//     (s-1)*O(log_b n)  — the knowledge-round algorithm over the tree.
+//   MP ([4], real time with c1 = d1 = 0, c2/d2 finite):
+//     (s-1)*d2 <= t <= (s-1)*(d2+c2) + c2.
+
+#include <iostream>
+#include <string>
+
+#include "algorithms/mpm/async_alg.hpp"
+#include "algorithms/smm/async_alg.hpp"
+#include "algorithms/smm/semisync_alg.hpp"
+#include "analysis/bounds.hpp"
+#include "analysis/report.hpp"
+#include "sim/experiment.hpp"
+
+using namespace sesp;
+
+int main() {
+  bool ok = true;
+
+  {
+    BoundReport report(
+        "Table 1 / async SM (rounds): (s-1)*log_b n <= rounds <= "
+        "(s-1)*O(log_b n)");
+    for (const std::int64_t s : {2, 4, 8}) {
+      for (const std::int32_t n : {4, 16, 64}) {
+        for (const std::int32_t b : {2, 4}) {
+          const ProblemSpec spec{s, n, b};
+          const auto constraints = TimingConstraints::asynchronous();
+          AsyncSmmFactory factory;
+          const WorstCase wc = smm_worst_case(spec, constraints, factory,
+                                              /*random_runs=*/3);
+          report.add_rounds_row(
+              "SM s=" + std::to_string(s) + " n=" + std::to_string(n) +
+                  " b=" + std::to_string(b),
+              bounds::async_sm_lower_rounds(spec), wc,
+              bounds::async_sm_upper_rounds(spec,
+                                            smm_tree_latency_steps(n, b)));
+        }
+      }
+    }
+    report.print(std::cout);
+    ok = ok && report.all_ok();
+    std::cout << '\n';
+  }
+
+  {
+    BoundReport report(
+        "Table 1 / async MP (time): (s-1)*d2 <= t <= (s-1)*(d2+c2) + c2");
+    for (const std::int64_t s : {2, 4, 8}) {
+      for (const std::int32_t n : {2, 8, 32}) {
+        const ProblemSpec spec{s, n, 2};
+        const Duration c2(2), d2(9);
+        const auto constraints = TimingConstraints::asynchronous(c2, d2);
+        AsyncMpmFactory factory;
+        const WorstCase wc = mpm_worst_case(spec, constraints, factory,
+                                            /*random_runs=*/3);
+        report.add_time_row(
+            "MP s=" + std::to_string(s) + " n=" + std::to_string(n),
+            bounds::async_mp_lower(spec, d2), wc,
+            bounds::async_mp_upper(spec, c2, d2));
+      }
+    }
+    report.print(std::cout);
+    ok = ok && report.all_ok();
+  }
+
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,95 @@
+// Reproduces Table 1, row "Periodic" (Section 4, A(p)):
+//   SM: L = max{s*c_max, floor(log_{2b-1}(2n-1))*c_min},
+//       U = s*c_max + O(log_b n)*c_max
+//   MP: L = max{s*c_max, d2},  U = s*c_max + d2
+//
+// Sweeps: s, n (showing the log-term growth in shared memory), the
+// c_max/c_min spread, and d2 (showing the single-communication cost in
+// message passing).
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "algorithms/mpm/periodic_alg.hpp"
+#include "algorithms/smm/periodic_alg.hpp"
+#include "algorithms/smm/semisync_alg.hpp"
+#include "analysis/bounds.hpp"
+#include "analysis/report.hpp"
+#include "sim/experiment.hpp"
+
+using namespace sesp;
+
+namespace {
+
+std::vector<Duration> spread_periods(std::int32_t count, const Duration& cmin,
+                                     const Duration& cmax) {
+  // Port 0 is the slowest; the rest interpolate between cmin and cmax.
+  std::vector<Duration> periods(static_cast<std::size_t>(count), cmin);
+  periods[0] = cmax;
+  for (std::int32_t i = 1; i < count; ++i)
+    periods[static_cast<std::size_t>(i)] =
+        cmin + (cmax - cmin) * Ratio(i % 4, 8);
+  return periods;
+}
+
+}  // namespace
+
+int main() {
+  bool ok = true;
+
+  {
+    BoundReport report(
+        "Table 1 / periodic SM: L = max{s*c_max, log_{2b-1}(2n-1)*c_min}, "
+        "U = s*c_max + O(log_b n)*c_max  [A(p), tree broadcast]");
+    for (const std::int64_t s : {2, 4, 8}) {
+      for (const std::int32_t n : {2, 8, 27, 81}) {
+        for (const std::int32_t b : {2, 4}) {
+          const ProblemSpec spec{s, n, b};
+          const std::int32_t total = smm_total_processes(n, b);
+          const Duration cmin(1), cmax(3);
+          const auto constraints = TimingConstraints::periodic(
+              spread_periods(total, cmin, cmax));
+          PeriodicSmmFactory factory;
+          const WorstCase wc = smm_worst_case(spec, constraints, factory);
+          report.add_time_row(
+              "SM s=" + std::to_string(s) + " n=" + std::to_string(n) +
+                  " b=" + std::to_string(b),
+              bounds::periodic_sm_lower(spec, cmax, cmin), wc,
+              bounds::periodic_sm_upper(spec, cmax,
+                                        smm_tree_latency_steps(n, b)));
+        }
+      }
+    }
+    report.print(std::cout);
+    ok = ok && report.all_ok();
+    std::cout << '\n';
+  }
+
+  {
+    BoundReport report(
+        "Table 1 / periodic MP: L = max{s*c_max, d2}, U = s*c_max + d2 "
+        "[A(p)]");
+    for (const std::int64_t s : {2, 4, 8}) {
+      for (const std::int32_t n : {2, 8, 32}) {
+        for (const std::int64_t d2v : {1, 10, 100}) {
+          const ProblemSpec spec{s, n, 2};
+          const Duration cmax(3), d2(d2v);
+          const auto constraints = TimingConstraints::periodic(
+              spread_periods(n, Duration(1), cmax), d2);
+          PeriodicMpmFactory factory;
+          const WorstCase wc = mpm_worst_case(spec, constraints, factory);
+          report.add_time_row(
+              "MP s=" + std::to_string(s) + " n=" + std::to_string(n) +
+                  " d2=" + std::to_string(d2v),
+              bounds::periodic_mp_lower(spec, cmax, d2), wc,
+              bounds::periodic_mp_upper(spec, cmax, d2));
+        }
+      }
+    }
+    report.print(std::cout);
+    ok = ok && report.all_ok();
+  }
+
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,87 @@
+// Reproduces Table 1, row "Semi-sync." (Section 5 and [4]):
+//   SM: L = min{floor(c2/2c1), floor(log_b n)} * c2 * (s-1)
+//       U = min{(floor(c2/c1)+1)*c2, O(log_b n)*c2} * (s-1) + c2
+//   MP: L = min{floor(c2/2c1)*c2, d2+c2} * (s-1)
+//       U = min{(floor(c2/c1)+1)*c2, d2+c2} * (s-1) + c2
+//
+// The sweep over c2/c1 (with fixed communication cost) exhibits the min's
+// crossover: step counting wins while the ratio is small, communication
+// takes over once one broadcast beats floor(c2/c1)+1 own steps.
+
+#include <iostream>
+#include <string>
+
+#include "algorithms/mpm/semisync_alg.hpp"
+#include "algorithms/smm/semisync_alg.hpp"
+#include "analysis/bounds.hpp"
+#include "analysis/report.hpp"
+#include "sim/experiment.hpp"
+
+using namespace sesp;
+
+int main() {
+  bool ok = true;
+
+  {
+    BoundReport report(
+        "Table 1 / semi-sync SM (auto strategy; crossover over c2/c1 and n)");
+    for (const std::int64_t s : {2, 4, 8}) {
+      for (const std::int32_t n : {4, 16, 64}) {
+        for (const std::int64_t ratio : {2, 8, 32, 128}) {
+          const ProblemSpec spec{s, n, 2};
+          const Duration c1(1), c2(ratio);
+          const auto constraints =
+              TimingConstraints::semi_synchronous(c1, c2);
+          SemiSyncSmmFactory factory;  // kAuto
+          const WorstCase wc = smm_worst_case(spec, constraints, factory,
+                                              /*random_runs=*/3);
+          const char* branch =
+              SemiSyncSmmFactory::pick(spec, constraints) ==
+                      SmmSemiSyncStrategy::kStepCount
+                  ? "steps"
+                  : "comm";
+          report.add_time_row(
+              "SM s=" + std::to_string(s) + " n=" + std::to_string(n) +
+                  " c2/c1=" + std::to_string(ratio) + " [" + branch + "]",
+              bounds::semisync_sm_lower(spec, c1, c2), wc,
+              bounds::semisync_sm_upper(spec, c1, c2,
+                                        smm_tree_latency_steps(n, 2)));
+        }
+      }
+    }
+    report.print(std::cout);
+    ok = ok && report.all_ok();
+    std::cout << '\n';
+  }
+
+  {
+    BoundReport report(
+        "Table 1 / semi-sync MP (auto strategy; crossover over c2/c1 vs d2)");
+    for (const std::int64_t s : {2, 4, 8}) {
+      for (const std::int64_t ratio : {2, 8, 32}) {
+        for (const std::int64_t d2v : {1, 20, 400}) {
+          const ProblemSpec spec{s, 4, 2};
+          const Duration c1(1), c2(ratio), d2(d2v);
+          const auto constraints =
+              TimingConstraints::semi_synchronous(c1, c2, d2);
+          SemiSyncMpmFactory factory;  // kAuto
+          const WorstCase wc = mpm_worst_case(spec, constraints, factory,
+                                              /*random_runs=*/3);
+          const char* branch = SemiSyncMpmFactory::pick(constraints) ==
+                                       SemiSyncStrategy::kStepCount
+                                   ? "steps"
+                                   : "comm";
+          report.add_time_row(
+              "MP s=" + std::to_string(s) + " c2/c1=" + std::to_string(ratio) +
+                  " d2=" + std::to_string(d2v) + " [" + branch + "]",
+              bounds::semisync_mp_lower(spec, c1, c2, d2), wc,
+              bounds::semisync_mp_upper(spec, c1, c2, d2));
+        }
+      }
+    }
+    report.print(std::cout);
+    ok = ok && report.all_ok();
+  }
+
+  return ok ? 0 : 1;
+}

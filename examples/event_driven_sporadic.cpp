@@ -1,0 +1,82 @@
+// Sporadic-model scenario from the paper's motivation (Section 1):
+// event-driven processing — device interrupts and user inputs arrive
+// repeatedly but with arbitrarily large gaps, while the interconnect has
+// known delay bounds [d1, d2]. The sporadic model captures exactly this:
+// a lower bound c1 between consecutive steps (interrupt coalescing), no
+// upper bound (quiet periods), bounded message delay.
+//
+// Scenario: n event handlers must complete s coordination epochs (e.g.
+// checkpoint barriers) despite one handler occasionally stalling for a long
+// time. A(sp)'s condition-2 timing inference lets handlers conclude an
+// epoch passed without hearing matching epoch numbers.
+
+#include <iostream>
+
+#include "adversary/delay_strategies.hpp"
+#include "adversary/step_schedulers.hpp"
+#include "algorithms/mpm/sporadic_alg.hpp"
+#include "analysis/bounds.hpp"
+#include "sim/experiment.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace sesp;
+
+  const ProblemSpec spec{/*s=*/6, /*n=*/5, /*b=*/2};
+  const Duration c1(1);  // minimum inter-interrupt gap
+
+  std::cout << "Event-driven handlers: " << spec.n << " handlers, " << spec.s
+            << " checkpoint epochs, c1 = " << c1.to_string() << "\n\n";
+
+  TextTable table({"[d1, d2]", "u", "scenario", "sessions", "time", "rounds",
+                   "ok"});
+  bool ok = true;
+
+  for (const auto& [d1v, d2v] : {std::pair<int, int>{9, 10},
+                                 std::pair<int, int>{5, 10},
+                                 std::pair<int, int>{0, 10}}) {
+    const auto constraints =
+        TimingConstraints::sporadic(c1, Duration(d1v), Duration(d2v));
+    SporadicMpmFactory handler;
+
+    struct Scenario {
+      const char* label;
+      std::unique_ptr<StepScheduler> sched;
+      std::unique_ptr<DelayStrategy> delay;
+    };
+    Scenario scenarios[] = {
+        {"steady load",
+         std::make_unique<FixedPeriodScheduler>(spec.n, c1),
+         std::make_unique<FixedDelay>(Duration(d2v))},
+        {"one stalling handler",
+         std::make_unique<SlowOneScheduler>(spec.n, c1, 0, c1 * 40),
+         std::make_unique<FixedDelay>(Duration(d2v))},
+        {"bursty interrupts",
+         std::make_unique<BurstyScheduler>(c1, 1, 6, 25, 0xE17ULL),
+         std::make_unique<UniformRandomDelay>(Duration(d1v), Duration(d2v),
+                                              0xD3ADULL)},
+    };
+
+    for (Scenario& sc : scenarios) {
+      const MpmOutcome out = run_mpm_once(spec, constraints, handler,
+                                          *sc.sched, *sc.delay);
+      const bool this_ok = out.verdict.admissible && out.verdict.solves;
+      ok = ok && this_ok;
+      table.add_row({"[" + std::to_string(d1v) + ", " + std::to_string(d2v) +
+                         "]",
+                     std::to_string(d2v - d1v), sc.label,
+                     std::to_string(out.verdict.sessions),
+                     out.verdict.termination_time
+                         ? out.verdict.termination_time->to_string()
+                         : "-",
+                     std::to_string(out.verdict.rounds.rounds_ceiling()),
+                     this_ok ? "yes" : "NO"});
+    }
+  }
+  table.print(std::cout);
+
+  std::cout << "\nNote how tight delay bounds (u small) keep epochs cheap "
+               "even under stalls,\nwhile u -> d2 pushes each epoch toward "
+               "a full d2 round trip (Section 6).\n";
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,97 @@
+// Side-by-side comparison of all five timing models on one workload — the
+// paper's "hierarchy of timing models" (Section 1) as a runnable example.
+// For each model we run its best algorithm under that model's worst-case
+// adversary family, print the measured time next to the Table 1 bounds, and
+// show where each model pays for its uncertainty:
+//
+//   synchronous      no communication at all          (s*c2)
+//   periodic         one communication, ever          (s*c_max + d2)
+//   semi-synchronous one "virtual" communication per session, by stepping
+//   sporadic         per-session cost scales with delay uncertainty u
+//   asynchronous     one real communication per session ((s-1)(d2+c2)+c2)
+
+#include <iostream>
+#include <vector>
+
+#include "algorithms/mpm/async_alg.hpp"
+#include "algorithms/mpm/periodic_alg.hpp"
+#include "algorithms/mpm/semisync_alg.hpp"
+#include "algorithms/mpm/sporadic_alg.hpp"
+#include "algorithms/mpm/sync_alg.hpp"
+#include "analysis/bounds.hpp"
+#include "sim/experiment.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace sesp;
+
+  const ProblemSpec spec{/*s=*/8, /*n=*/4, /*b=*/2};
+  const Duration c1(1), c2(4), d1(2), d2(12);
+  std::cout << "Workload: s=" << spec.s << " n=" << spec.n
+            << ", c1=1 c2=4, d1=2 d2=12 (where the model uses them)\n\n";
+
+  TextTable table({"model", "algorithm", "measured worst", "Table 1 L",
+                   "Table 1 U", "communications"});
+  bool ok = true;
+
+  {
+    SyncMpmFactory f;
+    const WorstCase wc =
+        mpm_worst_case(spec, TimingConstraints::synchronous(c2, d2), f);
+    ok = ok && wc.all_solved;
+    table.add_row({"synchronous", f.name(), fmt(wc.max_termination),
+                   fmt(bounds::sync_tight(spec, c2)),
+                   fmt(bounds::sync_tight(spec, c2)), "none"});
+  }
+  {
+    PeriodicMpmFactory f;
+    const auto constraints = TimingConstraints::periodic(
+        std::vector<Duration>(static_cast<std::size_t>(spec.n), c2), d2);
+    const WorstCase wc = mpm_worst_case(spec, constraints, f);
+    ok = ok && wc.all_solved;
+    table.add_row({"periodic", f.name(), fmt(wc.max_termination),
+                   fmt(bounds::periodic_mp_lower(spec, c2, d2)),
+                   fmt(bounds::periodic_mp_upper(spec, c2, d2)),
+                   "one broadcast total"});
+  }
+  {
+    SemiSyncMpmFactory f;
+    const auto constraints = TimingConstraints::semi_synchronous(c1, c2, d2);
+    const WorstCase wc = mpm_worst_case(spec, constraints, f, 3);
+    ok = ok && wc.all_solved;
+    table.add_row({"semi-synchronous", f.name(), fmt(wc.max_termination),
+                   fmt(bounds::semisync_mp_lower(spec, c1, c2, d2)),
+                   fmt(bounds::semisync_mp_upper(spec, c1, c2, d2)),
+                   "0 or 1 per session (min branch)"});
+  }
+  {
+    SporadicMpmFactory f;
+    const auto constraints = TimingConstraints::sporadic(c1, d1, d2);
+    const WorstCase wc = mpm_worst_case(spec, constraints, f, 3);
+    ok = ok && wc.all_solved;
+    table.add_row(
+        {"sporadic", f.name(), fmt(wc.max_termination),
+         fmt(bounds::sporadic_mp_lower(spec, c1, d1, d2)),
+         fmt(bounds::sporadic_mp_upper(
+             spec, c1, d1, d2,
+             wc.max_gamma.is_zero() ? Duration(1) : wc.max_gamma)),
+         "every step broadcasts"});
+  }
+  {
+    AsyncMpmFactory f;
+    const auto constraints = TimingConstraints::asynchronous(c2, d2);
+    const WorstCase wc = mpm_worst_case(spec, constraints, f, 3);
+    ok = ok && wc.all_solved;
+    table.add_row({"asynchronous", f.name(), fmt(wc.max_termination),
+                   fmt(bounds::async_mp_lower(spec, d2)),
+                   fmt(bounds::async_mp_upper(spec, c2, d2)),
+                   "one per session"});
+  }
+
+  table.print(std::cout);
+  std::cout << "\nReading guide: tighter timing knowledge means cheaper "
+               "synchronization.\nThe periodic model sits strictly between "
+               "synchronous and asynchronous:\none communication total "
+               "instead of none / one per session.\n";
+  return ok ? 0 : 1;
+}

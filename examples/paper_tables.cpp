@@ -1,0 +1,77 @@
+// Table 1 as a calculator: instantiate every bound formula of the paper for
+// one set of constants and print the full table, paper-style — useful when
+// designing an instance or sanity-checking an experiment by hand.
+//
+//   ./paper_tables              (defaults: s=8 n=16 b=2 c1=1 c2=4 d1=2 d2=12)
+//   ./paper_tables 5 32 3 1 8 0 20            (s n b c1 c2 d1 d2, integers)
+
+#include <cstdlib>
+#include <iostream>
+
+#include "algorithms/smm/semisync_alg.hpp"
+#include "analysis/bounds.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sesp;
+  using namespace sesp::bounds;
+
+  ProblemSpec spec{8, 16, 2};
+  Duration c1(1), c2(4), d1(2), d2(12);
+  if (argc == 8) {
+    spec.s = std::atoll(argv[1]);
+    spec.n = std::atoi(argv[2]);
+    spec.b = std::atoi(argv[3]);
+    c1 = Duration(std::atoll(argv[4]));
+    c2 = Duration(std::atoll(argv[5]));
+    d1 = Duration(std::atoll(argv[6]));
+    d2 = Duration(std::atoll(argv[7]));
+  } else if (argc != 1) {
+    std::cerr << "usage: paper_tables [s n b c1 c2 d1 d2]\n";
+    return 2;
+  }
+
+  std::cout << "Table 1 instantiated for s=" << spec.s << " n=" << spec.n
+            << " b=" << spec.b << ", c1=" << c1 << " c2=" << c2
+            << " d1=" << d1 << " d2=" << d2
+            << "  (periodic uses c_max=c2, c_min=c1; gamma=c2 for the "
+               "sporadic U)\n\n";
+
+  const std::int64_t tree = smm_tree_latency_steps(spec.n, spec.b);
+
+  TextTable table({"model", "SM lower", "SM upper", "MP lower", "MP upper"});
+  table.add_row({"synchronous", fmt(sync_tight(spec, c2)),
+                 fmt(sync_tight(spec, c2)), fmt(sync_tight(spec, c2)),
+                 fmt(sync_tight(spec, c2))});
+  table.add_row({"periodic", fmt(periodic_sm_lower(spec, c2, c1)),
+                 fmt(periodic_sm_upper(spec, c2, tree)),
+                 fmt(periodic_mp_lower(spec, c2, d2)),
+                 fmt(periodic_mp_upper(spec, c2, d2))});
+  table.add_row({"semi-synchronous", fmt(semisync_sm_lower(spec, c1, c2)),
+                 fmt(semisync_sm_upper(spec, c1, c2, tree)),
+                 fmt(semisync_mp_lower(spec, c1, c2, d2)),
+                 fmt(semisync_mp_upper(spec, c1, c2, d2))});
+  table.add_row({"sporadic", "(= async SM)", "(= async SM)",
+                 fmt(sporadic_mp_lower(spec, c1, d1, d2)),
+                 fmt(sporadic_mp_upper(spec, c1, d1, d2, /*gamma=*/c2))});
+  table.add_row({"asynchronous",
+                 std::to_string(async_sm_lower_rounds(spec)) + " rounds",
+                 std::to_string(async_sm_upper_rounds(spec, tree)) +
+                     " rounds",
+                 fmt(async_mp_lower(spec, d2)),
+                 fmt(async_mp_upper(spec, c2, d2))});
+  table.print(std::cout);
+
+  std::cout << "\nDerived quantities:\n"
+            << "  u = d2 - d1 = " << (d2 - d1) << "\n"
+            << "  K = 2*d2*c1/(d2 - u/2) = " << sporadic_K(c1, d1, d2)
+            << "\n"
+            << "  floor(log_b n) = " << floor_log(spec.b, spec.n) << ", "
+            << "floor(log_{2b-1}(2n-1)) = "
+            << floor_log(2 * spec.b - 1, 2 * spec.n - 1) << "\n"
+            << "  tree latency constant (this implementation) = " << tree
+            << " steps\n"
+            << "  semi-sync step budget floor(c2/c1)+1 = "
+            << (c2 / c1).floor() + 1 << " steps/session\n";
+  return 0;
+}

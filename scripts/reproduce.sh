@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Full reproduction: build, test, run every experiment, and collect the
+# outputs next to the repository root (test_output.txt / bench_output.txt).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+: > bench_output.txt
+for b in build/bench/*; do
+  [ -f "$b" ] && [ -x "$b" ] || continue
+  echo "######## $b" | tee -a bench_output.txt
+  "$b" 2>&1 | tee -a bench_output.txt
+done
+
+echo
+echo "Verdicts:"
+grep -E '\[OK\]|\[FAIL\]' bench_output.txt

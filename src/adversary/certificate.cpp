@@ -1,0 +1,122 @@
+#include "adversary/certificate.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "adversary/semisync_retimer.hpp"
+#include "adversary/sporadic_retimer.hpp"
+#include "model/trace_io.hpp"
+#include "session/session_counter.hpp"
+#include "timing/admissibility.hpp"
+
+namespace sesp {
+
+namespace {
+
+[[noreturn]] void fail(const char* what) {
+  std::fprintf(stderr, "sesp certificate fatal: %s\n", what);
+  std::abort();
+}
+
+}  // namespace
+
+CertificateCheck check_certificate(const ViolationCertificate& cert) {
+  CertificateCheck out;
+  if (auto err = cert.computation.structural_error()) {
+    out.detail = "structural: " + *err;
+    return out;
+  }
+  const AdmissibilityReport adm =
+      check_admissible(cert.computation, cert.constraints);
+  if (!adm.admissible) {
+    out.detail = "inadmissible: " + adm.violation;
+    return out;
+  }
+  out.sessions = count_sessions(cert.computation).sessions;
+  if (out.sessions >= cert.spec.s) {
+    out.detail = "computation has " + std::to_string(out.sessions) +
+                 " sessions, needs < " + std::to_string(cert.spec.s);
+    return out;
+  }
+  out.valid = true;
+  return out;
+}
+
+std::string to_text(const ViolationCertificate& cert) {
+  std::ostringstream os;
+  os << "sesp-certificate v1\n"
+     << "construction," << cert.construction << "\n"
+     << "algorithm," << cert.algorithm << "\n"
+     << "spec," << cert.spec.s << "," << cert.spec.n << "," << cert.spec.b
+     << "\n"
+     << to_text(cert.constraints) << "\n"
+     << to_text(cert.computation);
+  return os.str();
+}
+
+std::optional<ViolationCertificate> certificate_from_text(
+    const std::string& text, std::string* error) {
+  std::istringstream is(text);
+  auto bail = [error](const std::string& what) {
+    if (error) *error = what;
+    return std::nullopt;
+  };
+
+  std::string line;
+  if (!std::getline(is, line) || line != "sesp-certificate v1")
+    return bail("missing certificate header");
+
+  std::string construction, algorithm;
+  if (!std::getline(is, line) || line.rfind("construction,", 0) != 0)
+    return bail("missing construction line");
+  construction = line.substr(13);
+  if (!std::getline(is, line) || line.rfind("algorithm,", 0) != 0)
+    return bail("missing algorithm line");
+  algorithm = line.substr(10);
+
+  if (!std::getline(is, line) || line.rfind("spec,", 0) != 0)
+    return bail("missing spec line");
+  ProblemSpec spec;
+  if (std::sscanf(line.c_str(), "spec,%ld,%d,%d", &spec.s, &spec.n,
+                  &spec.b) != 3)
+    return bail("malformed spec line");
+
+  if (!std::getline(is, line)) return bail("missing constraints line");
+  std::string sub_error;
+  const auto constraints = constraints_from_text(line, &sub_error);
+  if (!constraints) return bail("constraints: " + sub_error);
+
+  std::string rest;
+  std::ostringstream rest_os;
+  rest_os << is.rdbuf();
+  rest = rest_os.str();
+  const auto trace = trace_from_text(rest, &sub_error);
+  if (!trace) return bail("trace: " + sub_error);
+
+  ViolationCertificate cert{construction, algorithm, spec, *constraints,
+                            *trace};
+  return cert;
+}
+
+ViolationCertificate make_certificate(const SemiSyncRetimingResult& result,
+                                      const std::string& algorithm,
+                                      const ProblemSpec& spec,
+                                      const TimingConstraints& constraints) {
+  if (!result.certificate || !result.reordered_trace)
+    fail("semisync result is not a proven violation");
+  return ViolationCertificate{"theorem-5.1-retiming", algorithm, spec,
+                              constraints, *result.reordered_trace};
+}
+
+ViolationCertificate make_certificate(const SporadicRetimingResult& result,
+                                      const std::string& algorithm,
+                                      const ProblemSpec& spec,
+                                      const TimingConstraints& constraints) {
+  if (!result.certificate || !result.reordered_trace)
+    fail("sporadic result is not a proven violation");
+  return ViolationCertificate{"theorem-6.5-retiming", algorithm, spec,
+                              constraints, *result.reordered_trace};
+}
+
+}  // namespace sesp

@@ -1,0 +1,59 @@
+#pragma once
+
+// Violation certificates: self-contained, serializable artifacts produced
+// by the lower-bound constructions. A certificate packages the adversary-
+// built admissible timed computation together with the problem instance and
+// the timing constraints; `check_certificate` re-validates it from scratch
+// (structure, admissibility, session deficit) with no reference to the
+// machinery that produced it — the same trust story as a proof-carrying
+// counterexample.
+
+#include <optional>
+#include <string>
+
+#include "model/ids.hpp"
+#include "model/timed_computation.hpp"
+#include "timing/constraints.hpp"
+
+namespace sesp {
+
+struct ViolationCertificate {
+  std::string construction;  // e.g. "theorem-5.1-retiming"
+  std::string algorithm;     // factory name of the accused algorithm
+  ProblemSpec spec;
+  TimingConstraints constraints;
+  TimedComputation computation;  // admissible, fewer than s sessions
+};
+
+struct CertificateCheck {
+  bool valid = false;
+  std::string detail;            // first problem found, if any
+  std::int64_t sessions = -1;    // greedy session count of the computation
+};
+
+// Independent re-validation: structural soundness, admissibility under the
+// certificate's own constraints, and sessions < spec.s.
+CertificateCheck check_certificate(const ViolationCertificate& cert);
+
+// Text round-trip (uses the trace_io format plus header lines).
+std::string to_text(const ViolationCertificate& cert);
+std::optional<ViolationCertificate> certificate_from_text(
+    const std::string& text, std::string* error);
+
+// Builders from the lower-bound construction results. Callers must only
+// package results whose `certificate` flag is set; the builder aborts
+// otherwise (an unproven certificate is a harness bug).
+struct SemiSyncRetimingResult;
+struct SporadicRetimingResult;
+
+ViolationCertificate make_certificate(const SemiSyncRetimingResult& result,
+                                      const std::string& algorithm,
+                                      const ProblemSpec& spec,
+                                      const TimingConstraints& constraints);
+
+ViolationCertificate make_certificate(const SporadicRetimingResult& result,
+                                      const std::string& algorithm,
+                                      const ProblemSpec& spec,
+                                      const TimingConstraints& constraints);
+
+}  // namespace sesp

@@ -1,0 +1,143 @@
+#include "adversary/exhaustive.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "mpm/mpm_simulator.hpp"
+#include "session/verifier.hpp"
+
+namespace sesp {
+
+namespace {
+
+// Scheduler / delay strategy driven by a shared choice cursor. Each call
+// consumes one decision: an index into the option set, read from the
+// explicit prefix or defaulting to 0 past its end. The total number of
+// consumed decisions is recorded so the enumerator knows which positions
+// can branch.
+class ChoiceCursor {
+ public:
+  ChoiceCursor(const std::vector<std::int32_t>& prefix,
+               std::vector<std::int32_t>& consumed_options)
+      : prefix_(prefix), consumed_options_(consumed_options) {}
+
+  // Returns the decision at the cursor, recording how many options the
+  // decision point offers.
+  std::size_t next(std::size_t num_options) {
+    const std::size_t position = consumed_options_.size();
+    consumed_options_.push_back(static_cast<std::int32_t>(num_options));
+    if (position < prefix_.size()) {
+      return static_cast<std::size_t>(prefix_[position]) % num_options;
+    }
+    return 0;
+  }
+
+ private:
+  const std::vector<std::int32_t>& prefix_;
+  std::vector<std::int32_t>& consumed_options_;
+};
+
+class ChoiceScheduler final : public StepScheduler {
+ public:
+  ChoiceScheduler(ChoiceCursor& cursor, const std::vector<Duration>& gaps)
+      : cursor_(cursor), gaps_(gaps) {}
+
+  Time next_step_time(ProcessId, std::optional<Time> prev,
+                      std::int64_t) override {
+    const Time base = prev ? *prev : Time(0);
+    return base + gaps_[cursor_.next(gaps_.size())];
+  }
+
+ private:
+  ChoiceCursor& cursor_;
+  const std::vector<Duration>& gaps_;
+};
+
+class ChoiceDelay final : public DelayStrategy {
+ public:
+  ChoiceDelay(ChoiceCursor& cursor, const std::vector<Duration>& delays)
+      : cursor_(cursor), delays_(delays) {}
+
+  Duration delay(ProcessId, ProcessId, const Time&, MsgId) override {
+    return delays_[cursor_.next(delays_.size())];
+  }
+
+ private:
+  ChoiceCursor& cursor_;
+  const std::vector<Duration>& delays_;
+};
+
+// Odometer increment over the consumed positions: bumps the last consumed
+// position; on overflow resets it and carries left. Returns false when the
+// whole (reachable) tree has been enumerated.
+bool advance(std::vector<std::int32_t>& prefix,
+             const std::vector<std::int32_t>& consumed_options) {
+  prefix.resize(consumed_options.size(), 0);
+  std::size_t at = consumed_options.size();
+  while (at-- > 0) {
+    if (prefix[at] + 1 <
+        consumed_options[at]) {
+      ++prefix[at];
+      prefix.resize(at + 1);
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+ExhaustiveResult explore_mpm(const ProblemSpec& spec,
+                             const TimingConstraints& constraints,
+                             const MpmAlgorithmFactory& factory,
+                             const std::vector<Duration>& gap_choices,
+                             const std::vector<Duration>& delay_choices,
+                             std::int64_t max_runs) {
+  if (gap_choices.empty() || delay_choices.empty()) {
+    std::fprintf(stderr, "explore_mpm fatal: empty choice sets\n");
+    std::abort();
+  }
+
+  ExhaustiveResult result;
+  std::vector<std::int32_t> prefix;  // explicit decisions for the next run
+
+  while (result.runs < max_runs) {
+    std::vector<std::int32_t> consumed;
+    ChoiceCursor cursor(prefix, consumed);
+    ChoiceScheduler scheduler(cursor, gap_choices);
+    ChoiceDelay delays(cursor, delay_choices);
+
+    MpmSimulator sim(spec, constraints, factory, scheduler, delays);
+    const MpmRunResult run = sim.run();
+    const Verdict verdict = verify(run.trace, spec, constraints);
+    ++result.runs;
+
+    if (!verdict.admissible || !verdict.solves || run.hit_limit) {
+      result.all_admissible = result.all_admissible && verdict.admissible;
+      result.all_solved = false;
+      if (result.first_failure.empty()) {
+        result.first_failure =
+            !verdict.admissible
+                ? "inadmissible: " + verdict.admissibility_violation
+                : (run.hit_limit
+                       ? "hit run limit"
+                       : "sessions=" + std::to_string(verdict.sessions));
+      }
+    }
+    if (result.runs == 1 || verdict.sessions < result.min_sessions)
+      result.min_sessions = verdict.sessions;
+    if (verdict.termination_time &&
+        result.max_termination < *verdict.termination_time) {
+      result.max_termination = *verdict.termination_time;
+      result.worst_choices = prefix;
+    }
+
+    if (!advance(prefix, consumed)) {
+      result.complete = true;
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace sesp

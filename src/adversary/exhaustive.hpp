@@ -1,0 +1,56 @@
+#pragma once
+
+// Exhaustive adversary for tiny instances: bounded model checking over all
+// timed schedules on a discrete grid. Where the adversary *family* samples
+// worst cases and the *constructions* build them for specific theorems,
+// this module enumerates every admissible computation whose step gaps and
+// message delays are drawn from finite choice sets, establishing the true
+// worst case (on the grid) and checking correctness against every schedule
+// rather than a sample.
+//
+// The decision tree is explored with an odometer over the lazily-consumed
+// choice sequence: a run is executed with a prefix of explicit choices and
+// the first option beyond it; only positions the run actually consumed are
+// incremented, so exactly the reachable schedules are visited. Feasible for
+// n <= 3, s <= 3 with two or three options per decision (thousands to a few
+// hundred thousand runs).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "model/ids.hpp"
+#include "mpm/algorithm.hpp"
+#include "timing/constraints.hpp"
+#include "util/ratio.hpp"
+
+namespace sesp {
+
+struct ExhaustiveResult {
+  bool complete = false;       // enumeration finished within max_runs
+  std::int64_t runs = 0;
+
+  bool all_solved = true;      // >= s sessions and termination, every run
+  bool all_admissible = true;  // machine-checked, every run
+  std::int64_t min_sessions = 0;
+
+  // True worst case over the explored grid.
+  Time max_termination;
+  std::vector<std::int32_t> worst_choices;  // decision string achieving it
+
+  // First failing run's description, if any.
+  std::string first_failure;
+};
+
+// Explores every schedule where each process's consecutive step gap is
+// drawn from `gap_choices` (per decision, independently) and each message's
+// delay from `delay_choices`. Choices must all be admissible for the model;
+// every run is verified. Enumeration stops (complete=false) after max_runs.
+ExhaustiveResult explore_mpm(const ProblemSpec& spec,
+                             const TimingConstraints& constraints,
+                             const MpmAlgorithmFactory& factory,
+                             const std::vector<Duration>& gap_choices,
+                             const std::vector<Duration>& delay_choices,
+                             std::int64_t max_runs = 2'000'000);
+
+}  // namespace sesp

@@ -1,0 +1,78 @@
+#include "adversary/periodic_attack.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "adversary/delay_strategies.hpp"
+#include "adversary/step_schedulers.hpp"
+#include "session/session_counter.hpp"
+#include "sim/experiment.hpp"
+
+namespace sesp {
+
+PeriodicAttackResult attack_periodic_mpm(const ProblemSpec& spec,
+                                         const Duration& fast_period,
+                                         const Duration& d2,
+                                         const MpmAlgorithmFactory& factory) {
+  PeriodicAttackResult result;
+  if (!fast_period.is_positive() || !d2.is_positive()) {
+    result.failure = "need positive fast period and d2";
+    return result;
+  }
+
+  // Probe: uniform periods, all delays pinned to d2.
+  const auto probe_constraints = TimingConstraints::periodic(
+      std::vector<Duration>(static_cast<std::size_t>(spec.n), fast_period),
+      d2);
+  {
+    FixedPeriodScheduler sched(spec.n, fast_period);
+    FixedDelay delays(d2);
+    const MpmOutcome probe =
+        run_mpm_once(spec, probe_constraints, factory, sched, delays);
+    if (!probe.run.completed) {
+      result.failure = "probe run did not terminate";
+      return result;
+    }
+    if (!probe.verdict.admissible) {
+      result.failure =
+          "probe run inadmissible: " + probe.verdict.admissibility_violation;
+      return result;
+    }
+    result.ran = true;
+    result.probe_termination = *probe.verdict.termination_time;
+
+    // Does any port process idle strictly before d2? (With delays == d2 it
+    // cannot have heard anything by then.)
+    for (const StepRecord& st : probe.run.trace.steps()) {
+      if (st.is_compute() && st.idle_after && st.process != 0 &&
+          st.time < d2) {
+        result.idles_before_d2 = true;
+        break;
+      }
+    }
+  }
+  if (!result.idles_before_d2) return result;  // nothing to exploit
+
+  // Counterexample: slow process 0 past everyone's probe idle times. By
+  // indistinguishability the fast processes idle at the same times having
+  // heard nothing; process 0 contributes no (or too few) port steps.
+  result.slow_period =
+      max(result.probe_termination, d2) * Ratio(2) + Duration(1);
+  std::vector<Duration> periods(static_cast<std::size_t>(spec.n),
+                                fast_period);
+  periods[0] = result.slow_period;
+  const auto constraints = TimingConstraints::periodic(periods, d2);
+  SlowOneScheduler sched(spec.n, fast_period, 0, result.slow_period);
+  FixedDelay delays(d2);
+  const MpmOutcome out =
+      run_mpm_once(spec, constraints, factory, sched, delays);
+  result.constructed = true;
+  result.sessions = out.verdict.sessions;
+  result.admissibility =
+      check_admissible(out.run.trace, constraints);
+  result.certificate =
+      result.admissibility.admissible && result.sessions < spec.s;
+  return result;
+}
+
+}  // namespace sesp

@@ -1,0 +1,56 @@
+#pragma once
+
+// Executable form of Theorem 4.2 (periodic MP lower bound,
+// max{s*c_max, d2}). The two terms have separate arguments, both
+// mechanized here:
+//
+//  * s*c_max: every port process must take s port steps, so no computation
+//    terminates before the slowest process's s-th step. Checked directly on
+//    a run with all periods c_max.
+//  * d2: with every delay pinned to d2, nothing any process hears before
+//    time d2 depends on any other process's period. If the algorithm lets
+//    some port process idle before d2, rerun with one process slowed so
+//    much it has taken no step by the fast processes' idle times: the fast
+//    processes receive exactly the same (empty-before-d2) information, so
+//    they behave identically, and the slowed process contributes no port
+//    steps — fewer than s sessions.
+//
+// As with the other constructions, the attack yields a machine-checked
+// admissible periodic computation; applied to A(p) it finds nothing.
+
+#include <cstdint>
+#include <string>
+
+#include "model/ids.hpp"
+#include "model/timed_computation.hpp"
+#include "mpm/algorithm.hpp"
+#include "timing/admissibility.hpp"
+#include "timing/constraints.hpp"
+#include "util/ratio.hpp"
+
+namespace sesp {
+
+struct PeriodicAttackResult {
+  bool ran = false;
+  std::string failure;
+
+  // Probe run: uniform fast periods, all delays d2.
+  Time probe_termination;
+  bool idles_before_d2 = false;  // some port process idles before time d2
+
+  // The slow-one counterexample run (only when idles_before_d2).
+  bool constructed = false;
+  Duration slow_period;          // period given to process 0
+  std::int64_t sessions = 0;     // sessions in the perturbed run
+  AdmissibilityReport admissibility;
+  bool certificate = false;      // admissible && sessions < s
+};
+
+// `fast_period` is the uniform period of the probe run (and of every
+// process but 0 in the counterexample run); it must be positive.
+PeriodicAttackResult attack_periodic_mpm(const ProblemSpec& spec,
+                                         const Duration& fast_period,
+                                         const Duration& d2,
+                                         const MpmAlgorithmFactory& factory);
+
+}  // namespace sesp

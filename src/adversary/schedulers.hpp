@@ -1,0 +1,38 @@
+#pragma once
+
+// Adversary interfaces. In the paper, "running time" is the maximum over all
+// admissible timed computations; the adversary chooses step times (within
+// the timing model) and message delays (within [d1, d2]). Simulators consume
+// these two interfaces; `step_schedulers.hpp` / `delay_strategies.hpp`
+// provide the concrete strategies used by tests and benches, including the
+// worst-case families the proofs use.
+
+#include <cstdint>
+#include <optional>
+
+#include "model/ids.hpp"
+#include "util/ratio.hpp"
+
+namespace sesp {
+
+// Chooses when each process takes its compute steps. `prev` is the time of
+// the process's previous step (nullopt before its first step; the virtual
+// predecessor is time 0), `step_index` is 0-based. Implementations must
+// return times consistent with the timing model they are used under; every
+// run is machine-checked by the admissibility checker afterwards.
+class StepScheduler {
+ public:
+  virtual ~StepScheduler() = default;
+  virtual Time next_step_time(ProcessId p, std::optional<Time> prev,
+                              std::int64_t step_index) = 0;
+};
+
+// Chooses each message's network delay (send step -> delivery step).
+class DelayStrategy {
+ public:
+  virtual ~DelayStrategy() = default;
+  virtual Duration delay(ProcessId sender, ProcessId recipient,
+                         const Time& send_time, MsgId id) = 0;
+};
+
+}  // namespace sesp

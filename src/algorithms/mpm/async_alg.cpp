@@ -1,0 +1,71 @@
+#include "algorithms/mpm/async_alg.hpp"
+
+#include <vector>
+
+namespace sesp {
+
+namespace {
+
+class RoundBasedMpm final : public MpmAlgorithm {
+ public:
+  RoundBasedMpm(ProcessId self, std::int64_t s, std::int32_t n)
+      : self_(self), s_(s), n_(n),
+        max_session_(static_cast<std::size_t>(n), 0) {}
+
+  MpmStepResult on_step(std::span<const MpmMessage> received) override {
+    for (const MpmMessage& m : received) {
+      if (m.sender < 0 || m.sender >= n_) continue;
+      auto& known = max_session_[static_cast<std::size_t>(m.sender)];
+      if (m.session > known) known = m.session;
+    }
+
+    MpmStepResult r;
+    // At most one round advances per step: one step is one port access and
+    // can witness only one session.
+    if (round_ <= s_ && others_reached(round_ - 1)) {
+      r.broadcast = true;
+      r.message = MpmMessage{self_, round_, 0, false};
+      ++round_;
+      if (round_ > s_) {
+        r.idle = true;
+        idle_ = true;
+      }
+    }
+    return r;
+  }
+
+  bool is_idle() const override { return idle_; }
+
+ private:
+  bool others_reached(std::int64_t round) const {
+    if (round <= 0) return true;
+    for (std::int32_t j = 0; j < n_; ++j) {
+      if (j == self_) continue;
+      if (max_session_[static_cast<std::size_t>(j)] < round) return false;
+    }
+    return true;
+  }
+
+  ProcessId self_;
+  std::int64_t s_;
+  std::int32_t n_;
+  std::vector<std::int64_t> max_session_;
+  std::int64_t round_ = 1;  // next round to perform
+  bool idle_ = false;
+};
+
+}  // namespace
+
+std::unique_ptr<MpmAlgorithm> make_round_based_mpm(ProcessId self,
+                                                   std::int64_t s,
+                                                   std::int32_t n) {
+  return std::make_unique<RoundBasedMpm>(self, s, n);
+}
+
+std::unique_ptr<MpmAlgorithm> AsyncMpmFactory::create(
+    ProcessId p, const ProblemSpec& spec,
+    const TimingConstraints& /*constraints*/) const {
+  return make_round_based_mpm(p, spec.s, spec.n);
+}
+
+}  // namespace sesp

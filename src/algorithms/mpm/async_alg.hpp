@@ -1,0 +1,32 @@
+#pragma once
+
+// Asynchronous MPM algorithm (the upper bound of [4], Table 1 bottom-right):
+// one communication round per session. A process's round-r port step doubles
+// as its broadcast of m(i, r); it advances to round r+1 only once it knows
+// every process completed round r, so all round-(r+1) steps follow all
+// round-r steps and s rounds give s disjoint sessions. Because delays can
+// reorder messages, knowledge is kept monotone: m(j, v) implies j finished
+// every round <= v.
+//
+// Running time (s-1)(d2 + c2) + c2 in the asynchronous MPM of [4]
+// (c1 = d1 = 0, c2/d2 finite); the same class is the communication strategy
+// of the semi-synchronous algorithm.
+
+#include "mpm/algorithm.hpp"
+
+namespace sesp {
+
+class AsyncMpmFactory final : public MpmAlgorithmFactory {
+ public:
+  std::unique_ptr<MpmAlgorithm> create(
+      ProcessId p, const ProblemSpec& spec,
+      const TimingConstraints& constraints) const override;
+  const char* name() const override { return "async-mpm"; }
+};
+
+// Shared with semisync_alg.cpp: the concrete round-based algorithm.
+std::unique_ptr<MpmAlgorithm> make_round_based_mpm(ProcessId self,
+                                                   std::int64_t s,
+                                                   std::int32_t n);
+
+}  // namespace sesp

@@ -1,0 +1,67 @@
+#include "algorithms/mpm/broken_algs.hpp"
+
+#include <algorithm>
+
+#include "algorithms/mpm/semisync_alg.hpp"
+#include "algorithms/mpm/sporadic_alg.hpp"
+
+namespace sesp {
+
+namespace {
+
+class NoWaitPeriodicMpm final : public MpmAlgorithm {
+ public:
+  explicit NoWaitPeriodicMpm(std::int64_t s)
+      : target_(std::max<std::int64_t>(s, 1)) {}
+
+  MpmStepResult on_step(std::span<const MpmMessage> /*received*/) override {
+    ++steps_;
+    MpmStepResult r;
+    if (steps_ >= target_) {
+      r.idle = true;
+      idle_ = true;
+    }
+    return r;
+  }
+
+  bool is_idle() const override { return idle_; }
+
+ private:
+  std::int64_t target_;
+  std::int64_t steps_ = 0;
+  bool idle_ = false;
+};
+
+}  // namespace
+
+std::unique_ptr<MpmAlgorithm> TooFewStepsMpmFactory::create(
+    ProcessId /*p*/, const ProblemSpec& spec,
+    const TimingConstraints& /*constraints*/) const {
+  return make_step_count_mpm(spec.s, steps_per_session_);
+}
+
+std::unique_ptr<MpmAlgorithm> HalfSlackMpmFactory::create(
+    ProcessId /*p*/, const ProblemSpec& spec,
+    const TimingConstraints& constraints) const {
+  const std::int64_t per_session =
+      std::max<std::int64_t>((constraints.c2 / (constraints.c1 * 2)).floor(),
+                             1);
+  return make_step_count_mpm(spec.s, per_session);
+}
+
+std::unique_ptr<MpmAlgorithm> NoWaitPeriodicMpmFactory::create(
+    ProcessId /*p*/, const ProblemSpec& spec,
+    const TimingConstraints& /*constraints*/) const {
+  return std::make_unique<NoWaitPeriodicMpm>(spec.s);
+}
+
+std::unique_ptr<MpmAlgorithm> ImpatientSporadicMpmFactory::create(
+    ProcessId p, const ProblemSpec& spec,
+    const TimingConstraints& constraints) const {
+  const Duration u = constraints.delay_uncertainty();
+  const std::int64_t small_b =
+      std::max<std::int64_t>((u / (constraints.c1 * 4)).floor(), 0);
+  return SporadicMpmFactory(small_b).create(p, spec, constraints);
+}
+
+}  // namespace sesp

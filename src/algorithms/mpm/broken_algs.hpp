@@ -1,0 +1,68 @@
+#pragma once
+
+// Deliberately incorrect algorithms: they terminate faster than the lower
+// bounds allow, so an adversary/retimer must be able to exhibit an
+// admissible computation with fewer than s sessions against them. They are
+// the positive controls for the executable lower-bound constructions
+// (Theorems 4.2, 4.3, 5.1, 6.5).
+
+#include <cstdint>
+
+#include "mpm/algorithm.hpp"
+
+namespace sesp {
+
+// Idles after a fixed number of steps, no communication. With
+// steps_per_session = floor(c2/(2*c1)) it sits exactly at the
+// semi-synchronous lower-bound threshold of Theorem 5.1 (correct step
+// counting needs floor(c2/c1)+1); with small constants it also cheats the
+// periodic model, which the slow-one adversary of Theorem 4.2 exposes.
+class TooFewStepsMpmFactory final : public MpmAlgorithmFactory {
+ public:
+  // total steps = steps_per_session * (s-1) + 1
+  explicit TooFewStepsMpmFactory(std::int64_t steps_per_session)
+      : steps_per_session_(steps_per_session) {}
+
+  std::unique_ptr<MpmAlgorithm> create(
+      ProcessId p, const ProblemSpec& spec,
+      const TimingConstraints& constraints) const override;
+  const char* name() const override { return "broken-too-few-steps-mpm"; }
+
+ private:
+  std::int64_t steps_per_session_;
+};
+
+// Semi-synchronous step counting with the paper's correct B computed from
+// the *wrong* constant: uses floor(c2/(2*c1)) per session, i.e. trusts that
+// half the real slack suffices.
+class HalfSlackMpmFactory final : public MpmAlgorithmFactory {
+ public:
+  std::unique_ptr<MpmAlgorithm> create(
+      ProcessId p, const ProblemSpec& spec,
+      const TimingConstraints& constraints) const override;
+  const char* name() const override { return "broken-half-slack-mpm"; }
+};
+
+// A(p) without the wait: idles as soon as it has taken its own s steps,
+// never listening for the other processes — the periodic lower bound's
+// max{., d2} term and the slow-one adversary both catch it.
+class NoWaitPeriodicMpmFactory final : public MpmAlgorithmFactory {
+ public:
+  std::unique_ptr<MpmAlgorithm> create(
+      ProcessId p, const ProblemSpec& spec,
+      const TimingConstraints& constraints) const override;
+  const char* name() const override { return "broken-no-wait-periodic-mpm"; }
+};
+
+// A(sp) with B = floor(u/(4*c1)) instead of floor(u/c1)+1: the timing
+// inference of condition 2 no longer holds (B*c1 <= u/4 < u), matching the
+// Theorem 6.5 lower-bound scale.
+class ImpatientSporadicMpmFactory final : public MpmAlgorithmFactory {
+ public:
+  std::unique_ptr<MpmAlgorithm> create(
+      ProcessId p, const ProblemSpec& spec,
+      const TimingConstraints& constraints) const override;
+  const char* name() const override { return "broken-impatient-sporadic-mpm"; }
+};
+
+}  // namespace sesp

@@ -1,0 +1,77 @@
+#include "algorithms/mpm/periodic_alg.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace sesp {
+
+namespace {
+
+class PeriodicMpm final : public MpmAlgorithm {
+ public:
+  PeriodicMpm(ProcessId self, std::int64_t s, std::int32_t n)
+      : self_(self),
+        s_(s),
+        n_(n),
+        broadcast_at_(std::max<std::int64_t>(s - 1, 1)),
+        heard_done_(static_cast<std::size_t>(n), false) {}
+
+  MpmStepResult on_step(std::span<const MpmMessage> received) override {
+    if (s_ <= 1) {
+      // Degenerate instance: one session forms once every process takes a
+      // step; no coordination (or communication) is needed.
+      MpmStepResult r;
+      r.idle = true;
+      idle_ = true;
+      return r;
+    }
+    for (const MpmMessage& m : received) {
+      if (m.done && m.sender >= 0 && m.sender < n_)
+        heard_done_[static_cast<std::size_t>(m.sender)] = true;
+    }
+    ++steps_;
+
+    MpmStepResult r;
+    if (steps_ == broadcast_at_) {
+      r.broadcast = true;
+      r.message = MpmMessage{self_, 0, steps_, true};
+    }
+    // Idle once every *other* process is known to have taken its s-1 port
+    // steps and this process has taken at least s steps of its own (its
+    // s-1 steps plus the "one more" of the algorithm text).
+    if (heard_all_others() && steps_ >= std::max<std::int64_t>(s_, 1)) {
+      r.idle = true;
+      idle_ = true;
+    }
+    return r;
+  }
+
+  bool is_idle() const override { return idle_; }
+
+ private:
+  bool heard_all_others() const {
+    for (std::int32_t j = 0; j < n_; ++j) {
+      if (j == self_) continue;
+      if (!heard_done_[static_cast<std::size_t>(j)]) return false;
+    }
+    return true;
+  }
+
+  ProcessId self_;
+  std::int64_t s_;
+  std::int32_t n_;
+  std::int64_t broadcast_at_;
+  std::vector<bool> heard_done_;
+  std::int64_t steps_ = 0;
+  bool idle_ = false;
+};
+
+}  // namespace
+
+std::unique_ptr<MpmAlgorithm> PeriodicMpmFactory::create(
+    ProcessId p, const ProblemSpec& spec,
+    const TimingConstraints& /*constraints*/) const {
+  return std::make_unique<PeriodicMpm>(p, spec.s, spec.n);
+}
+
+}  // namespace sesp

@@ -1,0 +1,26 @@
+#pragma once
+
+// A(p) for the periodic MPM (Section 4). Each port process takes s-1 port
+// steps and, at its (s-1)-th step, broadcasts that fact; it idles once it
+// has heard the fact from every other process and has taken at least one
+// more port step. Running time s*c_max + d2 (Theorem 4.1, with the paper's
+// d = d2), against the lower bound max{s*c_max, d2} (Theorem 4.2).
+//
+// For s == 1 the "s-1 port steps" phase is empty; the implementation then
+// broadcasts at the first step and idles once it has both heard from
+// everyone and stepped at least once, which still yields the single required
+// session and respects s*c_max + d2.
+
+#include "mpm/algorithm.hpp"
+
+namespace sesp {
+
+class PeriodicMpmFactory final : public MpmAlgorithmFactory {
+ public:
+  std::unique_ptr<MpmAlgorithm> create(
+      ProcessId p, const ProblemSpec& spec,
+      const TimingConstraints& constraints) const override;
+  const char* name() const override { return "A(p)-mpm"; }
+};
+
+}  // namespace sesp

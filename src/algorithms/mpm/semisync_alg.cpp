@@ -1,0 +1,72 @@
+#include "algorithms/mpm/semisync_alg.hpp"
+
+#include <algorithm>
+
+#include "algorithms/mpm/async_alg.hpp"
+
+namespace sesp {
+
+namespace {
+
+class StepCountMpm final : public MpmAlgorithm {
+ public:
+  StepCountMpm(std::int64_t s, std::int64_t per_session)
+      : target_(std::max<std::int64_t>(per_session * (s - 1) + 1, 1)) {}
+
+  MpmStepResult on_step(std::span<const MpmMessage> /*received*/) override {
+    ++steps_;
+    MpmStepResult r;
+    if (steps_ >= target_) {
+      r.idle = true;
+      idle_ = true;
+    }
+    return r;
+  }
+
+  bool is_idle() const override { return idle_; }
+
+ private:
+  std::int64_t target_;
+  std::int64_t steps_ = 0;
+  bool idle_ = false;
+};
+
+}  // namespace
+
+std::unique_ptr<MpmAlgorithm> make_step_count_mpm(std::int64_t s,
+                                                  std::int64_t per_session) {
+  return std::make_unique<StepCountMpm>(s, per_session);
+}
+
+SemiSyncStrategy SemiSyncMpmFactory::pick(
+    const TimingConstraints& constraints) {
+  // Per-session costs of the two branches of the min.
+  const Ratio b_steps = Ratio((constraints.c2 / constraints.c1).floor() + 1);
+  const Ratio step_cost = b_steps * constraints.c2;
+  const Ratio comm_cost = constraints.d2 + constraints.c2;
+  return step_cost <= comm_cost ? SemiSyncStrategy::kStepCount
+                                : SemiSyncStrategy::kCommunicate;
+}
+
+std::unique_ptr<MpmAlgorithm> SemiSyncMpmFactory::create(
+    ProcessId p, const ProblemSpec& spec,
+    const TimingConstraints& constraints) const {
+  SemiSyncStrategy strategy = strategy_;
+  if (strategy == SemiSyncStrategy::kAuto) strategy = pick(constraints);
+  if (strategy == SemiSyncStrategy::kStepCount) {
+    const std::int64_t B = (constraints.c2 / constraints.c1).floor() + 1;
+    return make_step_count_mpm(spec.s, B);
+  }
+  return make_round_based_mpm(p, spec.s, spec.n);
+}
+
+const char* SemiSyncMpmFactory::name() const {
+  switch (strategy_) {
+    case SemiSyncStrategy::kAuto: return "semisync-mpm(auto)";
+    case SemiSyncStrategy::kStepCount: return "semisync-mpm(steps)";
+    case SemiSyncStrategy::kCommunicate: return "semisync-mpm(comm)";
+  }
+  return "semisync-mpm";
+}
+
+}  // namespace sesp

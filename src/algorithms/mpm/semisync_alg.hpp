@@ -1,0 +1,52 @@
+#pragma once
+
+// Semi-synchronous MPM algorithm (adapted from Attiya & Mavronicolas [4],
+// Table 1 row 3). Two interchangeable strategies, each matching one branch
+// of the min in the upper bound
+//     min{(floor(c2/c1)+1)*c2, d2+c2} * (s-1) + c2:
+//
+//  * Step counting: B = floor(c2/c1)+1 own steps span time > c2, in which
+//    every other process must have taken a step; B steps per session with no
+//    communication at all. Total B(s-1)+1 steps.
+//  * Communication: the round-based algorithm (one broadcast round trip per
+//    session), costing d2 + c2 per session.
+//
+// The default factory picks whichever branch the constants make cheaper,
+// exactly as the min suggests; the explicit factories let benches measure
+// both branches and locate the crossover.
+
+#include "mpm/algorithm.hpp"
+
+namespace sesp {
+
+enum class SemiSyncStrategy {
+  kAuto,         // min of the two predicted per-session costs
+  kStepCount,    // (floor(c2/c1)+1)*c2 per session
+  kCommunicate,  // d2 + c2 per session
+};
+
+class SemiSyncMpmFactory final : public MpmAlgorithmFactory {
+ public:
+  explicit SemiSyncMpmFactory(
+      SemiSyncStrategy strategy = SemiSyncStrategy::kAuto)
+      : strategy_(strategy) {}
+
+  std::unique_ptr<MpmAlgorithm> create(
+      ProcessId p, const ProblemSpec& spec,
+      const TimingConstraints& constraints) const override;
+  const char* name() const override;
+
+  // The branch the constants select under kAuto.
+  static SemiSyncStrategy pick(const TimingConstraints& constraints);
+
+ private:
+  SemiSyncStrategy strategy_;
+};
+
+// Step-counting core, shared with the broken variants: takes
+// per_session * (s-1) + 1 steps, then idles. Correct iff
+// per_session * c1 > c2.
+std::unique_ptr<MpmAlgorithm> make_step_count_mpm(std::int64_t s,
+                                                  std::int64_t per_session);
+
+}  // namespace sesp

@@ -1,0 +1,105 @@
+#include "algorithms/mpm/sporadic_alg.hpp"
+
+#include <set>
+#include <utility>
+#include <vector>
+
+namespace sesp {
+
+namespace {
+
+class SporadicMpm final : public MpmAlgorithm {
+ public:
+  SporadicMpm(ProcessId self, std::int64_t s, std::int32_t n, std::int64_t B,
+              bool enable_condition2)
+      : self_(self), s_(s), n_(n), B_(B),
+        enable_condition2_(enable_condition2),
+        temp_has_(static_cast<std::size_t>(n), false) {}
+
+  MpmStepResult on_step(std::span<const MpmMessage> received) override {
+    MpmStepResult r;
+    if (session_ >= s_ - 1) {
+      // while-condition already false: the process idles without further
+      // broadcasts (covers s == 1, where the loop body never runs).
+      r.idle = true;
+      idle_ = true;
+      return r;
+    }
+
+    // read buf_i; msg_buf := msg_buf ∪ M
+    for (const MpmMessage& m : received) {
+      if (m.sender >= 0 && m.sender < n_)
+        msg_buf_.insert({m.sender, m.session});
+    }
+
+    if (condition1()) {
+      count_ = 0;
+      ++session_;
+    } else if (enable_condition2_ && count_ > B_) {
+      for (const MpmMessage& m : received) {
+        if (m.sender >= 0 && m.sender < n_)
+          temp_has_[static_cast<std::size_t>(m.sender)] = true;
+      }
+      if (condition2()) {
+        count_ = 0;
+        ++session_;
+        temp_has_.assign(temp_has_.size(), false);
+      }
+    }
+
+    r.broadcast = true;
+    r.message = MpmMessage{self_, session_, 0, false};
+    ++count_;
+
+    if (session_ >= s_ - 1) {
+      r.idle = true;
+      idle_ = true;
+    }
+    return r;
+  }
+
+  bool is_idle() const override { return idle_; }
+
+ private:
+  // for all j in [n], m(j, session) in msg_buf
+  bool condition1() const {
+    for (std::int32_t j = 0; j < n_; ++j)
+      if (msg_buf_.find({j, session_}) == msg_buf_.end()) return false;
+    return true;
+  }
+
+  // for all j in [n], at least one m(j, *) in temp_buf
+  bool condition2() const {
+    for (std::int32_t j = 0; j < n_; ++j)
+      if (!temp_has_[static_cast<std::size_t>(j)]) return false;
+    return true;
+  }
+
+  ProcessId self_;
+  std::int64_t s_;
+  std::int32_t n_;
+  std::int64_t B_;
+  bool enable_condition2_;
+
+  std::int64_t count_ = 0;
+  std::int64_t session_ = 0;
+  std::set<std::pair<ProcessId, std::int64_t>> msg_buf_;
+  std::vector<bool> temp_has_;  // temp_buf, reduced to "has m(j, *)"
+  bool idle_ = false;
+};
+
+}  // namespace
+
+std::unique_ptr<MpmAlgorithm> SporadicMpmFactory::create(
+    ProcessId p, const ProblemSpec& spec,
+    const TimingConstraints& constraints) const {
+  std::int64_t B = b_override_;
+  if (B < 0) {
+    const Duration u = constraints.delay_uncertainty();
+    B = (u / constraints.c1).floor() + 1;
+  }
+  return std::make_unique<SporadicMpm>(p, spec.s, spec.n, B,
+                                       enable_condition2_);
+}
+
+}  // namespace sesp

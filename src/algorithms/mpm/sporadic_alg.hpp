@@ -1,0 +1,49 @@
+#pragma once
+
+// A(sp), the sporadic MPM algorithm of Section 6, transcribed from the
+// paper's pseudocode. Constants: u = d2 - d1, B = floor(u/c1) + 1 (so that
+// B * c1 > u). Each process broadcasts m(i, session) at every step. Two ways
+// to learn that a new session happened:
+//
+//  condition 1: m(j, session) received from every j in [n] — everyone
+//    reached the current session value, so their broadcasts for it (each a
+//    port step after the previous session) complete another session;
+//  condition 2: count > B steps have elapsed since the last session update
+//    (more than u time, by the step-time lower bound), after which a message
+//    from every process collected in temp_buf must have been *sent* after
+//    the previous session — the timing-inference trick the sporadic model
+//    enables.
+//
+// The process idles once session reaches s-1 (its broadcast of m(i, s-1)
+// still goes out on that final step). Upper bound (Theorem 6.1):
+// min{(floor(u/c1)+3)*gamma + u, d2+gamma}*(s-1) + gamma, with gamma the
+// computation's largest step gap.
+
+#include "mpm/algorithm.hpp"
+
+namespace sesp {
+
+class SporadicMpmFactory final : public MpmAlgorithmFactory {
+ public:
+  // `b_override` replaces the paper's B when >= 0 — used by the broken
+  // variant to demonstrate the Theorem 6.5 lower bound (B too small breaks
+  // the timing inference). `enable_condition2` turns the elapsed-time
+  // inference off (condition 1 only) — still correct but slower when
+  // u << d2; the bench_ablation experiment measures the difference.
+  explicit SporadicMpmFactory(std::int64_t b_override = -1,
+                              bool enable_condition2 = true)
+      : b_override_(b_override), enable_condition2_(enable_condition2) {}
+
+  std::unique_ptr<MpmAlgorithm> create(
+      ProcessId p, const ProblemSpec& spec,
+      const TimingConstraints& constraints) const override;
+  const char* name() const override {
+    return enable_condition2_ ? "A(sp)-mpm" : "A(sp)-mpm(no-cond2)";
+  }
+
+ private:
+  std::int64_t b_override_;
+  bool enable_condition2_;
+};
+
+}  // namespace sesp

@@ -1,0 +1,35 @@
+#include "algorithms/mpm/sync_alg.hpp"
+
+namespace sesp {
+
+namespace {
+
+class SyncMpm final : public MpmAlgorithm {
+ public:
+  explicit SyncMpm(std::int64_t s) : s_(s) {}
+
+  MpmStepResult on_step(std::span<const MpmMessage> /*received*/) override {
+    ++steps_;
+    MpmStepResult r;
+    r.idle = steps_ >= s_;
+    idle_ = r.idle;
+    return r;
+  }
+
+  bool is_idle() const override { return idle_; }
+
+ private:
+  std::int64_t s_;
+  std::int64_t steps_ = 0;
+  bool idle_ = false;
+};
+
+}  // namespace
+
+std::unique_ptr<MpmAlgorithm> SyncMpmFactory::create(
+    ProcessId /*p*/, const ProblemSpec& spec,
+    const TimingConstraints& /*constraints*/) const {
+  return std::make_unique<SyncMpm>(spec.s);
+}
+
+}  // namespace sesp

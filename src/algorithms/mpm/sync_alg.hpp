@@ -1,0 +1,20 @@
+#pragma once
+
+// Synchronous MPM algorithm (Table 1 row 1). With lockstep steps every c2,
+// no communication is needed: each process takes s steps (each a port step)
+// and idles. Running time exactly s * c2, matching the tight bound from [2]
+// carried over to message passing.
+
+#include "mpm/algorithm.hpp"
+
+namespace sesp {
+
+class SyncMpmFactory final : public MpmAlgorithmFactory {
+ public:
+  std::unique_ptr<MpmAlgorithm> create(
+      ProcessId p, const ProblemSpec& spec,
+      const TimingConstraints& constraints) const override;
+  const char* name() const override { return "sync-mpm"; }
+};
+
+}  // namespace sesp

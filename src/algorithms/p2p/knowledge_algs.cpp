@@ -1,0 +1,101 @@
+#include "algorithms/p2p/knowledge_algs.hpp"
+
+#include <algorithm>
+
+namespace sesp {
+
+namespace {
+
+class P2pSync final : public P2pAlgorithm {
+ public:
+  explicit P2pSync(std::int64_t s) : s_(std::max<std::int64_t>(s, 1)) {}
+
+  void on_step(const Knowledge& /*view*/) override {
+    ++steps_;
+    if (steps_ >= s_) idle_ = true;
+  }
+
+  PortInfo advertised() const override { return PortInfo{steps_, 0, idle_}; }
+  bool is_idle() const override { return idle_; }
+
+ private:
+  std::int64_t s_;
+  std::int64_t steps_ = 0;
+  bool idle_ = false;
+};
+
+class P2pPeriodic final : public P2pAlgorithm {
+ public:
+  P2pPeriodic(ProcessId self, std::int64_t s, std::int32_t n)
+      : self_(self), s_(s), n_(n) {}
+
+  void on_step(const Knowledge& view) override {
+    ++steps_;
+    if (s_ <= 1) {
+      idle_ = true;
+      return;
+    }
+    if (steps_ >= s_ - 1) done_ = true;
+    if (done_ && steps_ >= s_ && view.all_done(n_, self_)) idle_ = true;
+  }
+
+  PortInfo advertised() const override { return PortInfo{steps_, 0, done_}; }
+  bool is_idle() const override { return idle_; }
+
+ private:
+  ProcessId self_;
+  std::int64_t s_;
+  std::int32_t n_;
+  std::int64_t steps_ = 0;
+  bool done_ = false;
+  bool idle_ = false;
+};
+
+class P2pRounds final : public P2pAlgorithm {
+ public:
+  P2pRounds(ProcessId self, std::int64_t s, std::int32_t n)
+      : self_(self), s_(s), n_(n) {}
+
+  void on_step(const Knowledge& view) override {
+    // At most one round advances per step (one step witnesses one session).
+    if (completed_ < s_ &&
+        (completed_ == 0 || view.all_have_session(n_, completed_, self_))) {
+      ++completed_;
+      if (completed_ >= s_) idle_ = true;
+    }
+  }
+
+  PortInfo advertised() const override {
+    return PortInfo{completed_, completed_, completed_ >= s_};
+  }
+  bool is_idle() const override { return idle_; }
+
+ private:
+  ProcessId self_;
+  std::int64_t s_;
+  std::int32_t n_;
+  std::int64_t completed_ = 0;
+  bool idle_ = false;
+};
+
+}  // namespace
+
+std::unique_ptr<P2pAlgorithm> P2pSyncFactory::create(
+    ProcessId /*p*/, const ProblemSpec& spec,
+    const TimingConstraints& /*constraints*/) const {
+  return std::make_unique<P2pSync>(spec.s);
+}
+
+std::unique_ptr<P2pAlgorithm> P2pPeriodicFactory::create(
+    ProcessId p, const ProblemSpec& spec,
+    const TimingConstraints& /*constraints*/) const {
+  return std::make_unique<P2pPeriodic>(p, spec.s, spec.n);
+}
+
+std::unique_ptr<P2pAlgorithm> P2pRoundsFactory::create(
+    ProcessId p, const ProblemSpec& spec,
+    const TimingConstraints& /*constraints*/) const {
+  return std::make_unique<P2pRounds>(p, spec.s, spec.n);
+}
+
+}  // namespace sesp

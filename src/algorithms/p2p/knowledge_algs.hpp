@@ -1,0 +1,48 @@
+#pragma once
+
+// Knowledge-gossip algorithms for the point-to-point variant. The abstract
+// MPM algorithms carry over with message contents replaced by the monotone
+// knowledge view the relay gossip maintains:
+//
+//  * P2pSyncFactory      — s steps, no dependence on the view (synchronous).
+//  * P2pPeriodicFactory  — A(p): s-1 steps, advertise done, idle once the
+//                          view shows every other process done and >= s own
+//                          steps.
+//  * P2pRoundsFactory    — one knowledge round per session (asynchronous /
+//                          semi-synchronous communication strategy): advance
+//                          to round r+1 once the view shows everyone
+//                          completed round r.
+//
+// End-to-end propagation in this substrate costs diameter hops, so the
+// round-based algorithm's per-session time is ~ D*(d_hop + c2) — the
+// diameter factor of [4] that the abstract model's d2 absorbs.
+
+#include "p2p/algorithm.hpp"
+
+namespace sesp {
+
+class P2pSyncFactory final : public P2pAlgorithmFactory {
+ public:
+  std::unique_ptr<P2pAlgorithm> create(
+      ProcessId p, const ProblemSpec& spec,
+      const TimingConstraints& constraints) const override;
+  const char* name() const override { return "sync-p2p"; }
+};
+
+class P2pPeriodicFactory final : public P2pAlgorithmFactory {
+ public:
+  std::unique_ptr<P2pAlgorithm> create(
+      ProcessId p, const ProblemSpec& spec,
+      const TimingConstraints& constraints) const override;
+  const char* name() const override { return "A(p)-p2p"; }
+};
+
+class P2pRoundsFactory final : public P2pAlgorithmFactory {
+ public:
+  std::unique_ptr<P2pAlgorithm> create(
+      ProcessId p, const ProblemSpec& spec,
+      const TimingConstraints& constraints) const override;
+  const char* name() const override { return "rounds-p2p"; }
+};
+
+}  // namespace sesp

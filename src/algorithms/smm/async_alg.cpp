@@ -1,0 +1,13 @@
+#include "algorithms/smm/async_alg.hpp"
+
+#include "algorithms/smm/semisync_alg.hpp"
+
+namespace sesp {
+
+std::unique_ptr<SmmPortAlgorithm> AsyncSmmFactory::create(
+    ProcessId p, const ProblemSpec& spec,
+    const TimingConstraints& /*constraints*/) const {
+  return make_round_based_smm(p, spec.s, spec.n);
+}
+
+}  // namespace sesp

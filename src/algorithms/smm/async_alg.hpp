@@ -1,0 +1,19 @@
+#pragma once
+
+// Asynchronous SMM algorithm ([2], Table 1 bottom-left): the knowledge-round
+// algorithm, one tree round trip per session, measured in rounds —
+// (s-1) * O(log_b n) against the matching lower bound.
+
+#include "smm/algorithm.hpp"
+
+namespace sesp {
+
+class AsyncSmmFactory final : public SmmAlgorithmFactory {
+ public:
+  std::unique_ptr<SmmPortAlgorithm> create(
+      ProcessId p, const ProblemSpec& spec,
+      const TimingConstraints& constraints) const override;
+  const char* name() const override { return "async-smm"; }
+};
+
+}  // namespace sesp

@@ -1,0 +1,87 @@
+#include "algorithms/smm/broken_algs.hpp"
+
+#include <algorithm>
+
+#include "algorithms/smm/semisync_alg.hpp"
+
+namespace sesp {
+
+namespace {
+
+// A(p) without the waiting-phase alternation: phase 2 is tree-only.
+class TreeOnlyWaitPeriodicSmm final : public SmmPortAlgorithm {
+ public:
+  TreeOnlyWaitPeriodicSmm(ProcessId self, std::int64_t s, std::int32_t n)
+      : self_(self), s_(s), n_(n), done_(s <= 1) {}
+
+  SmmChoice choose() const override {
+    if (s_ <= 1) return SmmChoice::kPort;
+    if (port_steps_ < s_ - 1) return SmmChoice::kPort;
+    if (!heard_all_) return SmmChoice::kTree;
+    return SmmChoice::kPort;
+  }
+
+  void on_port_access() override {
+    ++port_steps_;
+    if (s_ <= 1) {
+      idle_ = true;
+      return;
+    }
+    if (port_steps_ >= s_ - 1) done_ = true;
+    if (heard_all_) idle_ = true;
+  }
+
+  PortInfo advertised() const override {
+    return PortInfo{port_steps_, 0, done_};
+  }
+
+  void on_tree_snapshot(const Knowledge& snapshot) override {
+    know_.merge(snapshot);
+    if (know_.all_done(n_, self_)) heard_all_ = true;
+  }
+
+  bool is_idle() const override { return idle_; }
+
+ private:
+  ProcessId self_;
+  std::int64_t s_;
+  std::int32_t n_;
+  std::int64_t port_steps_ = 0;
+  bool done_;
+  bool heard_all_ = false;
+  Knowledge know_;
+  bool idle_ = false;
+};
+
+}  // namespace
+
+std::unique_ptr<SmmPortAlgorithm> TreeOnlyWaitPeriodicSmmFactory::create(
+    ProcessId p, const ProblemSpec& spec,
+    const TimingConstraints& /*constraints*/) const {
+  return std::make_unique<TreeOnlyWaitPeriodicSmm>(p, spec.s, spec.n);
+}
+
+std::unique_ptr<SmmPortAlgorithm> NoWaitPeriodicSmmFactory::create(
+    ProcessId /*p*/, const ProblemSpec& spec,
+    const TimingConstraints& /*constraints*/) const {
+  // s port steps with no communication == step counting with one step per
+  // session.
+  return make_step_count_smm(spec.s, 1);
+}
+
+std::unique_ptr<SmmPortAlgorithm> HalfSlackSmmFactory::create(
+    ProcessId /*p*/, const ProblemSpec& spec,
+    const TimingConstraints& constraints) const {
+  const std::int64_t per_session =
+      std::max<std::int64_t>((constraints.c2 / (constraints.c1 * 2)).floor(),
+                             1);
+  return make_step_count_smm(spec.s, per_session);
+}
+
+std::unique_ptr<SmmPortAlgorithm> TooFewStepsSmmFactory::create(
+    ProcessId /*p*/, const ProblemSpec& spec,
+    const TimingConstraints& /*constraints*/) const {
+  return make_step_count_smm(spec.s, steps_per_session_);
+}
+
+}  // namespace sesp

@@ -1,0 +1,60 @@
+#pragma once
+
+// Cheating SMM algorithms — falsification targets for the executable lower
+// bounds (Theorem 4.3's contamination adversary, Theorem 5.1's retimer).
+
+#include "smm/algorithm.hpp"
+
+namespace sesp {
+
+// A(p) without listening: s port steps, idle. The slow-one / contamination
+// adversaries of Section 4 produce admissible periodic computations where it
+// misses sessions.
+class NoWaitPeriodicSmmFactory final : public SmmAlgorithmFactory {
+ public:
+  std::unique_ptr<SmmPortAlgorithm> create(
+      ProcessId p, const ProblemSpec& spec,
+      const TimingConstraints& constraints) const override;
+  const char* name() const override { return "broken-no-wait-periodic-smm"; }
+};
+
+// Step counting with floor(c2/(2*c1)) port steps per session — exactly the
+// Theorem 5.1 lower-bound threshold, which the retimer defeats.
+class HalfSlackSmmFactory final : public SmmAlgorithmFactory {
+ public:
+  std::unique_ptr<SmmPortAlgorithm> create(
+      ProcessId p, const ProblemSpec& spec,
+      const TimingConstraints& constraints) const override;
+  const char* name() const override { return "broken-half-slack-smm"; }
+};
+
+// A(p) whose waiting phase does tree accesses only (no interleaved port
+// steps). The ablation for the port/tree alternation: with heterogeneous
+// periods the fast processes stop contributing port steps while the slow
+// one is still working through its s-1 accesses, and sessions are lost.
+class TreeOnlyWaitPeriodicSmmFactory final : public SmmAlgorithmFactory {
+ public:
+  std::unique_ptr<SmmPortAlgorithm> create(
+      ProcessId p, const ProblemSpec& spec,
+      const TimingConstraints& constraints) const override;
+  const char* name() const override {
+    return "ablation-tree-only-wait-periodic-smm";
+  }
+};
+
+// Step counting with an arbitrary (wrong) per-session count.
+class TooFewStepsSmmFactory final : public SmmAlgorithmFactory {
+ public:
+  explicit TooFewStepsSmmFactory(std::int64_t steps_per_session)
+      : steps_per_session_(steps_per_session) {}
+
+  std::unique_ptr<SmmPortAlgorithm> create(
+      ProcessId p, const ProblemSpec& spec,
+      const TimingConstraints& constraints) const override;
+  const char* name() const override { return "broken-too-few-steps-smm"; }
+
+ private:
+  std::int64_t steps_per_session_;
+};
+
+}  // namespace sesp

@@ -1,0 +1,21 @@
+#pragma once
+
+// A(p) for the periodic SMM (Section 4). Phase 1: s-1 port steps. Phase 2:
+// tree accesses advertising "done" (the broadcast of Section 3) until the
+// merged knowledge shows every other port process done. Phase 3: one more
+// port step, then idle. Running time s*c_max + O(log_b n)*c_max
+// (Theorem 4.1); the concrete constant is the tree's latency bound.
+
+#include "smm/algorithm.hpp"
+
+namespace sesp {
+
+class PeriodicSmmFactory final : public SmmAlgorithmFactory {
+ public:
+  std::unique_ptr<SmmPortAlgorithm> create(
+      ProcessId p, const ProblemSpec& spec,
+      const TimingConstraints& constraints) const override;
+  const char* name() const override { return "A(p)-smm"; }
+};
+
+}  // namespace sesp

@@ -1,0 +1,56 @@
+#pragma once
+
+// Semi-synchronous SMM algorithm (Section 5: the [4] algorithm with send/
+// receive replaced by the Section-3 tree broadcast). Two strategies matching
+// the branches of the upper bound
+//     min{(floor(c2/c1)+1)*c2, O(log_b n)*c2} * (s-1) + c2:
+//
+//  * Step counting: B = floor(c2/c1)+1 port steps per session, no
+//    communication (identical reasoning to the MPM variant: B*c1 > c2, and
+//    all port processes take only port steps).
+//  * Communication: knowledge rounds through the tree, one round trip per
+//    session — O(log_b n) steps each.
+//
+// The kAuto factory compares the two predicted per-session costs using the
+// tree latency constant for the instance's (n, b).
+
+#include "smm/algorithm.hpp"
+
+namespace sesp {
+
+enum class SmmSemiSyncStrategy { kAuto, kStepCount, kCommunicate };
+
+class SemiSyncSmmFactory final : public SmmAlgorithmFactory {
+ public:
+  explicit SemiSyncSmmFactory(
+      SmmSemiSyncStrategy strategy = SmmSemiSyncStrategy::kAuto)
+      : strategy_(strategy) {}
+
+  std::unique_ptr<SmmPortAlgorithm> create(
+      ProcessId p, const ProblemSpec& spec,
+      const TimingConstraints& constraints) const override;
+  const char* name() const override;
+
+  static SmmSemiSyncStrategy pick(const ProblemSpec& spec,
+                                  const TimingConstraints& constraints);
+
+ private:
+  SmmSemiSyncStrategy strategy_;
+};
+
+// Step-counting core (shared with the broken variants): only port steps,
+// per_session * (s-1) + 1 of them, then idle.
+std::unique_ptr<SmmPortAlgorithm> make_step_count_smm(
+    std::int64_t s, std::int64_t per_session);
+
+// Knowledge-round core (shared with the asynchronous algorithm): one tree
+// round trip per session.
+std::unique_ptr<SmmPortAlgorithm> make_round_based_smm(ProcessId self,
+                                                       std::int64_t s,
+                                                       std::int32_t n);
+
+// The tree latency constant for an (n, b) instance, in relay step periods —
+// used by kAuto and by the bound formulas in analysis::bounds.
+std::int64_t smm_tree_latency_steps(std::int32_t n, std::int32_t b);
+
+}  // namespace sesp

@@ -1,0 +1,40 @@
+#include "algorithms/smm/sync_alg.hpp"
+
+namespace sesp {
+
+namespace {
+
+class SyncSmm final : public SmmPortAlgorithm {
+ public:
+  explicit SyncSmm(std::int64_t s) : s_(s) {}
+
+  SmmChoice choose() const override { return SmmChoice::kPort; }
+
+  void on_port_access() override {
+    ++steps_;
+    if (steps_ >= s_) idle_ = true;
+  }
+
+  PortInfo advertised() const override {
+    return PortInfo{steps_, 0, idle_};
+  }
+
+  void on_tree_snapshot(const Knowledge& /*snapshot*/) override {}
+
+  bool is_idle() const override { return idle_; }
+
+ private:
+  std::int64_t s_;
+  std::int64_t steps_ = 0;
+  bool idle_ = false;
+};
+
+}  // namespace
+
+std::unique_ptr<SmmPortAlgorithm> SyncSmmFactory::create(
+    ProcessId /*p*/, const ProblemSpec& spec,
+    const TimingConstraints& /*constraints*/) const {
+  return std::make_unique<SyncSmm>(spec.s);
+}
+
+}  // namespace sesp

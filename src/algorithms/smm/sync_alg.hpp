@@ -1,0 +1,18 @@
+#pragma once
+
+// Synchronous SMM algorithm ([2], Table 1 row 1): s port steps in lockstep,
+// no communication, time exactly s * c2.
+
+#include "smm/algorithm.hpp"
+
+namespace sesp {
+
+class SyncSmmFactory final : public SmmAlgorithmFactory {
+ public:
+  std::unique_ptr<SmmPortAlgorithm> create(
+      ProcessId p, const ProblemSpec& spec,
+      const TimingConstraints& constraints) const override;
+  const char* name() const override { return "sync-smm"; }
+};
+
+}  // namespace sesp

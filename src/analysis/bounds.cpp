@@ -1,0 +1,129 @@
+#include "analysis/bounds.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace sesp::bounds {
+
+std::int64_t floor_log(std::int64_t base, std::int64_t x) {
+  if (base < 2 || x < 1) {
+    std::fprintf(stderr, "bounds::floor_log fatal: base >= 2, x >= 1\n");
+    std::abort();
+  }
+  std::int64_t t = 0;
+  std::int64_t power = 1;
+  while (power <= x / base) {
+    power *= base;
+    ++t;
+  }
+  return t;
+}
+
+Time sync_tight(const ProblemSpec& spec, Duration c2) {
+  return Ratio(spec.s) * c2;
+}
+
+Time periodic_sm_lower(const ProblemSpec& spec, Duration c_max,
+                       Duration c_min) {
+  const std::int64_t depth = floor_log(2 * spec.b - 1, 2 * spec.n - 1);
+  return max(Ratio(spec.s) * c_max, Ratio(depth) * c_min);
+}
+
+Time periodic_sm_upper(const ProblemSpec& spec, Duration c_max,
+                       std::int64_t tree_latency_steps) {
+  // s-1 port steps, then (during the port/tree alternation of the waiting
+  // phase) publish <= 2 steps, tree latency, hear <= 2 steps, final port
+  // step <= 2 steps; each step period at most c_max.
+  return Ratio(spec.s) * c_max + Ratio(tree_latency_steps + 6) * c_max;
+}
+
+Time periodic_mp_lower(const ProblemSpec& spec, Duration c_max, Duration d2) {
+  return max(Ratio(spec.s) * c_max, d2);
+}
+
+Time periodic_mp_upper(const ProblemSpec& spec, Duration c_max, Duration d2) {
+  return Ratio(spec.s) * c_max + d2;
+}
+
+Time semisync_sm_lower(const ProblemSpec& spec, Duration c1, Duration c2) {
+  const Ratio steps =
+      min(Ratio((c2 / (c1 * 2)).floor()), Ratio(floor_log(spec.b, spec.n)));
+  return steps * c2 * Ratio(spec.s - 1);
+}
+
+Time semisync_sm_upper(const ProblemSpec& spec, Duration c1, Duration c2,
+                       std::int64_t tree_latency_steps) {
+  (void)spec;
+  const Ratio step_branch = Ratio((c2 / c1).floor() + 1) * c2;
+  const Ratio comm_branch = Ratio(tree_latency_steps + 4) * c2;
+  return min(step_branch, comm_branch) * Ratio(spec.s - 1) + c2;
+}
+
+Time semisync_mp_lower(const ProblemSpec& spec, Duration c1, Duration c2,
+                       Duration d2) {
+  const Ratio step_branch = Ratio((c2 / (c1 * 2)).floor()) * c2;
+  const Ratio comm_branch = d2 + c2;
+  return min(step_branch, comm_branch) * Ratio(spec.s - 1);
+}
+
+Time semisync_mp_upper(const ProblemSpec& spec, Duration c1, Duration c2,
+                       Duration d2) {
+  const Ratio step_branch = Ratio((c2 / c1).floor() + 1) * c2;
+  const Ratio comm_branch = d2 + c2;
+  return min(step_branch, comm_branch) * Ratio(spec.s - 1) + c2;
+}
+
+Ratio sporadic_K(Duration c1, Duration d1, Duration d2) {
+  const Duration u = d2 - d1;
+  const Duration denom = d2 - u / 2;
+  if (!denom.is_positive()) {
+    std::fprintf(stderr, "bounds::sporadic_K fatal: d2 - u/2 <= 0\n");
+    std::abort();
+  }
+  return (Ratio(2) * d2 * c1) / denom;
+}
+
+Time sporadic_mp_lower(const ProblemSpec& spec, Duration c1, Duration d1,
+                       Duration d2) {
+  const Duration u = d2 - d1;
+  const Ratio per_session =
+      max(Ratio((u / (c1 * 4)).floor()) * sporadic_K(c1, d1, d2), c1);
+  return per_session * Ratio(spec.s - 1);
+}
+
+Time sporadic_mp_upper(const ProblemSpec& spec, Duration c1, Duration d1,
+                       Duration d2, Duration gamma) {
+  // The exact Theorem 6.1 statement:
+  //   min{(floor(u/c1)+1)*gamma + u + 2*gamma, d2 + gamma} * (s-2)
+  //     + d2 + 2*gamma.
+  // (Table 1 displays the simplified (s-1)-factored form, which the paper
+  // notes is equal when d1 < (floor(u/c1)+1)*gamma; the proof's bound is
+  // this one.)
+  if (spec.s <= 1) return gamma;  // every process idles at its first step
+  const Duration u = d2 - d1;
+  const Ratio branch1 = Ratio((u / c1).floor() + 1) * gamma + u + gamma * 2;
+  const Ratio branch2 = d2 + gamma;
+  return min(branch1, branch2) * Ratio(spec.s - 2) + d2 + gamma * 2;
+}
+
+std::int64_t async_sm_lower_rounds(const ProblemSpec& spec) {
+  return (spec.s - 1) * floor_log(spec.b, spec.n);
+}
+
+std::int64_t async_sm_upper_rounds(const ProblemSpec& spec,
+                                   std::int64_t tree_latency_steps) {
+  // Per session: port step + publish + tree latency + hear, counted in
+  // rounds (every process steps once per round, so a step period is one
+  // round), plus one round of slack for the initial session.
+  return spec.s * (tree_latency_steps + 4) + 1;
+}
+
+Time async_mp_lower(const ProblemSpec& spec, Duration d2) {
+  return Ratio(spec.s - 1) * d2;
+}
+
+Time async_mp_upper(const ProblemSpec& spec, Duration c2, Duration d2) {
+  return Ratio(spec.s - 1) * (d2 + c2) + c2;
+}
+
+}  // namespace sesp::bounds

@@ -1,0 +1,71 @@
+#pragma once
+
+// Closed-form bound calculators — every cell of Table 1, in exact rational
+// arithmetic. Cells containing an O(.) are instantiated with this
+// implementation's concrete tree-latency constant (documented in
+// smm/tree_network.hpp); benches report both the paper's leading term and
+// the instantiated constant.
+
+#include <cstdint>
+
+#include "model/ids.hpp"
+#include "timing/constraints.hpp"
+#include "util/ratio.hpp"
+
+namespace sesp::bounds {
+
+// floor(log_base(x)) for base >= 2, x >= 1: the largest t with base^t <= x.
+std::int64_t floor_log(std::int64_t base, std::int64_t x);
+
+// --- Synchronous (row 1; L = U, both substrates) -------------------------
+Time sync_tight(const ProblemSpec& spec, Duration c2);
+
+// --- Periodic (row 2, Section 4) ------------------------------------------
+// SM lower: max{s*c_max, floor(log_{2b-1}(2n-1)) * c_min}   (Theorem 4.3)
+Time periodic_sm_lower(const ProblemSpec& spec, Duration c_max,
+                       Duration c_min);
+// SM upper: s*c_max + O(log_b n)*c_max, instantiated with the tree constant
+// plus the leaf's own publish/hear/port bracketing steps (Theorem 4.1).
+Time periodic_sm_upper(const ProblemSpec& spec, Duration c_max,
+                       std::int64_t tree_latency_steps);
+// MP lower: max{s*c_max, d2}                                 (Theorem 4.2)
+Time periodic_mp_lower(const ProblemSpec& spec, Duration c_max, Duration d2);
+// MP upper: s*c_max + d2                                     (Theorem 4.1)
+Time periodic_mp_upper(const ProblemSpec& spec, Duration c_max, Duration d2);
+
+// --- Semi-synchronous (row 3, Section 5 and [4]) ---------------------------
+// SM lower: min{floor(c2/2c1), floor(log_b n)} * c2 * (s-1)  (Theorem 5.1)
+Time semisync_sm_lower(const ProblemSpec& spec, Duration c1, Duration c2);
+// SM upper: min{(floor(c2/c1)+1)*c2, O(log_b n)*c2}*(s-1) + c2
+Time semisync_sm_upper(const ProblemSpec& spec, Duration c1, Duration c2,
+                       std::int64_t tree_latency_steps);
+// MP lower: min{floor(c2/2c1)*c2, d2+c2} * (s-1)             [4]
+Time semisync_mp_lower(const ProblemSpec& spec, Duration c1, Duration c2,
+                       Duration d2);
+// MP upper: min{(floor(c2/c1)+1)*c2, d2+c2} * (s-1) + c2     [4]
+Time semisync_mp_upper(const ProblemSpec& spec, Duration c1, Duration c2,
+                       Duration d2);
+
+// --- Sporadic (row 4, Section 6; MP only) ----------------------------------
+// K = 2*d2*c1 / (d2 - u/2), u = d2 - d1                      (Theorem 6.5)
+Ratio sporadic_K(Duration c1, Duration d1, Duration d2);
+// lower: max{floor(u/4c1)*K, c1} * (s-1)
+Time sporadic_mp_lower(const ProblemSpec& spec, Duration c1, Duration d1,
+                       Duration d2);
+// upper: min{(floor(u/c1)+3)*gamma + u, d2+gamma} * (s-1) + gamma
+// (Theorem 6.1; gamma is per-computation)
+Time sporadic_mp_upper(const ProblemSpec& spec, Duration c1, Duration d1,
+                       Duration d2, Duration gamma);
+
+// --- Asynchronous (row 5, [2] / [4]) ---------------------------------------
+// SM, in rounds. lower: (s-1)*floor(log_b n); upper: (s-1)*O(log_b n)
+// instantiated with the per-session round cost of the knowledge-round
+// algorithm.
+std::int64_t async_sm_lower_rounds(const ProblemSpec& spec);
+std::int64_t async_sm_upper_rounds(const ProblemSpec& spec,
+                                   std::int64_t tree_latency_steps);
+// MP, real time. lower: (s-1)*d2; upper: (s-1)*(d2+c2) + c2
+Time async_mp_lower(const ProblemSpec& spec, Duration d2);
+Time async_mp_upper(const ProblemSpec& spec, Duration c2, Duration d2);
+
+}  // namespace sesp::bounds

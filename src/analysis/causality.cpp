@@ -1,0 +1,130 @@
+#include "analysis/causality.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <queue>
+
+namespace sesp {
+
+CausalOrder::CausalOrder(const TimedComputation& trace)
+    : trace_(trace),
+      preds_(trace.steps().size()),
+      succs_(trace.steps().size()),
+      depths_(trace.steps().size(), 1) {
+  const auto& steps = trace.steps();
+
+  auto add_edge = [this](std::size_t from, std::size_t to) {
+    preds_[to].push_back(from);
+    succs_[from].push_back(to);
+  };
+
+  std::map<ProcessId, std::size_t> last_of_process;
+  std::map<VarId, std::size_t> last_of_var;
+  for (std::size_t i = 0; i < steps.size(); ++i) {
+    const StepRecord& st = steps[i];
+    // Program order (network delivery steps are steps of N and are chained
+    // through the message edges instead, matching the paper's model where N
+    // has no local state of its own worth ordering).
+    if (st.is_compute()) {
+      if (auto it = last_of_process.find(st.process);
+          it != last_of_process.end())
+        add_edge(it->second, i);
+      last_of_process[st.process] = i;
+    }
+    // Shared-variable order.
+    if (st.var != kNoVar) {
+      if (auto it = last_of_var.find(st.var); it != last_of_var.end())
+        add_edge(it->second, i);
+      last_of_var[st.var] = i;
+    }
+  }
+  // Message edges.
+  for (const MessageRecord& m : trace.messages()) {
+    if (m.delivered()) add_edge(m.send_step, m.deliver_step);
+    if (m.received()) add_edge(m.deliver_step, m.receive_step);
+  }
+
+  // Depths: trace order is topological (every edge goes forward).
+  for (std::size_t i = 0; i < steps.size(); ++i) {
+    for (const std::size_t p : preds_[i]) {
+      if (p >= i) {
+        std::fprintf(stderr, "CausalOrder fatal: trace not topological\n");
+        std::abort();
+      }
+      depths_[i] = std::max(depths_[i], depths_[p] + 1);
+    }
+  }
+}
+
+const std::vector<std::size_t>& CausalOrder::predecessors(
+    std::size_t i) const {
+  return preds_.at(i);
+}
+
+std::vector<bool> CausalOrder::descendants(std::size_t from) const {
+  std::vector<bool> mark(num_steps(), false);
+  if (from >= num_steps()) return mark;
+  mark[from] = true;
+  // Left-to-right sweep: all edges point forward.
+  for (std::size_t i = from; i < num_steps(); ++i) {
+    if (mark[i]) continue;
+    for (const std::size_t p : preds_[i]) {
+      if (mark[p]) {
+        mark[i] = true;
+        break;
+      }
+    }
+  }
+  return mark;
+}
+
+std::vector<bool> CausalOrder::ancestors(std::size_t to) const {
+  std::vector<bool> mark(num_steps(), false);
+  if (to >= num_steps()) return mark;
+  mark[to] = true;
+  for (std::size_t i = to + 1; i-- > 0;) {
+    if (!mark[i]) continue;
+    for (const std::size_t p : preds_[i]) mark[p] = true;
+  }
+  return mark;
+}
+
+bool CausalOrder::happens_before(std::size_t from, std::size_t to) const {
+  if (from > to) return false;
+  if (from == to) return true;
+  return descendants(from)[to];
+}
+
+std::vector<std::size_t> CausalOrder::critical_path() const {
+  if (num_steps() == 0) return {};
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < num_steps(); ++i)
+    if (depths_[i] > depths_[best]) best = i;
+  std::vector<std::size_t> path{best};
+  while (depths_[path.back()] > 1) {
+    const std::size_t at = path.back();
+    for (const std::size_t p : preds_[at]) {
+      if (depths_[p] + 1 == depths_[at]) {
+        path.push_back(p);
+        break;
+      }
+    }
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+std::optional<std::size_t> CausalOrder::earliest_influence(
+    std::size_t i, ProcessId q) const {
+  const std::vector<bool> mark = descendants(i);
+  for (std::size_t j = i; j < num_steps(); ++j) {
+    if (mark[j] && trace_.steps()[j].is_compute() &&
+        trace_.steps()[j].process == q)
+      return j;
+  }
+  return std::nullopt;
+}
+
+}  // namespace sesp

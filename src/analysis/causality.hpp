@@ -1,0 +1,61 @@
+#pragma once
+
+// Global dependency analysis over a timed computation — the <=_beta partial
+// order of Theorem 5.1, generalized to both substrates and exposed as a
+// reusable library object:
+//
+//  * program order:     consecutive steps of the same process;
+//  * shared variables:  consecutive accesses of the same variable (SMM);
+//  * messages:          send step -> delivery step -> receive step (MPM).
+//
+// The trace order is a topological order of this DAG, so reachability and
+// longest-path queries are simple left-to-right sweeps. Used by tests to
+// cross-check the retimers' chunk-local reachability, and by the
+// bench_ablation information-flow experiment.
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "model/timed_computation.hpp"
+
+namespace sesp {
+
+class CausalOrder {
+ public:
+  // Builds the dependency DAG of the trace. O(steps + messages).
+  explicit CausalOrder(const TimedComputation& trace);
+
+  std::size_t num_steps() const noexcept { return preds_.size(); }
+
+  // Direct predecessors of step i (empty for minimal steps).
+  const std::vector<std::size_t>& predecessors(std::size_t i) const;
+
+  // True iff step `from` happens-before step `to` (reflexive: a step
+  // happens-before itself). BFS over the DAG, O(edges) per query.
+  bool happens_before(std::size_t from, std::size_t to) const;
+
+  // All steps reachable from `from` (including itself), as a boolean mask.
+  std::vector<bool> descendants(std::size_t from) const;
+  // All steps that reach `to` (including itself).
+  std::vector<bool> ancestors(std::size_t to) const;
+
+  // Length (in steps) of the longest dependency chain ending at each step;
+  // depth(i) == 1 for minimal steps.
+  const std::vector<std::size_t>& depths() const noexcept { return depths_; }
+  // One longest chain overall, as step indices in order.
+  std::vector<std::size_t> critical_path() const;
+
+  // Earliest step of process q that is causally after step i (the
+  // "information latency" from i to q), if any.
+  std::optional<std::size_t> earliest_influence(std::size_t i,
+                                                ProcessId q) const;
+
+ private:
+  const TimedComputation& trace_;
+  std::vector<std::vector<std::size_t>> preds_;
+  std::vector<std::vector<std::size_t>> succs_;
+  std::vector<std::size_t> depths_;
+};
+
+}  // namespace sesp

@@ -1,0 +1,60 @@
+#include "analysis/report.hpp"
+
+#include <ostream>
+
+namespace sesp {
+
+BoundReport::BoundReport(std::string title) : title_(std::move(title)) {}
+
+void BoundReport::add(BoundRow row) { rows_.push_back(std::move(row)); }
+
+void BoundReport::add_time_row(const std::string& cell, const Ratio& lower,
+                               const WorstCase& wc, const Ratio& upper) {
+  BoundRow row;
+  row.cell = cell;
+  row.measure = "time";
+  row.lower = lower;
+  row.measured = wc.max_termination;
+  row.upper = upper;
+  row.solved = wc.all_solved;
+  row.admissible = wc.all_admissible;
+  rows_.push_back(std::move(row));
+}
+
+void BoundReport::add_rounds_row(const std::string& cell, std::int64_t lower,
+                                 const WorstCase& wc, std::int64_t upper) {
+  BoundRow row;
+  row.cell = cell;
+  row.measure = "rounds";
+  row.lower = Ratio(lower);
+  row.measured = Ratio(wc.max_rounds);
+  row.upper = Ratio(upper);
+  row.solved = wc.all_solved;
+  row.admissible = wc.all_admissible;
+  rows_.push_back(std::move(row));
+}
+
+bool BoundReport::all_ok() const {
+  for (const BoundRow& row : rows_)
+    if (!row.solved || !row.admissible || !row.upper_ok()) return false;
+  return true;
+}
+
+void BoundReport::print(std::ostream& os) const {
+  os << "== " << title_ << " ==\n";
+  TextTable table({"cell", "measure", "predicted L", "measured worst",
+                   "predicted U", "meas/U", "solved", "admissible", "m<=U",
+                   "L<=m"});
+  for (const BoundRow& row : rows_) {
+    table.add_row({row.cell, row.measure, fmt(row.lower), fmt(row.measured),
+                   fmt(row.upper), fmt_ratio_of(row.measured, row.upper),
+                   row.solved ? "yes" : "NO", row.admissible ? "yes" : "NO",
+                   row.upper_ok() ? "yes" : "NO",
+                   row.lower_reached() ? "yes" : "no"});
+  }
+  table.print(os);
+  os << (all_ok() ? "[OK] all rows solved, admissible, within upper bounds\n"
+                  : "[FAIL] some row exceeded its upper bound or failed\n");
+}
+
+}  // namespace sesp

@@ -1,0 +1,67 @@
+#include "analysis/session_stats.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "session/session_counter.hpp"
+
+namespace sesp {
+
+SessionStats compute_session_stats(const TimedComputation& trace) {
+  SessionStats stats;
+  stats.port_steps.assign(static_cast<std::size_t>(trace.num_ports()), 0);
+
+  const SessionDecomposition d = count_sessions(trace);
+  stats.sessions = d.sessions;
+  stats.close_times = d.close_times;
+
+  for (const StepRecord& st : trace.steps())
+    if (st.is_port_step() && st.port < trace.num_ports())
+      ++stats.port_steps[static_cast<std::size_t>(st.port)];
+
+  Time prev(0);
+  double sum = 0.0;
+  std::map<PortIndex, std::int64_t> closer_count;
+  for (std::size_t k = 0; k < d.cut_points.size(); ++k) {
+    const Duration gap = d.close_times[k] - prev;
+    prev = d.close_times[k];
+    stats.gaps.push_back(gap);
+    sum += gap.to_double();
+    if (k == 0 || gap < stats.min_gap) stats.min_gap = gap;
+    if (k == 0 || stats.max_gap < gap) stats.max_gap = gap;
+
+    const StepRecord& closing = trace.steps()[d.cut_points[k] - 1];
+    stats.closers.push_back(closing.port);
+    ++closer_count[closing.port];
+  }
+  if (stats.sessions > 0) {
+    stats.mean_gap = sum / static_cast<double>(stats.sessions);
+    stats.most_frequent_closer =
+        std::max_element(closer_count.begin(), closer_count.end(),
+                         [](const auto& a, const auto& b) {
+                           return a.second < b.second;
+                         })
+            ->first;
+  }
+  return stats;
+}
+
+std::string SessionStats::to_string() const {
+  std::ostringstream os;
+  os << sessions << " sessions";
+  if (sessions > 0) {
+    os << "; gap min/mean/max = " << min_gap.to_string() << " / ";
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.3f", mean_gap);
+    os << buf << " / " << max_gap.to_string() << "; closed mostly by port "
+       << most_frequent_closer;
+  }
+  os << "; port steps = [";
+  for (std::size_t p = 0; p < port_steps.size(); ++p)
+    os << (p ? " " : "") << port_steps[p];
+  os << "]";
+  return os.str();
+}
+
+}  // namespace sesp

@@ -1,0 +1,46 @@
+#pragma once
+
+// Per-session statistics of a timed computation: when each greedy session
+// closes, the gaps between closings (the measured "per-session cost" the
+// paper's bounds govern), which process's port step closes each session,
+// and per-port participation counts. Consumed by benches and the CLI for
+// the qualitative analysis that the aggregate bounds hide.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "model/timed_computation.hpp"
+#include "util/ratio.hpp"
+
+namespace sesp {
+
+struct SessionStats {
+  std::int64_t sessions = 0;
+
+  // Time at which session k closed (size == sessions).
+  std::vector<Time> close_times;
+  // close_times[k] - close_times[k-1]; gaps[0] measures from time 0.
+  std::vector<Duration> gaps;
+  // The port whose step completed each session.
+  std::vector<PortIndex> closers;
+
+  // Port steps per port over the whole trace.
+  std::vector<std::int64_t> port_steps;
+
+  // Extremes of the per-session gaps (exact); 0s when no sessions.
+  Duration min_gap;
+  Duration max_gap;
+  // Mean gap as a double, for display.
+  double mean_gap = 0.0;
+
+  // A port that closes disproportionately many sessions is the bottleneck
+  // (typically the slowest process under the periodic model).
+  PortIndex most_frequent_closer = kNoPort;
+
+  std::string to_string() const;
+};
+
+SessionStats compute_session_stats(const TimedComputation& trace);
+
+}  // namespace sesp

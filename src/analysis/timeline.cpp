@@ -1,0 +1,106 @@
+#include "analysis/timeline.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "session/session_counter.hpp"
+
+namespace sesp {
+
+namespace {
+
+// Glyph precedence when steps collide in one column.
+int precedence(char glyph) {
+  switch (glyph) {
+    case 'o': return 3;  // idling step
+    case 'P': return 2;  // port step
+    case 't': return 1;  // other compute (tree / wait)
+    case 'd': return 1;  // delivery
+    default: return 0;
+  }
+}
+
+void put(std::string& lane, std::size_t column, char glyph) {
+  if (column >= lane.size()) return;
+  if (precedence(glyph) >= precedence(lane[column])) lane[column] = glyph;
+}
+
+}  // namespace
+
+std::string render_timeline(const TimedComputation& trace,
+                            const TimelineOptions& options) {
+  std::ostringstream os;
+  if (trace.steps().empty()) return "(empty trace)\n";
+
+  const Time end = trace.end_time();
+  const std::int32_t width = std::max<std::int32_t>(options.width, 10);
+  const auto column_of = [&](const Time& t) -> std::size_t {
+    if (!end.is_positive()) return 0;
+    const Ratio frac = t / end;
+    const auto col = (frac * Ratio(width - 1)).floor();
+    return static_cast<std::size_t>(
+        std::clamp<std::int64_t>(col, 0, width - 1));
+  };
+
+  std::int32_t lanes = trace.num_processes();
+  if (options.max_processes > 0)
+    lanes = std::min(lanes, options.max_processes);
+
+  std::vector<std::string> lane(
+      static_cast<std::size_t>(lanes),
+      std::string(static_cast<std::size_t>(width), '-'));
+  std::string net_lane(static_cast<std::size_t>(width), '.');
+  bool has_deliveries = false;
+
+  for (const StepRecord& st : trace.steps()) {
+    const std::size_t col = column_of(st.time);
+    if (st.kind == StepKind::kDeliver) {
+      has_deliveries = true;
+      put(net_lane, col, 'd');
+      continue;
+    }
+    if (st.process >= lanes) continue;
+    char glyph = st.port != kNoPort ? 'P' : 't';
+    if (st.idle_after) glyph = 'o';
+    put(lane[static_cast<std::size_t>(st.process)], col, glyph);
+  }
+
+  // Lane labels, fixed width.
+  const auto label_of = [&](std::int32_t p) {
+    std::string label = "p" + std::to_string(p);
+    if (p < trace.num_ports()) label += "*";  // port process
+    return label;
+  };
+  std::size_t label_width = has_deliveries ? 4 : 3;  // "net "
+  for (std::int32_t p = 0; p < lanes; ++p)
+    label_width = std::max(label_width, label_of(p).size() + 1);
+
+  for (std::int32_t p = 0; p < lanes; ++p) {
+    std::string label = label_of(p);
+    label.resize(label_width, ' ');
+    os << label << '|' << lane[static_cast<std::size_t>(p)] << '\n';
+  }
+  if (has_deliveries && options.show_network) {
+    std::string label = "net";
+    label.resize(label_width, ' ');
+    os << label << '|' << net_lane << '\n';
+  }
+  if (lanes < trace.num_processes())
+    os << "(" << trace.num_processes() - lanes << " more lanes hidden)\n";
+
+  if (options.show_sessions) {
+    const SessionDecomposition sessions = count_sessions(trace);
+    std::string marks(static_cast<std::size_t>(width), ' ');
+    for (const Time& t : sessions.close_times)
+      put(marks, column_of(t), '^');
+    std::string label(label_width, ' ');
+    os << label << ' ' << marks << "  (" << sessions.sessions
+       << " sessions; ^ = greedy close)\n";
+  }
+  os << std::string(label_width, ' ') << " 0" << std::string(width - 8, ' ')
+     << "t=" << end.to_string() << '\n';
+  return os.str();
+}
+
+}  // namespace sesp

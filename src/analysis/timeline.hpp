@@ -1,0 +1,39 @@
+#pragma once
+
+// ASCII timeline rendering of timed computations: one lane per process,
+// steps placed proportionally to their (exact rational) times, with session
+// boundaries marked. Used by sesp_cli (--timeline) and handy when studying
+// adversary-constructed counterexamples by eye.
+//
+//   p0   |--P----P----P--o
+//   p1   |-P---P-----P---o
+//   net  |....d...d.d....
+//         ^ session 1 ^ session 2
+//
+// Legend: P port step, t tree/communication step, o idling step, d network
+// delivery, | lane start (time 0).
+
+#include <cstdint>
+#include <string>
+
+#include "model/timed_computation.hpp"
+
+namespace sesp {
+
+struct TimelineOptions {
+  // Total character width of the time axis.
+  std::int32_t width = 100;
+  // Include the network delivery lane (MPM traces).
+  bool show_network = true;
+  // Mark greedy session boundaries under the lanes.
+  bool show_sessions = true;
+  // Only render the first `max_processes` lanes (0 = all).
+  std::int32_t max_processes = 0;
+};
+
+// Renders the trace as a multi-line string. Steps that would collide on the
+// same column keep the most significant glyph (idle > port > tree).
+std::string render_timeline(const TimedComputation& trace,
+                            const TimelineOptions& options = TimelineOptions{});
+
+}  // namespace sesp

@@ -1,0 +1,34 @@
+#pragma once
+
+// Identifier vocabulary shared by every module. Matches the paper's Section 2:
+// a system has a finite set P of processes and X of shared variables; the
+// message-passing specialization adds a distinguished network process N and a
+// message multiset `net`.
+
+#include <cstdint>
+
+namespace sesp {
+
+using ProcessId = std::int32_t;
+using VarId = std::int32_t;
+using MsgId = std::int64_t;
+using PortIndex = std::int32_t;
+
+// The network process N of the MPM (Section 2.1.2). Regular processes are
+// numbered 0..|R|-1; in the SMM, relay processes of the broadcast tree are
+// numbered after the port processes.
+inline constexpr ProcessId kNetworkProcess = -1;
+
+inline constexpr PortIndex kNoPort = -1;
+inline constexpr VarId kNoVar = -1;
+inline constexpr MsgId kNoMsg = -1;
+
+// The (s, n)-session problem instance plus the shared-variable access bound b
+// (Section 2.1.1; b is only meaningful in the SMM).
+struct ProblemSpec {
+  std::int64_t s = 2;  // required number of disjoint sessions
+  std::int32_t n = 2;  // number of ports / port processes
+  std::int32_t b = 2;  // max processes per shared variable (SMM)
+};
+
+}  // namespace sesp

@@ -1,0 +1,21 @@
+#include "model/step_record.hpp"
+
+#include <sstream>
+
+namespace sesp {
+
+std::string StepRecord::to_string() const {
+  std::ostringstream os;
+  if (kind == StepKind::kDeliver) {
+    os << "[t=" << time << " N delivers msg#" << delivered << "]";
+    return os.str();
+  }
+  os << "[t=" << time << " p" << process;
+  if (port != kNoPort) os << " port" << port;
+  if (var != kNoVar) os << " var" << var;
+  if (idle_after) os << " ->idle";
+  os << "]";
+  return os.str();
+}
+
+}  // namespace sesp

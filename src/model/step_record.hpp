@@ -1,0 +1,79 @@
+#pragma once
+
+// One step of a timed computation (Section 2.1). A step is either a compute
+// step of a (regular or relay) process or a delivery step of the network
+// process N. Step records carry exactly the information the counters,
+// admissibility checkers and lower-bound constructions need; algorithm local
+// state lives in the algorithm objects, not here.
+
+#include <cstdint>
+#include <string>
+
+#include "model/ids.hpp"
+#include "util/ratio.hpp"
+
+namespace sesp {
+
+enum class StepKind : std::uint8_t {
+  kCompute,  // a process step (SMM variable access / MPM receive+broadcast)
+  kDeliver,  // a network step moving one (m, q) from net to buf_q (MPM only)
+};
+
+struct StepRecord {
+  StepKind kind = StepKind::kCompute;
+  ProcessId process = 0;  // acting process; kNetworkProcess for kDeliver
+  Time time;
+
+  // Port touched by this step, if any. In the MPM every compute step of a
+  // port process involves its buf (a port), so port == the process's port
+  // index. In the SMM only steps on the port variable count.
+  PortIndex port = kNoPort;
+
+  // SMM: the single shared variable this step accesses (k = 1 in the paper's
+  // step tuples). kNoVar for MPM compute steps.
+  VarId var = kNoVar;
+
+  // MPM delivery step: which message was moved into the recipient buffer.
+  MsgId delivered = kNoMsg;
+
+  // True if the process is in an idle state after this step. Idle states are
+  // absorbing (Section 2.3 condition 1); the checker enforces it.
+  bool idle_after = false;
+
+  // SMM replay support: order-independent digests of the accessed variable's
+  // value before and after the step, so a reordered computation can be
+  // machine-checked to read the same values (Claim 5.2).
+  std::uint64_t value_before_digest = 0;
+  std::uint64_t value_after_digest = 0;
+
+  bool is_compute() const noexcept { return kind == StepKind::kCompute; }
+  bool is_port_step() const noexcept {
+    return kind == StepKind::kCompute && port != kNoPort;
+  }
+
+  std::string to_string() const;
+};
+
+// A message's life cycle in the MPM (Section 2.1.2). Delay is the time from
+// the send (compute) step to the network's delivery step; buffer residence
+// before the recipient's next compute step is not part of the delay.
+struct MessageRecord {
+  MsgId id = kNoMsg;
+  ProcessId sender = 0;
+  ProcessId recipient = 0;
+  std::size_t send_step = 0;  // index into TimedComputation::steps()
+
+  static constexpr std::size_t kPending = static_cast<std::size_t>(-1);
+  std::size_t deliver_step = kPending;  // network step index, kPending if none
+  std::size_t receive_step = kPending;  // recipient compute step, kPending if none
+
+  // Algorithm payload summary, for debugging and assertions.
+  std::int64_t session = 0;
+  std::int64_t steps = 0;
+  bool done = false;
+
+  bool delivered() const noexcept { return deliver_step != kPending; }
+  bool received() const noexcept { return receive_step != kPending; }
+};
+
+}  // namespace sesp

@@ -1,0 +1,158 @@
+#include "model/timed_computation.hpp"
+
+#include <map>
+#include <sstream>
+
+namespace sesp {
+
+TimedComputation::TimedComputation(Substrate substrate,
+                                   std::int32_t num_processes,
+                                   std::int32_t num_ports)
+    : substrate_(substrate),
+      num_processes_(num_processes),
+      num_ports_(num_ports) {}
+
+std::size_t TimedComputation::append(StepRecord step) {
+  steps_.push_back(std::move(step));
+  return steps_.size() - 1;
+}
+
+MsgId TimedComputation::append_message(MessageRecord msg) {
+  msg.id = static_cast<MsgId>(messages_.size());
+  messages_.push_back(msg);
+  return msg.id;
+}
+
+Time TimedComputation::end_time() const noexcept {
+  return steps_.empty() ? Time(0) : steps_.back().time;
+}
+
+std::vector<Time> TimedComputation::compute_times(ProcessId p) const {
+  std::vector<Time> times;
+  for (const StepRecord& st : steps_)
+    if (st.is_compute() && st.process == p) times.push_back(st.time);
+  return times;
+}
+
+std::vector<std::size_t> TimedComputation::compute_indices(ProcessId p) const {
+  std::vector<std::size_t> idx;
+  for (std::size_t i = 0; i < steps_.size(); ++i)
+    if (steps_[i].is_compute() && steps_[i].process == p) idx.push_back(i);
+  return idx;
+}
+
+bool TimedComputation::all_ports_idle() const {
+  std::vector<bool> idle(static_cast<std::size_t>(num_ports_), false);
+  std::int32_t remaining = num_ports_;
+  for (const StepRecord& st : steps_) {
+    if (st.is_compute() && st.idle_after && st.process < num_ports_ &&
+        !idle[static_cast<std::size_t>(st.process)]) {
+      idle[static_cast<std::size_t>(st.process)] = true;
+      if (--remaining == 0) return true;
+    }
+  }
+  return false;
+}
+
+std::optional<Time> TimedComputation::termination_time() const {
+  std::vector<bool> idle(static_cast<std::size_t>(num_ports_), false);
+  std::int32_t remaining = num_ports_;
+  for (const StepRecord& st : steps_) {
+    if (st.is_compute() && st.idle_after && st.process < num_ports_ &&
+        !idle[static_cast<std::size_t>(st.process)]) {
+      idle[static_cast<std::size_t>(st.process)] = true;
+      if (--remaining == 0) return st.time;
+    }
+  }
+  return std::nullopt;
+}
+
+std::size_t TimedComputation::active_prefix_length() const {
+  std::vector<bool> idle(static_cast<std::size_t>(num_ports_), false);
+  std::int32_t remaining = num_ports_;
+  for (std::size_t i = 0; i < steps_.size(); ++i) {
+    const StepRecord& st = steps_[i];
+    if (st.is_compute() && st.idle_after && st.process < num_ports_ &&
+        !idle[static_cast<std::size_t>(st.process)]) {
+      idle[static_cast<std::size_t>(st.process)] = true;
+      if (--remaining == 0) return i + 1;
+    }
+  }
+  return steps_.size();
+}
+
+std::optional<Duration> TimedComputation::gamma() const {
+  const std::size_t prefix = active_prefix_length();
+  std::map<ProcessId, Time> last;
+  std::optional<Duration> best;
+  for (std::size_t i = 0; i < prefix; ++i) {
+    const StepRecord& st = steps_[i];
+    if (!st.is_compute()) continue;
+    const auto it = last.find(st.process);
+    const Time prev = it == last.end() ? Time(0) : it->second;
+    const Duration gap = st.time - prev;
+    if (!best || *best < gap) best = gap;
+    last[st.process] = st.time;
+  }
+  return best;
+}
+
+std::optional<std::string> TimedComputation::structural_error() const {
+  // Times nondecreasing.
+  for (std::size_t i = 1; i < steps_.size(); ++i) {
+    if (steps_[i].time < steps_[i - 1].time)
+      return "time decreases at step " + std::to_string(i);
+  }
+  // Idle states absorbing: once a process records idle_after, all its later
+  // compute steps must also be idle.
+  std::vector<bool> idle(static_cast<std::size_t>(num_processes_), false);
+  for (std::size_t i = 0; i < steps_.size(); ++i) {
+    const StepRecord& st = steps_[i];
+    if (!st.is_compute()) continue;
+    if (st.process < 0 || st.process >= num_processes_)
+      return "bad process id at step " + std::to_string(i);
+    const auto p = static_cast<std::size_t>(st.process);
+    if (idle[p] && !st.idle_after)
+      return "process " + std::to_string(st.process) +
+             " leaves idle state at step " + std::to_string(i);
+    if (st.idle_after) idle[p] = true;
+  }
+  // Message plumbing (MPM).
+  for (const MessageRecord& m : messages_) {
+    if (m.send_step >= steps_.size())
+      return "message " + std::to_string(m.id) + " has bad send step";
+    if (m.delivered()) {
+      if (m.deliver_step >= steps_.size() || m.deliver_step < m.send_step)
+        return "message " + std::to_string(m.id) + " delivered before sent";
+      const StepRecord& d = steps_[m.deliver_step];
+      if (d.kind != StepKind::kDeliver || d.delivered != m.id)
+        return "message " + std::to_string(m.id) +
+               " deliver step is not its delivery";
+    }
+    if (m.received()) {
+      if (!m.delivered())
+        return "message " + std::to_string(m.id) + " received, never delivered";
+      if (m.receive_step >= steps_.size() || m.receive_step < m.deliver_step)
+        return "message " + std::to_string(m.id) + " received before delivered";
+      const StepRecord& r = steps_[m.receive_step];
+      if (!r.is_compute() || r.process != m.recipient)
+        return "message " + std::to_string(m.id) +
+               " receive step is not a step of its recipient";
+    }
+  }
+  return std::nullopt;
+}
+
+std::string TimedComputation::to_string(std::size_t max_steps) const {
+  std::ostringstream os;
+  os << (substrate_ == Substrate::kSharedMemory ? "SMM" : "MPM") << " trace, "
+     << steps_.size() << " steps, " << messages_.size() << " messages\n";
+  const std::size_t shown = steps_.size() < max_steps ? steps_.size() : max_steps;
+  for (std::size_t i = 0; i < shown; ++i)
+    os << "  " << i << ": " << steps_[i].to_string() << '\n';
+  if (shown < steps_.size())
+    os << "  ... (" << steps_.size() - shown << " more)\n";
+  return os.str();
+}
+
+}  // namespace sesp

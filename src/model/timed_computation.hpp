@@ -1,0 +1,86 @@
+#pragma once
+
+// A timed computation (Section 2.1): a sequence of steps together with a
+// nondecreasing time mapping. This is the central trace object: simulators
+// produce it, the session/round counters consume it, the admissibility
+// checker validates it, and the lower-bound constructions rewrite it.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "model/ids.hpp"
+#include "model/step_record.hpp"
+#include "util/ratio.hpp"
+
+namespace sesp {
+
+// Which communication substrate produced the trace; some checks only apply
+// to one of them.
+enum class Substrate : std::uint8_t { kSharedMemory, kMessagePassing };
+
+class TimedComputation {
+ public:
+  TimedComputation(Substrate substrate, std::int32_t num_processes,
+                   std::int32_t num_ports);
+
+  Substrate substrate() const noexcept { return substrate_; }
+
+  // All processes other than N: port processes first (ids 0..num_ports-1),
+  // then relay processes in the SMM.
+  std::int32_t num_processes() const noexcept { return num_processes_; }
+  std::int32_t num_ports() const noexcept { return num_ports_; }
+
+  const std::vector<StepRecord>& steps() const noexcept { return steps_; }
+  const std::vector<MessageRecord>& messages() const noexcept {
+    return messages_;
+  }
+  std::vector<MessageRecord>& mutable_messages() noexcept { return messages_; }
+
+  std::size_t append(StepRecord step);
+  MsgId append_message(MessageRecord msg);  // assigns and returns the id
+
+  // Time of the last recorded step, or 0 for the empty trace.
+  Time end_time() const noexcept;
+
+  // Times of a process's compute steps, in order.
+  std::vector<Time> compute_times(ProcessId p) const;
+
+  // Indices of a process's compute steps, in order.
+  std::vector<std::size_t> compute_indices(ProcessId p) const;
+
+  // True iff every port process has an idle_after step.
+  bool all_ports_idle() const;
+
+  // Time at which the last port process became idle (Section 2.3's running
+  // time). nullopt if some port process never idles in this trace.
+  std::optional<Time> termination_time() const;
+
+  // Index of the last step before which some port process is still non-idle,
+  // i.e. the length of the prefix counted by the round/γ measures. Equals
+  // steps().size() when not all ports idle.
+  std::size_t active_prefix_length() const;
+
+  // γ: the largest gap between consecutive compute steps of any process
+  // (including the gap from time 0 to the first step), over the active
+  // prefix. This is the per-computation parameter of Section 2.3 used by the
+  // sporadic bounds. nullopt for a trace with no compute steps.
+  std::optional<Duration> gamma() const;
+
+  // Structural sanity independent of any timing model: nondecreasing times,
+  // idle states absorbing, MPM deliveries referencing sent messages and
+  // preceding receipts. Returns an error description or nullopt if valid.
+  std::optional<std::string> structural_error() const;
+
+  std::string to_string(std::size_t max_steps = 50) const;
+
+ private:
+  Substrate substrate_;
+  std::int32_t num_processes_;
+  std::int32_t num_ports_;
+  std::vector<StepRecord> steps_;
+  std::vector<MessageRecord> messages_;
+};
+
+}  // namespace sesp

@@ -1,0 +1,269 @@
+#include "model/trace_io.hpp"
+
+#include <charconv>
+#include <sstream>
+#include <vector>
+
+namespace sesp {
+
+namespace {
+
+std::vector<std::string> split(const std::string& line, char sep) {
+  std::vector<std::string> out;
+  std::size_t at = 0;
+  while (true) {
+    const std::size_t next = line.find(sep, at);
+    if (next == std::string::npos) {
+      out.push_back(line.substr(at));
+      return out;
+    }
+    out.push_back(line.substr(at, next - at));
+    at = next + 1;
+  }
+}
+
+std::optional<std::int64_t> parse_i64(const std::string& s) {
+  std::int64_t value = 0;
+  const auto* begin = s.data();
+  const auto* end = s.data() + s.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc() || ptr != end) return std::nullopt;
+  return value;
+}
+
+std::optional<std::uint64_t> parse_u64(const std::string& s) {
+  std::uint64_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(s.data(), s.data() + s.size(), value);
+  if (ec != std::errc() || ptr != s.data() + s.size()) return std::nullopt;
+  return value;
+}
+
+bool set_error(std::string* error, const std::string& what) {
+  if (error) *error = what;
+  return false;
+}
+
+}  // namespace
+
+std::string ratio_to_text(const Ratio& r) { return r.to_string(); }
+
+std::optional<Ratio> ratio_from_text(const std::string& text) {
+  const std::size_t slash = text.find('/');
+  if (slash == std::string::npos) {
+    const auto num = parse_i64(text);
+    if (!num) return std::nullopt;
+    return Ratio(*num);
+  }
+  const auto num = parse_i64(text.substr(0, slash));
+  const auto den = parse_i64(text.substr(slash + 1));
+  if (!num || !den || *den == 0) return std::nullopt;
+  return Ratio(*num, *den);
+}
+
+std::string to_text(const TimedComputation& trace) {
+  std::ostringstream os;
+  os << "sesp-trace v1\n";
+  os << "meta,"
+     << (trace.substrate() == Substrate::kSharedMemory ? "smm" : "mpm") << ","
+     << trace.num_processes() << "," << trace.num_ports() << "\n";
+  for (const StepRecord& st : trace.steps()) {
+    os << "step," << (st.kind == StepKind::kCompute ? "c" : "d") << ","
+       << st.process << "," << ratio_to_text(st.time) << "," << st.port << ","
+       << st.var << "," << st.delivered << "," << (st.idle_after ? 1 : 0)
+       << "," << st.value_before_digest << "," << st.value_after_digest
+       << "\n";
+  }
+  constexpr auto kPending = MessageRecord::kPending;
+  for (const MessageRecord& m : trace.messages()) {
+    os << "msg," << m.sender << "," << m.recipient << "," << m.send_step
+       << ","
+       << (m.deliver_step == kPending
+               ? "-"
+               : std::to_string(m.deliver_step))
+       << ","
+       << (m.receive_step == kPending
+               ? "-"
+               : std::to_string(m.receive_step))
+       << "," << m.session << "," << m.steps << "," << (m.done ? 1 : 0)
+       << "\n";
+  }
+  return os.str();
+}
+
+std::optional<TimedComputation> trace_from_text(const std::string& text,
+                                                std::string* error) {
+  std::istringstream is(text);
+  std::string line;
+  if (!std::getline(is, line) || line != "sesp-trace v1") {
+    set_error(error, "missing 'sesp-trace v1' header");
+    return std::nullopt;
+  }
+  if (!std::getline(is, line)) {
+    set_error(error, "missing meta line");
+    return std::nullopt;
+  }
+  const auto meta = split(line, ',');
+  if (meta.size() != 4 || meta[0] != "meta" ||
+      (meta[1] != "smm" && meta[1] != "mpm")) {
+    set_error(error, "malformed meta line");
+    return std::nullopt;
+  }
+  const auto procs = parse_i64(meta[2]);
+  const auto ports = parse_i64(meta[3]);
+  if (!procs || !ports) {
+    set_error(error, "malformed meta counts");
+    return std::nullopt;
+  }
+
+  TimedComputation trace(meta[1] == "smm" ? Substrate::kSharedMemory
+                                          : Substrate::kMessagePassing,
+                         static_cast<std::int32_t>(*procs),
+                         static_cast<std::int32_t>(*ports));
+
+  std::size_t line_no = 2;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    const auto f = split(line, ',');
+    const std::string where = "line " + std::to_string(line_no);
+    if (f[0] == "step") {
+      if (f.size() != 10) {
+        set_error(error, where + ": step needs 10 fields");
+        return std::nullopt;
+      }
+      StepRecord st;
+      if (f[1] == "c")
+        st.kind = StepKind::kCompute;
+      else if (f[1] == "d")
+        st.kind = StepKind::kDeliver;
+      else {
+        set_error(error, where + ": bad step kind");
+        return std::nullopt;
+      }
+      const auto process = parse_i64(f[2]);
+      const auto time = ratio_from_text(f[3]);
+      const auto port = parse_i64(f[4]);
+      const auto var = parse_i64(f[5]);
+      const auto delivered = parse_i64(f[6]);
+      const auto idle = parse_i64(f[7]);
+      const auto dig_b = parse_u64(f[8]);
+      const auto dig_a = parse_u64(f[9]);
+      if (!process || !time || !port || !var || !delivered || !idle ||
+          !dig_b || !dig_a) {
+        set_error(error, where + ": malformed step fields");
+        return std::nullopt;
+      }
+      st.process = static_cast<ProcessId>(*process);
+      st.time = *time;
+      st.port = static_cast<PortIndex>(*port);
+      st.var = static_cast<VarId>(*var);
+      st.delivered = *delivered;
+      st.idle_after = *idle != 0;
+      st.value_before_digest = *dig_b;
+      st.value_after_digest = *dig_a;
+      trace.append(st);
+    } else if (f[0] == "msg") {
+      if (f.size() != 9) {
+        set_error(error, where + ": msg needs 9 fields");
+        return std::nullopt;
+      }
+      MessageRecord m;
+      const auto sender = parse_i64(f[1]);
+      const auto recipient = parse_i64(f[2]);
+      const auto send = parse_u64(f[3]);
+      const auto session = parse_i64(f[6]);
+      const auto steps = parse_i64(f[7]);
+      const auto done = parse_i64(f[8]);
+      if (!sender || !recipient || !send || !session || !steps || !done) {
+        set_error(error, where + ": malformed msg fields");
+        return std::nullopt;
+      }
+      m.sender = static_cast<ProcessId>(*sender);
+      m.recipient = static_cast<ProcessId>(*recipient);
+      m.send_step = *send;
+      if (f[4] != "-") {
+        const auto v = parse_u64(f[4]);
+        if (!v) {
+          set_error(error, where + ": malformed deliver step");
+          return std::nullopt;
+        }
+        m.deliver_step = *v;
+      }
+      if (f[5] != "-") {
+        const auto v = parse_u64(f[5]);
+        if (!v) {
+          set_error(error, where + ": malformed receive step");
+          return std::nullopt;
+        }
+        m.receive_step = *v;
+      }
+      m.session = *session;
+      m.steps = *steps;
+      m.done = *done != 0;
+      trace.append_message(m);
+    } else {
+      set_error(error, where + ": unknown record '" + f[0] + "'");
+      return std::nullopt;
+    }
+  }
+  return trace;
+}
+
+std::string to_text(const TimingConstraints& constraints) {
+  std::ostringstream os;
+  os << "constraints," << to_string(constraints.model) << ","
+     << ratio_to_text(constraints.c1) << "," << ratio_to_text(constraints.c2)
+     << "," << ratio_to_text(constraints.d1) << ","
+     << ratio_to_text(constraints.d2);
+  for (const Duration& p : constraints.periods)
+    os << "," << ratio_to_text(p);
+  return os.str();
+}
+
+std::optional<TimingConstraints> constraints_from_text(const std::string& text,
+                                                       std::string* error) {
+  const auto f = split(text, ',');
+  if (f.size() < 6 || f[0] != "constraints") {
+    set_error(error, "malformed constraints line");
+    return std::nullopt;
+  }
+  TimingConstraints tc;
+  if (f[1] == "synchronous")
+    tc.model = TimingModel::kSynchronous;
+  else if (f[1] == "periodic")
+    tc.model = TimingModel::kPeriodic;
+  else if (f[1] == "semi-synchronous")
+    tc.model = TimingModel::kSemiSynchronous;
+  else if (f[1] == "sporadic")
+    tc.model = TimingModel::kSporadic;
+  else if (f[1] == "asynchronous")
+    tc.model = TimingModel::kAsynchronous;
+  else {
+    set_error(error, "unknown timing model '" + f[1] + "'");
+    return std::nullopt;
+  }
+  const auto c1 = ratio_from_text(f[2]);
+  const auto c2 = ratio_from_text(f[3]);
+  const auto d1 = ratio_from_text(f[4]);
+  const auto d2 = ratio_from_text(f[5]);
+  if (!c1 || !c2 || !d1 || !d2) {
+    set_error(error, "malformed constraint bounds");
+    return std::nullopt;
+  }
+  tc.c1 = *c1;
+  tc.c2 = *c2;
+  tc.d1 = *d1;
+  tc.d2 = *d2;
+  for (std::size_t i = 6; i < f.size(); ++i) {
+    const auto p = ratio_from_text(f[i]);
+    if (!p) {
+      set_error(error, "malformed period");
+      return std::nullopt;
+    }
+    tc.periods.push_back(*p);
+  }
+  return tc;
+}
+
+}  // namespace sesp

@@ -1,0 +1,38 @@
+#pragma once
+
+// Plain-text serialization of timed computations (and the timing
+// constraints they were checked against). Enables storing adversary-found
+// counterexamples as files, re-validating them offline (see
+// adversary/certificate.hpp), and diffing traces across runs. The format is
+// line-oriented CSV with exact rational times — round-tripping is lossless.
+//
+//   sesp-trace v1
+//   meta,<substrate>,<num_processes>,<num_ports>
+//   step,<kind>,<process>,<time>,<port>,<var>,<delivered>,<idle>,<dig_b>,<dig_a>
+//   msg,<sender>,<recipient>,<send>,<deliver>,<receive>,<session>,<steps>,<done>
+
+#include <optional>
+#include <string>
+
+#include "model/timed_computation.hpp"
+#include "timing/constraints.hpp"
+
+namespace sesp {
+
+std::string to_text(const TimedComputation& trace);
+
+// Returns nullopt and fills *error on malformed input.
+std::optional<TimedComputation> trace_from_text(const std::string& text,
+                                                std::string* error);
+
+// Constraints serialization (one line):
+//   constraints,<model>,<c1>,<c2>,<d1>,<d2>[,<period>...]
+std::string to_text(const TimingConstraints& constraints);
+std::optional<TimingConstraints> constraints_from_text(const std::string& text,
+                                                       std::string* error);
+
+// Exact rational round-trip helpers ("7/2", "-3").
+std::string ratio_to_text(const Ratio& r);
+std::optional<Ratio> ratio_from_text(const std::string& text);
+
+}  // namespace sesp

@@ -1,0 +1,47 @@
+#pragma once
+
+// Algorithm interface for the message-passing model (Section 2.1.2). A step
+// of a regular process p atomically: receives the set M of messages in
+// buf_p, updates its local state based only on M and the current state, and
+// broadcasts at most one message to all regular processes. Processes know
+// the problem spec and whatever constants the timing model declares "known"
+// (passed at construction); they cannot read the clock.
+
+#include <memory>
+#include <span>
+
+#include "model/ids.hpp"
+#include "mpm/message.hpp"
+#include "timing/constraints.hpp"
+
+namespace sesp {
+
+struct MpmStepResult {
+  bool broadcast = false;
+  MpmMessage message;  // meaningful only if broadcast
+  bool idle = false;   // process is in an idle state after this step
+};
+
+class MpmAlgorithm {
+ public:
+  virtual ~MpmAlgorithm() = default;
+
+  // One compute step; `received` is the (possibly empty) content of buf_p.
+  virtual MpmStepResult on_step(std::span<const MpmMessage> received) = 0;
+
+  // True once the process has entered an idle state (absorbing).
+  virtual bool is_idle() const = 0;
+};
+
+// Creates the local algorithm instance for each regular process.
+class MpmAlgorithmFactory {
+ public:
+  virtual ~MpmAlgorithmFactory() = default;
+  virtual std::unique_ptr<MpmAlgorithm> create(
+      ProcessId p, const ProblemSpec& spec,
+      const TimingConstraints& constraints) const = 0;
+  // Short name for reports.
+  virtual const char* name() const = 0;
+};
+
+}  // namespace sesp

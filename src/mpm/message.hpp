@@ -1,0 +1,27 @@
+#pragma once
+
+// Message payloads for the MPM algorithms. The paper's messages are m(i, V)
+// — sender plus a session value (A(sp)); the other algorithms additionally
+// need a step counter and a done flag. One struct covers all of them, so the
+// network layer is algorithm-agnostic.
+
+#include <cstdint>
+#include <string>
+
+#include "model/ids.hpp"
+
+namespace sesp {
+
+struct MpmMessage {
+  ProcessId sender = 0;
+  std::int64_t session = 0;  // V of m(i, V)
+  std::int64_t steps = 0;    // sender's step count at send time
+  bool done = false;         // "I have taken my s-1 steps" (A(p))
+
+  std::string to_string() const {
+    return "m(" + std::to_string(sender) + "," + std::to_string(session) +
+           ",steps=" + std::to_string(steps) + (done ? ",done)" : ")");
+  }
+};
+
+}  // namespace sesp

@@ -1,0 +1,157 @@
+#include "mpm/mpm_simulator.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <queue>
+#include <vector>
+
+#include "mpm/network.hpp"
+
+namespace sesp {
+
+namespace {
+
+enum class EventKind : std::uint8_t { kProcessStep = 0, kDeliver = 1 };
+
+struct Event {
+  Time time;
+  EventKind kind;
+  std::uint64_t seq;  // FIFO among equal (time, kind)
+  ProcessId process = 0;
+  MsgId message = kNoMsg;
+};
+
+// Min-heap order: earliest time first; at equal time compute steps before
+// deliveries; then FIFO.
+struct EventAfter {
+  bool operator()(const Event& a, const Event& b) const {
+    if (a.time != b.time) return b.time < a.time;
+    if (a.kind != b.kind) return a.kind == EventKind::kDeliver;
+    return a.seq > b.seq;
+  }
+};
+
+}  // namespace
+
+MpmSimulator::MpmSimulator(const ProblemSpec& spec,
+                           const TimingConstraints& constraints,
+                           const MpmAlgorithmFactory& factory,
+                           StepScheduler& scheduler, DelayStrategy& delays)
+    : spec_(spec),
+      constraints_(constraints),
+      factory_(factory),
+      scheduler_(scheduler),
+      delays_(delays) {
+  if (spec_.n <= 0) {
+    std::fprintf(stderr, "MpmSimulator fatal: need n >= 1\n");
+    std::abort();
+  }
+}
+
+MpmRunResult MpmSimulator::run(const MpmRunLimits& limits) {
+  const std::int32_t n = spec_.n;
+  MpmRunResult result{
+      TimedComputation(Substrate::kMessagePassing, n, n), false, false, 0, 0};
+  TimedComputation& trace = result.trace;
+
+  Network network(n);
+  std::vector<std::unique_ptr<MpmAlgorithm>> algs;
+  algs.reserve(static_cast<std::size_t>(n));
+  for (ProcessId p = 0; p < n; ++p)
+    algs.push_back(factory_.create(p, spec_, constraints_));
+
+  std::priority_queue<Event, std::vector<Event>, EventAfter> queue;
+  std::uint64_t seq = 0;
+
+  std::vector<Time> last_step_time(static_cast<std::size_t>(n));
+  std::vector<std::int64_t> step_count(static_cast<std::size_t>(n), 0);
+  // Messages delivered to each process but not yet picked up by a step.
+  std::vector<std::vector<MsgId>> pending(static_cast<std::size_t>(n));
+  std::int32_t non_idle = n;
+
+  for (ProcessId p = 0; p < n; ++p) {
+    const Time t = scheduler_.next_step_time(p, std::nullopt, 0);
+    queue.push(Event{t, EventKind::kProcessStep, seq++, p, kNoMsg});
+  }
+
+  while (!queue.empty() && non_idle > 0) {
+    const Event ev = queue.top();
+    queue.pop();
+
+    if (result.compute_steps >= limits.max_steps ||
+        limits.max_time < ev.time) {
+      result.hit_limit = true;
+      break;
+    }
+
+    if (ev.kind == EventKind::kDeliver) {
+      network.deliver(ev.message);
+      StepRecord st;
+      st.kind = StepKind::kDeliver;
+      st.process = kNetworkProcess;
+      st.time = ev.time;
+      st.delivered = ev.message;
+      const std::size_t index = trace.append(st);
+      MessageRecord& rec =
+          trace.mutable_messages()[static_cast<std::size_t>(ev.message)];
+      rec.deliver_step = index;
+      pending[static_cast<std::size_t>(rec.recipient)].push_back(ev.message);
+      continue;
+    }
+
+    const ProcessId p = ev.process;
+    const auto pi = static_cast<std::size_t>(p);
+    const std::vector<MpmMessage> received = network.drain_buffer(p);
+    const MpmStepResult action = algs[pi]->on_step(
+        std::span<const MpmMessage>(received.data(), received.size()));
+
+    StepRecord st;
+    st.kind = StepKind::kCompute;
+    st.process = p;
+    st.time = ev.time;
+    st.port = p;  // in the MPM every compute step of p involves buf_p
+    st.idle_after = action.idle;
+    const std::size_t step_index = trace.append(st);
+    ++result.compute_steps;
+
+    // Mark receipt of everything drained at this step.
+    for (const MsgId id : pending[pi])
+      trace.mutable_messages()[static_cast<std::size_t>(id)].receive_step =
+          step_index;
+    pending[pi].clear();
+
+    if (action.broadcast) {
+      for (ProcessId q = 0; q < n; ++q) {
+        MessageRecord rec;
+        rec.sender = p;
+        rec.recipient = q;
+        rec.send_step = step_index;
+        rec.session = action.message.session;
+        rec.steps = action.message.steps;
+        rec.done = action.message.done;
+        const MsgId id = trace.append_message(rec);
+        network.send(id, action.message, q);
+        const Duration delay = delays_.delay(p, q, ev.time, id);
+        queue.push(
+            Event{ev.time + delay, EventKind::kDeliver, seq++, q, id});
+        ++result.messages_sent;
+      }
+    }
+
+    last_step_time[pi] = ev.time;
+    ++step_count[pi];
+
+    if (action.idle) {
+      --non_idle;
+    } else {
+      const Time next =
+          scheduler_.next_step_time(p, ev.time, step_count[pi]);
+      queue.push(Event{next, EventKind::kProcessStep, seq++, p, kNoMsg});
+    }
+  }
+
+  result.completed = non_idle == 0;
+  return result;
+}
+
+}  // namespace sesp

@@ -1,0 +1,57 @@
+#pragma once
+
+// Event-driven executor of the message-passing model. The adversary (a
+// StepScheduler and a DelayStrategy) fixes the timed schedule; the simulator
+// runs the algorithm under it and records the full timed computation for the
+// counters / checkers.
+//
+// Tie-breaking at equal times is adversarial for upper bounds: compute steps
+// are ordered before delivery steps carrying the same timestamp, so a
+// message delivered "at" a step time is only seen at the process's *next*
+// step — the worst admissible interleaving.
+
+#include <cstdint>
+#include <memory>
+
+#include "adversary/schedulers.hpp"
+#include "model/ids.hpp"
+#include "model/timed_computation.hpp"
+#include "mpm/algorithm.hpp"
+#include "timing/constraints.hpp"
+
+namespace sesp {
+
+struct MpmRunLimits {
+  // Stop the run (and flag it) if it exceeds either limit before all port
+  // processes idle; guards against broken non-terminating algorithms.
+  std::int64_t max_steps = 2'000'000;
+  Time max_time = Time(1'000'000'000);
+};
+
+struct MpmRunResult {
+  TimedComputation trace;
+  bool completed = false;     // all port processes idled
+  bool hit_limit = false;     // stopped by MpmRunLimits instead
+  std::int64_t compute_steps = 0;
+  std::int64_t messages_sent = 0;
+};
+
+class MpmSimulator {
+ public:
+  // Every regular process is a port process in the MPM (its buf is its
+  // port), so the system has spec.n regular processes plus the network.
+  MpmSimulator(const ProblemSpec& spec, const TimingConstraints& constraints,
+               const MpmAlgorithmFactory& factory, StepScheduler& scheduler,
+               DelayStrategy& delays);
+
+  MpmRunResult run(const MpmRunLimits& limits = MpmRunLimits{});
+
+ private:
+  ProblemSpec spec_;
+  TimingConstraints constraints_;
+  const MpmAlgorithmFactory& factory_;
+  StepScheduler& scheduler_;
+  DelayStrategy& delays_;
+};
+
+}  // namespace sesp

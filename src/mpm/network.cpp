@@ -1,0 +1,51 @@
+#include "mpm/network.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace sesp {
+
+namespace {
+[[noreturn]] void fail(const char* what) {
+  std::fprintf(stderr, "sesp::Network fatal: %s\n", what);
+  std::abort();
+}
+}  // namespace
+
+Network::Network(std::int32_t num_regular)
+    : num_regular_(num_regular),
+      bufs_(static_cast<std::size_t>(num_regular)) {
+  if (num_regular <= 0) fail("need at least one regular process");
+}
+
+void Network::send(MsgId id, const MpmMessage& m, ProcessId recipient) {
+  if (recipient < 0 || recipient >= num_regular_) fail("bad recipient");
+  net_.push_back(InTransit{id, m, recipient});
+}
+
+void Network::deliver(MsgId id) {
+  for (std::size_t i = 0; i < net_.size(); ++i) {
+    if (net_[i].id == id) {
+      bufs_[static_cast<std::size_t>(net_[i].recipient)].push_back(
+          net_[i].message);
+      net_[i] = net_.back();
+      net_.pop_back();
+      return;
+    }
+  }
+  fail("deliver of message not in transit");
+}
+
+std::vector<MpmMessage> Network::drain_buffer(ProcessId p) {
+  if (p < 0 || p >= num_regular_) fail("bad process in drain_buffer");
+  std::vector<MpmMessage> out;
+  out.swap(bufs_[static_cast<std::size_t>(p)]);
+  return out;
+}
+
+std::size_t Network::buffered(ProcessId p) const {
+  if (p < 0 || p >= num_regular_) fail("bad process in buffered");
+  return bufs_[static_cast<std::size_t>(p)].size();
+}
+
+}  // namespace sesp

@@ -1,0 +1,50 @@
+#pragma once
+
+// The MPM communication substrate (Section 2.1.2): the shared variables
+// `net` (messages in transit, as (m, q) pairs) and `buf_p` (delivered but
+// not yet received). The network process N takes delivery steps moving one
+// (m, q) from net to buf_q; a regular process's compute step empties its
+// buf. This class is pure state — the simulator drives it and records steps.
+
+#include <cstdint>
+#include <vector>
+
+#include "model/ids.hpp"
+#include "mpm/message.hpp"
+
+namespace sesp {
+
+class Network {
+ public:
+  explicit Network(std::int32_t num_regular);
+
+  std::int32_t num_regular() const noexcept { return num_regular_; }
+
+  // Adds (m, q) to net; returns a handle used to deliver it later. The
+  // caller (simulator) owns MsgId assignment so handles match the trace's
+  // MessageRecord ids.
+  void send(MsgId id, const MpmMessage& m, ProcessId recipient);
+
+  // Network step: moves the identified (m, q) from net to buf_q. Terminates
+  // the process if the id is not in transit (harness bug).
+  void deliver(MsgId id);
+
+  // Regular-process step, receive half: removes and returns buf_p.
+  std::vector<MpmMessage> drain_buffer(ProcessId p);
+
+  std::size_t in_transit() const noexcept { return net_.size(); }
+  std::size_t buffered(ProcessId p) const;
+
+ private:
+  struct InTransit {
+    MsgId id;
+    MpmMessage message;
+    ProcessId recipient;
+  };
+
+  std::int32_t num_regular_;
+  std::vector<InTransit> net_;
+  std::vector<std::vector<MpmMessage>> bufs_;
+};
+
+}  // namespace sesp

@@ -1,0 +1,136 @@
+#include "mpm/topology.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <queue>
+
+namespace sesp {
+
+namespace {
+[[noreturn]] void fail(const char* what) {
+  std::fprintf(stderr, "sesp::Topology fatal: %s\n", what);
+  std::abort();
+}
+}  // namespace
+
+Topology::Topology(std::string name, std::int32_t n)
+    : name_(std::move(name)), adj_(static_cast<std::size_t>(n)) {
+  if (n < 1) fail("need at least one node");
+}
+
+void Topology::add_edge(ProcessId a, ProcessId b) {
+  if (a == b || a < 0 || b < 0 || a >= num_nodes() || b >= num_nodes())
+    fail("bad edge");
+  if (has_edge(a, b)) return;
+  adj_[static_cast<std::size_t>(a)].push_back(b);
+  adj_[static_cast<std::size_t>(b)].push_back(a);
+}
+
+Topology Topology::complete(std::int32_t n) {
+  Topology t("complete(" + std::to_string(n) + ")", n);
+  for (ProcessId a = 0; a < n; ++a)
+    for (ProcessId b = a + 1; b < n; ++b) t.add_edge(a, b);
+  return t;
+}
+
+Topology Topology::ring(std::int32_t n) {
+  Topology t("ring(" + std::to_string(n) + ")", n);
+  if (n == 1) return t;
+  for (ProcessId a = 0; a < n; ++a) t.add_edge(a, (a + 1) % n);
+  return t;
+}
+
+Topology Topology::line(std::int32_t n) {
+  Topology t("line(" + std::to_string(n) + ")", n);
+  for (ProcessId a = 0; a + 1 < n; ++a) t.add_edge(a, a + 1);
+  return t;
+}
+
+Topology Topology::star(std::int32_t n) {
+  Topology t("star(" + std::to_string(n) + ")", n);
+  for (ProcessId a = 1; a < n; ++a) t.add_edge(0, a);
+  return t;
+}
+
+Topology Topology::tree(std::int32_t n, std::int32_t arity) {
+  if (arity < 2) fail("tree arity must be >= 2");
+  Topology t("tree(" + std::to_string(n) + "," + std::to_string(arity) + ")",
+             n);
+  for (ProcessId a = 1; a < n; ++a) t.add_edge(a, (a - 1) / arity);
+  return t;
+}
+
+Topology Topology::grid(std::int32_t rows, std::int32_t cols) {
+  if (rows < 1 || cols < 1) fail("grid needs positive dimensions");
+  Topology t("grid(" + std::to_string(rows) + "x" + std::to_string(cols) + ")",
+             rows * cols);
+  auto id = [cols](std::int32_t r, std::int32_t c) { return r * cols + c; };
+  for (std::int32_t r = 0; r < rows; ++r) {
+    for (std::int32_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) t.add_edge(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) t.add_edge(id(r, c), id(r + 1, c));
+    }
+  }
+  return t;
+}
+
+const std::vector<ProcessId>& Topology::neighbors(ProcessId p) const {
+  if (p < 0 || p >= num_nodes()) fail("neighbors of unknown node");
+  return adj_[static_cast<std::size_t>(p)];
+}
+
+bool Topology::has_edge(ProcessId a, ProcessId b) const {
+  if (a < 0 || a >= num_nodes()) return false;
+  const auto& nb = adj_[static_cast<std::size_t>(a)];
+  return std::find(nb.begin(), nb.end(), b) != nb.end();
+}
+
+std::int64_t Topology::num_edges() const {
+  std::int64_t total = 0;
+  for (const auto& nb : adj_) total += static_cast<std::int64_t>(nb.size());
+  return total / 2;
+}
+
+std::int32_t Topology::distance(ProcessId from, ProcessId to) const {
+  if (from < 0 || from >= num_nodes() || to < 0 || to >= num_nodes())
+    fail("distance of unknown node");
+  std::vector<std::int32_t> dist(adj_.size(), -1);
+  std::queue<ProcessId> queue;
+  dist[static_cast<std::size_t>(from)] = 0;
+  queue.push(from);
+  while (!queue.empty()) {
+    const ProcessId at = queue.front();
+    queue.pop();
+    if (at == to) return dist[static_cast<std::size_t>(at)];
+    for (const ProcessId nb : adj_[static_cast<std::size_t>(at)]) {
+      if (dist[static_cast<std::size_t>(nb)] < 0) {
+        dist[static_cast<std::size_t>(nb)] =
+            dist[static_cast<std::size_t>(at)] + 1;
+        queue.push(nb);
+      }
+    }
+  }
+  return -1;  // disconnected
+}
+
+std::int32_t Topology::diameter() const {
+  std::int32_t best = 0;
+  for (ProcessId from = 0; from < num_nodes(); ++from) {
+    for (ProcessId to = from + 1; to < num_nodes(); ++to) {
+      const std::int32_t d = distance(from, to);
+      if (d < 0) fail("diameter of disconnected graph");
+      best = std::max(best, d);
+    }
+  }
+  return best;
+}
+
+bool Topology::connected() const {
+  if (num_nodes() == 1) return true;
+  for (ProcessId to = 1; to < num_nodes(); ++to)
+    if (distance(0, to) < 0) return false;
+  return true;
+}
+
+}  // namespace sesp

@@ -1,0 +1,59 @@
+#pragma once
+
+// Network topologies for the point-to-point message-passing variant.
+//
+// The paper's main MPM is an abstract reliable strongly-connected network
+// whose d2 "subsumes the diameter factor" of [4]'s point-to-point model
+// (conversion note (1) before Table 1). This module restores the
+// point-to-point view: processes only exchange messages with neighbours,
+// information crosses the network by gossip relay, and end-to-end
+// propagation costs diameter * (per-hop delay + step time). The
+// bench_diameter experiment regenerates exactly that factor.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "model/ids.hpp"
+
+namespace sesp {
+
+class Topology {
+ public:
+  // Named constructors. All graphs are undirected and connected.
+  static Topology complete(std::int32_t n);
+  static Topology ring(std::int32_t n);
+  static Topology line(std::int32_t n);
+  static Topology star(std::int32_t n);  // node 0 is the hub
+  // Balanced tree with the given branching factor (>= 2).
+  static Topology tree(std::int32_t n, std::int32_t arity);
+  // r x c grid with 4-neighbourhoods.
+  static Topology grid(std::int32_t rows, std::int32_t cols);
+
+  std::int32_t num_nodes() const noexcept {
+    return static_cast<std::int32_t>(adj_.size());
+  }
+  const std::vector<ProcessId>& neighbors(ProcessId p) const;
+
+  bool has_edge(ProcessId a, ProcessId b) const;
+  std::int64_t num_edges() const;  // undirected edge count
+
+  // Graph diameter (max over BFS eccentricities). The factor the paper's d2
+  // subsumes.
+  std::int32_t diameter() const;
+  // BFS distance between two nodes.
+  std::int32_t distance(ProcessId from, ProcessId to) const;
+
+  bool connected() const;
+
+  const std::string& name() const noexcept { return name_; }
+
+ private:
+  Topology(std::string name, std::int32_t n);
+  void add_edge(ProcessId a, ProcessId b);
+
+  std::string name_;
+  std::vector<std::vector<ProcessId>> adj_;
+};
+
+}  // namespace sesp

@@ -1,0 +1,41 @@
+#pragma once
+
+// Algorithm interface for the point-to-point MPM variant. Processes gossip
+// their accumulated Knowledge to their topology neighbours at every step
+// (the model's messages have no size bound, so a step's single message
+// carries the full monotone view). As in the abstract MPM, every compute
+// step of a port process involves its buf and is a port step.
+
+#include <memory>
+
+#include "model/ids.hpp"
+#include "smm/knowledge.hpp"
+#include "timing/constraints.hpp"
+
+namespace sesp {
+
+class P2pAlgorithm {
+ public:
+  virtual ~P2pAlgorithm() = default;
+
+  // One compute step; `view` is the process's accumulated knowledge (all
+  // facts received so far, merged), refreshed with this step's receipts.
+  virtual void on_step(const Knowledge& view) = 0;
+
+  // The fact about this process gossiped to neighbours after the step.
+  virtual PortInfo advertised() const = 0;
+
+  // True once idle (absorbing).
+  virtual bool is_idle() const = 0;
+};
+
+class P2pAlgorithmFactory {
+ public:
+  virtual ~P2pAlgorithmFactory() = default;
+  virtual std::unique_ptr<P2pAlgorithm> create(
+      ProcessId p, const ProblemSpec& spec,
+      const TimingConstraints& constraints) const = 0;
+  virtual const char* name() const = 0;
+};
+
+}  // namespace sesp

@@ -1,0 +1,170 @@
+#include "p2p/p2p_simulator.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <queue>
+#include <vector>
+
+namespace sesp {
+
+namespace {
+
+enum class EventKind : std::uint8_t { kProcessStep = 0, kDeliver = 1 };
+
+struct Event {
+  Time time;
+  EventKind kind;
+  std::uint64_t seq;
+  ProcessId process = 0;
+  MsgId message = kNoMsg;
+};
+
+// Compute steps before deliveries at equal times (worst admissible
+// interleaving), then FIFO — same convention as MpmSimulator.
+struct EventAfter {
+  bool operator()(const Event& a, const Event& b) const {
+    if (a.time != b.time) return b.time < a.time;
+    if (a.kind != b.kind) return a.kind == EventKind::kDeliver;
+    return a.seq > b.seq;
+  }
+};
+
+}  // namespace
+
+P2pSimulator::P2pSimulator(const ProblemSpec& spec,
+                           const TimingConstraints& constraints,
+                           const Topology& topology,
+                           const P2pAlgorithmFactory& factory,
+                           StepScheduler& scheduler, DelayStrategy& delays)
+    : spec_(spec),
+      constraints_(constraints),
+      topology_(topology),
+      factory_(factory),
+      scheduler_(scheduler),
+      delays_(delays) {
+  if (topology_.num_nodes() != spec_.n || !topology_.connected()) {
+    std::fprintf(stderr,
+                 "P2pSimulator fatal: topology must have n connected nodes\n");
+    std::abort();
+  }
+}
+
+P2pRunResult P2pSimulator::run(const P2pRunLimits& limits) {
+  const std::int32_t n = spec_.n;
+  P2pRunResult result{TimedComputation(Substrate::kMessagePassing, n, n),
+                      false,
+                      false,
+                      0,
+                      0,
+                      topology_.diameter()};
+  TimedComputation& trace = result.trace;
+
+  std::vector<std::unique_ptr<P2pAlgorithm>> algs;
+  algs.reserve(static_cast<std::size_t>(n));
+  for (ProcessId p = 0; p < n; ++p)
+    algs.push_back(factory_.create(p, spec_, constraints_));
+
+  // Accumulated gossip view per process, and in-flight message payloads.
+  std::vector<Knowledge> view(static_cast<std::size_t>(n));
+  std::map<MsgId, Knowledge> in_flight;
+  // Delivered-but-not-received payloads per process.
+  std::vector<std::vector<MsgId>> pending(static_cast<std::size_t>(n));
+  std::map<MsgId, Knowledge> buffered;
+
+  std::priority_queue<Event, std::vector<Event>, EventAfter> queue;
+  std::uint64_t seq = 0;
+  std::vector<std::int64_t> step_count(static_cast<std::size_t>(n), 0);
+  std::int32_t non_idle = n;
+
+  for (ProcessId p = 0; p < n; ++p)
+    queue.push(Event{scheduler_.next_step_time(p, std::nullopt, 0),
+                     EventKind::kProcessStep, seq++, p, kNoMsg});
+
+  while (!queue.empty() && non_idle > 0) {
+    const Event ev = queue.top();
+    queue.pop();
+    if (result.compute_steps >= limits.max_steps ||
+        limits.max_time < ev.time) {
+      result.hit_limit = true;
+      break;
+    }
+
+    if (ev.kind == EventKind::kDeliver) {
+      StepRecord st;
+      st.kind = StepKind::kDeliver;
+      st.process = kNetworkProcess;
+      st.time = ev.time;
+      st.delivered = ev.message;
+      const std::size_t index = trace.append(st);
+      MessageRecord& rec =
+          trace.mutable_messages()[static_cast<std::size_t>(ev.message)];
+      rec.deliver_step = index;
+      pending[static_cast<std::size_t>(rec.recipient)].push_back(ev.message);
+      auto node = in_flight.extract(ev.message);
+      buffered.insert(std::move(node));
+      continue;
+    }
+
+    const ProcessId p = ev.process;
+    const auto pi = static_cast<std::size_t>(p);
+
+    // Receive: merge all delivered payloads. The step is appended after the
+    // algorithm runs (its idle flag is part of the record), so the index is
+    // the prospective one.
+    const std::size_t step_index = trace.steps().size();
+    for (const MsgId id : pending[pi]) {
+      const auto it = buffered.find(id);
+      view[pi].merge(it->second);
+      buffered.erase(it);
+      trace.mutable_messages()[static_cast<std::size_t>(id)].receive_step =
+          step_index;
+    }
+    pending[pi].clear();
+
+    P2pAlgorithm& alg = *algs[pi];
+    alg.on_step(view[pi]);
+    const PortInfo own = alg.advertised();
+    view[pi].record(p, own);
+    const bool idle = alg.is_idle();
+
+    StepRecord st;
+    st.kind = StepKind::kCompute;
+    st.process = p;
+    st.time = ev.time;
+    st.port = p;  // every step of a port process involves its buf
+    st.idle_after = idle;
+    trace.append(st);
+
+    // Gossip the full view to every neighbour.
+    for (const ProcessId q : topology_.neighbors(p)) {
+      MessageRecord rec;
+      rec.sender = p;
+      rec.recipient = q;
+      rec.send_step = step_index;
+      rec.session = own.session;
+      rec.steps = own.steps;
+      rec.done = own.done;
+      const MsgId id = trace.append_message(rec);
+      in_flight.emplace(id, view[pi]);
+      const Duration delay = delays_.delay(p, q, ev.time, id);
+      queue.push(Event{ev.time + delay, EventKind::kDeliver, seq++, q, id});
+      ++result.messages_sent;
+    }
+
+    ++result.compute_steps;
+    ++step_count[pi];
+    if (idle) {
+      --non_idle;
+    } else {
+      queue.push(Event{scheduler_.next_step_time(p, ev.time, step_count[pi]),
+                       EventKind::kProcessStep, seq++, p, kNoMsg});
+    }
+  }
+
+  result.completed = non_idle == 0;
+  return result;
+}
+
+}  // namespace sesp

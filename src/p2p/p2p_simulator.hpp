@@ -1,0 +1,53 @@
+#pragma once
+
+// Event-driven executor of the point-to-point message-passing model: like
+// MpmSimulator, but a step's broadcast only reaches the process's topology
+// neighbours, carrying the sender's full accumulated knowledge (gossip
+// relay). Information crosses the network in diameter hops; the
+// bench_diameter experiment measures exactly that factor, which the
+// abstract model's d2 subsumes (conversion note (1) of the paper).
+
+#include <cstdint>
+
+#include "adversary/schedulers.hpp"
+#include "model/ids.hpp"
+#include "model/timed_computation.hpp"
+#include "mpm/topology.hpp"
+#include "p2p/algorithm.hpp"
+#include "timing/constraints.hpp"
+
+namespace sesp {
+
+struct P2pRunLimits {
+  std::int64_t max_steps = 2'000'000;
+  Time max_time = Time(1'000'000'000);
+};
+
+struct P2pRunResult {
+  TimedComputation trace;
+  bool completed = false;
+  bool hit_limit = false;
+  std::int64_t compute_steps = 0;
+  std::int64_t messages_sent = 0;
+  std::int32_t diameter = 0;
+};
+
+class P2pSimulator {
+ public:
+  // The topology must have exactly spec.n nodes and be connected.
+  P2pSimulator(const ProblemSpec& spec, const TimingConstraints& constraints,
+               const Topology& topology, const P2pAlgorithmFactory& factory,
+               StepScheduler& scheduler, DelayStrategy& delays);
+
+  P2pRunResult run(const P2pRunLimits& limits = P2pRunLimits{});
+
+ private:
+  ProblemSpec spec_;
+  TimingConstraints constraints_;
+  const Topology& topology_;
+  const P2pAlgorithmFactory& factory_;
+  StepScheduler& scheduler_;
+  DelayStrategy& delays_;
+};
+
+}  // namespace sesp

@@ -1,0 +1,40 @@
+#include "session/round_counter.hpp"
+
+namespace sesp {
+
+RoundDecomposition count_rounds(const TimedComputation& tc) {
+  RoundDecomposition out;
+  const std::size_t prefix = tc.active_prefix_length();
+  const auto n = static_cast<std::size_t>(tc.num_processes());
+  if (n == 0) return out;
+
+  std::vector<bool> idle(n, false);
+  std::vector<bool> seen(n, false);
+  std::size_t distinct = 0;
+
+  auto round_complete = [&]() {
+    for (std::size_t p = 0; p < n; ++p)
+      if (!seen[p] && !idle[p]) return false;
+    return true;
+  };
+
+  for (std::size_t i = 0; i < prefix; ++i) {
+    const StepRecord& st = tc.steps()[i];
+    if (!st.is_compute()) continue;
+    const auto p = static_cast<std::size_t>(st.process);
+    if (!seen[p]) {
+      seen[p] = true;
+      ++distinct;
+    }
+    if (st.idle_after) idle[p] = true;
+    if (round_complete()) {
+      ++out.full_rounds;
+      seen.assign(n, false);
+      distinct = 0;
+    }
+  }
+  out.partial_tail = distinct > 0;
+  return out;
+}
+
+}  // namespace sesp

@@ -1,0 +1,36 @@
+#pragma once
+
+// Round counting (Section 2.3): a round is a minimal computation fragment in
+// which every process appears at least once; an algorithm runs in r rounds
+// if, in every admissible computation, the prefix before all port processes
+// are idle decomposes into at most r disjoint rounds. As with sessions, the
+// greedy left-to-right decomposition maximizes the number of disjoint
+// rounds, which is exactly the quantity the asynchronous bounds cap.
+
+#include <cstdint>
+#include <vector>
+
+#include "model/timed_computation.hpp"
+
+namespace sesp {
+
+struct RoundDecomposition {
+  std::int64_t full_rounds = 0;
+  // True if a trailing partial round (some processes stepped, not all)
+  // remains after the last full round.
+  bool partial_tail = false;
+
+  // Rounds "required until termination": full rounds plus the partial tail.
+  std::int64_t rounds_ceiling() const {
+    return full_rounds + (partial_tail ? 1 : 0);
+  }
+};
+
+// Counts rounds over the trace's active prefix (through the step at which
+// the last port process idles). A process that has become idle no longer
+// needs to appear for a round to complete: the prefix "before all processes
+// are idle" in the paper precedes any idle stuttering, and our simulators
+// stop scheduling idle processes. Deliver steps (network) don't participate.
+RoundDecomposition count_rounds(const TimedComputation& tc);
+
+}  // namespace sesp

@@ -1,0 +1,48 @@
+#include "session/session_counter.hpp"
+
+namespace sesp {
+
+namespace {
+
+// Shared greedy scan over a step range.
+template <typename StepRange>
+SessionDecomposition greedy(const StepRange& steps, std::size_t begin,
+                            std::size_t end, std::int32_t num_ports) {
+  SessionDecomposition out;
+  if (num_ports <= 0) return out;
+  std::vector<bool> seen(static_cast<std::size_t>(num_ports), false);
+  std::int32_t missing = num_ports;
+  for (std::size_t i = begin; i < end; ++i) {
+    const StepRecord& st = steps[i];
+    if (!st.is_port_step()) continue;
+    const auto port = static_cast<std::size_t>(st.port);
+    if (port >= seen.size()) continue;
+    if (!seen[port]) {
+      seen[port] = true;
+      if (--missing == 0) {
+        ++out.sessions;
+        out.cut_points.push_back(i + 1);
+        out.close_times.push_back(st.time);
+        seen.assign(seen.size(), false);
+        missing = num_ports;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+SessionDecomposition count_sessions(const TimedComputation& tc,
+                                    std::size_t begin, std::size_t end) {
+  if (end > tc.steps().size()) end = tc.steps().size();
+  if (begin > end) begin = end;
+  return greedy(tc.steps(), begin, end, tc.num_ports());
+}
+
+std::int64_t count_sessions_in(const std::vector<StepRecord>& steps,
+                               std::int32_t num_ports) {
+  return greedy(steps, 0, steps.size(), num_ports).sessions;
+}
+
+}  // namespace sesp

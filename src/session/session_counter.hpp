@@ -1,0 +1,41 @@
+#pragma once
+
+// Session counting (Section 2.3). A session is a minimal computation
+// fragment containing at least one port step for every port; the problem
+// asks for at least s *disjoint* sessions. The maximum number of disjoint
+// sessions in a fixed sequence is computed greedily: scan left to right and
+// cut as soon as every port has been seen since the previous cut. Greedy is
+// optimal (an exchange argument: moving any cut earlier never decreases the
+// number of later cuts), so `count_sessions` returns the best decomposition
+// and "trace has >= s sessions" is equivalent to `count_sessions >= s`.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "model/timed_computation.hpp"
+
+namespace sesp {
+
+struct SessionDecomposition {
+  std::int64_t sessions = 0;
+  // steps()-index one past each session's last step (the greedy cut points).
+  std::vector<std::size_t> cut_points;
+  // Time of each session's closing step.
+  std::vector<Time> close_times;
+};
+
+// Counts disjoint sessions over steps [begin, end) of the trace. Defaults to
+// the whole trace.
+SessionDecomposition count_sessions(const TimedComputation& tc,
+                                    std::size_t begin = 0,
+                                    std::size_t end = static_cast<std::size_t>(-1));
+
+// Convenience: session count over an arbitrary step sequence (used by the
+// lower-bound constructions on reordered computations that were never run
+// through a simulator). `num_ports` gives the port universe; steps with
+// port == kNoPort are ignored.
+std::int64_t count_sessions_in(const std::vector<StepRecord>& steps,
+                               std::int32_t num_ports);
+
+}  // namespace sesp

@@ -1,0 +1,21 @@
+#include "session/verifier.hpp"
+
+namespace sesp {
+
+Verdict verify(const TimedComputation& tc, const ProblemSpec& spec,
+               const TimingConstraints& constraints) {
+  Verdict v;
+  const AdmissibilityReport adm = check_admissible(tc, constraints);
+  v.admissible = adm.admissible;
+  v.admissibility_violation = adm.violation;
+
+  v.sessions = count_sessions(tc).sessions;
+  v.all_ports_idle = tc.all_ports_idle();
+  v.solves = v.sessions >= spec.s && v.all_ports_idle;
+  v.termination_time = tc.termination_time();
+  v.rounds = count_rounds(tc);
+  v.gamma = tc.gamma();
+  return v;
+}
+
+}  // namespace sesp

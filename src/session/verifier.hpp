@@ -1,0 +1,39 @@
+#pragma once
+
+// End-to-end verdict for one timed computation against the (s, n)-session
+// problem (Section 2.3): admissibility under the timing model, session
+// count, termination, and the running-time measures (real time, rounds, γ).
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "model/ids.hpp"
+#include "model/timed_computation.hpp"
+#include "session/round_counter.hpp"
+#include "session/session_counter.hpp"
+#include "timing/admissibility.hpp"
+
+namespace sesp {
+
+struct Verdict {
+  bool admissible = false;
+  std::string admissibility_violation;
+
+  std::int64_t sessions = 0;
+  bool all_ports_idle = false;
+  // sessions >= s and every port process idles.
+  bool solves = false;
+
+  // Real-time measure: time of the last port process's idling step.
+  std::optional<Time> termination_time;
+  // Round measure over the active prefix (asynchronous / sporadic models).
+  RoundDecomposition rounds;
+  // Largest observed step gap before termination (the paper's γ).
+  std::optional<Duration> gamma;
+};
+
+Verdict verify(const TimedComputation& tc, const ProblemSpec& spec,
+               const TimingConstraints& constraints);
+
+}  // namespace sesp

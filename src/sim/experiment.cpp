@@ -1,0 +1,234 @@
+#include "sim/experiment.hpp"
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "adversary/delay_strategies.hpp"
+#include "adversary/step_schedulers.hpp"
+
+namespace sesp {
+
+namespace {
+
+void fold(WorstCase& wc, const Verdict& v, bool completed, bool hit_limit,
+          const std::string& label) {
+  ++wc.runs;
+  if (!v.admissible || !v.solves || hit_limit) {
+    wc.all_solved = wc.all_solved && v.solves && !hit_limit;
+    wc.all_admissible = wc.all_admissible && v.admissible;
+    if (wc.first_failure.empty()) {
+      wc.first_failure = label + ": ";
+      if (!v.admissible)
+        wc.first_failure += "inadmissible (" + v.admissibility_violation + ")";
+      else if (hit_limit)
+        wc.first_failure += "hit run limit";
+      else
+        wc.first_failure +=
+            "solved=false (sessions=" + std::to_string(v.sessions) + ")";
+    }
+  }
+  if (wc.runs == 1 || v.sessions < wc.min_sessions)
+    wc.min_sessions = v.sessions;
+  if (completed && v.termination_time &&
+      wc.max_termination < *v.termination_time)
+    wc.max_termination = *v.termination_time;
+  const std::int64_t rounds = v.rounds.rounds_ceiling();
+  if (wc.max_rounds < rounds) wc.max_rounds = rounds;
+  if (v.gamma && wc.max_gamma < *v.gamma) wc.max_gamma = *v.gamma;
+}
+
+}  // namespace
+
+MpmOutcome run_mpm_once(const ProblemSpec& spec,
+                        const TimingConstraints& constraints,
+                        const MpmAlgorithmFactory& factory,
+                        StepScheduler& scheduler, DelayStrategy& delays,
+                        const MpmRunLimits& limits) {
+  MpmSimulator sim(spec, constraints, factory, scheduler, delays);
+  MpmOutcome out{sim.run(limits), Verdict{}};
+  out.verdict = verify(out.run.trace, spec, constraints);
+  return out;
+}
+
+SmmOutcome run_smm_once(const ProblemSpec& spec,
+                        const TimingConstraints& constraints,
+                        const SmmAlgorithmFactory& factory,
+                        StepScheduler& scheduler, const SmmRunLimits& limits) {
+  SmmSimulator sim(spec, constraints, factory, scheduler);
+  SmmOutcome out{sim.run(limits), Verdict{}};
+  out.verdict = verify(out.run.trace, spec, constraints);
+  return out;
+}
+
+WorstCase mpm_worst_case(const ProblemSpec& spec,
+                         const TimingConstraints& constraints,
+                         const MpmAlgorithmFactory& factory,
+                         std::int32_t random_runs, std::uint64_t seed,
+                         const MpmRunLimits& limits) {
+  WorstCase wc;
+  const std::int32_t n = spec.n;
+
+  struct Adversary {
+    std::string label;
+    std::unique_ptr<StepScheduler> sched;
+    std::unique_ptr<DelayStrategy> delay;
+  };
+  std::vector<Adversary> family;
+  auto add = [&family](std::string label, std::unique_ptr<StepScheduler> s,
+                       std::unique_ptr<DelayStrategy> d) {
+    family.push_back(Adversary{std::move(label), std::move(s), std::move(d)});
+  };
+
+  switch (constraints.model) {
+    case TimingModel::kSynchronous:
+      add("lockstep",
+          std::make_unique<FixedPeriodScheduler>(n, constraints.c2),
+          std::make_unique<FixedDelay>(constraints.d2));
+      break;
+    case TimingModel::kPeriodic: {
+      add("periods/max-delay",
+          std::make_unique<FixedPeriodScheduler>(constraints.periods),
+          std::make_unique<FixedDelay>(constraints.d2));
+      add("periods/zero-delay",
+          std::make_unique<FixedPeriodScheduler>(constraints.periods),
+          std::make_unique<FixedDelay>(Duration(0)));
+      add("periods/straggler",
+          std::make_unique<FixedPeriodScheduler>(constraints.periods),
+          std::make_unique<StragglerDelay>(0, Duration(0), constraints.d2));
+      for (std::int32_t r = 0; r < random_runs; ++r)
+        add("periods/random-delay#" + std::to_string(r),
+            std::make_unique<FixedPeriodScheduler>(constraints.periods),
+            std::make_unique<UniformRandomDelay>(Duration(0), constraints.d2,
+                                                 seed + 31 * r + 1));
+      break;
+    }
+    case TimingModel::kSemiSynchronous:
+      add("all-slow/max-delay",
+          std::make_unique<FixedPeriodScheduler>(n, constraints.c2),
+          std::make_unique<FixedDelay>(constraints.d2));
+      add("all-fast/max-delay",
+          std::make_unique<FixedPeriodScheduler>(n, constraints.c1),
+          std::make_unique<FixedDelay>(constraints.d2));
+      add("slow-one/max-delay",
+          std::make_unique<SlowOneScheduler>(n, constraints.c1, 0,
+                                             constraints.c2),
+          std::make_unique<FixedDelay>(constraints.d2));
+      for (std::int32_t r = 0; r < random_runs; ++r)
+        add("random#" + std::to_string(r),
+            std::make_unique<UniformGapScheduler>(constraints.c1,
+                                                  constraints.c2,
+                                                  seed + 77 * r + 3),
+            std::make_unique<UniformRandomDelay>(Duration(0), constraints.d2,
+                                                 seed + 77 * r + 4));
+      break;
+    case TimingModel::kSporadic:
+      add("all-c1/max-delay",
+          std::make_unique<FixedPeriodScheduler>(n, constraints.c1),
+          std::make_unique<FixedDelay>(constraints.d2));
+      add("all-c1/min-delay",
+          std::make_unique<FixedPeriodScheduler>(n, constraints.c1),
+          std::make_unique<FixedDelay>(constraints.d1));
+      add("slow-one/max-delay",
+          std::make_unique<SlowOneScheduler>(n, constraints.c1, 0,
+                                             constraints.c1 * 16),
+          std::make_unique<FixedDelay>(constraints.d2));
+      for (std::int32_t r = 0; r < random_runs; ++r)
+        add("bursty#" + std::to_string(r),
+            std::make_unique<BurstyScheduler>(constraints.c1, 1, 8, 12,
+                                              seed + 13 * r + 5),
+            std::make_unique<UniformRandomDelay>(constraints.d1,
+                                                 constraints.d2,
+                                                 seed + 13 * r + 6));
+      break;
+    case TimingModel::kAsynchronous:
+      add("all-c2/max-delay",
+          std::make_unique<FixedPeriodScheduler>(n, constraints.c2),
+          std::make_unique<FixedDelay>(constraints.d2));
+      add("slow-one/max-delay",
+          std::make_unique<SlowOneScheduler>(n, constraints.c2 / 4, 0,
+                                             constraints.c2),
+          std::make_unique<FixedDelay>(constraints.d2));
+      for (std::int32_t r = 0; r < random_runs; ++r)
+        add("random#" + std::to_string(r),
+            std::make_unique<UniformGapScheduler>(constraints.c2 / 16,
+                                                  constraints.c2,
+                                                  seed + 7 * r + 9),
+            std::make_unique<UniformRandomDelay>(Duration(0), constraints.d2,
+                                                 seed + 7 * r + 10));
+      break;
+  }
+
+  for (Adversary& adv : family) {
+    const MpmOutcome out = run_mpm_once(spec, constraints, factory,
+                                        *adv.sched, *adv.delay, limits);
+    wc.any_hit_limit = wc.any_hit_limit || out.run.hit_limit;
+    fold(wc, out.verdict, out.run.completed, out.run.hit_limit, adv.label);
+  }
+  return wc;
+}
+
+WorstCase smm_worst_case(const ProblemSpec& spec,
+                         const TimingConstraints& constraints,
+                         const SmmAlgorithmFactory& factory,
+                         std::int32_t random_runs, std::uint64_t seed,
+                         const SmmRunLimits& limits) {
+  WorstCase wc;
+  const std::int32_t total = smm_total_processes(spec.n, spec.b);
+
+  struct Adversary {
+    std::string label;
+    std::unique_ptr<StepScheduler> sched;
+  };
+  std::vector<Adversary> family;
+  auto add = [&family](std::string label, std::unique_ptr<StepScheduler> s) {
+    family.push_back(Adversary{std::move(label), std::move(s)});
+  };
+
+  switch (constraints.model) {
+    case TimingModel::kSynchronous:
+      add("lockstep",
+          std::make_unique<FixedPeriodScheduler>(total, constraints.c2));
+      break;
+    case TimingModel::kPeriodic:
+      add("periods",
+          std::make_unique<FixedPeriodScheduler>(constraints.periods));
+      break;
+    case TimingModel::kSemiSynchronous:
+      add("all-slow",
+          std::make_unique<FixedPeriodScheduler>(total, constraints.c2));
+      add("all-fast",
+          std::make_unique<FixedPeriodScheduler>(total, constraints.c1));
+      add("slow-one", std::make_unique<SlowOneScheduler>(
+                          total, constraints.c1, 0, constraints.c2));
+      for (std::int32_t r = 0; r < random_runs; ++r)
+        add("random#" + std::to_string(r),
+            std::make_unique<UniformGapScheduler>(
+                constraints.c1, constraints.c2, seed + 41 * r + 11));
+      break;
+    case TimingModel::kSporadic:
+    case TimingModel::kAsynchronous: {
+      const Duration base = constraints.model == TimingModel::kSporadic
+                                ? constraints.c1
+                                : Duration(1);
+      add("all-base", std::make_unique<FixedPeriodScheduler>(total, base));
+      add("slow-one",
+          std::make_unique<SlowOneScheduler>(total, base, 0, base * 16));
+      for (std::int32_t r = 0; r < random_runs; ++r)
+        add("bursty#" + std::to_string(r),
+            std::make_unique<BurstyScheduler>(base, 1, 8, 12,
+                                              seed + 59 * r + 13));
+      break;
+    }
+  }
+
+  for (Adversary& adv : family) {
+    const SmmOutcome out =
+        run_smm_once(spec, constraints, factory, *adv.sched, limits);
+    wc.any_hit_limit = wc.any_hit_limit || out.run.hit_limit;
+    fold(wc, out.verdict, out.run.completed, out.run.hit_limit, adv.label);
+  }
+  return wc;
+}
+
+}  // namespace sesp

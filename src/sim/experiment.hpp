@@ -1,0 +1,72 @@
+#pragma once
+
+// One-stop experiment driver used by tests, benches and examples: runs an
+// algorithm under an adversary, verifies the trace, and aggregates
+// worst-case measurements over the canonical adversary family of each
+// timing model (the schedule families the paper's arguments quantify over).
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "model/ids.hpp"
+#include "mpm/mpm_simulator.hpp"
+#include "session/verifier.hpp"
+#include "smm/smm_simulator.hpp"
+#include "timing/constraints.hpp"
+
+namespace sesp {
+
+struct MpmOutcome {
+  MpmRunResult run;
+  Verdict verdict;
+};
+
+struct SmmOutcome {
+  SmmRunResult run;
+  Verdict verdict;
+};
+
+MpmOutcome run_mpm_once(const ProblemSpec& spec,
+                        const TimingConstraints& constraints,
+                        const MpmAlgorithmFactory& factory,
+                        StepScheduler& scheduler, DelayStrategy& delays,
+                        const MpmRunLimits& limits = MpmRunLimits{});
+
+SmmOutcome run_smm_once(const ProblemSpec& spec,
+                        const TimingConstraints& constraints,
+                        const SmmAlgorithmFactory& factory,
+                        StepScheduler& scheduler,
+                        const SmmRunLimits& limits = SmmRunLimits{});
+
+// Aggregate over an adversary family.
+struct WorstCase {
+  std::int32_t runs = 0;
+  bool all_admissible = true;
+  bool all_solved = true;          // >= s sessions and termination, each run
+  bool any_hit_limit = false;
+  std::int64_t min_sessions = 0;
+  Time max_termination = 0;        // max over completed runs
+  std::int64_t max_rounds = 0;     // rounds ceiling, max over runs
+  Duration max_gamma = 0;
+  std::string first_failure;       // description of the first failed run
+};
+
+// Runs the factory under the canonical adversaries of constraints.model:
+// the deterministic worst cases (slowest periods, maximal delays, slow-one /
+// straggler skews) plus `random_runs` seeded random admissible schedules.
+WorstCase mpm_worst_case(const ProblemSpec& spec,
+                         const TimingConstraints& constraints,
+                         const MpmAlgorithmFactory& factory,
+                         std::int32_t random_runs = 8,
+                         std::uint64_t seed = 0x5e5510'1992ULL,
+                         const MpmRunLimits& limits = MpmRunLimits{});
+
+WorstCase smm_worst_case(const ProblemSpec& spec,
+                         const TimingConstraints& constraints,
+                         const SmmAlgorithmFactory& factory,
+                         std::int32_t random_runs = 8,
+                         std::uint64_t seed = 0x5e5510'1992ULL,
+                         const SmmRunLimits& limits = SmmRunLimits{});
+
+}  // namespace sesp

@@ -1,0 +1,103 @@
+#include "sim/replay.hpp"
+
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "adversary/schedulers.hpp"
+#include "adversary/step_schedulers.hpp"
+#include "mpm/mpm_simulator.hpp"
+#include "smm/smm_simulator.hpp"
+
+namespace sesp {
+
+namespace {
+
+ScriptedScheduler scheduler_from(const TimedComputation& trace,
+                                 const Duration& tail_gap) {
+  std::map<ProcessId, std::vector<Time>> script;
+  for (const StepRecord& st : trace.steps())
+    if (st.is_compute()) script[st.process].push_back(st.time);
+  return ScriptedScheduler(std::move(script), tail_gap);
+}
+
+// Replays each message's recorded delay, keyed by MsgId: as long as the
+// runs agree, message ids are assigned in the same order.
+class RecordedDelay final : public DelayStrategy {
+ public:
+  explicit RecordedDelay(const TimedComputation& trace) {
+    for (const MessageRecord& m : trace.messages()) {
+      if (!m.delivered()) continue;
+      delays_[m.id] = trace.steps()[m.deliver_step].time -
+                      trace.steps()[m.send_step].time;
+    }
+  }
+
+  Duration delay(ProcessId, ProcessId, const Time&, MsgId id) override {
+    const auto it = delays_.find(id);
+    // Messages never delivered in the recording get pushed past any
+    // plausible termination so the replay doesn't deliver them either.
+    return it == delays_.end() ? Duration(1'000'000'000) : it->second;
+  }
+
+ private:
+  std::map<MsgId, Duration> delays_;
+};
+
+std::string describe(const StepRecord& st) { return st.to_string(); }
+
+ReplayReport compare(const TimedComputation& expected,
+                     const TimedComputation& actual) {
+  ReplayReport report;
+  const auto& a = expected.steps();
+  const auto& b = actual.steps();
+  const std::size_t common = std::min(a.size(), b.size());
+  for (std::size_t i = 0; i < common; ++i) {
+    const bool same = a[i].kind == b[i].kind && a[i].process == b[i].process &&
+                      a[i].time == b[i].time && a[i].port == b[i].port &&
+                      a[i].var == b[i].var &&
+                      a[i].idle_after == b[i].idle_after &&
+                      a[i].value_before_digest == b[i].value_before_digest &&
+                      a[i].value_after_digest == b[i].value_after_digest;
+    if (!same) {
+      report.divergence = i;
+      std::ostringstream os;
+      os << "step " << i << " differs: recorded " << describe(a[i])
+         << " vs replayed " << describe(b[i]);
+      report.detail = os.str();
+      return report;
+    }
+  }
+  if (a.size() != b.size()) {
+    report.divergence = common;
+    report.detail = "length mismatch: recorded " + std::to_string(a.size()) +
+                    " steps, replayed " + std::to_string(b.size());
+    return report;
+  }
+  report.match = true;
+  report.divergence = common;
+  return report;
+}
+
+}  // namespace
+
+ReplayReport replay_smm(const TimedComputation& trace, const ProblemSpec& spec,
+                        const TimingConstraints& constraints,
+                        const SmmAlgorithmFactory& factory) {
+  ScriptedScheduler scheduler = scheduler_from(trace, Duration(1'000'000'000));
+  SmmSimulator sim(spec, constraints, factory, scheduler);
+  const SmmRunResult run = sim.run();
+  return compare(trace, run.trace);
+}
+
+ReplayReport replay_mpm(const TimedComputation& trace, const ProblemSpec& spec,
+                        const TimingConstraints& constraints,
+                        const MpmAlgorithmFactory& factory) {
+  ScriptedScheduler scheduler = scheduler_from(trace, Duration(1'000'000'000));
+  RecordedDelay delays(trace);
+  MpmSimulator sim(spec, constraints, factory, scheduler, delays);
+  const MpmRunResult run = sim.run();
+  return compare(trace, run.trace);
+}
+
+}  // namespace sesp

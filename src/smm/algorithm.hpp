@@ -1,0 +1,56 @@
+#pragma once
+
+// Algorithm interface for a *port process* in the SMM. Following Section 3,
+// only the port-process role is algorithm-specific: tree relays have a fixed
+// gossip behaviour supplied by the simulator, and `broadcast` is the
+// encapsulated act of accessing the uplink variable.
+//
+// Each step the process chooses, from local state alone, whether to access
+// its port variable (a port step) or its tree uplink (a communication step);
+// the chosen variable is then read-modify-written atomically.
+
+#include <memory>
+
+#include "model/ids.hpp"
+#include "smm/knowledge.hpp"
+#include "timing/constraints.hpp"
+
+namespace sesp {
+
+enum class SmmChoice : std::uint8_t {
+  kPort,  // access the port variable
+  kTree,  // access the uplink variable (participate in broadcast)
+};
+
+class SmmPortAlgorithm {
+ public:
+  virtual ~SmmPortAlgorithm() = default;
+
+  // Which variable to access at the next step; must depend only on local
+  // state (the paper's steps choose their variable from the process state).
+  virtual SmmChoice choose() const = 0;
+
+  // The step was a port access. The port variable carries no cross-process
+  // information (only this process accesses it), so the callback just
+  // advances local state.
+  virtual void on_port_access() = 0;
+
+  // The step was a tree access: `advertised()` was merged into the uplink
+  // variable and `snapshot` is the variable's merged content afterwards.
+  virtual PortInfo advertised() const = 0;
+  virtual void on_tree_snapshot(const Knowledge& snapshot) = 0;
+
+  // True once the process is in an idle state (absorbing).
+  virtual bool is_idle() const = 0;
+};
+
+class SmmAlgorithmFactory {
+ public:
+  virtual ~SmmAlgorithmFactory() = default;
+  virtual std::unique_ptr<SmmPortAlgorithm> create(
+      ProcessId p, const ProblemSpec& spec,
+      const TimingConstraints& constraints) const = 0;
+  virtual const char* name() const = 0;
+};
+
+}  // namespace sesp

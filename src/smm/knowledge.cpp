@@ -1,0 +1,84 @@
+#include "smm/knowledge.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace sesp {
+
+PortInfo join(const PortInfo& a, const PortInfo& b) {
+  return PortInfo{std::max(a.steps, b.steps), std::max(a.session, b.session),
+                  a.done || b.done};
+}
+
+PortInfo Knowledge::about(ProcessId p) const {
+  const auto it = facts_.find(p);
+  return it == facts_.end() ? PortInfo{} : it->second;
+}
+
+void Knowledge::record(ProcessId p, const PortInfo& info) {
+  auto [it, inserted] = facts_.try_emplace(p, info);
+  if (!inserted) it->second = join(it->second, info);
+}
+
+void Knowledge::merge(const Knowledge& other) {
+  for (const auto& [p, info] : other.facts_) record(p, info);
+}
+
+bool Knowledge::all_have_steps(std::int32_t n, std::int64_t threshold,
+                               ProcessId except) const {
+  for (ProcessId p = 0; p < n; ++p) {
+    if (p == except) continue;
+    if (about(p).steps < threshold) return false;
+  }
+  return true;
+}
+
+bool Knowledge::all_have_session(std::int32_t n, std::int64_t threshold,
+                                 ProcessId except) const {
+  for (ProcessId p = 0; p < n; ++p) {
+    if (p == except) continue;
+    if (about(p).session < threshold) return false;
+  }
+  return true;
+}
+
+bool Knowledge::all_done(std::int32_t n, ProcessId except) const {
+  for (ProcessId p = 0; p < n; ++p) {
+    if (p == except) continue;
+    if (!about(p).done) return false;
+  }
+  return true;
+}
+
+std::uint64_t Knowledge::digest() const {
+  std::uint64_t h = 1469598103934665603ULL;  // FNV offset basis
+  auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xff;
+      h *= 1099511628211ULL;  // FNV prime
+    }
+  };
+  for (const auto& [p, info] : facts_) {
+    mix(static_cast<std::uint64_t>(static_cast<std::int64_t>(p)));
+    mix(static_cast<std::uint64_t>(info.steps));
+    mix(static_cast<std::uint64_t>(info.session));
+    mix(info.done ? 1 : 0);
+  }
+  return h;
+}
+
+std::string Knowledge::to_string() const {
+  std::ostringstream os;
+  os << "{";
+  bool first = true;
+  for (const auto& [p, info] : facts_) {
+    if (!first) os << ", ";
+    first = false;
+    os << "p" << p << ":(steps=" << info.steps << ",sess=" << info.session
+       << (info.done ? ",done)" : ")");
+  }
+  os << "}";
+  return os.str();
+}
+
+}  // namespace sesp

@@ -1,0 +1,68 @@
+#pragma once
+
+// Shared-variable values for the SMM. The paper puts no bound on variable
+// size (Section 2.1.1), and every algorithm here only ever communicates
+// monotone per-process facts ("p has taken k port steps / reached session v
+// / is done"). A Knowledge value is therefore a map from process id to the
+// pointwise maximum of those facts; merging is a commutative, idempotent
+// join, which is what makes the tree-relay gossip of Section 3 correct
+// regardless of interleaving.
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "model/ids.hpp"
+
+namespace sesp {
+
+struct PortInfo {
+  std::int64_t steps = 0;    // port steps taken
+  std::int64_t session = 0;  // session counter value reached
+  bool done = false;         // algorithm-specific completion flag
+
+  friend bool operator==(const PortInfo&, const PortInfo&) = default;
+};
+
+// Pointwise maximum of two facts about the same process.
+PortInfo join(const PortInfo& a, const PortInfo& b);
+
+class Knowledge {
+ public:
+  Knowledge() = default;
+
+  bool empty() const noexcept { return facts_.empty(); }
+  std::size_t size() const noexcept { return facts_.size(); }
+
+  // The recorded fact about p, or a default PortInfo if none.
+  PortInfo about(ProcessId p) const;
+  bool has(ProcessId p) const { return facts_.count(p) != 0; }
+
+  // Joins `info` into the fact recorded about p.
+  void record(ProcessId p, const PortInfo& info);
+
+  // Joins every fact of `other` into this value.
+  void merge(const Knowledge& other);
+
+  // True iff a fact with steps >= threshold is recorded for every process in
+  // [0, n) except `except` (pass kNetworkProcess for "no exception").
+  bool all_have_steps(std::int32_t n, std::int64_t threshold,
+                      ProcessId except = kNetworkProcess) const;
+  bool all_have_session(std::int32_t n, std::int64_t threshold,
+                        ProcessId except = kNetworkProcess) const;
+  bool all_done(std::int32_t n, ProcessId except = kNetworkProcess) const;
+
+  // Deterministic digest (FNV-1a over the sorted entries); used to compare
+  // variable values across reordered computations in the lower-bound
+  // machinery.
+  std::uint64_t digest() const;
+
+  std::string to_string() const;
+
+  friend bool operator==(const Knowledge&, const Knowledge&) = default;
+
+ private:
+  std::map<ProcessId, PortInfo> facts_;
+};
+
+}  // namespace sesp

@@ -1,0 +1,55 @@
+#include "smm/shared_memory.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+namespace sesp {
+
+namespace {
+[[noreturn]] void fail(const std::string& what) {
+  std::fprintf(stderr, "sesp::SharedMemory fatal: %s\n", what.c_str());
+  std::abort();
+}
+}  // namespace
+
+SharedMemory::SharedMemory(std::int32_t access_bound) : b_(access_bound) {
+  if (b_ < 1) fail("access bound b must be >= 1");
+}
+
+VarId SharedMemory::create_var(std::vector<ProcessId> accessors,
+                               std::string label) {
+  if (static_cast<std::int32_t>(accessors.size()) > b_)
+    fail("variable '" + label + "' would have " +
+         std::to_string(accessors.size()) + " accessors, b = " +
+         std::to_string(b_));
+  vars_.push_back(Var{Knowledge{}, std::move(accessors), std::move(label)});
+  return static_cast<VarId>(vars_.size() - 1);
+}
+
+Knowledge& SharedMemory::access(VarId v, ProcessId p) {
+  if (v < 0 || v >= num_vars()) fail("access of unknown variable");
+  Var& var = vars_[static_cast<std::size_t>(v)];
+  if (std::find(var.accessors.begin(), var.accessors.end(), p) ==
+      var.accessors.end())
+    fail("process " + std::to_string(p) + " is not an accessor of '" +
+         var.label + "'");
+  return var.value;
+}
+
+const Knowledge& SharedMemory::peek(VarId v) const {
+  if (v < 0 || v >= num_vars()) fail("peek of unknown variable");
+  return vars_[static_cast<std::size_t>(v)].value;
+}
+
+const std::vector<ProcessId>& SharedMemory::accessors(VarId v) const {
+  if (v < 0 || v >= num_vars()) fail("accessors of unknown variable");
+  return vars_[static_cast<std::size_t>(v)].accessors;
+}
+
+const std::string& SharedMemory::label(VarId v) const {
+  if (v < 0 || v >= num_vars()) fail("label of unknown variable");
+  return vars_[static_cast<std::size_t>(v)].label;
+}
+
+}  // namespace sesp

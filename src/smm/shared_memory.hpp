@@ -1,0 +1,53 @@
+#pragma once
+
+// The shared-memory substrate (Section 2.1.1): a set of atomic
+// read-modify-write variables, each accessible by at most b processes. The
+// b-bound is declared up front (who may touch what) and enforced on every
+// access, so a topology that violated the model would abort rather than
+// silently produce non-reproducible results.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "model/ids.hpp"
+#include "smm/knowledge.hpp"
+
+namespace sesp {
+
+class SharedMemory {
+ public:
+  explicit SharedMemory(std::int32_t access_bound /* b */);
+
+  std::int32_t access_bound() const noexcept { return b_; }
+  std::int32_t num_vars() const noexcept {
+    return static_cast<std::int32_t>(vars_.size());
+  }
+
+  // Creates a variable and registers its (fixed) accessor set. Aborts if the
+  // set exceeds b. `label` is for diagnostics.
+  VarId create_var(std::vector<ProcessId> accessors, std::string label);
+
+  // Atomic read-modify-write by `p`: returns a reference valid for the
+  // duration of one step. Aborts if p is not a registered accessor.
+  Knowledge& access(VarId v, ProcessId p);
+
+  // Read-only peek that bypasses the accessor check, for checkers and
+  // debugging only (never for algorithm steps).
+  const Knowledge& peek(VarId v) const;
+
+  const std::vector<ProcessId>& accessors(VarId v) const;
+  const std::string& label(VarId v) const;
+
+ private:
+  struct Var {
+    Knowledge value;
+    std::vector<ProcessId> accessors;
+    std::string label;
+  };
+
+  std::int32_t b_;
+  std::vector<Var> vars_;
+};
+
+}  // namespace sesp

@@ -1,0 +1,168 @@
+#include "smm/smm_simulator.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <queue>
+#include <vector>
+
+namespace sesp {
+
+namespace {
+
+struct Event {
+  Time time;
+  std::uint64_t seq;
+  ProcessId process;
+};
+
+struct EventAfter {
+  bool operator()(const Event& a, const Event& b) const {
+    if (a.time != b.time) return b.time < a.time;
+    return a.seq > b.seq;
+  }
+};
+
+}  // namespace
+
+std::int32_t smm_total_processes(std::int32_t n, std::int32_t b) {
+  SharedMemory scratch(std::max(b, 2));
+  TreeNetwork tree(n, std::max(b, 2), scratch, n);
+  return n + tree.num_relays();
+}
+
+SmmSimulator::SmmSimulator(const ProblemSpec& spec,
+                           const TimingConstraints& constraints,
+                           const SmmAlgorithmFactory& factory,
+                           StepScheduler& scheduler)
+    : spec_(spec),
+      constraints_(constraints),
+      factory_(factory),
+      scheduler_(scheduler) {
+  if (spec_.n <= 0 || (spec_.n > 1 && spec_.b < 2)) {
+    std::fprintf(stderr, "SmmSimulator fatal: need n >= 1 and b >= 2\n");
+    std::abort();
+  }
+}
+
+SmmRunResult SmmSimulator::run(const SmmRunLimits& limits) {
+  const std::int32_t n = spec_.n;
+  SharedMemory mem(std::max(spec_.b, 1));
+
+  // Port variables: accessed only by their port process, so any b works.
+  std::vector<VarId> port_var(static_cast<std::size_t>(n));
+  // Scratch variables stand in when an algorithm asks for a tree access but
+  // no tree exists (n == 1): the step still accesses exactly one variable
+  // without becoming a port step.
+  std::vector<VarId> scratch_var(static_cast<std::size_t>(n));
+  for (ProcessId p = 0; p < n; ++p) {
+    port_var[static_cast<std::size_t>(p)] =
+        mem.create_var({p}, "port" + std::to_string(p));
+    scratch_var[static_cast<std::size_t>(p)] =
+        mem.create_var({p}, "scratch" + std::to_string(p));
+  }
+
+  TreeNetwork tree(n, std::max(spec_.b, 2), mem, n);
+  const std::int32_t total = n + tree.num_relays();
+
+  SmmRunResult result{TimedComputation(Substrate::kSharedMemory, total, n),
+                      false,
+                      false,
+                      0,
+                      tree.num_relays(),
+                      tree.depth(),
+                      tree.latency_steps_bound()};
+  TimedComputation& trace = result.trace;
+
+  std::vector<std::unique_ptr<SmmPortAlgorithm>> algs;
+  algs.reserve(static_cast<std::size_t>(n));
+  for (ProcessId p = 0; p < n; ++p)
+    algs.push_back(factory_.create(p, spec_, constraints_));
+
+  // Relay gossip state: accumulated knowledge and rotation position.
+  std::vector<Knowledge> relay_knowledge(
+      static_cast<std::size_t>(tree.num_relays()));
+  std::vector<std::size_t> relay_pos(
+      static_cast<std::size_t>(tree.num_relays()), 0);
+
+  std::priority_queue<Event, std::vector<Event>, EventAfter> queue;
+  std::uint64_t seq = 0;
+  std::vector<std::int64_t> step_count(static_cast<std::size_t>(total), 0);
+  std::int32_t ports_non_idle = n;
+
+  for (ProcessId p = 0; p < total; ++p)
+    queue.push(Event{scheduler_.next_step_time(p, std::nullopt, 0), seq++, p});
+
+  while (!queue.empty() && ports_non_idle > 0) {
+    const Event ev = queue.top();
+    queue.pop();
+    if (result.compute_steps >= limits.max_steps ||
+        limits.max_time < ev.time) {
+      result.hit_limit = true;
+      break;
+    }
+
+    const ProcessId p = ev.process;
+    StepRecord st;
+    st.kind = StepKind::kCompute;
+    st.process = p;
+    st.time = ev.time;
+
+    bool idle = false;
+    if (p < n) {
+      SmmPortAlgorithm& alg = *algs[static_cast<std::size_t>(p)];
+      const SmmChoice choice = alg.choose();
+      if (choice == SmmChoice::kPort) {
+        const VarId v = port_var[static_cast<std::size_t>(p)];
+        Knowledge& value = mem.access(v, p);
+        st.var = v;
+        st.port = p;
+        st.value_before_digest = value.digest();
+        alg.on_port_access();
+        // The port variable's content is immaterial to the algorithms, but
+        // a write is recorded so reorderings see a real mutation point.
+        value.record(p, alg.advertised());
+        st.value_after_digest = value.digest();
+      } else {
+        VarId v = tree.uplink(p);
+        if (v == kNoVar) v = scratch_var[static_cast<std::size_t>(p)];
+        Knowledge& value = mem.access(v, p);
+        st.var = v;
+        st.value_before_digest = value.digest();
+        value.record(p, alg.advertised());
+        alg.on_tree_snapshot(value);
+        st.value_after_digest = value.digest();
+      }
+      idle = alg.is_idle();
+      st.idle_after = idle;
+    } else {
+      // Relay gossip step.
+      const auto r = static_cast<std::size_t>(p - n);
+      const RelaySpec& spec = tree.relays()[r];
+      const VarId v = spec.rotation[relay_pos[r] % spec.rotation.size()];
+      ++relay_pos[r];
+      Knowledge& value = mem.access(v, p);
+      st.var = v;
+      st.value_before_digest = value.digest();
+      value.merge(relay_knowledge[r]);
+      relay_knowledge[r].merge(value);
+      st.value_after_digest = value.digest();
+    }
+
+    trace.append(st);
+    ++result.compute_steps;
+    ++step_count[static_cast<std::size_t>(p)];
+
+    if (idle) {
+      --ports_non_idle;
+    } else {
+      queue.push(Event{scheduler_.next_step_time(
+                           p, ev.time, step_count[static_cast<std::size_t>(p)]),
+                       seq++, p});
+    }
+  }
+
+  result.completed = ports_non_idle == 0;
+  return result;
+}
+
+}  // namespace sesp

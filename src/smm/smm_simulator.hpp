@@ -1,0 +1,57 @@
+#pragma once
+
+// Event-driven executor of the shared-memory model. Builds the variable
+// layout (one port variable and one scratch variable per port process, plus
+// the Section-3 broadcast tree), runs port algorithms and fixed-gossip
+// relays under the adversary's step schedule, and records the full timed
+// computation with per-step variable digests (for the reordering machinery
+// of Theorem 5.1).
+
+#include <cstdint>
+#include <memory>
+
+#include "adversary/schedulers.hpp"
+#include "model/ids.hpp"
+#include "model/timed_computation.hpp"
+#include "smm/algorithm.hpp"
+#include "smm/shared_memory.hpp"
+#include "smm/tree_network.hpp"
+#include "timing/constraints.hpp"
+
+namespace sesp {
+
+struct SmmRunLimits {
+  std::int64_t max_steps = 2'000'000;
+  Time max_time = Time(1'000'000'000);
+};
+
+struct SmmRunResult {
+  TimedComputation trace;
+  bool completed = false;  // all port processes idled
+  bool hit_limit = false;
+  std::int64_t compute_steps = 0;
+  // Layout facts, so callers can relate measurements to the tree constants.
+  std::int32_t num_relays = 0;
+  std::int32_t tree_depth = 0;
+  std::int64_t tree_latency_steps = 0;
+};
+
+// Number of processes (ports + relays) the layout for (n, b) uses; step
+// schedulers and periodic period vectors must cover all of them.
+std::int32_t smm_total_processes(std::int32_t n, std::int32_t b);
+
+class SmmSimulator {
+ public:
+  SmmSimulator(const ProblemSpec& spec, const TimingConstraints& constraints,
+               const SmmAlgorithmFactory& factory, StepScheduler& scheduler);
+
+  SmmRunResult run(const SmmRunLimits& limits = SmmRunLimits{});
+
+ private:
+  ProblemSpec spec_;
+  TimingConstraints constraints_;
+  const SmmAlgorithmFactory& factory_;
+  StepScheduler& scheduler_;
+};
+
+}  // namespace sesp

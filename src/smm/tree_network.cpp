@@ -1,0 +1,96 @@
+#include "smm/tree_network.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace sesp {
+
+namespace {
+
+[[noreturn]] void fail(const char* what) {
+  std::fprintf(stderr, "sesp::TreeNetwork fatal: %s\n", what);
+  std::abort();
+}
+
+// An endpoint of the level currently being grouped under new parents: either
+// a leaf (port process) or an already-built relay that still needs a parent.
+struct Endpoint {
+  ProcessId pid;
+  std::int32_t relay_index;  // -1 for leaves
+};
+
+}  // namespace
+
+TreeNetwork::TreeNetwork(std::int32_t n, std::int32_t b, SharedMemory& mem,
+                         ProcessId first_relay_pid)
+    : n_(n), uplinks_(static_cast<std::size_t>(std::max(n, 0)), kNoVar) {
+  if (n < 1) fail("need at least one leaf");
+  if (n == 1) return;  // a single port process needs no communication
+  if (b < 2) fail("communication requires b >= 2");
+
+  // Children per parent node and children per shared variable.
+  const std::int32_t arity = std::max<std::int32_t>(2, b - 1);
+  const std::int32_t group = b - 1;  // children sharing one variable
+
+  ProcessId next_pid = first_relay_pid;
+  std::vector<Endpoint> level;
+  level.reserve(static_cast<std::size_t>(n));
+  for (ProcessId p = 0; p < n; ++p) level.push_back(Endpoint{p, -1});
+
+  while (level.size() > 1) {
+    ++depth_;
+    std::vector<Endpoint> next_level;
+    for (std::size_t at = 0; at < level.size(); at += arity) {
+      const std::size_t end =
+          std::min(level.size(), at + static_cast<std::size_t>(arity));
+      // A lone trailing endpoint would make a useless unary relay chain;
+      // promote it directly to the next level instead.
+      if (end - at == 1 && !next_level.empty()) {
+        next_level.push_back(level[at]);
+        break;
+      }
+      const ProcessId relay_pid = next_pid++;
+      RelaySpec relay;
+      relay.pid = relay_pid;
+      for (std::size_t g = at; g < end;
+           g += static_cast<std::size_t>(group)) {
+        const std::size_t gend =
+            std::min(end, g + static_cast<std::size_t>(group));
+        std::vector<ProcessId> accessors{relay_pid};
+        for (std::size_t c = g; c < gend; ++c)
+          accessors.push_back(level[c].pid);
+        const VarId var = mem.create_var(
+            accessors, "tree:d" + std::to_string(depth_) + ":r" +
+                           std::to_string(relay_pid) + ":g" +
+                           std::to_string(g - at));
+        relay.rotation.push_back(var);
+        for (std::size_t c = g; c < gend; ++c) {
+          const Endpoint& child = level[c];
+          if (child.relay_index < 0) {
+            uplinks_[static_cast<std::size_t>(child.pid)] = var;
+          } else {
+            relays_[static_cast<std::size_t>(child.relay_index)]
+                .rotation.push_back(var);
+          }
+        }
+      }
+      relays_.push_back(std::move(relay));
+      next_level.push_back(Endpoint{
+          relay_pid, static_cast<std::int32_t>(relays_.size() - 1)});
+    }
+    level = std::move(next_level);
+  }
+
+  for (const RelaySpec& r : relays_)
+    max_cycle_ = std::max(max_cycle_,
+                          static_cast<std::int32_t>(r.rotation.size()));
+}
+
+VarId TreeNetwork::uplink(ProcessId leaf) const {
+  if (leaf < 0 || leaf >= n_) fail("uplink of non-leaf");
+  return uplinks_[static_cast<std::size_t>(leaf)];
+}
+
+}  // namespace sesp

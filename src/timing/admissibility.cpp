@@ -1,0 +1,124 @@
+#include "timing/admissibility.hpp"
+
+#include <map>
+#include <sstream>
+
+namespace sesp {
+
+namespace {
+
+AdmissibilityReport violation(std::string text) {
+  AdmissibilityReport r;
+  r.admissible = false;
+  r.violation = std::move(text);
+  return r;
+}
+
+std::string describe_gap(ProcessId p, std::size_t step_index, const Time& prev,
+                         const Time& now) {
+  std::ostringstream os;
+  os << "process " << p << " step at index " << step_index << ": gap "
+     << (now - prev) << " (prev t=" << prev << ", now t=" << now << ")";
+  return os.str();
+}
+
+}  // namespace
+
+AdmissibilityReport check_admissible(const TimedComputation& tc,
+                                     const TimingConstraints& constraints) {
+  if (auto err = constraints.validate())
+    return violation("invalid constraints: " + *err);
+  if (auto err = tc.structural_error())
+    return violation("structural: " + *err);
+
+  const TimingModel model = constraints.model;
+  const bool smm = tc.substrate() == Substrate::kSharedMemory;
+
+  if (model == TimingModel::kPeriodic &&
+      constraints.periods.size() <
+          static_cast<std::size_t>(tc.num_processes()))
+    return violation("periodic: fewer periods than processes");
+
+  // Per-process step-gap constraints, with time 0 as virtual predecessor.
+  std::map<ProcessId, Time> last;
+  const auto& steps = tc.steps();
+  for (std::size_t i = 0; i < steps.size(); ++i) {
+    const StepRecord& st = steps[i];
+    if (!st.is_compute()) continue;
+    const auto it = last.find(st.process);
+    const Time prev = it == last.end() ? Time(0) : it->second;
+    const Duration gap = st.time - prev;
+    last[st.process] = st.time;
+
+    switch (model) {
+      case TimingModel::kSynchronous:
+        if (gap != constraints.c2)
+          return violation("synchronous: " + describe_gap(st.process, i, prev,
+                                                          st.time) +
+                           ", expected exactly " + constraints.c2.to_string());
+        break;
+      case TimingModel::kPeriodic: {
+        const Duration period =
+            constraints.periods[static_cast<std::size_t>(st.process)];
+        if (gap != period)
+          return violation("periodic: " +
+                           describe_gap(st.process, i, prev, st.time) +
+                           ", expected exactly " + period.to_string());
+        break;
+      }
+      case TimingModel::kSemiSynchronous:
+        if (gap < constraints.c1 || constraints.c2 < gap)
+          return violation("semi-synchronous: " +
+                           describe_gap(st.process, i, prev, st.time) +
+                           ", expected in [" + constraints.c1.to_string() +
+                           ", " + constraints.c2.to_string() + "]");
+        break;
+      case TimingModel::kSporadic:
+        if (gap < constraints.c1)
+          return violation("sporadic: " +
+                           describe_gap(st.process, i, prev, st.time) +
+                           ", expected >= " + constraints.c1.to_string());
+        break;
+      case TimingModel::kAsynchronous:
+        if (smm) break;  // no bounds in the shared memory form ([2])
+        if (!gap.is_positive() || constraints.c2 < gap)
+          return violation("asynchronous MPM: " +
+                           describe_gap(st.process, i, prev, st.time) +
+                           ", expected in (0, " + constraints.c2.to_string() +
+                           "]");
+        break;
+    }
+  }
+
+  // Message-delay constraints (MPM traces).
+  for (const MessageRecord& m : tc.messages()) {
+    if (!m.delivered()) continue;
+    const Duration delay =
+        steps[m.deliver_step].time - steps[m.send_step].time;
+    Duration lo = 0, hi = constraints.d2;
+    bool exact = false;
+    switch (model) {
+      case TimingModel::kSynchronous:
+        exact = true;
+        lo = hi = constraints.d2;
+        break;
+      case TimingModel::kSporadic:
+        lo = constraints.d1;
+        break;
+      case TimingModel::kPeriodic:
+      case TimingModel::kSemiSynchronous:
+      case TimingModel::kAsynchronous:
+        break;  // [0, d2]
+    }
+    if (exact ? delay != hi : (delay < lo || hi < delay)) {
+      std::ostringstream os;
+      os << to_string(model) << ": message " << m.id << " delay " << delay
+         << " outside [" << lo << ", " << hi << "]";
+      return violation(os.str());
+    }
+  }
+
+  return AdmissibilityReport{};
+}
+
+}  // namespace sesp

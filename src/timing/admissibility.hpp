@@ -1,0 +1,38 @@
+#pragma once
+
+// Machine checker for the paper's admissibility predicate (Section 2.2):
+// every simulator run and every adversary-constructed computation in this
+// library is validated against it, so "admissible timed computation" is a
+// checked property, not an assumption.
+
+#include <optional>
+#include <string>
+
+#include "model/timed_computation.hpp"
+#include "timing/constraints.hpp"
+
+namespace sesp {
+
+struct AdmissibilityReport {
+  bool admissible = true;
+  // Human-readable description of the first violation found.
+  std::string violation;
+
+  explicit operator bool() const noexcept { return admissible; }
+};
+
+// Checks both structural validity (TimedComputation::structural_error) and
+// the timing-model constraint:
+//  * per-process consecutive compute-step gaps (with time 0 as the virtual
+//    predecessor of each process's first step);
+//  * message delays (MPM traces only).
+//
+// For finite traces the "infinitely many steps / eventually delivered"
+// liveness clauses are interpreted over the active prefix: messages sent
+// before all port processes idle need not be delivered within the trace
+// (the trace is a prefix of an infinite admissible computation), but any
+// recorded delivery must respect the delay bounds.
+AdmissibilityReport check_admissible(const TimedComputation& tc,
+                                     const TimingConstraints& constraints);
+
+}  // namespace sesp

@@ -1,0 +1,120 @@
+#include "timing/constraints.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace sesp {
+
+std::string to_string(TimingModel model) {
+  switch (model) {
+    case TimingModel::kSynchronous: return "synchronous";
+    case TimingModel::kPeriodic: return "periodic";
+    case TimingModel::kSemiSynchronous: return "semi-synchronous";
+    case TimingModel::kSporadic: return "sporadic";
+    case TimingModel::kAsynchronous: return "asynchronous";
+  }
+  return "unknown";
+}
+
+Duration TimingConstraints::c_max() const {
+  if (periods.empty()) {
+    std::fprintf(stderr, "TimingConstraints fatal: c_max with no periods\n");
+    std::abort();
+  }
+  Duration best = periods.front();
+  for (const Duration& p : periods)
+    if (best < p) best = p;
+  return best;
+}
+
+Duration TimingConstraints::c_min() const {
+  if (periods.empty()) {
+    std::fprintf(stderr, "TimingConstraints fatal: c_min with no periods\n");
+    std::abort();
+  }
+  Duration best = periods.front();
+  for (const Duration& p : periods)
+    if (p < best) best = p;
+  return best;
+}
+
+std::optional<std::string> TimingConstraints::validate() const {
+  if (d1.is_negative() || d2 < d1) return "need 0 <= d1 <= d2";
+  switch (model) {
+    case TimingModel::kSynchronous:
+      if (!c2.is_positive()) return "synchronous: need c2 > 0";
+      break;
+    case TimingModel::kPeriodic:
+      if (periods.empty()) return "periodic: need per-process periods";
+      for (const Duration& p : periods)
+        if (!p.is_positive()) return "periodic: periods must be positive";
+      break;
+    case TimingModel::kSemiSynchronous:
+      if (!c1.is_positive()) return "semi-synchronous: need c1 > 0";
+      if (c2 < c1) return "semi-synchronous: need c1 <= c2";
+      break;
+    case TimingModel::kSporadic:
+      if (!c1.is_positive()) return "sporadic: need c1 > 0";
+      break;
+    case TimingModel::kAsynchronous:
+      if (!c2.is_positive()) return "asynchronous: need c2 > 0 (MPM form)";
+      break;
+  }
+  return std::nullopt;
+}
+
+TimingConstraints TimingConstraints::synchronous(Duration c2, Duration d2) {
+  TimingConstraints tc;
+  tc.model = TimingModel::kSynchronous;
+  tc.c1 = c2;
+  tc.c2 = c2;
+  tc.d1 = d2;
+  tc.d2 = d2;
+  return tc;
+}
+
+TimingConstraints TimingConstraints::periodic(std::vector<Duration> periods,
+                                              Duration d2) {
+  TimingConstraints tc;
+  tc.model = TimingModel::kPeriodic;
+  tc.periods = std::move(periods);
+  tc.c1 = tc.c_min();
+  tc.c2 = tc.c_max();
+  tc.d1 = 0;
+  tc.d2 = d2;
+  return tc;
+}
+
+TimingConstraints TimingConstraints::semi_synchronous(Duration c1, Duration c2,
+                                                      Duration d2) {
+  TimingConstraints tc;
+  tc.model = TimingModel::kSemiSynchronous;
+  tc.c1 = c1;
+  tc.c2 = c2;
+  tc.d1 = 0;
+  tc.d2 = d2;
+  return tc;
+}
+
+TimingConstraints TimingConstraints::sporadic(Duration c1, Duration d1,
+                                              Duration d2) {
+  TimingConstraints tc;
+  tc.model = TimingModel::kSporadic;
+  tc.c1 = c1;
+  tc.c2 = 0;  // unused: no upper bound on step time
+  tc.d1 = d1;
+  tc.d2 = d2;
+  return tc;
+}
+
+TimingConstraints TimingConstraints::asynchronous(Duration c2, Duration d2) {
+  TimingConstraints tc;
+  tc.model = TimingModel::kAsynchronous;
+  tc.c1 = 0;
+  tc.c2 = c2;
+  tc.d1 = 0;
+  tc.d2 = d2;
+  return tc;
+}
+
+}  // namespace sesp

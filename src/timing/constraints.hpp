@@ -1,0 +1,91 @@
+#pragma once
+
+// The five timing models of Section 2.2 and their parameters. A
+// TimingConstraints value fully determines which timed computations are
+// admissible; `admissibility.hpp` implements the predicate.
+//
+// Conventions carried over from the paper:
+//  * All steps, including each process's first, obey the constraint starting
+//    from time 0 (the paper's conversion note (3)): time 0 acts as a virtual
+//    predecessor step.
+//  * In the periodic model each process p_i has an unknown-to-the-algorithm
+//    but fixed period c_i; here `periods[p]` records the adversary's choice
+//    so the checker can verify exact periodicity.
+//  * The asynchronous model differs by substrate, following the sources the
+//    paper compares against: in shared memory ([2]) there are no bounds at
+//    all and time is measured in rounds; in message passing ([4]) c1 = d1 = 0
+//    while c2 and d2 are finite.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "model/ids.hpp"
+#include "util/ratio.hpp"
+
+namespace sesp {
+
+enum class TimingModel : std::uint8_t {
+  kSynchronous,
+  kPeriodic,
+  kSemiSynchronous,
+  kSporadic,
+  kAsynchronous,
+};
+
+std::string to_string(TimingModel model);
+
+struct TimingConstraints {
+  TimingModel model = TimingModel::kSynchronous;
+
+  // Lower / upper bound on the time between consecutive steps of a process.
+  // Interpretation by model:
+  //   synchronous:      gap == c2 exactly (c1 ignored)
+  //   periodic:         gap == periods[p] exactly, per process
+  //   semi-synchronous: gap in [c1, c2], c1 > 0
+  //   sporadic:         gap >= c1, no upper bound (c2 ignored)
+  //   asynchronous SMM: unconstrained (both ignored)
+  //   asynchronous MPM: gap in (0, c2]  (c1 == 0 per [4])
+  Duration c1 = 1;
+  Duration c2 = 1;
+
+  // Message delay bounds (MPM only). Interpretation by model:
+  //   synchronous:      delay == d2 exactly
+  //   periodic:         delay in [0, d2]
+  //   semi-synchronous: delay in [0, d2]
+  //   sporadic:         delay in [d1, d2]
+  //   asynchronous MPM: delay in [0, d2]
+  Duration d1 = 0;
+  Duration d2 = 1;
+
+  // Periodic model only: the adversary-chosen per-process period c_i,
+  // indexed by ProcessId, covering every non-network process (port processes
+  // and, in the SMM, relay processes).
+  std::vector<Duration> periods;
+
+  // u = d2 - d1, the message-delay uncertainty of the sporadic model.
+  Duration delay_uncertainty() const { return d2 - d1; }
+
+  // Largest / smallest per-process period (periodic model). Terminates if
+  // periods is empty.
+  Duration c_max() const;
+  Duration c_min() const;
+
+  // Validates internal consistency (e.g. c1 <= c2, d1 <= d2, c1 > 0 for
+  // semi-synchronous/sporadic, positive periods). Returns an error
+  // description, or nullopt if the parameters are a valid instance of the
+  // model.
+  std::optional<std::string> validate() const;
+
+  // Convenience factories mirroring the models' free parameters.
+  static TimingConstraints synchronous(Duration c2, Duration d2 = 1);
+  static TimingConstraints periodic(std::vector<Duration> periods,
+                                    Duration d2 = 1);
+  static TimingConstraints semi_synchronous(Duration c1, Duration c2,
+                                            Duration d2 = 1);
+  static TimingConstraints sporadic(Duration c1, Duration d1, Duration d2);
+  static TimingConstraints asynchronous(Duration c2 = 1, Duration d2 = 1);
+};
+
+}  // namespace sesp

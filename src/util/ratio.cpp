@@ -1,0 +1,131 @@
+#include "util/ratio.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <numeric>
+#include <ostream>
+
+namespace sesp {
+
+namespace {
+
+[[noreturn]] void fail(const char* what) {
+  std::fprintf(stderr, "sesp::Ratio fatal: %s\n", what);
+  std::abort();
+}
+
+std::int64_t checked_narrow(__int128 v, const char* what) {
+  if (v > INT64_MAX || v < INT64_MIN) fail(what);
+  return static_cast<std::int64_t>(v);
+}
+
+}  // namespace
+
+Ratio::Ratio(std::int64_t num, std::int64_t den) : num_(num), den_(den) {
+  if (den_ == 0) fail("zero denominator");
+  if (den_ < 0) {
+    if (num_ == INT64_MIN || den_ == INT64_MIN) fail("overflow negating");
+    num_ = -num_;
+    den_ = -den_;
+  }
+  const std::int64_t g = std::gcd(num_, den_);
+  if (g > 1) {
+    num_ /= g;
+    den_ /= g;
+  }
+}
+
+double Ratio::to_double() const noexcept {
+  return static_cast<double>(num_) / static_cast<double>(den_);
+}
+
+std::int64_t Ratio::floor() const noexcept {
+  std::int64_t q = num_ / den_;
+  if (num_ % den_ != 0 && num_ < 0) --q;
+  return q;
+}
+
+std::int64_t Ratio::ceil() const noexcept {
+  std::int64_t q = num_ / den_;
+  if (num_ % den_ != 0 && num_ > 0) ++q;
+  return q;
+}
+
+Ratio Ratio::operator-() const {
+  if (num_ == INT64_MIN) fail("overflow negating");
+  Ratio r;
+  r.num_ = -num_;
+  r.den_ = den_;
+  return r;
+}
+
+Ratio& Ratio::operator+=(const Ratio& rhs) {
+  const __int128 n = static_cast<__int128>(num_) * rhs.den_ +
+                     static_cast<__int128>(rhs.num_) * den_;
+  const __int128 d = static_cast<__int128>(den_) * rhs.den_;
+  // Normalize in 128 bits before narrowing so intermediate growth is benign.
+  __int128 a = n < 0 ? -n : n;
+  __int128 b = d;
+  while (b != 0) {
+    const __int128 t = a % b;
+    a = b;
+    b = t;
+  }
+  const __int128 g = a == 0 ? 1 : a;
+  num_ = checked_narrow(n / g, "overflow in +");
+  den_ = checked_narrow(d / g, "overflow in +");
+  return *this;
+}
+
+Ratio& Ratio::operator-=(const Ratio& rhs) {
+  Ratio neg = -rhs;
+  return *this += neg;
+}
+
+Ratio& Ratio::operator*=(const Ratio& rhs) {
+  // Cross-reduce first to keep intermediates small.
+  const std::int64_t g1 = std::gcd(num_, rhs.den_);
+  const std::int64_t g2 = std::gcd(rhs.num_, den_);
+  const __int128 n =
+      static_cast<__int128>(num_ / g1) * (rhs.num_ / g2);
+  const __int128 d =
+      static_cast<__int128>(den_ / g2) * (rhs.den_ / g1);
+  num_ = checked_narrow(n, "overflow in *");
+  den_ = checked_narrow(d, "overflow in *");
+  return *this;
+}
+
+Ratio& Ratio::operator/=(const Ratio& rhs) {
+  if (rhs.num_ == 0) fail("division by zero");
+  Ratio inv;
+  if (rhs.num_ < 0) {
+    if (rhs.num_ == INT64_MIN || rhs.den_ == INT64_MIN) fail("overflow in /");
+    inv.num_ = -rhs.den_;
+    inv.den_ = -rhs.num_;
+  } else {
+    inv.num_ = rhs.den_;
+    inv.den_ = rhs.num_;
+  }
+  return *this *= inv;
+}
+
+std::strong_ordering operator<=>(const Ratio& a, const Ratio& b) noexcept {
+  const __int128 lhs = static_cast<__int128>(a.num_) * b.den_;
+  const __int128 rhs = static_cast<__int128>(b.num_) * a.den_;
+  if (lhs < rhs) return std::strong_ordering::less;
+  if (lhs > rhs) return std::strong_ordering::greater;
+  return std::strong_ordering::equal;
+}
+
+std::string Ratio::to_string() const {
+  if (den_ == 1) return std::to_string(num_);
+  return std::to_string(num_) + "/" + std::to_string(den_);
+}
+
+std::ostream& operator<<(std::ostream& os, const Ratio& r) {
+  return os << r.to_string();
+}
+
+Ratio abs(const Ratio& r) { return r.is_negative() ? -r : r; }
+
+}  // namespace sesp

@@ -1,0 +1,84 @@
+#pragma once
+
+// Exact rational arithmetic used for all model time in the library.
+//
+// The bound formulas of Rhee & Welch 1992 (e.g. K = 2*d2*c1 / (d2 - u/2) in
+// Theorem 6.5) and the retiming constructions in the lower-bound proofs
+// require exact comparisons: a timed computation is admissible iff step gaps
+// and message delays lie in closed rational intervals, and the proofs place
+// steps exactly on interval endpoints. Floating point would make the
+// admissibility checker flaky, so time is a normalized int64 fraction with
+// __int128 intermediates.
+
+#include <compare>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+namespace sesp {
+
+class Ratio {
+ public:
+  // Value-initializes to 0/1.
+  constexpr Ratio() noexcept : num_(0), den_(1) {}
+
+  // Implicit from integers so call sites can write `t + 3`.
+  constexpr Ratio(std::int64_t value) noexcept : num_(value), den_(1) {}
+
+  // num/den, normalized to lowest terms with den > 0. Terminates the process
+  // on den == 0 or overflow (model time never legitimately overflows int64
+  // after normalization; overflow indicates a harness bug).
+  Ratio(std::int64_t num, std::int64_t den);
+
+  constexpr std::int64_t num() const noexcept { return num_; }
+  constexpr std::int64_t den() const noexcept { return den_; }
+
+  bool is_integer() const noexcept { return den_ == 1; }
+  bool is_zero() const noexcept { return num_ == 0; }
+  bool is_negative() const noexcept { return num_ < 0; }
+  bool is_positive() const noexcept { return num_ > 0; }
+
+  double to_double() const noexcept;
+
+  // Largest integer <= this (mathematical floor, correct for negatives).
+  std::int64_t floor() const noexcept;
+  // Smallest integer >= this.
+  std::int64_t ceil() const noexcept;
+
+  Ratio operator-() const;
+  Ratio& operator+=(const Ratio& rhs);
+  Ratio& operator-=(const Ratio& rhs);
+  Ratio& operator*=(const Ratio& rhs);
+  // Terminates on division by zero.
+  Ratio& operator/=(const Ratio& rhs);
+
+  friend Ratio operator+(Ratio lhs, const Ratio& rhs) { return lhs += rhs; }
+  friend Ratio operator-(Ratio lhs, const Ratio& rhs) { return lhs -= rhs; }
+  friend Ratio operator*(Ratio lhs, const Ratio& rhs) { return lhs *= rhs; }
+  friend Ratio operator/(Ratio lhs, const Ratio& rhs) { return lhs /= rhs; }
+
+  friend bool operator==(const Ratio& a, const Ratio& b) noexcept {
+    return a.num_ == b.num_ && a.den_ == b.den_;
+  }
+  friend std::strong_ordering operator<=>(const Ratio& a,
+                                          const Ratio& b) noexcept;
+
+  // "3", "7/2", "-1/3".
+  std::string to_string() const;
+
+ private:
+  std::int64_t num_;
+  std::int64_t den_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Ratio& r);
+
+inline Ratio min(const Ratio& a, const Ratio& b) { return a < b ? a : b; }
+inline Ratio max(const Ratio& a, const Ratio& b) { return a < b ? b : a; }
+Ratio abs(const Ratio& r);
+
+// Model time and durations share the representation; the aliases mark intent.
+using Time = Ratio;
+using Duration = Ratio;
+
+}  // namespace sesp

@@ -1,0 +1,38 @@
+#pragma once
+
+// Deterministic, seedable PRNG (xoshiro256**) for adversary schedule
+// generation. std::mt19937_64 would also work; we use xoshiro for speed and
+// a guaranteed-stable stream across standard libraries, so recorded
+// experiment seeds reproduce byte-identical schedules anywhere.
+
+#include <cstdint>
+
+#include "util/ratio.hpp"
+
+namespace sesp {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) noexcept;
+
+  std::uint64_t next_u64() noexcept;
+
+  // Uniform in [0, bound) without modulo bias. bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound) noexcept;
+
+  // Uniform integer in the closed interval [lo, hi].
+  std::int64_t next_int(std::int64_t lo, std::int64_t hi) noexcept;
+
+  // True with probability p_num/p_den.
+  bool next_bool(std::uint32_t p_num, std::uint32_t p_den) noexcept;
+
+  // Uniform rational in [lo, hi] on a grid of `grid` equal subintervals
+  // (grid >= 1). Exact arithmetic: result = lo + k*(hi-lo)/grid.
+  Ratio next_ratio(const Ratio& lo, const Ratio& hi,
+                   std::uint32_t grid = 128) noexcept;
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace sesp

@@ -1,0 +1,45 @@
+#include "util/stats.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace sesp {
+
+namespace {
+[[noreturn]] void fail(const char* what) {
+  std::fprintf(stderr, "sesp::Summary fatal: %s\n", what);
+  std::abort();
+}
+}  // namespace
+
+void Summary::add(const Ratio& value) {
+  ++count_;
+  sum_ += value.to_double();
+  if (!min_ || value < *min_) min_ = value;
+  if (!max_ || *max_ < value) max_ = value;
+}
+
+const Ratio& Summary::min() const {
+  if (!min_) fail("min() on empty summary");
+  return *min_;
+}
+
+const Ratio& Summary::max() const {
+  if (!max_) fail("max() on empty summary");
+  return *max_;
+}
+
+double Summary::mean() const {
+  if (count_ == 0) fail("mean() on empty summary");
+  return sum_ / static_cast<double>(count_);
+}
+
+Ratio max_of(const std::vector<Ratio>& values) {
+  if (values.empty()) fail("max_of on empty vector");
+  Ratio best = values.front();
+  for (const Ratio& v : values)
+    if (best < v) best = v;
+  return best;
+}
+
+}  // namespace sesp

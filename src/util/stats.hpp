@@ -1,0 +1,38 @@
+#pragma once
+
+// Small summary-statistics helpers for experiment reports. Experiment
+// measurements are exact Ratios; summaries keep the max/min exact (those are
+// the quantities compared against the paper's bounds) and report the mean as
+// a double for display only.
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "util/ratio.hpp"
+
+namespace sesp {
+
+class Summary {
+ public:
+  void add(const Ratio& value);
+
+  std::size_t count() const noexcept { return count_; }
+  bool empty() const noexcept { return count_ == 0; }
+
+  // Terminate on empty (harness bug); callers check empty() when unsure.
+  const Ratio& min() const;
+  const Ratio& max() const;
+  double mean() const;
+
+ private:
+  std::size_t count_ = 0;
+  std::optional<Ratio> min_;
+  std::optional<Ratio> max_;
+  double sum_ = 0.0;
+};
+
+// Exact max over a non-empty vector; terminates on empty input.
+Ratio max_of(const std::vector<Ratio>& values);
+
+}  // namespace sesp

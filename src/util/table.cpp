@@ -1,0 +1,66 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <ostream>
+
+namespace sesp {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  if (cells.size() > headers_.size()) {
+    std::fprintf(stderr, "TextTable fatal: row wider than header\n");
+    std::abort();
+  }
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TextTable::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    widths[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  auto print_row = [&](const std::vector<std::string>& row) {
+    os << "|";
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      os << ' ' << row[c];
+      for (std::size_t pad = row[c].size(); pad < widths[c]; ++pad) os << ' ';
+      os << " |";
+    }
+    os << '\n';
+  };
+
+  print_row(headers_);
+  os << "|";
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    for (std::size_t pad = 0; pad < widths[c] + 2; ++pad) os << '-';
+    os << "|";
+  }
+  os << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string fmt(const Ratio& r) { return r.to_string(); }
+
+std::string fmt_approx(const Ratio& r) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.3f", r.to_double());
+  return buf;
+}
+
+std::string fmt_ratio_of(const Ratio& measured, const Ratio& predicted) {
+  if (predicted.is_zero()) return measured.is_zero() ? "1.000" : "inf";
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.3f",
+                measured.to_double() / predicted.to_double());
+  return buf;
+}
+
+}  // namespace sesp

@@ -1,0 +1,37 @@
+#pragma once
+
+// Plain-text table formatter used by the bench binaries to print
+// paper-style rows (Table 1 reproductions, sweeps, crossovers).
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "util/ratio.hpp"
+
+namespace sesp {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  // Rows shorter than the header are padded with empty cells; longer rows
+  // are a harness bug and terminate.
+  void add_row(std::vector<std::string> cells);
+
+  std::size_t rows() const noexcept { return rows_.size(); }
+
+  // Renders with a header rule and column alignment.
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Formatting helpers shared by benches.
+std::string fmt(const Ratio& r);          // exact, e.g. "7/2"
+std::string fmt_approx(const Ratio& r);   // fixed 3-decimal double
+std::string fmt_ratio_of(const Ratio& measured, const Ratio& predicted);
+
+}  // namespace sesp

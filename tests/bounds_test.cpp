@@ -1,0 +1,143 @@
+#include "analysis/bounds.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sesp {
+namespace {
+
+using namespace bounds;
+
+TEST(FloorLogTest, KnownValues) {
+  EXPECT_EQ(floor_log(2, 1), 0);
+  EXPECT_EQ(floor_log(2, 2), 1);
+  EXPECT_EQ(floor_log(2, 3), 1);
+  EXPECT_EQ(floor_log(2, 8), 3);
+  EXPECT_EQ(floor_log(3, 26), 2);
+  EXPECT_EQ(floor_log(3, 27), 3);
+  EXPECT_EQ(floor_log(10, 999), 2);
+}
+
+TEST(FloorLogTest, LargeValuesNoOverflow) {
+  EXPECT_EQ(floor_log(2, (1LL << 62)), 62);
+}
+
+TEST(BoundsTest, SyncTight) {
+  const ProblemSpec spec{5, 8, 2};
+  EXPECT_EQ(sync_tight(spec, Duration(3)), Time(15));
+}
+
+TEST(BoundsTest, PeriodicFormulas) {
+  const ProblemSpec spec{4, 8, 2};
+  // SM lower: max{4*3, floor(log_3 15)*1} = max{12, 2} = 12.
+  EXPECT_EQ(periodic_sm_lower(spec, Duration(3), Duration(1)), Time(12));
+  // Communication-dominated case: s*c_max small, log term big.
+  const ProblemSpec wide{1, 500, 2};
+  EXPECT_EQ(periodic_sm_lower(wide, Duration(1), Duration(10)),
+            Time(10 * floor_log(3, 999)));
+  EXPECT_EQ(periodic_mp_lower(spec, Duration(3), Duration(100)), Time(100));
+  EXPECT_EQ(periodic_mp_lower(spec, Duration(3), Duration(1)), Time(12));
+  EXPECT_EQ(periodic_mp_upper(spec, Duration(3), Duration(5)), Time(17));
+  EXPECT_EQ(periodic_sm_upper(spec, Duration(2), /*latency=*/10),
+            Time(4 * 2 + 16 * 2));
+}
+
+TEST(BoundsTest, SemiSyncFormulas) {
+  const ProblemSpec spec{3, 8, 2};
+  const Duration c1(1), c2(10);
+  // SM lower: min{floor(10/2), floor(log_2 8)} * 10 * 2 = 3*10*2 = 60.
+  EXPECT_EQ(semisync_sm_lower(spec, c1, c2), Time(60));
+  // MP lower: min{5*10, d2+10} * 2.
+  EXPECT_EQ(semisync_mp_lower(spec, c1, c2, Duration(100)), Time(100));
+  EXPECT_EQ(semisync_mp_lower(spec, c1, c2, Duration(5)), Time(30));
+  // MP upper: min{11*10, d2+10} * 2 + 10.
+  EXPECT_EQ(semisync_mp_upper(spec, c1, c2, Duration(1000)), Time(230));
+  EXPECT_EQ(semisync_mp_upper(spec, c1, c2, Duration(20)), Time(70));
+  // SM upper with latency 4: min{110, (4+4)*10} * 2 + 10 = 170.
+  EXPECT_EQ(semisync_sm_upper(spec, c1, c2, 4), Time(170));
+}
+
+TEST(BoundsTest, SporadicK) {
+  // d1=0 => u=d2, K = 2*d2*c1/(d2/2) = 4*c1.
+  EXPECT_EQ(sporadic_K(Duration(1), Duration(0), Duration(8)), Ratio(4));
+  // d1=d2 => u=0, K = 2*d2*c1/d2 = 2*c1.
+  EXPECT_EQ(sporadic_K(Duration(3), Duration(5), Duration(5)), Ratio(6));
+}
+
+TEST(BoundsTest, SporadicLowerDegeneratesToC1) {
+  const ProblemSpec spec{4, 4, 2};
+  // u = 0: lower = max{0, c1}*(s-1) = 3*c1.
+  EXPECT_EQ(sporadic_mp_lower(spec, Duration(2), Duration(5), Duration(5)),
+            Time(6));
+}
+
+TEST(BoundsTest, SporadicLowerGeneral) {
+  const ProblemSpec spec{3, 4, 2};
+  const Duration c1(1), d1(2), d2(10);  // u=8, B=floor(8/4)=2
+  const Ratio K = sporadic_K(c1, d1, d2);  // 20/(10-4)=10/3
+  EXPECT_EQ(sporadic_mp_lower(spec, c1, d1, d2),
+            max(Ratio(2) * K, Ratio(1)) * Ratio(2));
+}
+
+TEST(BoundsTest, SporadicUpperBranches) {
+  const ProblemSpec spec{3, 4, 2};
+  const Duration c1(1), gamma(2);
+  // Theorem 6.1 exact form: min{(floor(u/c1)+1)g+u+2g, d2+g}(s-2) + d2+2g.
+  // u = 0: branch1 = 1*2+0+4 = 6 < branch2 = 7: 6*1 + 5+4 = 15.
+  EXPECT_EQ(sporadic_mp_upper(spec, c1, Duration(5), Duration(5), gamma),
+            Time(15));
+  // u = 5: branch1 = 6*2+5+4 = 21 > branch2 = 7: 7*1 + 5+4 = 16.
+  EXPECT_EQ(sporadic_mp_upper(spec, c1, Duration(0), Duration(5), gamma),
+            Time(16));
+  // s = 1 degenerates to one step.
+  EXPECT_EQ(sporadic_mp_upper(ProblemSpec{1, 4, 2}, c1, Duration(0),
+                              Duration(5), gamma),
+            Time(2));
+}
+
+TEST(BoundsTest, AsyncFormulas) {
+  const ProblemSpec spec{4, 16, 2};
+  EXPECT_EQ(async_sm_lower_rounds(spec), 3 * 4);
+  EXPECT_EQ(async_sm_upper_rounds(spec, 10), 4 * 14 + 1);
+  EXPECT_EQ(async_mp_lower(spec, Duration(5)), Time(15));
+  EXPECT_EQ(async_mp_upper(spec, Duration(2), Duration(5)), Time(23));
+}
+
+TEST(BoundsTest, LowerNeverExceedsUpper) {
+  // Sweep instances; L <= U must hold cell-wise wherever both are defined
+  // with comparable measures.
+  for (const std::int64_t s : {1, 2, 3, 8}) {
+    for (const std::int32_t n : {2, 4, 32}) {
+      for (const std::int32_t b : {2, 3}) {
+        const ProblemSpec spec{s, n, b};
+        const Duration c1(1);
+        for (const std::int64_t c2v : {2, 5, 17}) {
+          const Duration c2(c2v);
+          for (const std::int64_t d2v : {1, 6, 40}) {
+            const Duration d2(d2v);
+            EXPECT_LE(semisync_mp_lower(spec, c1, c2, d2),
+                      semisync_mp_upper(spec, c1, c2, d2));
+            EXPECT_LE(periodic_mp_lower(spec, c2, d2),
+                      periodic_mp_upper(spec, c2, d2));
+            EXPECT_LE(async_mp_lower(spec, d2),
+                      async_mp_upper(spec, c2, d2));
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(BoundsTest, SporadicConvergenceClaims) {
+  // Paper Section 1: as d1 -> d2 the per-session lower bound -> c1; as
+  // d1 -> 0 it approaches d2-ish scale.
+  const ProblemSpec spec{2, 4, 2};
+  const Duration c1(1);
+  const Time tight = sporadic_mp_lower(spec, c1, Duration(100), Duration(100));
+  EXPECT_EQ(tight, Time(1));  // (s-1) * c1
+  const Time loose = sporadic_mp_lower(spec, c1, Duration(0), Duration(100));
+  // floor(100/4) * (200/(100-50)) = 25 * 4 = 100 = d2 per session.
+  EXPECT_EQ(loose, Time(100));
+}
+
+}  // namespace
+}  // namespace sesp

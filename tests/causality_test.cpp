@@ -1,0 +1,176 @@
+#include "analysis/causality.hpp"
+
+#include <gtest/gtest.h>
+
+#include "adversary/delay_strategies.hpp"
+#include "adversary/step_schedulers.hpp"
+#include "algorithms/mpm/async_alg.hpp"
+#include "algorithms/smm/periodic_alg.hpp"
+#include "sim/experiment.hpp"
+
+namespace sesp {
+namespace {
+
+StepRecord smm_step(ProcessId p, VarId v, std::int64_t t) {
+  StepRecord st;
+  st.kind = StepKind::kCompute;
+  st.process = p;
+  st.var = v;
+  st.time = Time(t);
+  return st;
+}
+
+TEST(CausalityTest, ProgramOrderEdges) {
+  TimedComputation tc(Substrate::kSharedMemory, 2, 2);
+  tc.append(smm_step(0, 0, 1));
+  tc.append(smm_step(1, 1, 2));
+  tc.append(smm_step(0, 0, 3));
+  const CausalOrder order(tc);
+  EXPECT_TRUE(order.happens_before(0, 2));   // same process
+  EXPECT_FALSE(order.happens_before(0, 1));  // concurrent
+  EXPECT_FALSE(order.happens_before(1, 2));
+  EXPECT_TRUE(order.happens_before(1, 1));   // reflexive
+}
+
+TEST(CausalityTest, SharedVariableEdges) {
+  TimedComputation tc(Substrate::kSharedMemory, 3, 3);
+  tc.append(smm_step(0, 7, 1));  // p0 writes var 7
+  tc.append(smm_step(1, 7, 2));  // p1 reads var 7 -> depends on p0
+  tc.append(smm_step(2, 9, 3));  // unrelated
+  tc.append(smm_step(2, 7, 4));  // p2 touches var 7 -> depends on both
+  const CausalOrder order(tc);
+  EXPECT_TRUE(order.happens_before(0, 1));
+  EXPECT_TRUE(order.happens_before(0, 3));
+  EXPECT_TRUE(order.happens_before(1, 3));
+  EXPECT_FALSE(order.happens_before(0, 2));
+  EXPECT_TRUE(order.happens_before(2, 3));  // p2's program order
+}
+
+TEST(CausalityTest, MessageEdges) {
+  TimedComputation tc(Substrate::kMessagePassing, 2, 2);
+  tc.append(smm_step(0, kNoVar, 1));  // send step (index 0)
+  StepRecord deliver;
+  deliver.kind = StepKind::kDeliver;
+  deliver.process = kNetworkProcess;
+  deliver.time = Time(3);
+  deliver.delivered = 0;
+  tc.append(deliver);                 // index 1
+  tc.append(smm_step(1, kNoVar, 4));  // receive step (index 2)
+  MessageRecord m;
+  m.sender = 0;
+  m.recipient = 1;
+  m.send_step = 0;
+  m.deliver_step = 1;
+  m.receive_step = 2;
+  tc.append_message(m);
+
+  const CausalOrder order(tc);
+  EXPECT_TRUE(order.happens_before(0, 1));
+  EXPECT_TRUE(order.happens_before(0, 2));
+  EXPECT_TRUE(order.happens_before(1, 2));
+  EXPECT_FALSE(order.happens_before(2, 0));
+}
+
+TEST(CausalityTest, DepthsAndCriticalPath) {
+  TimedComputation tc(Substrate::kSharedMemory, 2, 2);
+  tc.append(smm_step(0, 0, 1));  // depth 1
+  tc.append(smm_step(1, 1, 1));  // depth 1 (independent)
+  tc.append(smm_step(0, 1, 2));  // depends on both chains -> depth 2
+  tc.append(smm_step(1, 1, 3));  // depth 3
+  const CausalOrder order(tc);
+  EXPECT_EQ(order.depths()[0], 1u);
+  EXPECT_EQ(order.depths()[1], 1u);
+  EXPECT_EQ(order.depths()[2], 2u);
+  EXPECT_EQ(order.depths()[3], 3u);
+  const auto path = order.critical_path();
+  ASSERT_EQ(path.size(), 3u);
+  EXPECT_EQ(path.back(), 3u);
+  // Each consecutive pair on the path is ordered.
+  for (std::size_t i = 1; i < path.size(); ++i)
+    EXPECT_TRUE(order.happens_before(path[i - 1], path[i]));
+}
+
+TEST(CausalityTest, AncestorsMirrorDescendants) {
+  TimedComputation tc(Substrate::kSharedMemory, 2, 2);
+  tc.append(smm_step(0, 0, 1));
+  tc.append(smm_step(1, 0, 2));
+  tc.append(smm_step(0, 1, 3));
+  tc.append(smm_step(1, 1, 4));
+  const CausalOrder order(tc);
+  for (std::size_t i = 0; i < order.num_steps(); ++i) {
+    const auto desc = order.descendants(i);
+    for (std::size_t j = 0; j < order.num_steps(); ++j)
+      EXPECT_EQ(desc[j], order.ancestors(j)[i])
+          << "asymmetry between " << i << " and " << j;
+  }
+}
+
+TEST(CausalityTest, EarliestInfluence) {
+  TimedComputation tc(Substrate::kSharedMemory, 3, 3);
+  tc.append(smm_step(0, 0, 1));  // 0: p0 writes var 0
+  tc.append(smm_step(1, 2, 2));  // 1: p1 elsewhere
+  tc.append(smm_step(1, 0, 3));  // 2: p1 reads var 0 <- influenced
+  tc.append(smm_step(2, 5, 4));  // 3: p2 never touches var 0
+  const CausalOrder order(tc);
+  const auto hit = order.earliest_influence(0, 1);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, 2u);
+  EXPECT_FALSE(order.earliest_influence(0, 2).has_value());
+}
+
+TEST(CausalityTest, RealMpmTraceIsCausallyConsistent) {
+  const ProblemSpec spec{3, 3, 2};
+  const auto constraints = TimingConstraints::asynchronous(2, 5);
+  AsyncMpmFactory factory;
+  FixedPeriodScheduler sched(spec.n, Duration(2));
+  FixedDelay delay{Duration(5)};
+  const MpmOutcome out =
+      run_mpm_once(spec, constraints, factory, sched, delay);
+  ASSERT_TRUE(out.run.completed);
+
+  const CausalOrder order(out.run.trace);
+  // Every direct predecessor edge points strictly backward and respects
+  // trace time.
+  const auto& steps = out.run.trace.steps();
+  for (std::size_t i = 0; i < steps.size(); ++i) {
+    for (const std::size_t p : order.predecessors(i)) {
+      EXPECT_LT(p, i);
+      EXPECT_LE(steps[p].time, steps[i].time);
+    }
+  }
+  // The critical path is at least as long as one process's step count (its
+  // program order is a chain).
+  const auto path = order.critical_path();
+  EXPECT_GE(path.size(), out.run.trace.compute_indices(0).size());
+}
+
+TEST(CausalityTest, SmmInformationFlowMatchesTreeDepth) {
+  // In a lockstep A(p) run, influence from port 0 must reach every other
+  // port (that is how they learn "done").
+  const ProblemSpec spec{2, 8, 2};
+  const std::int32_t total = smm_total_processes(spec.n, spec.b);
+  const auto constraints = TimingConstraints::periodic(
+      std::vector<Duration>(static_cast<std::size_t>(total), Duration(1)));
+  PeriodicSmmFactory factory;
+  FixedPeriodScheduler sched(total, Duration(1));
+  const SmmOutcome out = run_smm_once(spec, constraints, factory, sched);
+  ASSERT_TRUE(out.run.completed);
+
+  const CausalOrder order(out.run.trace);
+  // Find port 0's first tree access (non-port variable step).
+  std::optional<std::size_t> first_tree;
+  for (std::size_t i = 0; i < out.run.trace.steps().size(); ++i) {
+    const StepRecord& st = out.run.trace.steps()[i];
+    if (st.process == 0 && st.is_compute() && st.port == kNoPort) {
+      first_tree = i;
+      break;
+    }
+  }
+  ASSERT_TRUE(first_tree.has_value());
+  for (ProcessId q = 1; q < spec.n; ++q)
+    EXPECT_TRUE(order.earliest_influence(*first_tree, q).has_value())
+        << "no influence path from port 0 to port " << q;
+}
+
+}  // namespace
+}  // namespace sesp

@@ -1,0 +1,98 @@
+#include "adversary/certificate.hpp"
+
+#include <gtest/gtest.h>
+
+#include "adversary/semisync_retimer.hpp"
+#include "adversary/sporadic_retimer.hpp"
+#include "algorithms/mpm/broken_algs.hpp"
+#include "algorithms/smm/broken_algs.hpp"
+
+namespace sesp {
+namespace {
+
+ViolationCertificate semisync_cert() {
+  const ProblemSpec spec{4, 8, 2};
+  const auto constraints =
+      TimingConstraints::semi_synchronous(Duration(1), Duration(12));
+  TooFewStepsSmmFactory broken(2);
+  const SemiSyncRetimingResult result =
+      attack_semisync_smm(spec, constraints, broken);
+  EXPECT_TRUE(result.certificate) << result.to_string();
+  return make_certificate(result, broken.name(), spec, constraints);
+}
+
+ViolationCertificate sporadic_cert() {
+  const ProblemSpec spec{4, 3, 2};
+  const auto constraints =
+      TimingConstraints::sporadic(Duration(1), Duration(2), Duration(42));
+  TooFewStepsMpmFactory broken(8);
+  const SporadicRetimingResult result =
+      attack_sporadic_mpm(spec, constraints, broken);
+  EXPECT_TRUE(result.certificate) << result.to_string();
+  return make_certificate(result, broken.name(), spec, constraints);
+}
+
+TEST(CertificateTest, SemiSyncCertificateValidates) {
+  const ViolationCertificate cert = semisync_cert();
+  const CertificateCheck check = check_certificate(cert);
+  EXPECT_TRUE(check.valid) << check.detail;
+  EXPECT_LT(check.sessions, cert.spec.s);
+  EXPECT_EQ(cert.construction, "theorem-5.1-retiming");
+}
+
+TEST(CertificateTest, SporadicCertificateValidates) {
+  const ViolationCertificate cert = sporadic_cert();
+  const CertificateCheck check = check_certificate(cert);
+  EXPECT_TRUE(check.valid) << check.detail;
+  EXPECT_LT(check.sessions, cert.spec.s);
+  EXPECT_EQ(cert.construction, "theorem-6.5-retiming");
+}
+
+TEST(CertificateTest, TextRoundTripPreservesValidity) {
+  for (const ViolationCertificate& cert :
+       {semisync_cert(), sporadic_cert()}) {
+    const std::string text = to_text(cert);
+    std::string error;
+    const auto parsed = certificate_from_text(text, &error);
+    ASSERT_TRUE(parsed.has_value()) << error;
+    EXPECT_EQ(parsed->construction, cert.construction);
+    EXPECT_EQ(parsed->algorithm, cert.algorithm);
+    EXPECT_EQ(parsed->spec.s, cert.spec.s);
+    EXPECT_EQ(parsed->spec.n, cert.spec.n);
+    const CertificateCheck check = check_certificate(*parsed);
+    EXPECT_TRUE(check.valid) << check.detail;
+  }
+}
+
+TEST(CertificateTest, TamperedCertificateRejected) {
+  ViolationCertificate cert = semisync_cert();
+
+  // Tamper 1: claim a smaller s so the session deficit disappears.
+  ViolationCertificate weaker = cert;
+  weaker.spec.s = 1;
+  const CertificateCheck c1 = check_certificate(weaker);
+  EXPECT_FALSE(c1.valid);
+  EXPECT_NE(c1.detail.find("sessions"), std::string::npos);
+
+  // Tamper 2: tighten the constraints so the computation is inadmissible.
+  ViolationCertificate tighter = cert;
+  tighter.constraints.c1 = tighter.constraints.c2;  // forces lockstep gaps
+  const CertificateCheck c2 = check_certificate(tighter);
+  EXPECT_FALSE(c2.valid);
+  EXPECT_NE(c2.detail.find("inadmissible"), std::string::npos);
+}
+
+TEST(CertificateTest, ParserRejectsGarbage) {
+  std::string error;
+  EXPECT_FALSE(certificate_from_text("", &error).has_value());
+  EXPECT_FALSE(certificate_from_text("sesp-certificate v1\n", &error)
+                   .has_value());
+  EXPECT_FALSE(certificate_from_text(
+                   "sesp-certificate v1\nconstruction,x\nalgorithm,y\n"
+                   "spec,notanumber,2,2\n",
+                   &error)
+                   .has_value());
+}
+
+}  // namespace
+}  // namespace sesp

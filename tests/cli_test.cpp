@@ -1,0 +1,123 @@
+// End-to-end tests of the command-line tools, exercised as real
+// subprocesses (paths injected by CMake): every substrate/model combination
+// runs admissibly, certificates round-trip between sesp_attack and
+// sesp_cli, and usage errors exit with status 2.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace sesp {
+namespace {
+
+struct CommandResult {
+  int status = -1;
+  std::string output;
+};
+
+CommandResult run_command(const std::string& command) {
+  CommandResult result;
+  FILE* pipe = popen((command + " 2>&1").c_str(), "r");
+  if (!pipe) return result;
+  std::array<char, 4096> buffer;
+  while (std::fgets(buffer.data(), buffer.size(), pipe))
+    result.output += buffer.data();
+  const int rc = pclose(pipe);
+  result.status = WIFEXITED(rc) ? WEXITSTATUS(rc) : -1;
+  return result;
+}
+
+const std::string kCli = SESP_CLI_PATH;
+const std::string kAttack = SESP_ATTACK_PATH;
+
+TEST(CliTest, RunsEveryModelOnMpm) {
+  for (const std::string model :
+       {"sync", "periodic", "semisync", "sporadic", "async"}) {
+    const auto r = run_command(kCli + " --substrate=mpm --model=" + model +
+                               " --s=3 --n=3 --c1=1 --c2=4 --d1=1 --d2=6" +
+                               " --adversary=worst");
+    EXPECT_EQ(r.status, 0) << model << "\n" << r.output;
+    EXPECT_NE(r.output.find("all solved:  yes"), std::string::npos)
+        << model << "\n" << r.output;
+  }
+}
+
+TEST(CliTest, LockstepAndRandomAdversariesAdmissible) {
+  for (const std::string adversary : {"lockstep", "random"}) {
+    for (const std::string model : {"periodic", "semisync", "sporadic"}) {
+      const auto r = run_command(
+          kCli + " --substrate=mpm --model=" + model + " --adversary=" +
+          adversary + " --s=3 --n=3 --c1=1 --c2=4 --d1=1 --d2=6");
+      EXPECT_EQ(r.status, 0) << model << "/" << adversary << "\n" << r.output;
+      EXPECT_NE(r.output.find("admissible:  yes"), std::string::npos)
+          << model << "/" << adversary << "\n" << r.output;
+    }
+  }
+}
+
+TEST(CliTest, SmmAndP2pRun) {
+  const auto smm = run_command(
+      kCli + " --substrate=smm --model=periodic --s=3 --n=6 --b=3"
+             " --c1=1 --c2=2 --adversary=lockstep --stats");
+  EXPECT_EQ(smm.status, 0) << smm.output;
+  EXPECT_NE(smm.output.find("stats:"), std::string::npos);
+
+  const auto p2p = run_command(
+      kCli + " --substrate=p2p --model=async --topology=ring --s=2 --n=6"
+             " --c2=1 --d2=3 --timeline");
+  EXPECT_EQ(p2p.status, 0) << p2p.output;
+  EXPECT_NE(p2p.output.find("diameter 3"), std::string::npos);
+  EXPECT_NE(p2p.output.find("sessions"), std::string::npos);
+}
+
+TEST(CliTest, CertificatePipelineRoundTrips) {
+  const std::string cert = ::testing::TempDir() + "/sesp_cli_test_cert.txt";
+  const auto attack = run_command(
+      kAttack + " --construction=semisync-sm --alg=too-few-steps:2"
+                " --s=4 --n=8 --c1=1 --c2=12 --out=" + cert);
+  ASSERT_EQ(attack.status, 0) << attack.output;
+  EXPECT_NE(attack.output.find("certificate=YES"), std::string::npos);
+
+  const auto check = run_command(kCli + " --check-certificate=" + cert);
+  EXPECT_EQ(check.status, 0) << check.output;
+  EXPECT_NE(check.output.find("VALID"), std::string::npos);
+  std::remove(cert.c_str());
+}
+
+TEST(CliTest, AttackReportsSurvivorsWithExpectSurvive) {
+  const auto r = run_command(
+      kAttack + " --construction=sporadic-mp --alg=asp --s=3 --n=3"
+                " --c1=1 --d1=2 --d2=42 --expect-survive");
+  EXPECT_EQ(r.status, 0) << r.output;
+  EXPECT_NE(r.output.find("certificate=no"), std::string::npos);
+}
+
+TEST(CliTest, UsageErrorsExitTwo) {
+  EXPECT_EQ(run_command(kCli + " --bogus-flag").status, 2);
+  EXPECT_EQ(run_command(kCli + " --substrate=carrier-pigeon").status, 2);
+  EXPECT_EQ(run_command(kAttack + " --construction=nope").status, 2);
+  EXPECT_EQ(
+      run_command(kCli + " --check-certificate=/definitely/missing").status,
+      2);
+}
+
+TEST(CliTest, TraceDumpParsesBack) {
+  const std::string trace = ::testing::TempDir() + "/sesp_cli_test_trace.txt";
+  const auto r = run_command(
+      kCli + " --substrate=mpm --model=sporadic --s=3 --n=3 --c1=1 --d1=1"
+             " --d2=4 --adversary=lockstep --dump-trace=" + trace);
+  ASSERT_EQ(r.status, 0) << r.output;
+  std::FILE* f = std::fopen(trace.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  char header[16] = {};
+  ASSERT_NE(std::fgets(header, sizeof header, f), nullptr);
+  EXPECT_EQ(std::string(header).rfind("sesp-trace", 0), 0u);
+  std::fclose(f);
+  std::remove(trace.c_str());
+}
+
+}  // namespace
+}  // namespace sesp

@@ -1,0 +1,82 @@
+#include "timing/constraints.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sesp {
+namespace {
+
+TEST(ConstraintsTest, FactoriesSetModelAndBounds) {
+  const auto sync = TimingConstraints::synchronous(Duration(3), Duration(7));
+  EXPECT_EQ(sync.model, TimingModel::kSynchronous);
+  EXPECT_EQ(sync.c2, Duration(3));
+  EXPECT_EQ(sync.d2, Duration(7));
+  EXPECT_FALSE(sync.validate().has_value());
+
+  const auto per =
+      TimingConstraints::periodic({Duration(1), Duration(3)}, Duration(2));
+  EXPECT_EQ(per.model, TimingModel::kPeriodic);
+  EXPECT_EQ(per.c_min(), Duration(1));
+  EXPECT_EQ(per.c_max(), Duration(3));
+  EXPECT_FALSE(per.validate().has_value());
+
+  const auto semi =
+      TimingConstraints::semi_synchronous(Duration(1), Duration(4),
+                                          Duration(9));
+  EXPECT_EQ(semi.model, TimingModel::kSemiSynchronous);
+  EXPECT_FALSE(semi.validate().has_value());
+
+  const auto spor =
+      TimingConstraints::sporadic(Duration(2), Duration(1), Duration(5));
+  EXPECT_EQ(spor.model, TimingModel::kSporadic);
+  EXPECT_EQ(spor.delay_uncertainty(), Duration(4));
+  EXPECT_FALSE(spor.validate().has_value());
+
+  const auto async_tc = TimingConstraints::asynchronous();
+  EXPECT_EQ(async_tc.model, TimingModel::kAsynchronous);
+  EXPECT_FALSE(async_tc.validate().has_value());
+}
+
+TEST(ConstraintsTest, ValidateRejectsBadInstances) {
+  auto tc = TimingConstraints::semi_synchronous(Duration(1), Duration(4));
+  tc.c1 = Duration(0);
+  EXPECT_TRUE(tc.validate().has_value());
+
+  tc = TimingConstraints::semi_synchronous(Duration(3), Duration(2));
+  EXPECT_TRUE(tc.validate().has_value());  // c1 > c2
+
+  tc = TimingConstraints::sporadic(Duration(1), Duration(5), Duration(3));
+  EXPECT_TRUE(tc.validate().has_value());  // d1 > d2
+
+  tc = TimingConstraints::synchronous(Duration(0));
+  EXPECT_TRUE(tc.validate().has_value());
+
+  tc = TimingConstraints::periodic({Duration(1), Duration(0)});
+  EXPECT_TRUE(tc.validate().has_value());  // non-positive period
+
+  tc = TimingConstraints::periodic({Duration(1)});
+  tc.periods.clear();
+  EXPECT_TRUE(tc.validate().has_value());
+
+  tc = TimingConstraints::sporadic(Duration(1), Ratio(-1), Duration(3));
+  EXPECT_TRUE(tc.validate().has_value());  // negative d1
+}
+
+TEST(ConstraintsTest, ModelNames) {
+  EXPECT_EQ(to_string(TimingModel::kSynchronous), "synchronous");
+  EXPECT_EQ(to_string(TimingModel::kPeriodic), "periodic");
+  EXPECT_EQ(to_string(TimingModel::kSemiSynchronous), "semi-synchronous");
+  EXPECT_EQ(to_string(TimingModel::kSporadic), "sporadic");
+  EXPECT_EQ(to_string(TimingModel::kAsynchronous), "asynchronous");
+}
+
+TEST(ConstraintsDeath, ExtremesOfEmptyPeriodsAbort) {
+  EXPECT_DEATH(
+      {
+        TimingConstraints tc;
+        tc.c_max();
+      },
+      "no periods");
+}
+
+}  // namespace
+}  // namespace sesp

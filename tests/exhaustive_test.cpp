@@ -1,0 +1,97 @@
+#include "adversary/exhaustive.hpp"
+
+#include <gtest/gtest.h>
+
+#include "algorithms/mpm/semisync_alg.hpp"
+#include "algorithms/mpm/sporadic_alg.hpp"
+#include "algorithms/mpm/sync_alg.hpp"
+#include "analysis/bounds.hpp"
+#include "sim/experiment.hpp"
+
+namespace sesp {
+namespace {
+
+TEST(ExhaustiveTest, SynchronousHasExactlyOneSchedule) {
+  const ProblemSpec spec{3, 2, 2};
+  const auto constraints = TimingConstraints::synchronous(Duration(2),
+                                                          Duration(3));
+  SyncMpmFactory factory;
+  const ExhaustiveResult result = explore_mpm(
+      spec, constraints, factory, {Duration(2)}, {Duration(3)});
+  EXPECT_TRUE(result.complete);
+  EXPECT_EQ(result.runs, 1);
+  EXPECT_TRUE(result.all_solved);
+  EXPECT_EQ(result.max_termination, Time(6));
+}
+
+TEST(ExhaustiveTest, SemiSyncStepCountingSolvesOnEveryGridSchedule) {
+  const ProblemSpec spec{2, 2, 2};
+  const auto constraints =
+      TimingConstraints::semi_synchronous(Duration(1), Duration(3),
+                                          Duration(2));
+  SemiSyncMpmFactory factory(SemiSyncStrategy::kStepCount);
+  const ExhaustiveResult result =
+      explore_mpm(spec, constraints, factory,
+                  {Duration(1), Duration(2), Duration(3)}, {Duration(2)});
+  EXPECT_TRUE(result.complete) << result.runs;
+  EXPECT_TRUE(result.all_solved) << result.first_failure;
+  EXPECT_TRUE(result.all_admissible) << result.first_failure;
+  EXPECT_GE(result.min_sessions, spec.s);
+  // The true worst case on the grid respects the step-counting branch's
+  // bound (floor(c2/c1)+1)*c2*(s-1) + c2 = 4*3*1 + 3 = 15...
+  const Ratio step_branch_upper =
+      Ratio((Duration(3) / Duration(1)).floor() + 1) * Duration(3) *
+          Ratio(spec.s - 1) +
+      Duration(3);
+  EXPECT_LE(result.max_termination, step_branch_upper);
+  // ...and the all-slow schedule is on the grid, so the worst case is
+  // exactly that bound: 5 steps at gap 3.
+  EXPECT_EQ(result.max_termination, Time(15));
+}
+
+TEST(ExhaustiveTest, TrueWorstDominatesSampledFamily) {
+  const ProblemSpec spec{2, 2, 2};
+  const auto constraints =
+      TimingConstraints::semi_synchronous(Duration(1), Duration(4),
+                                          Duration(1));
+  SemiSyncMpmFactory factory(SemiSyncStrategy::kStepCount);
+  const ExhaustiveResult exhaustive = explore_mpm(
+      spec, constraints, factory, {Duration(1), Duration(4)}, {Duration(1)});
+  ASSERT_TRUE(exhaustive.complete);
+  ASSERT_TRUE(exhaustive.all_solved) << exhaustive.first_failure;
+
+  const WorstCase sampled = mpm_worst_case(spec, constraints, factory, 4);
+  EXPECT_GE(exhaustive.max_termination, sampled.max_termination);
+}
+
+TEST(ExhaustiveTest, SporadicAspAgainstAllGridSchedules) {
+  // A(sp) broadcasts at every step, so every message would be a decision
+  // point; fixing the delay at d2 keeps the tree to step interleavings
+  // (still every combination of fast/stalled gaps for every process).
+  const ProblemSpec spec{2, 2, 2};
+  const auto constraints =
+      TimingConstraints::sporadic(Duration(1), Duration(1), Duration(3));
+  SporadicMpmFactory factory;
+  const ExhaustiveResult result = explore_mpm(
+      spec, constraints, factory, {Duration(1), Duration(5)},
+      {Duration(3)}, /*max_runs=*/500'000);
+  EXPECT_TRUE(result.complete) << "runs=" << result.runs;
+  EXPECT_TRUE(result.all_solved) << result.first_failure;
+  EXPECT_TRUE(result.all_admissible) << result.first_failure;
+  EXPECT_GE(result.min_sessions, spec.s);
+}
+
+TEST(ExhaustiveTest, IncompleteEnumerationIsReported) {
+  const ProblemSpec spec{3, 3, 2};
+  const auto constraints =
+      TimingConstraints::sporadic(Duration(1), Duration(0), Duration(4));
+  SporadicMpmFactory factory;
+  const ExhaustiveResult result =
+      explore_mpm(spec, constraints, factory, {Duration(1), Duration(2)},
+                  {Duration(0), Duration(4)}, /*max_runs=*/50);
+  EXPECT_FALSE(result.complete);
+  EXPECT_EQ(result.runs, 50);
+}
+
+}  // namespace
+}  // namespace sesp

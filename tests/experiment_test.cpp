@@ -1,0 +1,102 @@
+#include "sim/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "adversary/delay_strategies.hpp"
+#include "adversary/step_schedulers.hpp"
+#include "algorithms/mpm/broken_algs.hpp"
+#include "algorithms/mpm/sync_alg.hpp"
+#include "algorithms/smm/sync_alg.hpp"
+#include "analysis/report.hpp"
+
+namespace sesp {
+namespace {
+
+TEST(ExperimentTest, WorstCaseAggregatesSyncMpm) {
+  const ProblemSpec spec{3, 3, 2};
+  const auto constraints = TimingConstraints::synchronous(2, 4);
+  SyncMpmFactory factory;
+  const WorstCase wc = mpm_worst_case(spec, constraints, factory);
+  EXPECT_EQ(wc.runs, 1);  // synchronous has a unique schedule
+  EXPECT_TRUE(wc.all_admissible);
+  EXPECT_TRUE(wc.all_solved);
+  EXPECT_FALSE(wc.any_hit_limit);
+  EXPECT_EQ(wc.min_sessions, 3);
+  EXPECT_EQ(wc.max_termination, Time(6));
+  EXPECT_TRUE(wc.first_failure.empty());
+}
+
+TEST(ExperimentTest, WorstCaseRecordsFailures) {
+  const ProblemSpec spec{4, 3, 2};
+  // Broken algorithm under the periodic model: one process slowed.
+  std::vector<Duration> periods(3, Duration(1));
+  periods[0] = Duration(50);
+  const auto constraints = TimingConstraints::periodic(periods, Duration(1));
+  NoWaitPeriodicMpmFactory broken;
+  const WorstCase wc = mpm_worst_case(spec, constraints, broken);
+  EXPECT_TRUE(wc.all_admissible);
+  EXPECT_FALSE(wc.all_solved);
+  EXPECT_LT(wc.min_sessions, 4);
+  EXPECT_FALSE(wc.first_failure.empty());
+}
+
+TEST(ExperimentTest, SmmWorstCaseRuns) {
+  const ProblemSpec spec{2, 4, 3};
+  const auto constraints = TimingConstraints::synchronous(1);
+  SyncSmmFactory factory;
+  const WorstCase wc = smm_worst_case(spec, constraints, factory);
+  EXPECT_TRUE(wc.all_solved);
+  EXPECT_EQ(wc.max_termination, Time(2));
+  EXPECT_GT(wc.max_gamma, Duration(0));
+}
+
+TEST(ExperimentTest, RunOnceReturnsTraceAndVerdict) {
+  const ProblemSpec spec{2, 2, 2};
+  const auto constraints = TimingConstraints::synchronous(1, 1);
+  SyncMpmFactory factory;
+  FixedPeriodScheduler sched(2, Duration(1));
+  FixedDelay delay(Duration(1));
+  const MpmOutcome out = run_mpm_once(spec, constraints, factory, sched, delay);
+  EXPECT_TRUE(out.run.completed);
+  EXPECT_TRUE(out.verdict.admissible);
+  EXPECT_EQ(out.verdict.sessions, 2);
+  EXPECT_TRUE(out.verdict.solves);
+  EXPECT_EQ(out.verdict.rounds.rounds_ceiling(), 2);
+}
+
+TEST(BoundReportTest, RowsAndVerdict) {
+  BoundReport report("test");
+  WorstCase wc;
+  wc.runs = 1;
+  wc.all_admissible = true;
+  wc.all_solved = true;
+  wc.max_termination = Time(5);
+  report.add_time_row("cell-a", Ratio(4), wc, Ratio(6));
+  EXPECT_TRUE(report.all_ok());
+
+  report.add_time_row("cell-b", Ratio(1), wc, Ratio(4));  // measured above U
+  EXPECT_FALSE(report.all_ok());
+
+  std::ostringstream os;
+  report.print(os);
+  EXPECT_NE(os.str().find("cell-a"), std::string::npos);
+  EXPECT_NE(os.str().find("[FAIL]"), std::string::npos);
+}
+
+TEST(BoundReportTest, RoundsRow) {
+  BoundReport report("rounds");
+  WorstCase wc;
+  wc.all_admissible = true;
+  wc.all_solved = true;
+  wc.max_rounds = 7;
+  report.add_rounds_row("cell", 2, wc, 10);
+  EXPECT_TRUE(report.all_ok());
+  std::ostringstream os;
+  report.print(os);
+  EXPECT_NE(os.str().find("rounds"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sesp

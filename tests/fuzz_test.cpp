@@ -1,0 +1,167 @@
+// Randomized adversary sweeps ("fuzzing" within the admissible space):
+// every correct algorithm must solve its instance under many seeded random
+// schedules and delay assignments, and every produced trace must pass the
+// admissibility checker. Failures print the seed for reproduction.
+
+#include <gtest/gtest.h>
+
+#include "adversary/delay_strategies.hpp"
+#include "adversary/step_schedulers.hpp"
+#include "algorithms/mpm/async_alg.hpp"
+#include "algorithms/mpm/periodic_alg.hpp"
+#include "algorithms/mpm/semisync_alg.hpp"
+#include "algorithms/mpm/sporadic_alg.hpp"
+#include "algorithms/p2p/knowledge_algs.hpp"
+#include "algorithms/smm/periodic_alg.hpp"
+#include "algorithms/smm/semisync_alg.hpp"
+#include "p2p/p2p_simulator.hpp"
+#include "sim/experiment.hpp"
+#include "util/rng.hpp"
+
+namespace sesp {
+namespace {
+
+class FuzzSeeds : public ::testing::TestWithParam<int> {};
+
+TEST_P(FuzzSeeds, SporadicMpmUnderRandomBurstsAndDelays) {
+  const std::uint64_t seed = 0xF022ULL + 7919ULL * GetParam();
+  Rng meta(seed);
+  const ProblemSpec spec{2 + static_cast<std::int64_t>(meta.next_below(6)),
+                         2 + static_cast<std::int32_t>(meta.next_below(4)),
+                         2};
+  const Duration c1(1);
+  const Duration d1(meta.next_int(0, 6));
+  const Duration d2 = d1 + Ratio(meta.next_int(0, 12));
+  const auto constraints = TimingConstraints::sporadic(c1, d1, d2);
+
+  SporadicMpmFactory factory;
+  BurstyScheduler sched(c1, 1, 5, 1 + meta.next_int(1, 20), seed + 1);
+  UniformRandomDelay delay(d1, d2, seed + 2);
+  const MpmOutcome out =
+      run_mpm_once(spec, constraints, factory, sched, delay);
+  EXPECT_TRUE(out.run.completed) << "seed=" << seed;
+  EXPECT_TRUE(out.verdict.admissible)
+      << "seed=" << seed << ": " << out.verdict.admissibility_violation;
+  EXPECT_TRUE(out.verdict.solves)
+      << "seed=" << seed << " sessions=" << out.verdict.sessions
+      << " need=" << spec.s;
+}
+
+TEST_P(FuzzSeeds, SemiSyncMpmUnderRandomSchedules) {
+  const std::uint64_t seed = 0x5E15ULL + 104729ULL * GetParam();
+  Rng meta(seed);
+  const ProblemSpec spec{1 + static_cast<std::int64_t>(meta.next_below(7)),
+                         2 + static_cast<std::int32_t>(meta.next_below(5)),
+                         2};
+  const Duration c1(1);
+  const Duration c2 = c1 + Ratio(meta.next_int(0, 15));
+  const Duration d2(meta.next_int(1, 30));
+  const auto constraints = TimingConstraints::semi_synchronous(c1, c2, d2);
+
+  SemiSyncMpmFactory factory;  // auto strategy
+  UniformGapScheduler sched(c1, c2, seed + 3);
+  UniformRandomDelay delay(Duration(0), d2, seed + 4);
+  const MpmOutcome out =
+      run_mpm_once(spec, constraints, factory, sched, delay);
+  EXPECT_TRUE(out.verdict.admissible)
+      << "seed=" << seed << ": " << out.verdict.admissibility_violation;
+  EXPECT_TRUE(out.verdict.solves)
+      << "seed=" << seed << " sessions=" << out.verdict.sessions;
+}
+
+TEST_P(FuzzSeeds, AsyncMpmUnderRandomSchedules) {
+  const std::uint64_t seed = 0xA51CULL + 15485863ULL * GetParam();
+  Rng meta(seed);
+  const ProblemSpec spec{1 + static_cast<std::int64_t>(meta.next_below(6)),
+                         2 + static_cast<std::int32_t>(meta.next_below(6)),
+                         2};
+  const Duration c2(4), d2(meta.next_int(1, 20));
+  const auto constraints = TimingConstraints::asynchronous(c2, d2);
+
+  AsyncMpmFactory factory;
+  UniformGapScheduler sched(Duration(1, 4), c2, seed + 5);
+  UniformRandomDelay delay(Duration(0), d2, seed + 6);
+  const MpmOutcome out =
+      run_mpm_once(spec, constraints, factory, sched, delay);
+  EXPECT_TRUE(out.verdict.admissible)
+      << "seed=" << seed << ": " << out.verdict.admissibility_violation;
+  EXPECT_TRUE(out.verdict.solves) << "seed=" << seed;
+}
+
+TEST_P(FuzzSeeds, PeriodicSmmUnderRandomPeriods) {
+  const std::uint64_t seed = 0x9E210DULL + 6700417ULL * GetParam();
+  Rng meta(seed);
+  const ProblemSpec spec{1 + static_cast<std::int64_t>(meta.next_below(5)),
+                         2 + static_cast<std::int32_t>(meta.next_below(7)),
+                         2 + static_cast<std::int32_t>(meta.next_below(3))};
+  const std::int32_t total = smm_total_processes(spec.n, spec.b);
+  std::vector<Duration> periods;
+  periods.reserve(static_cast<std::size_t>(total));
+  for (std::int32_t i = 0; i < total; ++i)
+    periods.push_back(Ratio(meta.next_int(1, 8), meta.next_int(1, 3)));
+  const auto constraints = TimingConstraints::periodic(periods);
+
+  PeriodicSmmFactory factory;
+  FixedPeriodScheduler sched(periods);
+  const SmmOutcome out = run_smm_once(spec, constraints, factory, sched);
+  EXPECT_TRUE(out.run.completed) << "seed=" << seed;
+  EXPECT_TRUE(out.verdict.admissible)
+      << "seed=" << seed << ": " << out.verdict.admissibility_violation;
+  EXPECT_TRUE(out.verdict.solves)
+      << "seed=" << seed << " sessions=" << out.verdict.sessions;
+}
+
+TEST_P(FuzzSeeds, SemiSyncSmmUnderRandomSchedules) {
+  const std::uint64_t seed = 0x53A11ULL + 32452843ULL * GetParam();
+  Rng meta(seed);
+  const ProblemSpec spec{1 + static_cast<std::int64_t>(meta.next_below(5)),
+                         2 + static_cast<std::int32_t>(meta.next_below(5)),
+                         2};
+  const Duration c1(1);
+  const Duration c2 = c1 + Ratio(meta.next_int(0, 10));
+  const auto constraints = TimingConstraints::semi_synchronous(c1, c2);
+
+  SemiSyncSmmFactory factory;  // auto
+  UniformGapScheduler sched(c1, c2, seed + 7);
+  const SmmOutcome out = run_smm_once(spec, constraints, factory, sched);
+  EXPECT_TRUE(out.verdict.admissible)
+      << "seed=" << seed << ": " << out.verdict.admissibility_violation;
+  EXPECT_TRUE(out.verdict.solves)
+      << "seed=" << seed << " sessions=" << out.verdict.sessions;
+}
+
+TEST_P(FuzzSeeds, P2pRoundsOnRandomTopology) {
+  const std::uint64_t seed = 0x292ULL + 49979687ULL * GetParam();
+  Rng meta(seed);
+  const std::int32_t n = 2 + static_cast<std::int32_t>(meta.next_below(10));
+  const ProblemSpec spec{1 + static_cast<std::int64_t>(meta.next_below(4)),
+                         n, 2};
+  Topology topo = Topology::complete(n);
+  switch (meta.next_below(5)) {
+    case 0: topo = Topology::complete(n); break;
+    case 1: topo = Topology::ring(n); break;
+    case 2: topo = Topology::line(n); break;
+    case 3: topo = Topology::star(n); break;
+    case 4: topo = Topology::tree(n, 2); break;
+  }
+  const Duration c2(2), d2(meta.next_int(1, 8));
+  const auto constraints = TimingConstraints::asynchronous(c2, d2);
+
+  P2pRoundsFactory factory;
+  UniformGapScheduler sched(Duration(1, 2), c2, seed + 8);
+  UniformRandomDelay delay(Duration(0), d2, seed + 9);
+  P2pSimulator sim(spec, constraints, topo, factory, sched, delay);
+  const P2pRunResult run = sim.run();
+  const Verdict verdict = verify(run.trace, spec, constraints);
+  EXPECT_TRUE(verdict.admissible)
+      << "seed=" << seed << " " << topo.name() << ": "
+      << verdict.admissibility_violation;
+  EXPECT_TRUE(verdict.solves)
+      << "seed=" << seed << " " << topo.name()
+      << " sessions=" << verdict.sessions;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSeeds, ::testing::Range(0, 20));
+
+}  // namespace
+}  // namespace sesp

@@ -1,0 +1,158 @@
+// End-to-end flows across module boundaries: run -> verify -> serialize ->
+// parse -> replay -> analyze for each substrate, and the full adversary ->
+// certificate -> third-party-revalidation pipeline. These are the flows a
+// downstream user strings together; each assertion crosses at least two
+// modules.
+
+#include <gtest/gtest.h>
+
+#include "adversary/certificate.hpp"
+#include "adversary/contamination.hpp"
+#include "adversary/delay_strategies.hpp"
+#include "adversary/semisync_retimer.hpp"
+#include "adversary/step_schedulers.hpp"
+#include "algorithms/mpm/sporadic_alg.hpp"
+#include "algorithms/p2p/knowledge_algs.hpp"
+#include "algorithms/smm/broken_algs.hpp"
+#include "algorithms/smm/periodic_alg.hpp"
+#include "analysis/causality.hpp"
+#include "analysis/session_stats.hpp"
+#include "analysis/timeline.hpp"
+#include "model/trace_io.hpp"
+#include "p2p/p2p_simulator.hpp"
+#include "sim/experiment.hpp"
+#include "sim/replay.hpp"
+
+namespace sesp {
+namespace {
+
+TEST(IntegrationTest, MpmFullPipeline) {
+  // 1. Run A(sp) under a mixed adversary.
+  const ProblemSpec spec{4, 3, 2};
+  const auto constraints =
+      TimingConstraints::sporadic(Duration(1), Duration(1), Duration(5));
+  SporadicMpmFactory factory;
+  BurstyScheduler sched(Duration(1), 1, 6, 7, /*seed=*/42);
+  UniformRandomDelay delay(Duration(1), Duration(5), /*seed=*/43);
+  const MpmOutcome out =
+      run_mpm_once(spec, constraints, factory, sched, delay);
+  ASSERT_TRUE(out.run.completed);
+  ASSERT_TRUE(out.verdict.solves);
+
+  // 2. Serialize and parse.
+  std::string error;
+  const auto parsed = trace_from_text(to_text(out.run.trace), &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+
+  // 3. The parsed trace verifies identically.
+  const Verdict v2 = verify(*parsed, spec, constraints);
+  EXPECT_EQ(v2.sessions, out.verdict.sessions);
+  EXPECT_EQ(v2.admissible, out.verdict.admissible);
+  EXPECT_EQ(*v2.termination_time, *out.verdict.termination_time);
+
+  // 4. It replays against the same algorithm.
+  const ReplayReport replay = replay_mpm(*parsed, spec, constraints, factory);
+  EXPECT_TRUE(replay.match) << replay.detail;
+
+  // 5. Analyses run on it.
+  const SessionStats stats = compute_session_stats(*parsed);
+  EXPECT_EQ(stats.sessions, v2.sessions);
+  const CausalOrder order(*parsed);
+  EXPECT_EQ(order.num_steps(), parsed->steps().size());
+  EXPECT_FALSE(render_timeline(*parsed).empty());
+}
+
+TEST(IntegrationTest, SmmAdversaryToCertifiedCounterexample) {
+  // Broken algorithm -> retimer -> certificate -> serialize -> parse ->
+  // independent re-validation, all in one flow.
+  const ProblemSpec spec{5, 8, 2};
+  const auto constraints =
+      TimingConstraints::semi_synchronous(Duration(1), Duration(9));
+  TooFewStepsSmmFactory broken(2);
+
+  const SemiSyncRetimingResult attack =
+      attack_semisync_smm(spec, constraints, broken);
+  ASSERT_TRUE(attack.certificate) << attack.to_string();
+
+  const ViolationCertificate cert =
+      make_certificate(attack, broken.name(), spec, constraints);
+  std::string error;
+  const auto parsed = certificate_from_text(to_text(cert), &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+
+  const CertificateCheck check = check_certificate(*parsed);
+  EXPECT_TRUE(check.valid) << check.detail;
+  EXPECT_LT(check.sessions, spec.s);
+
+  // The certified computation's session stats agree with the check.
+  const SessionStats stats = compute_session_stats(parsed->computation);
+  EXPECT_EQ(stats.sessions, check.sessions);
+}
+
+TEST(IntegrationTest, SmmRunSurvivesSerializationAndReplay) {
+  const ProblemSpec spec{3, 6, 3};
+  const std::int32_t total = smm_total_processes(spec.n, spec.b);
+  std::vector<Duration> periods(static_cast<std::size_t>(total), Duration(1));
+  periods[2] = Duration(7, 2);
+  const auto constraints = TimingConstraints::periodic(periods);
+  PeriodicSmmFactory factory;
+  FixedPeriodScheduler sched(periods);
+  const SmmOutcome out = run_smm_once(spec, constraints, factory, sched);
+  ASSERT_TRUE(out.verdict.solves);
+
+  std::string error;
+  const auto parsed = trace_from_text(to_text(out.run.trace), &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  const ReplayReport replay = replay_smm(*parsed, spec, constraints, factory);
+  EXPECT_TRUE(replay.match) << replay.detail;
+}
+
+TEST(IntegrationTest, P2pRunVerifiesAndAnalyzes) {
+  const ProblemSpec spec{3, 6, 2};
+  const Topology topo = Topology::grid(2, 3);
+  const auto constraints = TimingConstraints::asynchronous(2, 4);
+  P2pRoundsFactory factory;
+  FixedPeriodScheduler sched(spec.n, Duration(2));
+  FixedDelay delay{Duration(4)};
+  P2pSimulator sim(spec, constraints, topo, factory, sched, delay);
+  const P2pRunResult run = sim.run();
+  ASSERT_TRUE(run.completed);
+
+  const Verdict verdict = verify(run.trace, spec, constraints);
+  EXPECT_TRUE(verdict.solves);
+
+  // Causality: some step of p0 influences every other process (gossip works
+  // across the grid).
+  const CausalOrder order(run.trace);
+  const auto first_p0 = run.trace.compute_indices(0);
+  ASSERT_FALSE(first_p0.empty());
+  for (ProcessId q = 1; q < spec.n; ++q)
+    EXPECT_TRUE(order.earliest_influence(first_p0.front(), q).has_value())
+        << "no causal path from p0's first step to p" << q;
+
+  // Trace round-trips.
+  std::string error;
+  const auto parsed = trace_from_text(to_text(run.trace), &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(verify(*parsed, spec, constraints).sessions, verdict.sessions);
+}
+
+TEST(IntegrationTest, ContaminationAgreesWithCausality) {
+  // The contamination taint of Theorem 4.3 over-approximates causal
+  // influence from the slowed process: every port reachable from one of
+  // p0's steps in the causal order must be tainted (tainted ports are
+  // reported via untainted_ports' complement).
+  const ProblemSpec spec{3, 6, 3};
+  const auto base = TimingConstraints::periodic(std::vector<Duration>(
+      static_cast<std::size_t>(smm_total_processes(spec.n, spec.b)),
+      Duration(1)));
+  PeriodicSmmFactory factory;
+  const ContaminationReport report =
+      run_contamination_experiment(spec, base, factory, Duration(1));
+  // A(p) communicates, so influence reaches everyone: no untainted ports.
+  EXPECT_EQ(report.untainted_ports, 0) << report.to_string();
+  EXPECT_TRUE(report.within_bound) << report.to_string();
+}
+
+}  // namespace
+}  // namespace sesp

@@ -1,0 +1,407 @@
+// Tests for the executable lower-bound constructions (Theorems 4.2/4.3, 5.1,
+// 6.5). Each adversary must (a) produce a certified violation against the
+// matching cheating algorithm and (b) fail to certify a violation against
+// the correct algorithm.
+
+#include <gtest/gtest.h>
+
+#include "adversary/contamination.hpp"
+#include "adversary/periodic_attack.hpp"
+#include "timing/admissibility.hpp"
+#include "adversary/semisync_mp_retimer.hpp"
+#include "adversary/semisync_retimer.hpp"
+#include "adversary/sporadic_retimer.hpp"
+#include "algorithms/mpm/broken_algs.hpp"
+#include "algorithms/mpm/periodic_alg.hpp"
+#include "algorithms/mpm/semisync_alg.hpp"
+#include "algorithms/mpm/sporadic_alg.hpp"
+#include "algorithms/smm/async_alg.hpp"
+#include "algorithms/smm/broken_algs.hpp"
+#include "algorithms/smm/periodic_alg.hpp"
+#include "algorithms/smm/semisync_alg.hpp"
+#include "analysis/bounds.hpp"
+#include "sim/experiment.hpp"
+
+namespace sesp {
+namespace {
+
+// --- Theorem 4.3: contamination in the periodic SMM ------------------------
+
+TEST(ContaminationTest, SpreadStaysWithinRecurrenceBound) {
+  const ProblemSpec spec{3, 9, 3};
+  const auto base = TimingConstraints::periodic(std::vector<Duration>(
+      static_cast<std::size_t>(smm_total_processes(spec.n, spec.b)),
+      Duration(1)));
+  PeriodicSmmFactory correct;
+  const ContaminationReport report =
+      run_contamination_experiment(spec, base, correct, Duration(1));
+  EXPECT_TRUE(report.within_bound) << report.to_string();
+  EXPECT_TRUE(report.completed);
+  EXPECT_TRUE(report.survived) << report.to_string();
+}
+
+TEST(ContaminationTest, CheatingAlgorithmLosesSessions) {
+  const ProblemSpec spec{4, 9, 3};
+  const auto base = TimingConstraints::periodic(std::vector<Duration>(
+      static_cast<std::size_t>(smm_total_processes(spec.n, spec.b)),
+      Duration(1)));
+  NoWaitPeriodicSmmFactory broken;
+  const ContaminationReport report = run_contamination_experiment(
+      spec, base, broken, Duration(1), /*slow_period_override=*/Duration(64));
+  EXPECT_TRUE(report.completed);
+  EXPECT_FALSE(report.survived) << report.to_string();
+  EXPECT_LT(report.sessions, spec.s);
+  // The no-communication cheater taints nobody: every other port is
+  // oblivious to the slowed process, exactly the proof's scenario.
+  EXPECT_EQ(report.untainted_ports, spec.n - 1);
+}
+
+TEST(ContaminationTest, ExactContaminationWithinTaintAndBound) {
+  // The exact (baseline-aligned) contamination must be dominated by the
+  // taint over-approximation and by the recurrence bound, subround by
+  // subround — Lemma 4.4 in its literal form.
+  for (const std::int32_t n : {4, 9, 16}) {
+    const ProblemSpec spec{3, n, 3};
+    const auto base = TimingConstraints::periodic(std::vector<Duration>(
+        static_cast<std::size_t>(smm_total_processes(spec.n, spec.b)),
+        Duration(1)));
+    PeriodicSmmFactory correct;
+    const ContaminationReport report =
+        run_contamination_experiment(spec, base, correct, Duration(1));
+    ASSERT_TRUE(report.exact_available) << report.to_string();
+    EXPECT_TRUE(report.exact_within_taint) << report.to_string();
+    EXPECT_TRUE(report.exact_within_bound) << report.to_string();
+    ASSERT_EQ(report.exact_contaminated.size(),
+              report.tainted_processes.size());
+    // Cumulative counts are nondecreasing.
+    for (std::size_t t = 1; t < report.exact_contaminated.size(); ++t)
+      EXPECT_GE(report.exact_contaminated[t], report.exact_contaminated[t - 1]);
+  }
+}
+
+TEST(ContaminationTest, DeafCheaterHasNoExactContamination) {
+  // The no-communication cheater never reads anything p' influences, so its
+  // exact contamination is zero everywhere — matching untainted_ports.
+  const ProblemSpec spec{4, 6, 3};
+  const auto base = TimingConstraints::periodic(std::vector<Duration>(
+      static_cast<std::size_t>(smm_total_processes(spec.n, spec.b)),
+      Duration(1)));
+  NoWaitPeriodicSmmFactory broken;
+  const ContaminationReport report = run_contamination_experiment(
+      spec, base, broken, Duration(1), Duration(64));
+  ASSERT_TRUE(report.exact_available);
+  for (const std::int64_t v : report.exact_contaminated) EXPECT_EQ(v, 0);
+}
+
+TEST(ContaminationTest, BoundHoldsAcrossInstances) {
+  for (const std::int32_t n : {4, 9, 16}) {
+    for (const std::int32_t b : {2, 3, 4}) {
+      const ProblemSpec spec{2, n, b};
+      const auto base = TimingConstraints::periodic(std::vector<Duration>(
+          static_cast<std::size_t>(smm_total_processes(n, b)), Duration(1)));
+      PeriodicSmmFactory correct;
+      const ContaminationReport report =
+          run_contamination_experiment(spec, base, correct, Duration(1));
+      EXPECT_TRUE(report.within_bound)
+          << "n=" << n << " b=" << b << "\n" << report.to_string();
+      EXPECT_TRUE(report.survived)
+          << "n=" << n << " b=" << b << "\n" << report.to_string();
+    }
+  }
+}
+
+// --- Theorem 4.2: periodic MP, the d2 term -----------------------------------
+
+TEST(PeriodicAttackTest, CertifiesViolationAgainstNoWaitAlgorithm) {
+  const ProblemSpec spec{4, 4, 2};
+  NoWaitPeriodicMpmFactory broken;  // idles after its s steps, deaf
+  const PeriodicAttackResult result =
+      attack_periodic_mpm(spec, Duration(1), /*d2=*/Duration(100), broken);
+  ASSERT_TRUE(result.ran) << result.failure;
+  EXPECT_TRUE(result.idles_before_d2);
+  ASSERT_TRUE(result.constructed);
+  EXPECT_TRUE(result.admissibility.admissible)
+      << result.admissibility.violation;
+  EXPECT_LT(result.sessions, spec.s);
+  EXPECT_TRUE(result.certificate);
+}
+
+TEST(PeriodicAttackTest, NothingToExploitAgainstAp) {
+  const ProblemSpec spec{4, 4, 2};
+  PeriodicMpmFactory correct;
+  const PeriodicAttackResult result =
+      attack_periodic_mpm(spec, Duration(1), Duration(100), correct);
+  ASSERT_TRUE(result.ran) << result.failure;
+  // A(p) waits for everyone's done message; nothing idles before d2.
+  EXPECT_FALSE(result.idles_before_d2);
+  EXPECT_FALSE(result.certificate);
+  // And the probe respects the lower bound max{s*c_max, d2}.
+  EXPECT_GE(result.probe_termination, Duration(100));
+}
+
+TEST(PeriodicAttackTest, SmallD2MakesTheStepTermBind) {
+  // With d2 tiny, even the deaf algorithm legitimately terminates after d2
+  // (its s-th step comes later), so there is nothing to exploit on the d2
+  // term — the s*c_max term is what stops it, and that one it satisfies.
+  const ProblemSpec spec{4, 4, 2};
+  NoWaitPeriodicMpmFactory broken;
+  const PeriodicAttackResult result =
+      attack_periodic_mpm(spec, Duration(1), /*d2=*/Duration(1), broken);
+  ASSERT_TRUE(result.ran) << result.failure;
+  EXPECT_FALSE(result.idles_before_d2);
+  EXPECT_GE(result.probe_termination, Ratio(spec.s) * Duration(1));
+}
+
+// --- Theorem 5.1: semi-synchronous SMM retiming -----------------------------
+
+TEST(SemiSyncRetimerTest, CertifiesViolationAgainstSubBoundCheater) {
+  const ProblemSpec spec{4, 8, 2};
+  // B = min{floor(11/2), log_2 8} = 3. A cheater idling after 2 steps per
+  // session runs 2*3+1 = 7 rounds < B*(s-1) = 9 rounds — strictly below the
+  // Theorem 5.1 bound, so the retimer must certify a violation.
+  const auto constraints =
+      TimingConstraints::semi_synchronous(Duration(1), Duration(12));
+  TooFewStepsSmmFactory broken(/*steps_per_session=*/2);
+  const SemiSyncRetimingResult result =
+      attack_semisync_smm(spec, constraints, broken);
+  ASSERT_TRUE(result.constructed) << result.failure;
+  EXPECT_TRUE(result.order_consistent) << result.to_string();
+  EXPECT_TRUE(result.replay_ok) << result.to_string();
+  EXPECT_TRUE(result.split_properties_ok) << result.to_string();
+  EXPECT_TRUE(result.admissibility.admissible) << result.to_string();
+  EXPECT_LT(result.sessions, spec.s) << result.to_string();
+  EXPECT_TRUE(result.certificate) << result.to_string();
+}
+
+TEST(SemiSyncRetimerTest, HalfSlackCheaterSitsExactlyAtTheThreshold) {
+  // Step counting with floor(c2/2c1) steps per session terminates at
+  // (B*(s-1)+1)*c2 — one round *above* the lower bound, so the construction
+  // goes through with all proof obligations but yields exactly s sessions:
+  // the bound is tight.
+  const ProblemSpec spec{4, 8, 2};
+  const auto constraints =
+      TimingConstraints::semi_synchronous(Duration(1), Duration(12));
+  HalfSlackSmmFactory boundary;
+  const SemiSyncRetimingResult result =
+      attack_semisync_smm(spec, constraints, boundary);
+  ASSERT_TRUE(result.constructed) << result.failure;
+  EXPECT_TRUE(result.order_consistent) << result.to_string();
+  EXPECT_TRUE(result.replay_ok) << result.to_string();
+  EXPECT_TRUE(result.admissibility.admissible) << result.to_string();
+  EXPECT_LE(result.sessions, result.chunks) << result.to_string();
+  EXPECT_FALSE(result.certificate) << result.to_string();
+}
+
+TEST(SemiSyncRetimerTest, NoCertificateAgainstCorrectStepCounting) {
+  const ProblemSpec spec{3, 8, 2};
+  const auto constraints =
+      TimingConstraints::semi_synchronous(Duration(1), Duration(12));
+  SemiSyncSmmFactory correct(SmmSemiSyncStrategy::kStepCount);
+  const SemiSyncRetimingResult result =
+      attack_semisync_smm(spec, constraints, correct);
+  // The construction itself may well go through (it always can), but the
+  // correct algorithm runs long enough that the reordered computation keeps
+  // >= s sessions — no violation certificate.
+  if (result.constructed) {
+    EXPECT_TRUE(result.order_consistent) << result.to_string();
+    EXPECT_TRUE(result.replay_ok) << result.to_string();
+    EXPECT_TRUE(result.admissibility.admissible) << result.to_string();
+    EXPECT_FALSE(result.certificate) << result.to_string();
+    EXPECT_GE(result.sessions, spec.s);
+  }
+}
+
+TEST(SemiSyncRetimerTest, ReorderedSessionsAtMostChunks) {
+  const ProblemSpec spec{5, 8, 2};
+  const auto constraints =
+      TimingConstraints::semi_synchronous(Duration(1), Duration(12));
+  TooFewStepsSmmFactory broken(/*steps_per_session=*/3);
+  const SemiSyncRetimingResult result =
+      attack_semisync_smm(spec, constraints, broken);
+  ASSERT_TRUE(result.constructed) << result.failure;
+  EXPECT_LE(result.sessions, result.chunks) << result.to_string();
+}
+
+TEST(SemiSyncRetimerTest, SafeBMatchesFormula) {
+  const ProblemSpec spec{2, 8, 2};
+  // (c2-c1)/(2c1) = 11/2 -> 5; log_2 8 = 3 -> min = 3.
+  EXPECT_EQ(semisync_safe_B(spec, Duration(1), Duration(12)), 3);
+  const ProblemSpec big{2, 256, 2};
+  EXPECT_EQ(semisync_safe_B(big, Duration(1), Duration(12)), 5);
+}
+
+TEST(SemiSyncRetimerTest, TrivialBoundBailsOut) {
+  const ProblemSpec spec{3, 4, 2};
+  // c2 <= 2c1: B = 0, bound trivial.
+  const auto constraints =
+      TimingConstraints::semi_synchronous(Duration(1), Duration(2));
+  HalfSlackSmmFactory broken;
+  const SemiSyncRetimingResult result =
+      attack_semisync_smm(spec, constraints, broken);
+  EXPECT_FALSE(result.constructed);
+}
+
+// --- [2] Theorem 1: asynchronous SM round bound ------------------------------
+
+TEST(AsyncRetimerTest, CertifiesViolationAgainstSubBoundRoundCheater) {
+  const ProblemSpec spec{4, 8, 2};  // floor(log_2 8) = 3, bound 3*(s-1) = 9
+  // 2 steps per session -> 7 rounds < 9: strictly below the bound.
+  TooFewStepsSmmFactory broken(2);
+  const SemiSyncRetimingResult result = attack_async_smm(spec, broken);
+  ASSERT_TRUE(result.constructed) << result.failure;
+  EXPECT_EQ(result.B, 3);
+  EXPECT_TRUE(result.order_consistent) << result.to_string();
+  EXPECT_TRUE(result.replay_ok) << result.to_string();
+  EXPECT_TRUE(result.admissibility.admissible) << result.to_string();
+  EXPECT_TRUE(result.certificate) << result.to_string();
+
+  // The reordered computation is admissible in the *asynchronous* model too
+  // (it has no constraints), so it is a genuine async counterexample.
+  ASSERT_TRUE(result.reordered_trace.has_value());
+  const auto async_adm = check_admissible(*result.reordered_trace,
+                                          TimingConstraints::asynchronous());
+  EXPECT_TRUE(async_adm.admissible) << async_adm.violation;
+}
+
+TEST(AsyncRetimerTest, NoCertificateAgainstKnowledgeRounds) {
+  const ProblemSpec spec{3, 8, 2};
+  AsyncSmmFactory correct;
+  const SemiSyncRetimingResult result = attack_async_smm(spec, correct);
+  if (result.constructed) {
+    EXPECT_FALSE(result.certificate) << result.to_string();
+    EXPECT_GE(result.sessions, spec.s);
+  }
+}
+
+TEST(AsyncRetimerTest, TrivialWhenNSmallerThanB) {
+  const ProblemSpec spec{3, 2, 4};  // floor(log_4 2) = 0
+  TooFewStepsSmmFactory broken(1);
+  const SemiSyncRetimingResult result = attack_async_smm(spec, broken);
+  EXPECT_FALSE(result.constructed);
+}
+
+// --- [4]: semi-synchronous MPM retiming --------------------------------------
+
+TEST(SemiSyncMpRetimerTest, CertifiesViolationAgainstSubBoundCheater) {
+  const ProblemSpec spec{4, 3, 2};
+  // c1=1, c2=24, d2=48: B = min{floor(23/2), floor(48/4)} = 11.
+  const auto constraints = TimingConstraints::semi_synchronous(
+      Duration(1), Duration(24), Duration(48));
+  ASSERT_EQ(semisync_mp_safe_B(constraints), 11);
+  // 8 steps/session -> 25 rounds < 11*(s-1) = 33: strictly below the bound.
+  TooFewStepsMpmFactory broken(8);
+  const SporadicRetimingResult result =
+      attack_semisync_mpm(spec, constraints, broken);
+  ASSERT_TRUE(result.constructed) << result.failure;
+  EXPECT_TRUE(result.order_consistent) << result.to_string();
+  EXPECT_TRUE(result.receives_preserved) << result.to_string();
+  EXPECT_TRUE(result.admissibility.admissible) << result.to_string();
+  EXPECT_LT(result.sessions, spec.s) << result.to_string();
+  EXPECT_TRUE(result.certificate) << result.to_string();
+}
+
+TEST(SemiSyncMpRetimerTest, NoCertificateAgainstCorrectAlgorithm) {
+  const ProblemSpec spec{3, 3, 2};
+  const auto constraints = TimingConstraints::semi_synchronous(
+      Duration(1), Duration(24), Duration(48));
+  SemiSyncMpmFactory correct;
+  const SporadicRetimingResult result =
+      attack_semisync_mpm(spec, constraints, correct);
+  if (result.constructed) {
+    EXPECT_TRUE(result.order_consistent) << result.to_string();
+    EXPECT_TRUE(result.receives_preserved) << result.to_string();
+    EXPECT_TRUE(result.admissibility.admissible) << result.to_string();
+    EXPECT_FALSE(result.certificate) << result.to_string();
+  }
+}
+
+TEST(SemiSyncMpRetimerTest, TightConstantsRefused) {
+  // c2 < 4*c1: the base schedule cannot exist within [c1, c2].
+  const auto constraints = TimingConstraints::semi_synchronous(
+      Duration(1), Duration(3), Duration(48));
+  EXPECT_EQ(semisync_mp_safe_B(constraints), 0);
+  const ProblemSpec spec{3, 3, 2};
+  TooFewStepsMpmFactory broken(1);
+  const SporadicRetimingResult result =
+      attack_semisync_mpm(spec, constraints, broken);
+  EXPECT_FALSE(result.constructed);
+}
+
+// --- Theorem 6.5: sporadic MPM retiming --------------------------------------
+
+TEST(SporadicRetimerTest, CertifiesViolationAgainstSubBoundCheater) {
+  const ProblemSpec spec{4, 3, 2};
+  // c1=1, d1=2, d2=42: u=40, B=10, K=2*42/(42-20)=42/11. A step counter
+  // idling after 8 steps per session runs 8*3+1 = 25 rounds, strictly below
+  // B*(s-1) = 30 rounds of the Theorem 6.5 bound.
+  const auto constraints =
+      TimingConstraints::sporadic(Duration(1), Duration(2), Duration(42));
+  TooFewStepsMpmFactory broken(/*steps_per_session=*/8);
+  const SporadicRetimingResult result =
+      attack_sporadic_mpm(spec, constraints, broken);
+  ASSERT_TRUE(result.constructed) << result.failure;
+  EXPECT_TRUE(result.order_consistent) << result.to_string();
+  EXPECT_TRUE(result.receives_preserved) << result.to_string();
+  EXPECT_TRUE(result.admissibility.admissible) << result.to_string();
+  EXPECT_LT(result.sessions, spec.s) << result.to_string();
+  EXPECT_TRUE(result.certificate) << result.to_string();
+}
+
+TEST(SporadicRetimerTest, ImpatientAspAboveBoundEscapesCertificate) {
+  // A(sp) with B' = floor(u/4c1) still waits for real messages, so under
+  // the base schedule it terminates (slightly) above the lower bound; the
+  // construction goes through but cannot certify a violation.
+  const ProblemSpec spec{4, 3, 2};
+  const auto constraints =
+      TimingConstraints::sporadic(Duration(1), Duration(2), Duration(42));
+  ImpatientSporadicMpmFactory impatient;
+  const SporadicRetimingResult result =
+      attack_sporadic_mpm(spec, constraints, impatient);
+  ASSERT_TRUE(result.constructed) << result.failure;
+  EXPECT_TRUE(result.order_consistent) << result.to_string();
+  EXPECT_TRUE(result.receives_preserved) << result.to_string();
+  EXPECT_TRUE(result.admissibility.admissible) << result.to_string();
+  EXPECT_LE(result.sessions, result.chunks) << result.to_string();
+}
+
+TEST(SporadicRetimerTest, NoCertificateAgainstCorrectAsp) {
+  const ProblemSpec spec{3, 3, 2};
+  const auto constraints =
+      TimingConstraints::sporadic(Duration(1), Duration(2), Duration(42));
+  SporadicMpmFactory correct;
+  const SporadicRetimingResult result =
+      attack_sporadic_mpm(spec, constraints, correct);
+  if (result.constructed) {
+    EXPECT_TRUE(result.order_consistent) << result.to_string();
+    EXPECT_TRUE(result.receives_preserved) << result.to_string();
+    EXPECT_TRUE(result.admissibility.admissible) << result.to_string();
+    EXPECT_FALSE(result.certificate) << result.to_string();
+  }
+}
+
+TEST(SporadicRetimerTest, DegenerateUncertaintyBailsOut) {
+  const ProblemSpec spec{3, 3, 2};
+  // u < 4*c1: B = 0.
+  const auto constraints =
+      TimingConstraints::sporadic(Duration(1), Duration(5), Duration(7));
+  SporadicMpmFactory correct;
+  const SporadicRetimingResult result =
+      attack_sporadic_mpm(spec, constraints, correct);
+  EXPECT_FALSE(result.constructed);
+  EXPECT_NE(result.failure.find("B < 1"), std::string::npos);
+}
+
+TEST(SporadicRetimerTest, WorksWithZeroD1) {
+  const ProblemSpec spec{3, 3, 2};
+  // d1 = 0: u = d2, K = 4*c1.
+  const auto constraints =
+      TimingConstraints::sporadic(Duration(1), Duration(0), Duration(40));
+  ImpatientSporadicMpmFactory broken;
+  const SporadicRetimingResult result =
+      attack_sporadic_mpm(spec, constraints, broken);
+  ASSERT_TRUE(result.constructed) << result.failure;
+  EXPECT_TRUE(result.admissibility.admissible) << result.to_string();
+}
+
+}  // namespace
+}  // namespace sesp

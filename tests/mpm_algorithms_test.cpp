@@ -1,0 +1,213 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <tuple>
+
+#include "adversary/delay_strategies.hpp"
+#include "adversary/step_schedulers.hpp"
+#include "algorithms/mpm/async_alg.hpp"
+#include "algorithms/mpm/broken_algs.hpp"
+#include "algorithms/mpm/periodic_alg.hpp"
+#include "algorithms/mpm/semisync_alg.hpp"
+#include "algorithms/mpm/sporadic_alg.hpp"
+#include "algorithms/mpm/sync_alg.hpp"
+#include "analysis/bounds.hpp"
+#include "sim/experiment.hpp"
+
+namespace sesp {
+namespace {
+
+using InstanceParam = std::tuple<int, int>;  // (s, n)
+
+ProblemSpec spec_of(const InstanceParam& p) {
+  return ProblemSpec{std::get<0>(p), std::get<1>(p), 2};
+}
+
+const auto kInstances =
+    ::testing::Combine(::testing::Values(1, 2, 3, 5, 8),
+                       ::testing::Values(2, 3, 5, 8));
+
+// --- Synchronous ------------------------------------------------------------
+
+class SyncMpmConformance : public ::testing::TestWithParam<InstanceParam> {};
+
+TEST_P(SyncMpmConformance, SolvesExactlyAtTheBound) {
+  const ProblemSpec spec = spec_of(GetParam());
+  const auto constraints = TimingConstraints::synchronous(Duration(3),
+                                                          Duration(7));
+  SyncMpmFactory factory;
+  const WorstCase wc = mpm_worst_case(spec, constraints, factory);
+  EXPECT_TRUE(wc.all_admissible) << wc.first_failure;
+  EXPECT_TRUE(wc.all_solved) << wc.first_failure;
+  // L = U = s*c2, and the algorithm is exactly tight.
+  EXPECT_EQ(wc.max_termination, bounds::sync_tight(spec, Duration(3)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, SyncMpmConformance, kInstances);
+
+// --- Periodic: A(p) ---------------------------------------------------------
+
+class PeriodicMpmConformance : public ::testing::TestWithParam<InstanceParam> {
+};
+
+TEST_P(PeriodicMpmConformance, SolvesWithinTheoremBound) {
+  const ProblemSpec spec = spec_of(GetParam());
+  // Heterogeneous periods: process i gets period 1 + i/2 (c_max grows with n).
+  std::vector<Duration> periods;
+  for (std::int32_t i = 0; i < spec.n; ++i)
+    periods.push_back(Duration(1) + Ratio(i, 2));
+  const auto constraints = TimingConstraints::periodic(periods, Duration(5));
+  PeriodicMpmFactory factory;
+  const WorstCase wc = mpm_worst_case(spec, constraints, factory);
+  EXPECT_TRUE(wc.all_admissible) << wc.first_failure;
+  EXPECT_TRUE(wc.all_solved) << wc.first_failure;
+  const Time upper =
+      bounds::periodic_mp_upper(spec, constraints.c_max(), Duration(5));
+  EXPECT_LE(wc.max_termination, upper);
+  // The lower bound of Theorem 4.2 is respected by the measured worst case
+  // when s >= 2 (for s == 1 the algorithm may finish before d2 elapses
+  // everywhere, but never before s*c_max).
+  EXPECT_GE(wc.max_termination, Ratio(spec.s) * constraints.c_max());
+}
+
+TEST_P(PeriodicMpmConformance, NoWaitVariantMissesSessionsUnderSlowOne) {
+  const ProblemSpec spec = spec_of(GetParam());
+  if (spec.s < 2) GTEST_SKIP() << "one session needs no coordination";
+  // One process is much slower than the rest: without waiting, the fast
+  // processes idle before the slow one has taken s-1 steps.
+  std::vector<Duration> periods(static_cast<std::size_t>(spec.n), Duration(1));
+  periods[0] = Duration(100);
+  const auto constraints = TimingConstraints::periodic(periods, Duration(1));
+  NoWaitPeriodicMpmFactory broken;
+  FixedPeriodScheduler sched(periods);
+  FixedDelay delay(Duration(1));
+  const MpmOutcome out = run_mpm_once(spec, constraints, broken, sched, delay);
+  EXPECT_TRUE(out.verdict.admissible);
+  EXPECT_LT(out.verdict.sessions, spec.s)
+      << "broken algorithm unexpectedly survived";
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, PeriodicMpmConformance, kInstances);
+
+// --- Semi-synchronous -------------------------------------------------------
+
+class SemiSyncMpmConformance
+    : public ::testing::TestWithParam<std::tuple<int, int, int, int>> {};
+
+TEST_P(SemiSyncMpmConformance, BothStrategiesWithinBound) {
+  const auto [s, n, c2v, d2v] = GetParam();
+  const ProblemSpec spec{s, n, 2};
+  const auto constraints =
+      TimingConstraints::semi_synchronous(Duration(1), Duration(c2v),
+                                          Duration(d2v));
+  for (const SemiSyncStrategy strategy :
+       {SemiSyncStrategy::kAuto, SemiSyncStrategy::kStepCount,
+        SemiSyncStrategy::kCommunicate}) {
+    SemiSyncMpmFactory factory(strategy);
+    const WorstCase wc = mpm_worst_case(spec, constraints, factory,
+                                        /*random_runs=*/4);
+    EXPECT_TRUE(wc.all_admissible) << factory.name() << ": "
+                                   << wc.first_failure;
+    EXPECT_TRUE(wc.all_solved) << factory.name() << ": " << wc.first_failure;
+    if (strategy == SemiSyncStrategy::kAuto) {
+      const Time upper = bounds::semisync_mp_upper(
+          spec, Duration(1), Duration(c2v), Duration(d2v));
+      EXPECT_LE(wc.max_termination, upper) << factory.name();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, SemiSyncMpmConformance,
+    ::testing::Combine(::testing::Values(1, 2, 4), ::testing::Values(2, 5),
+                       ::testing::Values(2, 3, 8),
+                       ::testing::Values(1, 10)));
+
+// --- Sporadic: A(sp) --------------------------------------------------------
+
+class SporadicMpmConformance
+    : public ::testing::TestWithParam<std::tuple<int, int, int, int>> {};
+
+TEST_P(SporadicMpmConformance, SolvesUnderAdversaries) {
+  const auto [s, n, d1v, d2v] = GetParam();
+  if (d1v > d2v) GTEST_SKIP();
+  const ProblemSpec spec{s, n, 2};
+  const auto constraints =
+      TimingConstraints::sporadic(Duration(1), Duration(d1v), Duration(d2v));
+  SporadicMpmFactory factory;
+  const WorstCase wc = mpm_worst_case(spec, constraints, factory,
+                                      /*random_runs=*/4);
+  EXPECT_TRUE(wc.all_admissible) << wc.first_failure;
+  EXPECT_TRUE(wc.all_solved) << wc.first_failure;
+}
+
+TEST_P(SporadicMpmConformance, TimeWithinGammaBound) {
+  const auto [s, n, d1v, d2v] = GetParam();
+  if (d1v > d2v) GTEST_SKIP();
+  const ProblemSpec spec{s, n, 2};
+  const auto constraints =
+      TimingConstraints::sporadic(Duration(1), Duration(d1v), Duration(d2v));
+  SporadicMpmFactory factory;
+  // Deterministic worst case: all steps at c1, delays at d2.
+  FixedPeriodScheduler sched(spec.n, Duration(1));
+  FixedDelay delay{Duration(d2v)};
+  const MpmOutcome out = run_mpm_once(spec, constraints, factory, sched, delay);
+  ASSERT_TRUE(out.run.completed);
+  ASSERT_TRUE(out.verdict.admissible) << out.verdict.admissibility_violation;
+  EXPECT_GE(out.verdict.sessions, spec.s);
+  if (spec.s >= 2 && out.verdict.gamma) {
+    const Time upper = bounds::sporadic_mp_upper(
+        spec, Duration(1), Duration(d1v), Duration(d2v), *out.verdict.gamma);
+    EXPECT_LE(*out.verdict.termination_time, upper);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, SporadicMpmConformance,
+    ::testing::Combine(::testing::Values(1, 2, 4), ::testing::Values(2, 4),
+                       ::testing::Values(0, 2, 5),
+                       ::testing::Values(5, 6, 12)));
+
+// --- Asynchronous -----------------------------------------------------------
+
+class AsyncMpmConformance : public ::testing::TestWithParam<InstanceParam> {};
+
+TEST_P(AsyncMpmConformance, SolvesWithinBound) {
+  const ProblemSpec spec = spec_of(GetParam());
+  const auto constraints = TimingConstraints::asynchronous(/*c2=*/2,
+                                                           /*d2=*/5);
+  AsyncMpmFactory factory;
+  const WorstCase wc = mpm_worst_case(spec, constraints, factory,
+                                      /*random_runs=*/4);
+  EXPECT_TRUE(wc.all_admissible) << wc.first_failure;
+  EXPECT_TRUE(wc.all_solved) << wc.first_failure;
+  EXPECT_LE(wc.max_termination,
+            bounds::async_mp_upper(spec, Duration(2), Duration(5)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, AsyncMpmConformance, kInstances);
+
+// --- Message-content sanity across all algorithms ---------------------------
+
+TEST(MpmAlgorithmsTest, FactoriesReportNames) {
+  EXPECT_STREQ(SyncMpmFactory{}.name(), "sync-mpm");
+  EXPECT_STREQ(PeriodicMpmFactory{}.name(), "A(p)-mpm");
+  EXPECT_STREQ(SporadicMpmFactory{}.name(), "A(sp)-mpm");
+  EXPECT_STREQ(AsyncMpmFactory{}.name(), "async-mpm");
+  EXPECT_STREQ(SemiSyncMpmFactory{SemiSyncStrategy::kStepCount}.name(),
+               "semisync-mpm(steps)");
+}
+
+TEST(MpmAlgorithmsTest, SemiSyncAutoPicksCheaperBranch) {
+  // Cheap communication: d2 small.
+  EXPECT_EQ(SemiSyncMpmFactory::pick(
+                TimingConstraints::semi_synchronous(1, 100, 1)),
+            SemiSyncStrategy::kCommunicate);
+  // Cheap stepping: c2/c1 small, d2 huge.
+  EXPECT_EQ(SemiSyncMpmFactory::pick(
+                TimingConstraints::semi_synchronous(1, 2, 1000)),
+            SemiSyncStrategy::kStepCount);
+}
+
+}  // namespace
+}  // namespace sesp

@@ -1,0 +1,58 @@
+#include "mpm/network.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sesp {
+namespace {
+
+TEST(NetworkTest, SendDeliverDrain) {
+  Network net(3);
+  EXPECT_EQ(net.in_transit(), 0u);
+  net.send(0, MpmMessage{0, 1, 2, false}, 1);
+  net.send(1, MpmMessage{0, 1, 2, false}, 2);
+  EXPECT_EQ(net.in_transit(), 2u);
+  EXPECT_EQ(net.buffered(1), 0u);
+
+  net.deliver(0);
+  EXPECT_EQ(net.in_transit(), 1u);
+  EXPECT_EQ(net.buffered(1), 1u);
+
+  const auto msgs = net.drain_buffer(1);
+  ASSERT_EQ(msgs.size(), 1u);
+  EXPECT_EQ(msgs[0].sender, 0);
+  EXPECT_EQ(msgs[0].session, 1);
+  EXPECT_EQ(net.buffered(1), 0u);
+  // Draining again yields nothing.
+  EXPECT_TRUE(net.drain_buffer(1).empty());
+}
+
+TEST(NetworkTest, MultipleDeliveriesAccumulate) {
+  Network net(2);
+  net.send(0, MpmMessage{0, 0, 0, false}, 1);
+  net.send(1, MpmMessage{1, 0, 0, false}, 1);
+  net.deliver(1);
+  net.deliver(0);
+  EXPECT_EQ(net.buffered(1), 2u);
+  EXPECT_EQ(net.drain_buffer(1).size(), 2u);
+}
+
+TEST(NetworkDeath, DeliverUnknownAborts) {
+  EXPECT_DEATH(
+      {
+        Network net(2);
+        net.deliver(42);
+      },
+      "not in transit");
+}
+
+TEST(NetworkDeath, BadRecipientAborts) {
+  EXPECT_DEATH(
+      {
+        Network net(2);
+        net.send(0, MpmMessage{}, 5);
+      },
+      "bad recipient");
+}
+
+}  // namespace
+}  // namespace sesp

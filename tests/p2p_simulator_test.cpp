@@ -1,0 +1,151 @@
+#include "p2p/p2p_simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "adversary/delay_strategies.hpp"
+#include "adversary/step_schedulers.hpp"
+#include "algorithms/p2p/knowledge_algs.hpp"
+#include "session/session_counter.hpp"
+#include "session/verifier.hpp"
+#include "timing/admissibility.hpp"
+
+namespace sesp {
+namespace {
+
+P2pRunResult run(const ProblemSpec& spec, const TimingConstraints& constraints,
+                 const Topology& topo, const P2pAlgorithmFactory& factory,
+                 const Duration& period, const Duration& delay_value) {
+  FixedPeriodScheduler sched(spec.n, period);
+  FixedDelay delay{delay_value};
+  P2pSimulator sim(spec, constraints, topo, factory, sched, delay);
+  return sim.run();
+}
+
+TEST(P2pSimulatorTest, SyncOnCompleteGraph) {
+  const ProblemSpec spec{3, 4, 2};
+  const auto constraints = TimingConstraints::synchronous(2, 4);
+  const Topology topo = Topology::complete(4);
+  P2pSyncFactory factory;
+  const P2pRunResult result =
+      run(spec, constraints, topo, factory, Duration(2), Duration(4));
+  EXPECT_TRUE(result.completed);
+  EXPECT_TRUE(check_admissible(result.trace, constraints));
+  EXPECT_EQ(count_sessions(result.trace).sessions, 3);
+  EXPECT_EQ(*result.trace.termination_time(), Time(6));
+}
+
+TEST(P2pSimulatorTest, MessagesOnlyCrossEdges) {
+  const ProblemSpec spec{2, 6, 2};
+  const auto constraints = TimingConstraints::asynchronous(1, 2);
+  const Topology topo = Topology::ring(6);
+  P2pRoundsFactory factory;
+  const P2pRunResult result =
+      run(spec, constraints, topo, factory, Duration(1), Duration(2));
+  ASSERT_TRUE(result.completed);
+  for (const MessageRecord& m : result.trace.messages())
+    EXPECT_TRUE(topo.has_edge(m.sender, m.recipient))
+        << m.sender << " -> " << m.recipient;
+}
+
+TEST(P2pSimulatorTest, GossipRelaysAcrossTheDiameter) {
+  // The rounds algorithm can only finish if endpoint knowledge crosses the
+  // whole line through intermediate nodes.
+  const ProblemSpec spec{3, 7, 2};
+  const auto constraints = TimingConstraints::asynchronous(1, 3);
+  const Topology topo = Topology::line(7);
+  P2pRoundsFactory factory;
+  const P2pRunResult result =
+      run(spec, constraints, topo, factory, Duration(1), Duration(3));
+  EXPECT_TRUE(result.completed);
+  const Verdict verdict = verify(result.trace, spec, constraints);
+  EXPECT_TRUE(verdict.admissible) << verdict.admissibility_violation;
+  EXPECT_TRUE(verdict.solves);
+}
+
+TEST(P2pSimulatorTest, PerSessionCostScalesWithDiameter) {
+  const ProblemSpec spec{4, 8, 2};
+  const auto constraints = TimingConstraints::asynchronous(1, 4);
+  P2pRoundsFactory factory;
+  const Topology complete = Topology::complete(8);
+  const Topology line = Topology::line(8);
+  const P2pRunResult fast =
+      run(spec, constraints, complete, factory, Duration(1), Duration(4));
+  const P2pRunResult slow =
+      run(spec, constraints, line, factory, Duration(1), Duration(4));
+  ASSERT_TRUE(fast.completed);
+  ASSERT_TRUE(slow.completed);
+  // Diameter 7 vs 1: the line must be several times slower.
+  EXPECT_GE(*slow.trace.termination_time(),
+            *fast.trace.termination_time() * Ratio(3));
+}
+
+class P2pConformance
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(P2pConformance, AllAlgorithmsSolveOnAllTopologies) {
+  const auto [s, n, which] = GetParam();
+  const ProblemSpec spec{s, n, 2};
+  Topology topo = Topology::complete(n);
+  switch (which) {
+    case 0: topo = Topology::complete(n); break;
+    case 1: topo = Topology::ring(n); break;
+    case 2: topo = Topology::star(n); break;
+    case 3: topo = Topology::tree(n, 2); break;
+  }
+
+  {
+    const auto constraints = TimingConstraints::synchronous(1, 2);
+    P2pSyncFactory factory;
+    const P2pRunResult result =
+        run(spec, constraints, topo, factory, Duration(1), Duration(2));
+    const Verdict v = verify(result.trace, spec, constraints);
+    EXPECT_TRUE(v.solves && v.admissible)
+        << "sync on " << topo.name() << ": " << v.admissibility_violation;
+  }
+  {
+    const auto constraints = TimingConstraints::periodic(
+        std::vector<Duration>(static_cast<std::size_t>(n), Duration(1)),
+        Duration(2));
+    P2pPeriodicFactory factory;
+    const P2pRunResult result =
+        run(spec, constraints, topo, factory, Duration(1), Duration(2));
+    const Verdict v = verify(result.trace, spec, constraints);
+    EXPECT_TRUE(v.solves && v.admissible)
+        << "periodic on " << topo.name() << ": " << v.admissibility_violation;
+  }
+  {
+    const auto constraints = TimingConstraints::asynchronous(1, 2);
+    P2pRoundsFactory factory;
+    const P2pRunResult result =
+        run(spec, constraints, topo, factory, Duration(1), Duration(2));
+    const Verdict v = verify(result.trace, spec, constraints);
+    EXPECT_TRUE(v.solves && v.admissible)
+        << "rounds on " << topo.name() << ": " << v.admissibility_violation;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, P2pConformance,
+                         ::testing::Combine(::testing::Values(1, 2, 4),
+                                            ::testing::Values(2, 5, 8),
+                                            ::testing::Values(0, 1, 2, 3)));
+
+TEST(P2pSimulatorTest, HeterogeneousPeriodsStillSolve) {
+  const ProblemSpec spec{5, 4, 2};
+  std::vector<Duration> periods{Duration(3), Duration(1), Duration(1),
+                                Duration(2)};
+  const auto constraints = TimingConstraints::periodic(periods, Duration(2));
+  P2pPeriodicFactory factory;
+  FixedPeriodScheduler sched(periods);
+  FixedDelay delay{Duration(2)};
+  const Topology topo = Topology::ring(4);
+  P2pSimulator sim(spec, constraints, topo, factory, sched, delay);
+  const P2pRunResult result = sim.run();
+  const Verdict v = verify(result.trace, spec, constraints);
+  EXPECT_TRUE(v.admissible) << v.admissibility_violation;
+  EXPECT_TRUE(v.solves) << "sessions=" << v.sessions;
+}
+
+}  // namespace
+}  // namespace sesp

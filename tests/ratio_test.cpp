@@ -1,0 +1,167 @@
+#include "util/ratio.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <tuple>
+#include <vector>
+
+namespace sesp {
+namespace {
+
+TEST(RatioTest, DefaultIsZero) {
+  Ratio r;
+  EXPECT_TRUE(r.is_zero());
+  EXPECT_EQ(r.num(), 0);
+  EXPECT_EQ(r.den(), 1);
+}
+
+TEST(RatioTest, NormalizesToLowestTerms) {
+  EXPECT_EQ(Ratio(6, 4), Ratio(3, 2));
+  EXPECT_EQ(Ratio(-6, 4), Ratio(-3, 2));
+  EXPECT_EQ(Ratio(6, -4), Ratio(-3, 2));
+  EXPECT_EQ(Ratio(-6, -4), Ratio(3, 2));
+  EXPECT_EQ(Ratio(0, 7), Ratio(0));
+}
+
+TEST(RatioTest, DenominatorAlwaysPositive) {
+  EXPECT_GT(Ratio(1, -3).den(), 0);
+  EXPECT_EQ(Ratio(1, -3).num(), -1);
+}
+
+TEST(RatioTest, Arithmetic) {
+  EXPECT_EQ(Ratio(1, 2) + Ratio(1, 3), Ratio(5, 6));
+  EXPECT_EQ(Ratio(1, 2) - Ratio(1, 3), Ratio(1, 6));
+  EXPECT_EQ(Ratio(2, 3) * Ratio(3, 4), Ratio(1, 2));
+  EXPECT_EQ(Ratio(2, 3) / Ratio(4, 3), Ratio(1, 2));
+  EXPECT_EQ(-Ratio(2, 3), Ratio(-2, 3));
+}
+
+TEST(RatioTest, IntegerInterop) {
+  Ratio r = 5;
+  EXPECT_TRUE(r.is_integer());
+  EXPECT_EQ(r + 2, Ratio(7));
+  EXPECT_EQ(r * Ratio(1, 5), Ratio(1));
+}
+
+TEST(RatioTest, Comparisons) {
+  EXPECT_LT(Ratio(1, 3), Ratio(1, 2));
+  EXPECT_GT(Ratio(-1, 3), Ratio(-1, 2));
+  EXPECT_LE(Ratio(2, 4), Ratio(1, 2));
+  EXPECT_EQ(Ratio(2, 4) <=> Ratio(1, 2), std::strong_ordering::equal);
+  EXPECT_LT(Ratio(-1), Ratio(0));
+}
+
+TEST(RatioTest, FloorCeil) {
+  EXPECT_EQ(Ratio(7, 2).floor(), 3);
+  EXPECT_EQ(Ratio(7, 2).ceil(), 4);
+  EXPECT_EQ(Ratio(-7, 2).floor(), -4);
+  EXPECT_EQ(Ratio(-7, 2).ceil(), -3);
+  EXPECT_EQ(Ratio(6).floor(), 6);
+  EXPECT_EQ(Ratio(6).ceil(), 6);
+  EXPECT_EQ(Ratio(0).floor(), 0);
+}
+
+TEST(RatioTest, ToString) {
+  EXPECT_EQ(Ratio(3).to_string(), "3");
+  EXPECT_EQ(Ratio(7, 2).to_string(), "7/2");
+  EXPECT_EQ(Ratio(-1, 3).to_string(), "-1/3");
+}
+
+TEST(RatioTest, MinMaxAbs) {
+  EXPECT_EQ(min(Ratio(1, 2), Ratio(1, 3)), Ratio(1, 3));
+  EXPECT_EQ(max(Ratio(1, 2), Ratio(1, 3)), Ratio(1, 2));
+  EXPECT_EQ(abs(Ratio(-5, 7)), Ratio(5, 7));
+  EXPECT_EQ(abs(Ratio(5, 7)), Ratio(5, 7));
+}
+
+TEST(RatioTest, ToDouble) {
+  EXPECT_DOUBLE_EQ(Ratio(1, 2).to_double(), 0.5);
+  EXPECT_DOUBLE_EQ(Ratio(-3, 4).to_double(), -0.75);
+}
+
+TEST(RatioTest, LargeIntermediatesDoNotOverflow) {
+  // Sum whose cross-multiplication exceeds 64 bits before reduction.
+  const Ratio a(1, 3'000'000'019LL);
+  const Ratio b(1, 3'000'000'019LL);
+  EXPECT_EQ(a + b, Ratio(2, 3'000'000'019LL));
+  const Ratio c(1'000'000'007LL, 3);
+  EXPECT_EQ(c * Ratio(3, 1'000'000'007LL), Ratio(1));
+}
+
+// Field-axiom spot checks over a grid of rationals.
+class RatioAxioms
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(RatioAxioms, RingLaws) {
+  const auto [i, j, k] = GetParam();
+  const Ratio a(i, 7), b(j, 5), c(k, 3);
+  EXPECT_EQ(a + b, b + a);
+  EXPECT_EQ((a + b) + c, a + (b + c));
+  EXPECT_EQ(a * b, b * a);
+  EXPECT_EQ((a * b) * c, a * (b * c));
+  EXPECT_EQ(a * (b + c), a * b + a * c);
+  EXPECT_EQ(a - a, Ratio(0));
+  if (!b.is_zero()) {
+    EXPECT_EQ((a / b) * b, a);
+  }
+}
+
+TEST_P(RatioAxioms, OrderCompatibleWithArithmetic) {
+  const auto [i, j, k] = GetParam();
+  const Ratio a(i, 7), b(j, 5), c(k, 3);
+  if (a < b) {
+    EXPECT_LT(a + c, b + c);
+    if (c.is_positive()) {
+      EXPECT_LT(a * c, b * c);
+    }
+    if (c.is_negative()) {
+      EXPECT_GT(a * c, b * c);
+    }
+  }
+}
+
+TEST_P(RatioAxioms, FloorCeilBracket) {
+  const auto [i, j, k] = GetParam();
+  (void)j;
+  (void)k;
+  const Ratio a(i, 7);
+  EXPECT_LE(Ratio(a.floor()), a);
+  EXPECT_LT(a - Ratio(a.floor()), Ratio(1));
+  EXPECT_GE(Ratio(a.ceil()), a);
+  EXPECT_LT(Ratio(a.ceil()) - a, Ratio(1));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, RatioAxioms,
+    ::testing::Combine(::testing::Values(-9, -2, 0, 1, 5, 14),
+                       ::testing::Values(-7, -1, 0, 2, 10),
+                       ::testing::Values(-3, 0, 1, 4)));
+
+// Misuse is a hard failure, never silent wraparound: model time must stay
+// exact or the admissibility checker means nothing.
+TEST(RatioDeath, ZeroDenominatorAborts) {
+  EXPECT_DEATH({ Ratio bad(1, 0); (void)bad; }, "zero denominator");
+}
+
+TEST(RatioDeath, DivisionByZeroAborts) {
+  EXPECT_DEATH(
+      {
+        Ratio r = Ratio(1) / Ratio(0);
+        (void)r;
+      },
+      "division by zero");
+}
+
+TEST(RatioDeath, OverflowAborts) {
+  EXPECT_DEATH(
+      {
+        Ratio big(INT64_MAX, 1);
+        Ratio r = big * big;
+        (void)r;
+      },
+      "overflow");
+}
+
+}  // namespace
+}  // namespace sesp

@@ -1,0 +1,199 @@
+// Property suites for the lower-bound constructions, swept over instance
+// grids: the dichotomy (sub-bound cheater => certificate, at-or-above-bound
+// algorithm => no certificate), permutation/structure invariants of the
+// reordered computations, and cross-validation of the retimer's
+// dependency handling against the global CausalOrder.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+
+#include "adversary/semisync_retimer.hpp"
+#include "adversary/sporadic_retimer.hpp"
+#include "adversary/step_schedulers.hpp"
+#include "algorithms/smm/broken_algs.hpp"
+#include "algorithms/smm/semisync_alg.hpp"
+#include "algorithms/mpm/broken_algs.hpp"
+#include "algorithms/mpm/sporadic_alg.hpp"
+#include "analysis/causality.hpp"
+#include "sim/experiment.hpp"
+
+namespace sesp {
+namespace {
+
+// --- Semi-synchronous retimer dichotomy --------------------------------------
+
+class SemiSyncDichotomy
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(SemiSyncDichotomy, CheaterCertifiedIffBelowBound) {
+  const auto [s, ratio, per_session] = GetParam();
+  const ProblemSpec spec{s, 8, 2};
+  const auto constraints =
+      TimingConstraints::semi_synchronous(Duration(1), Duration(ratio));
+  const std::int64_t B = semisync_safe_B(spec, Duration(1), Duration(ratio));
+  if (B < 1) GTEST_SKIP() << "trivial bound";
+
+  TooFewStepsSmmFactory algorithm(per_session);
+  const SemiSyncRetimingResult result =
+      attack_semisync_smm(spec, constraints, algorithm);
+  ASSERT_TRUE(result.constructed) << result.failure;
+
+  // Proof obligations hold regardless of the target.
+  EXPECT_TRUE(result.order_consistent);
+  EXPECT_TRUE(result.replay_ok);
+  EXPECT_TRUE(result.split_properties_ok);
+  EXPECT_TRUE(result.admissibility.admissible)
+      << result.admissibility.violation;
+  EXPECT_LE(result.sessions, result.chunks);
+
+  // Dichotomy: the step counter runs per_session*(s-1)+1 lockstep rounds; it
+  // is certified iff that is at most B*(s-1) rounds (then chunks <= s-1).
+  const std::int64_t rounds = per_session * (s - 1) + 1;
+  const bool below_bound = rounds <= B * (s - 1);
+  EXPECT_EQ(result.certificate, below_bound)
+      << "rounds=" << rounds << " B=" << B << " " << result.to_string();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, SemiSyncDichotomy,
+    ::testing::Combine(::testing::Values(2, 3, 5, 8),
+                       ::testing::Values(9, 13, 25),
+                       ::testing::Values(1, 2, 3, 5, 13)));
+
+// --- Structural invariants of the reordering --------------------------------
+
+TEST(SemiSyncRetimerProperties, ReorderedIsAPermutationWithSameMultiset) {
+  const ProblemSpec spec{4, 8, 2};
+  const auto constraints =
+      TimingConstraints::semi_synchronous(Duration(1), Duration(12));
+  TooFewStepsSmmFactory cheater(2);
+
+  const std::int32_t total = smm_total_processes(spec.n, spec.b);
+  FixedPeriodScheduler lockstep(total, constraints.c2);
+  const SmmOutcome base = run_smm_once(spec, constraints, cheater, lockstep);
+  ASSERT_TRUE(base.run.completed);
+  const SemiSyncRetimingResult result =
+      semisync_retime(base.run.trace, spec, constraints);
+  ASSERT_TRUE(result.constructed) << result.failure;
+
+  ASSERT_EQ(result.reordered.size(), base.run.trace.steps().size());
+  // Per-process step subsequences are identical (variables, ports, digests).
+  std::map<ProcessId, std::vector<std::pair<VarId, std::uint64_t>>> orig, re;
+  for (const StepRecord& st : base.run.trace.steps())
+    orig[st.process].push_back({st.var, st.value_after_digest});
+  for (const StepRecord& st : result.reordered)
+    re[st.process].push_back({st.var, st.value_after_digest});
+  EXPECT_EQ(orig, re);
+  // Times are nondecreasing in the reordered sequence.
+  for (std::size_t i = 1; i < result.reordered.size(); ++i)
+    EXPECT_LE(result.reordered[i - 1].time, result.reordered[i].time);
+}
+
+TEST(SemiSyncRetimerProperties, ReorderRespectsGlobalCausality) {
+  // Cross-validation: the retimer's chunk-local dependency handling must
+  // agree with the global CausalOrder built independently — every
+  // happens-before pair keeps its relative order after the reorder.
+  const ProblemSpec spec{3, 4, 2};
+  const auto constraints =
+      TimingConstraints::semi_synchronous(Duration(1), Duration(9));
+  SemiSyncSmmFactory algorithm(SmmSemiSyncStrategy::kCommunicate);
+
+  const std::int32_t total = smm_total_processes(spec.n, spec.b);
+  FixedPeriodScheduler lockstep(total, constraints.c2);
+  const SmmOutcome base =
+      run_smm_once(spec, constraints, algorithm, lockstep);
+  ASSERT_TRUE(base.run.completed);
+  const SemiSyncRetimingResult result =
+      semisync_retime(base.run.trace, spec, constraints);
+  if (!result.constructed) GTEST_SKIP() << result.failure;
+  ASSERT_TRUE(result.order_consistent);
+
+  // Map original step -> reordered position via (process, per-process
+  // occurrence index), which the retimer preserves.
+  std::map<ProcessId, std::int64_t> occurrence;
+  std::map<std::pair<ProcessId, std::int64_t>, std::size_t> new_pos;
+  for (std::size_t i = 0; i < result.reordered.size(); ++i) {
+    const ProcessId p = result.reordered[i].process;
+    new_pos[{p, occurrence[p]++}] = i;
+  }
+  occurrence.clear();
+  std::vector<std::size_t> position(base.run.trace.steps().size());
+  for (std::size_t i = 0; i < base.run.trace.steps().size(); ++i) {
+    const ProcessId p = base.run.trace.steps()[i].process;
+    position[i] = new_pos.at({p, occurrence[p]++});
+  }
+
+  const CausalOrder order(base.run.trace);
+  for (std::size_t i = 0; i < order.num_steps(); ++i)
+    for (const std::size_t pred : order.predecessors(i))
+      EXPECT_LT(position[pred], position[i])
+          << "dependency " << pred << " -> " << i << " inverted";
+}
+
+// --- Sporadic retimer dichotomy ----------------------------------------------
+
+class SporadicDichotomy
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(SporadicDichotomy, CheaterCertifiedIffBelowBound) {
+  const auto [s, per_session] = GetParam();
+  const ProblemSpec spec{s, 3, 2};
+  const Duration c1(1), d1(2), d2(42);
+  const auto constraints = TimingConstraints::sporadic(c1, d1, d2);
+  const std::int64_t B = ((d2 - d1) / (c1 * 4)).floor();  // 10
+  ASSERT_GE(B, 1);
+
+  TooFewStepsMpmFactory algorithm(per_session);
+  const SporadicRetimingResult result =
+      attack_sporadic_mpm(spec, constraints, algorithm);
+  ASSERT_TRUE(result.constructed) << result.failure;
+  EXPECT_TRUE(result.order_consistent);
+  EXPECT_TRUE(result.receives_preserved);
+  EXPECT_TRUE(result.admissibility.admissible)
+      << result.admissibility.violation;
+  EXPECT_LE(result.sessions, result.chunks);
+
+  const std::int64_t rounds = per_session * (s - 1) + 1;
+  const bool below_bound = rounds <= B * (s - 1);
+  EXPECT_EQ(result.certificate, below_bound)
+      << "rounds=" << rounds << " B=" << B << " " << result.to_string();
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, SporadicDichotomy,
+                         ::testing::Combine(::testing::Values(2, 3, 5, 8),
+                                            ::testing::Values(3, 8, 9, 12,
+                                                              20)));
+
+TEST(SporadicRetimerProperties, ReorderKeepsMessageLifecycles) {
+  const ProblemSpec spec{4, 3, 2};
+  const auto constraints =
+      TimingConstraints::sporadic(Duration(1), Duration(2), Duration(42));
+  SporadicMpmFactory algorithm;
+  const SporadicRetimingResult result =
+      attack_sporadic_mpm(spec, constraints, algorithm);
+  ASSERT_TRUE(result.constructed) << result.failure;
+  ASSERT_TRUE(result.reordered_trace.has_value());
+
+  const TimedComputation& tc = *result.reordered_trace;
+  EXPECT_FALSE(tc.structural_error().has_value())
+      << *tc.structural_error();
+  for (const MessageRecord& m : tc.messages()) {
+    if (!m.delivered()) continue;
+    // Send before deliver before receive, in the new order.
+    EXPECT_LT(m.send_step, m.deliver_step);
+    if (m.received()) {
+      EXPECT_LT(m.deliver_step, m.receive_step);
+    }
+    // Delay within the sporadic window.
+    const Duration delay =
+        tc.steps()[m.deliver_step].time - tc.steps()[m.send_step].time;
+    EXPECT_GE(delay, constraints.d1);
+    EXPECT_LE(delay, constraints.d2);
+  }
+}
+
+}  // namespace
+}  // namespace sesp

@@ -1,0 +1,87 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace sesp {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next_u64() == b.next_u64()) ++equal;
+  EXPECT_LT(equal, 4);
+}
+
+TEST(RngTest, NextBelowInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.next_below(13), 13u);
+}
+
+TEST(RngTest, NextBelowCoversAllResidues) {
+  Rng rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.next_below(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(RngTest, NextIntInClosedRange) {
+  Rng rng(3);
+  bool hit_lo = false, hit_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const std::int64_t v = rng.next_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    hit_lo = hit_lo || v == -3;
+    hit_hi = hit_hi || v == 3;
+  }
+  EXPECT_TRUE(hit_lo);
+  EXPECT_TRUE(hit_hi);
+}
+
+TEST(RngTest, NextBoolProbabilityRoughlyRight) {
+  Rng rng(5);
+  int heads = 0;
+  for (int i = 0; i < 10000; ++i)
+    if (rng.next_bool(1, 4)) ++heads;
+  EXPECT_GT(heads, 2000);
+  EXPECT_LT(heads, 3000);
+}
+
+TEST(RngTest, NextRatioStaysInInterval) {
+  Rng rng(9);
+  const Ratio lo(1, 3), hi(5, 2);
+  for (int i = 0; i < 500; ++i) {
+    const Ratio r = rng.next_ratio(lo, hi, 16);
+    EXPECT_GE(r, lo);
+    EXPECT_LE(r, hi);
+  }
+}
+
+TEST(RngTest, NextRatioHitsEndpoints) {
+  Rng rng(13);
+  const Ratio lo(0), hi(1);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 500; ++i) {
+    const Ratio r = rng.next_ratio(lo, hi, 4);
+    saw_lo = saw_lo || r == lo;
+    saw_hi = saw_hi || r == hi;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NextRatioDegenerateInterval) {
+  Rng rng(17);
+  EXPECT_EQ(rng.next_ratio(Ratio(2), Ratio(2)), Ratio(2));
+}
+
+}  // namespace
+}  // namespace sesp

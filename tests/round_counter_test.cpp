@@ -1,0 +1,96 @@
+#include "session/round_counter.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sesp {
+namespace {
+
+StepRecord step(ProcessId p, std::int64_t t, bool idle = false) {
+  StepRecord st;
+  st.kind = StepKind::kCompute;
+  st.process = p;
+  st.time = Time(t);
+  st.idle_after = idle;
+  return st;
+}
+
+StepRecord port_step(ProcessId p, std::int64_t t, bool idle = false) {
+  StepRecord st = step(p, t, idle);
+  st.port = p;
+  return st;
+}
+
+TEST(RoundCounterTest, EmptyTrace) {
+  TimedComputation tc(Substrate::kSharedMemory, 2, 2);
+  const RoundDecomposition d = count_rounds(tc);
+  EXPECT_EQ(d.full_rounds, 0);
+  EXPECT_FALSE(d.partial_tail);
+  EXPECT_EQ(d.rounds_ceiling(), 0);
+}
+
+TEST(RoundCounterTest, OneRoundPerFullSweep) {
+  TimedComputation tc(Substrate::kSharedMemory, 3, 3);
+  for (std::int64_t r = 0; r < 4; ++r)
+    for (ProcessId p = 0; p < 3; ++p) tc.append(step(p, 3 * r + p + 1));
+  EXPECT_EQ(count_rounds(tc).full_rounds, 4);
+  EXPECT_FALSE(count_rounds(tc).partial_tail);
+}
+
+TEST(RoundCounterTest, PartialTailCounted) {
+  TimedComputation tc(Substrate::kSharedMemory, 2, 2);
+  tc.append(step(0, 1));
+  tc.append(step(1, 2));
+  tc.append(step(0, 3));
+  const RoundDecomposition d = count_rounds(tc);
+  EXPECT_EQ(d.full_rounds, 1);
+  EXPECT_TRUE(d.partial_tail);
+  EXPECT_EQ(d.rounds_ceiling(), 2);
+}
+
+TEST(RoundCounterTest, SlowProcessStretchesRounds) {
+  TimedComputation tc(Substrate::kSharedMemory, 2, 2);
+  // p0 steps 5 times before p1 appears once: that is one round.
+  for (std::int64_t i = 1; i <= 5; ++i) tc.append(step(0, i));
+  tc.append(step(1, 6));
+  EXPECT_EQ(count_rounds(tc).full_rounds, 1);
+}
+
+TEST(RoundCounterTest, IdleProcessExcusedFromLaterRounds) {
+  TimedComputation tc(Substrate::kSharedMemory, 2, 2);
+  tc.append(port_step(0, 1, /*idle=*/false));
+  tc.append(port_step(1, 2, /*idle=*/true));  // p1 idles
+  tc.append(port_step(0, 3, /*idle=*/false));
+  tc.append(port_step(0, 4, /*idle=*/true));  // p0 idles -> prefix ends
+  const RoundDecomposition d = count_rounds(tc);
+  // Round 1 = {p0, p1}; afterwards p1 is idle so p0 alone completes rounds.
+  EXPECT_EQ(d.full_rounds, 3);
+}
+
+TEST(RoundCounterTest, CountsOnlyActivePrefix) {
+  TimedComputation tc(Substrate::kSharedMemory, 2, 2);
+  tc.append(port_step(0, 1, /*idle=*/true));
+  tc.append(port_step(1, 2, /*idle=*/true));  // all ports idle here
+  // Relay-ish non-port process churning afterwards is beyond the prefix.
+  TimedComputation tc2(Substrate::kSharedMemory, 3, 2);
+  tc2.append(port_step(0, 1, true));
+  tc2.append(port_step(1, 2, true));
+  tc2.append(step(2, 3));
+  tc2.append(step(2, 4));
+  EXPECT_EQ(count_rounds(tc).rounds_ceiling(),
+            count_rounds(tc2).rounds_ceiling());
+}
+
+TEST(RoundCounterTest, DeliverStepsDoNotParticipate) {
+  TimedComputation tc(Substrate::kMessagePassing, 2, 2);
+  StepRecord d;
+  d.kind = StepKind::kDeliver;
+  d.process = kNetworkProcess;
+  d.time = Time(1);
+  tc.append(port_step(0, 1));
+  tc.append(d);
+  tc.append(port_step(1, 2));
+  EXPECT_EQ(count_rounds(tc).full_rounds, 1);
+}
+
+}  // namespace
+}  // namespace sesp

@@ -1,0 +1,148 @@
+#include "session/session_counter.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace sesp {
+namespace {
+
+StepRecord port_step(ProcessId p, PortIndex port, std::int64_t t) {
+  StepRecord st;
+  st.kind = StepKind::kCompute;
+  st.process = p;
+  st.port = port;
+  st.time = Time(t);
+  return st;
+}
+
+StepRecord plain_step(ProcessId p, std::int64_t t) {
+  StepRecord st;
+  st.kind = StepKind::kCompute;
+  st.process = p;
+  st.time = Time(t);
+  return st;
+}
+
+TimedComputation make_trace(const std::vector<StepRecord>& steps,
+                            std::int32_t n_ports, std::int32_t n_procs) {
+  TimedComputation tc(Substrate::kSharedMemory, n_procs, n_ports);
+  for (const auto& st : steps) tc.append(st);
+  return tc;
+}
+
+TEST(SessionCounterTest, EmptyTraceHasNoSessions) {
+  const TimedComputation tc = make_trace({}, 2, 2);
+  EXPECT_EQ(count_sessions(tc).sessions, 0);
+}
+
+TEST(SessionCounterTest, OneRoundOnePortEach) {
+  const auto tc = make_trace({port_step(0, 0, 1), port_step(1, 1, 2)}, 2, 2);
+  const SessionDecomposition d = count_sessions(tc);
+  EXPECT_EQ(d.sessions, 1);
+  ASSERT_EQ(d.cut_points.size(), 1u);
+  EXPECT_EQ(d.cut_points[0], 2u);
+  EXPECT_EQ(d.close_times[0], Time(2));
+}
+
+TEST(SessionCounterTest, RepeatedPortDoesNotAdvance) {
+  const auto tc = make_trace(
+      {port_step(0, 0, 1), port_step(0, 0, 2), port_step(0, 0, 3)}, 2, 2);
+  EXPECT_EQ(count_sessions(tc).sessions, 0);
+}
+
+TEST(SessionCounterTest, NonPortStepsIgnored) {
+  const auto tc = make_trace({port_step(0, 0, 1), plain_step(2, 1),
+                              plain_step(3, 2), port_step(1, 1, 3)},
+                             2, 4);
+  EXPECT_EQ(count_sessions(tc).sessions, 1);
+}
+
+TEST(SessionCounterTest, GreedyCutsAsEarlyAsPossible) {
+  // Steps: 0 1 0 1 -> session closes at index 1 and again at index 3.
+  const auto tc = make_trace({port_step(0, 0, 1), port_step(1, 1, 2),
+                              port_step(0, 0, 3), port_step(1, 1, 4)},
+                             2, 2);
+  const SessionDecomposition d = count_sessions(tc);
+  EXPECT_EQ(d.sessions, 2);
+  EXPECT_EQ(d.cut_points[0], 2u);
+  EXPECT_EQ(d.cut_points[1], 4u);
+}
+
+TEST(SessionCounterTest, InterleavedThreePorts) {
+  // 0 1 0 2 | 1 2 0 ... first session needs all of {0,1,2}.
+  const auto tc = make_trace(
+      {port_step(0, 0, 1), port_step(1, 1, 2), port_step(0, 0, 3),
+       port_step(2, 2, 4), port_step(1, 1, 5), port_step(2, 2, 6),
+       port_step(0, 0, 7)},
+      3, 3);
+  const SessionDecomposition d = count_sessions(tc);
+  EXPECT_EQ(d.sessions, 2);
+  EXPECT_EQ(d.cut_points[0], 4u);  // closes at the port-2 step
+  EXPECT_EQ(d.cut_points[1], 7u);
+}
+
+TEST(SessionCounterTest, RangeRestriction) {
+  const auto tc = make_trace({port_step(0, 0, 1), port_step(1, 1, 2),
+                              port_step(0, 0, 3), port_step(1, 1, 4)},
+                             2, 2);
+  EXPECT_EQ(count_sessions(tc, 1).sessions, 1);     // skip first step
+  EXPECT_EQ(count_sessions(tc, 0, 3).sessions, 1);  // truncate
+  EXPECT_EQ(count_sessions(tc, 2, 2).sessions, 0);  // empty range
+}
+
+// Brute-force maximum number of disjoint sessions over all cut placements,
+// for small inputs: dynamic programming on the prefix.
+std::int64_t brute_force_sessions(const std::vector<StepRecord>& steps,
+                                  std::int32_t n_ports) {
+  const std::size_t n = steps.size();
+  // best[i] = max sessions in steps[0..i)
+  std::vector<std::int64_t> best(n + 1, 0);
+  for (std::size_t i = 1; i <= n; ++i) {
+    best[i] = best[i - 1];
+    // Try a session ending exactly at step i-1: find the minimal window
+    // [j, i) covering all ports.
+    std::vector<bool> seen(static_cast<std::size_t>(n_ports), false);
+    std::int32_t missing = n_ports;
+    for (std::size_t j = i; j-- > 0;) {
+      const StepRecord& st = steps[j];
+      if (st.is_port_step() && !seen[static_cast<std::size_t>(st.port)]) {
+        seen[static_cast<std::size_t>(st.port)] = true;
+        if (--missing == 0) {
+          best[i] = std::max(best[i], best[j] + 1);
+          break;
+        }
+      }
+    }
+  }
+  return best[n];
+}
+
+class SessionCounterRandom : public ::testing::TestWithParam<int> {};
+
+TEST_P(SessionCounterRandom, GreedyMatchesBruteForce) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 977 + 5);
+  const std::int32_t n_ports = 2 + static_cast<std::int32_t>(rng.next_below(3));
+  const std::size_t len = 5 + rng.next_below(40);
+  std::vector<StepRecord> steps;
+  for (std::size_t i = 0; i < len; ++i) {
+    const auto port =
+        static_cast<PortIndex>(rng.next_below(
+            static_cast<std::uint64_t>(n_ports) + 1));
+    if (port == n_ports)
+      steps.push_back(plain_step(0, static_cast<std::int64_t>(i)));
+    else
+      steps.push_back(
+          port_step(port, port, static_cast<std::int64_t>(i)));
+  }
+  EXPECT_EQ(count_sessions_in(steps, n_ports),
+            brute_force_sessions(steps, n_ports));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SessionCounterRandom, ::testing::Range(0, 25));
+
+}  // namespace
+}  // namespace sesp

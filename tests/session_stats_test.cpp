@@ -1,0 +1,90 @@
+#include "analysis/session_stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "adversary/delay_strategies.hpp"
+#include "adversary/step_schedulers.hpp"
+#include "algorithms/mpm/periodic_alg.hpp"
+#include "sim/experiment.hpp"
+
+namespace sesp {
+namespace {
+
+StepRecord port_step(ProcessId p, PortIndex port, std::int64_t t) {
+  StepRecord st;
+  st.kind = StepKind::kCompute;
+  st.process = p;
+  st.port = port;
+  st.time = Time(t);
+  return st;
+}
+
+TEST(SessionStatsTest, EmptyTrace) {
+  TimedComputation tc(Substrate::kSharedMemory, 2, 2);
+  const SessionStats stats = compute_session_stats(tc);
+  EXPECT_EQ(stats.sessions, 0);
+  EXPECT_TRUE(stats.gaps.empty());
+  EXPECT_EQ(stats.most_frequent_closer, kNoPort);
+  EXPECT_EQ(stats.port_steps, (std::vector<std::int64_t>{0, 0}));
+}
+
+TEST(SessionStatsTest, GapsAndClosers) {
+  TimedComputation tc(Substrate::kSharedMemory, 2, 2);
+  // Session 1 closes at t=3 (port 1), session 2 at t=10 (port 0).
+  tc.append(port_step(0, 0, 1));
+  tc.append(port_step(1, 1, 3));
+  tc.append(port_step(1, 1, 6));
+  tc.append(port_step(0, 0, 10));
+  const SessionStats stats = compute_session_stats(tc);
+  ASSERT_EQ(stats.sessions, 2);
+  EXPECT_EQ(stats.close_times[0], Time(3));
+  EXPECT_EQ(stats.close_times[1], Time(10));
+  EXPECT_EQ(stats.gaps[0], Duration(3));
+  EXPECT_EQ(stats.gaps[1], Duration(7));
+  EXPECT_EQ(stats.min_gap, Duration(3));
+  EXPECT_EQ(stats.max_gap, Duration(7));
+  EXPECT_NEAR(stats.mean_gap, 5.0, 1e-12);
+  EXPECT_EQ(stats.closers[0], 1);
+  EXPECT_EQ(stats.closers[1], 0);
+  EXPECT_EQ(stats.port_steps, (std::vector<std::int64_t>{2, 2}));
+}
+
+TEST(SessionStatsTest, SlowestProcessClosesSessions) {
+  // Under the periodic model with one slow port, that port's steps pace the
+  // sessions — the stats should identify it as the dominant closer.
+  const ProblemSpec spec{6, 3, 2};
+  std::vector<Duration> periods{Duration(5), Duration(1), Duration(1)};
+  const auto constraints = TimingConstraints::periodic(periods, Duration(2));
+  PeriodicMpmFactory factory;
+  FixedPeriodScheduler sched(periods);
+  FixedDelay delay{Duration(2)};
+  const MpmOutcome out =
+      run_mpm_once(spec, constraints, factory, sched, delay);
+  ASSERT_TRUE(out.run.completed);
+
+  const SessionStats stats = compute_session_stats(out.run.trace);
+  EXPECT_GE(stats.sessions, spec.s);
+  EXPECT_EQ(stats.most_frequent_closer, 0);  // the slow port
+  // Gap extremes track the slow period.
+  EXPECT_GE(stats.max_gap, Duration(5));
+  // The fast ports took several times more port steps.
+  EXPECT_GT(stats.port_steps[1], stats.port_steps[0]);
+  const std::string text = stats.to_string();
+  EXPECT_NE(text.find("closed mostly by port 0"), std::string::npos);
+}
+
+TEST(SessionStatsTest, SumOfGapsIsLastCloseTime) {
+  TimedComputation tc(Substrate::kSharedMemory, 2, 2);
+  for (std::int64_t k = 0; k < 5; ++k) {
+    tc.append(port_step(0, 0, 2 * k + 1));
+    tc.append(port_step(1, 1, 2 * k + 2));
+  }
+  const SessionStats stats = compute_session_stats(tc);
+  ASSERT_EQ(stats.sessions, 5);
+  Ratio sum(0);
+  for (const Duration& g : stats.gaps) sum += g;
+  EXPECT_EQ(sum, stats.close_times.back());
+}
+
+}  // namespace
+}  // namespace sesp

@@ -1,0 +1,60 @@
+#include "smm/shared_memory.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sesp {
+namespace {
+
+TEST(SharedMemoryTest, CreateAndAccess) {
+  SharedMemory mem(2);
+  const VarId v = mem.create_var({0, 1}, "x");
+  EXPECT_EQ(mem.num_vars(), 1);
+  EXPECT_EQ(mem.label(v), "x");
+  EXPECT_EQ(mem.accessors(v).size(), 2u);
+
+  Knowledge& val = mem.access(v, 0);
+  val.record(0, PortInfo{1, 0, false});
+  EXPECT_EQ(mem.peek(v).about(0).steps, 1);
+  // The other registered accessor sees the write.
+  EXPECT_EQ(mem.access(v, 1).about(0).steps, 1);
+}
+
+TEST(SharedMemoryTest, VariablesAreIndependent) {
+  SharedMemory mem(2);
+  const VarId a = mem.create_var({0}, "a");
+  const VarId b = mem.create_var({0}, "b");
+  mem.access(a, 0).record(0, PortInfo{7, 0, false});
+  EXPECT_EQ(mem.peek(b).about(0).steps, 0);
+  EXPECT_EQ(mem.peek(a).about(0).steps, 7);
+}
+
+TEST(SharedMemoryDeath, RejectsTooManyAccessors) {
+  EXPECT_DEATH(
+      {
+        SharedMemory mem(2);
+        mem.create_var({0, 1, 2}, "too-wide");
+      },
+      "accessors");
+}
+
+TEST(SharedMemoryDeath, RejectsUnregisteredAccessor) {
+  EXPECT_DEATH(
+      {
+        SharedMemory mem(2);
+        const VarId v = mem.create_var({0, 1}, "x");
+        mem.access(v, 2);
+      },
+      "not an accessor");
+}
+
+TEST(SharedMemoryDeath, RejectsUnknownVariable) {
+  EXPECT_DEATH(
+      {
+        SharedMemory mem(2);
+        mem.access(3, 0);
+      },
+      "unknown variable");
+}
+
+}  // namespace
+}  // namespace sesp

@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "adversary/step_schedulers.hpp"
+#include "algorithms/smm/async_alg.hpp"
+#include "algorithms/smm/broken_algs.hpp"
+#include "algorithms/smm/periodic_alg.hpp"
+#include "algorithms/smm/semisync_alg.hpp"
+#include "algorithms/smm/sync_alg.hpp"
+#include "analysis/bounds.hpp"
+#include "sim/experiment.hpp"
+
+namespace sesp {
+namespace {
+
+using InstanceParam = std::tuple<int, int, int>;  // (s, n, b)
+
+ProblemSpec spec_of(const InstanceParam& p) {
+  return ProblemSpec{std::get<0>(p), std::get<1>(p), std::get<2>(p)};
+}
+
+const auto kInstances = ::testing::Combine(::testing::Values(1, 2, 3, 6),
+                                           ::testing::Values(2, 4, 9),
+                                           ::testing::Values(2, 3));
+
+// --- Synchronous ------------------------------------------------------------
+
+class SyncSmmConformance : public ::testing::TestWithParam<InstanceParam> {};
+
+TEST_P(SyncSmmConformance, SolvesExactlyAtTheBound) {
+  const ProblemSpec spec = spec_of(GetParam());
+  const auto constraints = TimingConstraints::synchronous(Duration(2));
+  SyncSmmFactory factory;
+  const WorstCase wc = smm_worst_case(spec, constraints, factory);
+  EXPECT_TRUE(wc.all_admissible) << wc.first_failure;
+  EXPECT_TRUE(wc.all_solved) << wc.first_failure;
+  EXPECT_EQ(wc.max_termination, bounds::sync_tight(spec, Duration(2)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, SyncSmmConformance, kInstances);
+
+// --- Periodic: A(p) ---------------------------------------------------------
+
+class PeriodicSmmConformance
+    : public ::testing::TestWithParam<InstanceParam> {};
+
+TEST_P(PeriodicSmmConformance, SolvesWithinTheoremBound) {
+  const ProblemSpec spec = spec_of(GetParam());
+  const std::int32_t total = smm_total_processes(spec.n, spec.b);
+  // Heterogeneous periods, port 0 slowest.
+  std::vector<Duration> periods(static_cast<std::size_t>(total), Duration(1));
+  periods[0] = Duration(2);
+  const auto constraints = TimingConstraints::periodic(periods);
+  PeriodicSmmFactory factory;
+  const WorstCase wc = smm_worst_case(spec, constraints, factory);
+  EXPECT_TRUE(wc.all_admissible) << wc.first_failure;
+  EXPECT_TRUE(wc.all_solved) << wc.first_failure;
+  const Time upper = bounds::periodic_sm_upper(
+      spec, constraints.c_max(),
+      smm_tree_latency_steps(spec.n, spec.b));
+  EXPECT_LE(wc.max_termination, upper);
+  EXPECT_GE(wc.max_termination, Ratio(spec.s) * constraints.c_max());
+}
+
+TEST_P(PeriodicSmmConformance, NoWaitVariantMissesSessionsUnderSlowOne) {
+  const ProblemSpec spec = spec_of(GetParam());
+  if (spec.s < 2) GTEST_SKIP();
+  const std::int32_t total = smm_total_processes(spec.n, spec.b);
+  std::vector<Duration> periods(static_cast<std::size_t>(total), Duration(1));
+  periods[0] = Duration(64);
+  const auto constraints = TimingConstraints::periodic(periods);
+  NoWaitPeriodicSmmFactory broken;
+  FixedPeriodScheduler sched(periods);
+  const SmmOutcome out = run_smm_once(spec, constraints, broken, sched);
+  EXPECT_TRUE(out.verdict.admissible);
+  EXPECT_LT(out.verdict.sessions, spec.s);
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, PeriodicSmmConformance, kInstances);
+
+// --- Semi-synchronous -------------------------------------------------------
+
+class SemiSyncSmmConformance
+    : public ::testing::TestWithParam<std::tuple<int, int, int, int>> {};
+
+TEST_P(SemiSyncSmmConformance, BothStrategiesWithinBound) {
+  const auto [s, n, b, c2v] = GetParam();
+  const ProblemSpec spec{s, n, b};
+  const auto constraints =
+      TimingConstraints::semi_synchronous(Duration(1), Duration(c2v));
+  for (const SmmSemiSyncStrategy strategy :
+       {SmmSemiSyncStrategy::kAuto, SmmSemiSyncStrategy::kStepCount,
+        SmmSemiSyncStrategy::kCommunicate}) {
+    SemiSyncSmmFactory factory(strategy);
+    const WorstCase wc = smm_worst_case(spec, constraints, factory,
+                                        /*random_runs=*/3);
+    EXPECT_TRUE(wc.all_admissible) << factory.name() << ": "
+                                   << wc.first_failure;
+    EXPECT_TRUE(wc.all_solved) << factory.name() << ": " << wc.first_failure;
+    if (strategy == SmmSemiSyncStrategy::kAuto) {
+      const Time upper = bounds::semisync_sm_upper(
+          spec, Duration(1), Duration(c2v),
+          smm_tree_latency_steps(spec.n, spec.b));
+      EXPECT_LE(wc.max_termination, upper) << factory.name();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, SemiSyncSmmConformance,
+    ::testing::Combine(::testing::Values(1, 2, 4), ::testing::Values(2, 6),
+                       ::testing::Values(2, 3), ::testing::Values(2, 3, 9)));
+
+// --- Asynchronous (rounds measure) ------------------------------------------
+
+class AsyncSmmConformance : public ::testing::TestWithParam<InstanceParam> {};
+
+TEST_P(AsyncSmmConformance, SolvesWithinRoundBound) {
+  const ProblemSpec spec = spec_of(GetParam());
+  const auto constraints = TimingConstraints::asynchronous();
+  AsyncSmmFactory factory;
+  const WorstCase wc = smm_worst_case(spec, constraints, factory,
+                                      /*random_runs=*/3);
+  EXPECT_TRUE(wc.all_admissible) << wc.first_failure;
+  EXPECT_TRUE(wc.all_solved) << wc.first_failure;
+  EXPECT_LE(wc.max_rounds,
+            bounds::async_sm_upper_rounds(
+                spec, smm_tree_latency_steps(spec.n, spec.b)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, AsyncSmmConformance, kInstances);
+
+// --- Strategy picker ---------------------------------------------------------
+
+TEST(SmmAlgorithmsTest, SemiSyncAutoPicksCheaperBranch) {
+  const ProblemSpec small{2, 2, 3};
+  // c2/c1 tiny -> stepping cheap.
+  EXPECT_EQ(SemiSyncSmmFactory::pick(
+                small, TimingConstraints::semi_synchronous(1, 2)),
+            SmmSemiSyncStrategy::kStepCount);
+  // c2/c1 enormous -> communication cheap.
+  EXPECT_EQ(SemiSyncSmmFactory::pick(
+                small, TimingConstraints::semi_synchronous(1, 10'000)),
+            SmmSemiSyncStrategy::kCommunicate);
+}
+
+TEST(SmmAlgorithmsTest, FactoriesReportNames) {
+  EXPECT_STREQ(SyncSmmFactory{}.name(), "sync-smm");
+  EXPECT_STREQ(PeriodicSmmFactory{}.name(), "A(p)-smm");
+  EXPECT_STREQ(AsyncSmmFactory{}.name(), "async-smm");
+}
+
+}  // namespace
+}  // namespace sesp

@@ -1,0 +1,72 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace sesp {
+namespace {
+
+TEST(SummaryTest, TracksMinMaxMeanCount) {
+  Summary s;
+  EXPECT_TRUE(s.empty());
+  s.add(Ratio(3));
+  s.add(Ratio(1, 2));
+  s.add(Ratio(5));
+  EXPECT_EQ(s.count(), 3u);
+  EXPECT_EQ(s.min(), Ratio(1, 2));
+  EXPECT_EQ(s.max(), Ratio(5));
+  EXPECT_NEAR(s.mean(), (3 + 0.5 + 5) / 3.0, 1e-12);
+}
+
+TEST(SummaryTest, SingleValue) {
+  Summary s;
+  s.add(Ratio(-7, 3));
+  EXPECT_EQ(s.min(), s.max());
+  EXPECT_NEAR(s.mean(), -7.0 / 3.0, 1e-12);
+}
+
+TEST(MaxOfTest, ExactMaximum) {
+  EXPECT_EQ(max_of({Ratio(1, 3), Ratio(2, 5), Ratio(1, 7)}), Ratio(2, 5));
+  EXPECT_EQ(max_of({Ratio(-1)}), Ratio(-1));
+}
+
+TEST(TextTableTest, PadsShortRows) {
+  TextTable t({"a", "bb", "ccc"});
+  t.add_row({"1"});
+  t.add_row({"1", "2", "3"});
+  EXPECT_EQ(t.rows(), 2u);
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("| a "), std::string::npos);
+  EXPECT_NE(out.find("ccc"), std::string::npos);
+}
+
+TEST(TextTableTest, AlignsColumns) {
+  TextTable t({"x", "y"});
+  t.add_row({"long-cell", "1"});
+  t.add_row({"s", "2"});
+  std::ostringstream os;
+  t.print(os);
+  // Each printed row has the same width.
+  std::istringstream lines(os.str());
+  std::string line;
+  std::size_t width = 0;
+  while (std::getline(lines, line)) {
+    if (width == 0) width = line.size();
+    EXPECT_EQ(line.size(), width);
+  }
+}
+
+TEST(FormatTest, Helpers) {
+  EXPECT_EQ(fmt(Ratio(7, 2)), "7/2");
+  EXPECT_EQ(fmt_approx(Ratio(7, 2)), "3.500");
+  EXPECT_EQ(fmt_ratio_of(Ratio(1), Ratio(2)), "0.500");
+  EXPECT_EQ(fmt_ratio_of(Ratio(0), Ratio(0)), "1.000");
+  EXPECT_EQ(fmt_ratio_of(Ratio(1), Ratio(0)), "inf");
+}
+
+}  // namespace
+}  // namespace sesp

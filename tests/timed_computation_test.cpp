@@ -1,0 +1,129 @@
+#include "model/timed_computation.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sesp {
+namespace {
+
+StepRecord step(ProcessId p, const Time& t, bool idle = false) {
+  StepRecord st;
+  st.kind = StepKind::kCompute;
+  st.process = p;
+  st.time = t;
+  st.idle_after = idle;
+  return st;
+}
+
+TEST(TimedComputationTest, EndTimeAndComputeTimes) {
+  TimedComputation tc(Substrate::kSharedMemory, 2, 2);
+  EXPECT_EQ(tc.end_time(), Time(0));
+  tc.append(step(0, Time(1)));
+  tc.append(step(1, Time(2)));
+  tc.append(step(0, Time(3)));
+  EXPECT_EQ(tc.end_time(), Time(3));
+  const auto times = tc.compute_times(0);
+  ASSERT_EQ(times.size(), 2u);
+  EXPECT_EQ(times[0], Time(1));
+  EXPECT_EQ(times[1], Time(3));
+  EXPECT_EQ(tc.compute_indices(1), (std::vector<std::size_t>{1}));
+}
+
+TEST(TimedComputationTest, TerminationNeedsAllPorts) {
+  TimedComputation tc(Substrate::kSharedMemory, 2, 2);
+  tc.append(step(0, Time(1), /*idle=*/true));
+  EXPECT_FALSE(tc.all_ports_idle());
+  EXPECT_FALSE(tc.termination_time().has_value());
+  tc.append(step(1, Time(5), /*idle=*/true));
+  EXPECT_TRUE(tc.all_ports_idle());
+  EXPECT_EQ(*tc.termination_time(), Time(5));
+  EXPECT_EQ(tc.active_prefix_length(), 2u);
+}
+
+TEST(TimedComputationTest, RelayIdlenessIrrelevant) {
+  // Process 2 is a relay (ids >= num_ports); only ports gate termination.
+  TimedComputation tc(Substrate::kSharedMemory, 3, 2);
+  tc.append(step(0, Time(1), true));
+  tc.append(step(2, Time(2)));
+  tc.append(step(1, Time(3), true));
+  tc.append(step(2, Time(4)));
+  EXPECT_EQ(*tc.termination_time(), Time(3));
+  EXPECT_EQ(tc.active_prefix_length(), 3u);
+}
+
+TEST(TimedComputationTest, GammaIsLargestGapIncludingStart) {
+  TimedComputation tc(Substrate::kSharedMemory, 2, 2);
+  tc.append(step(1, Time(1)));           // gap 1 from time 0
+  tc.append(step(0, Time(2)));           // gap 2
+  tc.append(step(0, Time(7), true));     // gap 5
+  tc.append(step(1, Time(8), true));     // gap 7 -> gamma
+  EXPECT_EQ(*tc.gamma(), Duration(7));
+}
+
+TEST(TimedComputationTest, GammaIgnoresPostTerminationSteps) {
+  TimedComputation tc(Substrate::kSharedMemory, 3, 2);
+  tc.append(step(0, Time(1), true));
+  tc.append(step(1, Time(2), true));   // all ports idle here
+  tc.append(step(2, Time(100)));       // beyond the active prefix
+  EXPECT_EQ(*tc.gamma(), Duration(2));
+}
+
+TEST(TimedComputationTest, StructuralErrorOnDecreasingTime) {
+  TimedComputation tc(Substrate::kSharedMemory, 2, 2);
+  tc.append(step(0, Time(2)));
+  tc.append(step(1, Time(1)));
+  const auto err = tc.structural_error();
+  ASSERT_TRUE(err.has_value());
+  EXPECT_NE(err->find("time decreases"), std::string::npos);
+}
+
+TEST(TimedComputationTest, StructuralErrorOnIdleEscape) {
+  TimedComputation tc(Substrate::kSharedMemory, 2, 2);
+  tc.append(step(0, Time(1), /*idle=*/true));
+  tc.append(step(0, Time(2), /*idle=*/false));
+  const auto err = tc.structural_error();
+  ASSERT_TRUE(err.has_value());
+  EXPECT_NE(err->find("leaves idle"), std::string::npos);
+}
+
+TEST(TimedComputationTest, MessagePlumbingValidated) {
+  TimedComputation tc(Substrate::kMessagePassing, 2, 2);
+  tc.append(step(0, Time(1)));  // send step
+  StepRecord deliver;
+  deliver.kind = StepKind::kDeliver;
+  deliver.process = kNetworkProcess;
+  deliver.time = Time(2);
+  deliver.delivered = 0;
+  tc.append(deliver);
+  tc.append(step(1, Time(3)));  // receive step
+
+  MessageRecord m;
+  m.sender = 0;
+  m.recipient = 1;
+  m.send_step = 0;
+  m.deliver_step = 1;
+  m.receive_step = 2;
+  tc.append_message(m);
+  EXPECT_FALSE(tc.structural_error().has_value());
+
+  // Delivery before send is rejected.
+  TimedComputation bad(Substrate::kMessagePassing, 2, 2);
+  bad.append(deliver);
+  bad.append(step(0, Time(3)));
+  MessageRecord mb;
+  mb.sender = 0;
+  mb.recipient = 1;
+  mb.send_step = 1;
+  mb.deliver_step = 0;
+  bad.append_message(mb);
+  ASSERT_TRUE(bad.structural_error().has_value());
+}
+
+TEST(TimedComputationTest, ToStringTruncates) {
+  TimedComputation tc(Substrate::kSharedMemory, 1, 1);
+  for (int i = 1; i <= 10; ++i) tc.append(step(0, Time(i)));
+  const std::string s = tc.to_string(3);
+  EXPECT_NE(s.find("7 more"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sesp

@@ -1,0 +1,116 @@
+#include "analysis/timeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "adversary/delay_strategies.hpp"
+#include "adversary/step_schedulers.hpp"
+#include "algorithms/mpm/sporadic_alg.hpp"
+#include "algorithms/smm/periodic_alg.hpp"
+#include "sim/experiment.hpp"
+
+namespace sesp {
+namespace {
+
+std::size_t count_lines(const std::string& s) {
+  std::size_t lines = 0;
+  for (const char c : s)
+    if (c == '\n') ++lines;
+  return lines;
+}
+
+TEST(TimelineTest, EmptyTrace) {
+  TimedComputation tc(Substrate::kSharedMemory, 2, 2);
+  EXPECT_EQ(render_timeline(tc), "(empty trace)\n");
+}
+
+TEST(TimelineTest, SmmLanesAndGlyphs) {
+  const ProblemSpec spec{2, 3, 3};
+  const std::int32_t total = smm_total_processes(spec.n, spec.b);
+  const auto constraints = TimingConstraints::periodic(
+      std::vector<Duration>(static_cast<std::size_t>(total), Duration(1)));
+  PeriodicSmmFactory factory;
+  FixedPeriodScheduler sched(total, Duration(1));
+  const SmmOutcome out = run_smm_once(spec, constraints, factory, sched);
+  ASSERT_TRUE(out.run.completed);
+
+  const std::string art = render_timeline(out.run.trace);
+  // One lane per process plus the session line and the axis line.
+  EXPECT_GE(count_lines(art), static_cast<std::size_t>(total) + 2);
+  // Port processes are starred, port and idle glyphs appear.
+  EXPECT_NE(art.find("p0*"), std::string::npos);
+  EXPECT_NE(art.find('P'), std::string::npos);
+  EXPECT_NE(art.find('o'), std::string::npos);
+  EXPECT_NE(art.find("sessions"), std::string::npos);
+  // No network lane for shared memory.
+  EXPECT_EQ(art.find("net"), std::string::npos);
+}
+
+TEST(TimelineTest, MpmShowsNetworkLane) {
+  const ProblemSpec spec{2, 2, 2};
+  const auto constraints =
+      TimingConstraints::sporadic(Duration(1), Duration(1), Duration(3));
+  SporadicMpmFactory factory;
+  FixedPeriodScheduler sched(spec.n, Duration(1));
+  FixedDelay delay{Duration(3)};
+  const MpmOutcome out =
+      run_mpm_once(spec, constraints, factory, sched, delay);
+  ASSERT_TRUE(out.run.completed);
+
+  const std::string art = render_timeline(out.run.trace);
+  EXPECT_NE(art.find("net"), std::string::npos);
+  EXPECT_NE(art.find('d'), std::string::npos);
+
+  TimelineOptions no_net;
+  no_net.show_network = false;
+  EXPECT_EQ(render_timeline(out.run.trace, no_net).find("net"),
+            std::string::npos);
+}
+
+TEST(TimelineTest, RespectsWidthAndLaneCap) {
+  const ProblemSpec spec{2, 4, 2};
+  const auto constraints = TimingConstraints::synchronous(1, 1);
+  SporadicMpmFactory factory;  // any terminating algorithm works
+  FixedPeriodScheduler sched(spec.n, Duration(1));
+  FixedDelay delay{Duration(1)};
+  const auto out = run_mpm_once(
+      spec, TimingConstraints::sporadic(Duration(1), Duration(1), Duration(1)),
+      factory, sched, delay);
+  ASSERT_TRUE(out.run.completed);
+
+  TimelineOptions narrow;
+  narrow.width = 40;
+  narrow.max_processes = 2;
+  const std::string art = render_timeline(out.run.trace, narrow);
+  EXPECT_NE(art.find("2 more lanes hidden"), std::string::npos);
+  // Lane lines (the ones with the '|' origin mark) respect the width plus
+  // the small label margin; annotation lines may carry a trailing legend.
+  std::istringstream lines(art);
+  std::string line;
+  while (std::getline(lines, line))
+    if (line.find('|') != std::string::npos) {
+      EXPECT_LE(line.size(), 50u);
+    }
+}
+
+TEST(TimelineTest, SessionMarksMatchGreedyCount) {
+  const ProblemSpec spec{3, 2, 2};
+  const auto constraints = TimingConstraints::synchronous(2, 2);
+  // Synchronous: trivially s sessions.
+  FixedPeriodScheduler sched(spec.n, Duration(2));
+  FixedDelay delay{Duration(2)};
+  SporadicMpmFactory wrong_model_but_fine(0);  // takes steps, terminates
+  const auto out = run_mpm_once(
+      spec, TimingConstraints::sporadic(Duration(2), Duration(2), Duration(2)),
+      wrong_model_but_fine, sched, delay);
+  ASSERT_TRUE(out.run.completed);
+  const std::string art = render_timeline(out.run.trace);
+  // The rendered count equals the verifier's.
+  EXPECT_NE(art.find("(" + std::to_string(out.verdict.sessions) +
+                     " sessions"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace sesp

@@ -1,0 +1,109 @@
+#include "mpm/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <tuple>
+
+namespace sesp {
+namespace {
+
+TEST(TopologyTest, CompleteGraph) {
+  const Topology t = Topology::complete(5);
+  EXPECT_EQ(t.num_nodes(), 5);
+  EXPECT_EQ(t.num_edges(), 10);
+  EXPECT_EQ(t.diameter(), 1);
+  EXPECT_TRUE(t.has_edge(0, 4));
+  EXPECT_FALSE(t.has_edge(2, 2));
+}
+
+TEST(TopologyTest, Ring) {
+  const Topology t = Topology::ring(8);
+  EXPECT_EQ(t.num_edges(), 8);
+  EXPECT_EQ(t.diameter(), 4);
+  EXPECT_EQ(t.distance(0, 3), 3);
+  EXPECT_EQ(t.distance(0, 5), 3);  // the short way around
+  for (ProcessId p = 0; p < 8; ++p) EXPECT_EQ(t.neighbors(p).size(), 2u);
+}
+
+TEST(TopologyTest, RingOfTwoHasSingleEdge) {
+  const Topology t = Topology::ring(2);
+  EXPECT_EQ(t.num_edges(), 1);
+  EXPECT_EQ(t.diameter(), 1);
+}
+
+TEST(TopologyTest, Line) {
+  const Topology t = Topology::line(6);
+  EXPECT_EQ(t.num_edges(), 5);
+  EXPECT_EQ(t.diameter(), 5);
+  EXPECT_EQ(t.distance(0, 5), 5);
+}
+
+TEST(TopologyTest, Star) {
+  const Topology t = Topology::star(7);
+  EXPECT_EQ(t.num_edges(), 6);
+  EXPECT_EQ(t.diameter(), 2);
+  EXPECT_EQ(t.neighbors(0).size(), 6u);
+  EXPECT_EQ(t.neighbors(3).size(), 1u);
+}
+
+TEST(TopologyTest, BalancedTree) {
+  const Topology t = Topology::tree(7, 2);
+  EXPECT_EQ(t.num_edges(), 6);
+  // Node 0 root, children 1,2; 1's children 3,4; 2's children 5,6.
+  EXPECT_TRUE(t.has_edge(0, 1));
+  EXPECT_TRUE(t.has_edge(1, 3));
+  EXPECT_TRUE(t.has_edge(2, 6));
+  EXPECT_EQ(t.diameter(), 4);  // leaf to leaf across the root
+}
+
+TEST(TopologyTest, Grid) {
+  const Topology t = Topology::grid(3, 4);
+  EXPECT_EQ(t.num_nodes(), 12);
+  EXPECT_EQ(t.num_edges(), 3 * 3 + 2 * 4);  // rows*(cols-1) + (rows-1)*cols
+  EXPECT_EQ(t.diameter(), 2 + 3);           // manhattan across corners
+}
+
+TEST(TopologyTest, SingleNode) {
+  const Topology t = Topology::line(1);
+  EXPECT_EQ(t.num_edges(), 0);
+  EXPECT_EQ(t.diameter(), 0);
+  EXPECT_TRUE(t.connected());
+}
+
+class TopologySweep
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(TopologySweep, AllFamiliesConnectedAndSymmetric) {
+  const auto [n, which] = GetParam();
+  Topology t = Topology::complete(n);
+  switch (which) {
+    case 0: t = Topology::complete(n); break;
+    case 1: t = Topology::ring(n); break;
+    case 2: t = Topology::line(n); break;
+    case 3: t = Topology::star(n); break;
+    case 4: t = Topology::tree(n, 3); break;
+  }
+  EXPECT_TRUE(t.connected()) << t.name();
+  // Symmetry: b in adj(a) iff a in adj(b); no self loops or duplicates.
+  for (ProcessId a = 0; a < n; ++a) {
+    std::set<ProcessId> seen;
+    for (const ProcessId b : t.neighbors(a)) {
+      EXPECT_NE(a, b);
+      EXPECT_TRUE(seen.insert(b).second) << "duplicate edge " << a << "-" << b;
+      EXPECT_TRUE(t.has_edge(b, a));
+    }
+  }
+  // Diameter sanity: 0 iff n == 1, and <= n-1 always.
+  if (n == 1) EXPECT_EQ(t.diameter(), 0);
+  else EXPECT_GE(t.diameter(), 1);
+  EXPECT_LE(t.diameter(), n - 1 + (n == 1 ? 1 : 0));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, TopologySweep,
+    ::testing::Combine(::testing::Values(1, 2, 3, 5, 9, 16),
+                       ::testing::Values(0, 1, 2, 3, 4)));
+
+}  // namespace
+}  // namespace sesp

@@ -1,0 +1,153 @@
+#include "model/trace_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include "adversary/delay_strategies.hpp"
+#include "adversary/step_schedulers.hpp"
+#include "algorithms/mpm/sporadic_alg.hpp"
+#include "algorithms/smm/periodic_alg.hpp"
+#include "sim/experiment.hpp"
+
+namespace sesp {
+namespace {
+
+TEST(RatioTextTest, RoundTrip) {
+  for (const Ratio r : {Ratio(0), Ratio(7), Ratio(-3), Ratio(7, 2),
+                        Ratio(-22, 7), Ratio(1, 1000000)}) {
+    const auto back = ratio_from_text(ratio_to_text(r));
+    ASSERT_TRUE(back.has_value()) << r.to_string();
+    EXPECT_EQ(*back, r);
+  }
+}
+
+TEST(RatioTextTest, RejectsGarbage) {
+  EXPECT_FALSE(ratio_from_text("").has_value());
+  EXPECT_FALSE(ratio_from_text("abc").has_value());
+  EXPECT_FALSE(ratio_from_text("1/0").has_value());
+  EXPECT_FALSE(ratio_from_text("1/2/3").has_value());
+  EXPECT_FALSE(ratio_from_text("1.5").has_value());
+}
+
+bool traces_equal(const TimedComputation& a, const TimedComputation& b) {
+  if (a.substrate() != b.substrate() ||
+      a.num_processes() != b.num_processes() ||
+      a.num_ports() != b.num_ports() ||
+      a.steps().size() != b.steps().size() ||
+      a.messages().size() != b.messages().size())
+    return false;
+  for (std::size_t i = 0; i < a.steps().size(); ++i) {
+    const StepRecord& x = a.steps()[i];
+    const StepRecord& y = b.steps()[i];
+    if (x.kind != y.kind || x.process != y.process || x.time != y.time ||
+        x.port != y.port || x.var != y.var || x.delivered != y.delivered ||
+        x.idle_after != y.idle_after ||
+        x.value_before_digest != y.value_before_digest ||
+        x.value_after_digest != y.value_after_digest)
+      return false;
+  }
+  for (std::size_t i = 0; i < a.messages().size(); ++i) {
+    const MessageRecord& x = a.messages()[i];
+    const MessageRecord& y = b.messages()[i];
+    if (x.sender != y.sender || x.recipient != y.recipient ||
+        x.send_step != y.send_step || x.deliver_step != y.deliver_step ||
+        x.receive_step != y.receive_step || x.session != y.session ||
+        x.steps != y.steps || x.done != y.done)
+      return false;
+  }
+  return true;
+}
+
+TEST(TraceIoTest, MpmRoundTrip) {
+  const ProblemSpec spec{3, 3, 2};
+  const auto constraints =
+      TimingConstraints::sporadic(Duration(1), Duration(1), Duration(7, 2));
+  SporadicMpmFactory factory;
+  FixedPeriodScheduler sched(spec.n, Duration(1));
+  FixedDelay delay{Duration(7, 2)};
+  const MpmOutcome out =
+      run_mpm_once(spec, constraints, factory, sched, delay);
+  ASSERT_TRUE(out.run.completed);
+
+  const std::string text = to_text(out.run.trace);
+  std::string error;
+  const auto parsed = trace_from_text(text, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_TRUE(traces_equal(out.run.trace, *parsed));
+  // Re-serializing is byte-identical (canonical form).
+  EXPECT_EQ(to_text(*parsed), text);
+}
+
+TEST(TraceIoTest, SmmRoundTrip) {
+  const ProblemSpec spec{2, 4, 3};
+  const std::int32_t total = smm_total_processes(spec.n, spec.b);
+  const auto constraints = TimingConstraints::periodic(
+      std::vector<Duration>(static_cast<std::size_t>(total), Duration(3, 2)));
+  PeriodicSmmFactory factory;
+  FixedPeriodScheduler sched(total, Duration(3, 2));
+  const SmmOutcome out = run_smm_once(spec, constraints, factory, sched);
+  ASSERT_TRUE(out.run.completed);
+
+  const std::string text = to_text(out.run.trace);
+  std::string error;
+  const auto parsed = trace_from_text(text, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_TRUE(traces_equal(out.run.trace, *parsed));
+}
+
+TEST(TraceIoTest, RejectsBadInput) {
+  std::string error;
+  EXPECT_FALSE(trace_from_text("", &error).has_value());
+  EXPECT_NE(error.find("header"), std::string::npos);
+
+  EXPECT_FALSE(trace_from_text("sesp-trace v1\n", &error).has_value());
+  EXPECT_NE(error.find("meta"), std::string::npos);
+
+  EXPECT_FALSE(
+      trace_from_text("sesp-trace v1\nmeta,xxx,2,2\n", &error).has_value());
+
+  EXPECT_FALSE(trace_from_text(
+                   "sesp-trace v1\nmeta,smm,2,2\nstep,c,0\n", &error)
+                   .has_value());
+  EXPECT_NE(error.find("10 fields"), std::string::npos);
+
+  EXPECT_FALSE(trace_from_text(
+                   "sesp-trace v1\nmeta,smm,2,2\nbogus,1,2\n", &error)
+                   .has_value());
+  EXPECT_NE(error.find("unknown record"), std::string::npos);
+}
+
+TEST(ConstraintsTextTest, RoundTripAllModels) {
+  const TimingConstraints cases[] = {
+      TimingConstraints::synchronous(Duration(3, 2), Duration(4)),
+      TimingConstraints::periodic({Duration(1), Duration(5, 3)}, Duration(2)),
+      TimingConstraints::semi_synchronous(Duration(1), Duration(9, 2),
+                                          Duration(11)),
+      TimingConstraints::sporadic(Duration(2), Duration(1), Duration(8)),
+      TimingConstraints::asynchronous(Duration(2), Duration(6)),
+  };
+  for (const TimingConstraints& tc : cases) {
+    std::string error;
+    const auto back = constraints_from_text(to_text(tc), &error);
+    ASSERT_TRUE(back.has_value()) << error;
+    EXPECT_EQ(back->model, tc.model);
+    EXPECT_EQ(back->c1, tc.c1);
+    EXPECT_EQ(back->c2, tc.c2);
+    EXPECT_EQ(back->d1, tc.d1);
+    EXPECT_EQ(back->d2, tc.d2);
+    EXPECT_EQ(back->periods, tc.periods);
+  }
+}
+
+TEST(ConstraintsTextTest, RejectsBadInput) {
+  std::string error;
+  EXPECT_FALSE(constraints_from_text("nope", &error).has_value());
+  EXPECT_FALSE(
+      constraints_from_text("constraints,warp,1,2,0,4", &error).has_value());
+  EXPECT_NE(error.find("unknown timing model"), std::string::npos);
+  EXPECT_FALSE(
+      constraints_from_text("constraints,sporadic,x,2,0,4", &error)
+          .has_value());
+}
+
+}  // namespace
+}  // namespace sesp

@@ -1,0 +1,114 @@
+#include "smm/tree_network.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <functional>
+#include <set>
+#include <tuple>
+#include <vector>
+
+#include "analysis/bounds.hpp"
+
+namespace sesp {
+namespace {
+
+TEST(TreeNetworkTest, SingleLeafNeedsNoTree) {
+  SharedMemory mem(2);
+  TreeNetwork tree(1, 2, mem, 1);
+  EXPECT_EQ(tree.num_relays(), 0);
+  EXPECT_EQ(tree.depth(), 0);
+  EXPECT_EQ(tree.uplink(0), kNoVar);
+}
+
+TEST(TreeNetworkTest, TwoLeavesOneRelay) {
+  SharedMemory mem(3);
+  TreeNetwork tree(2, 3, mem, 2);
+  EXPECT_EQ(tree.num_relays(), 1);
+  EXPECT_EQ(tree.depth(), 1);
+  // Both leaves share the relay's single family variable.
+  EXPECT_EQ(tree.uplink(0), tree.uplink(1));
+  EXPECT_EQ(tree.relays()[0].rotation.size(), 1u);
+}
+
+TEST(TreeNetworkTest, BinaryCaseUsesEdgeVariables) {
+  SharedMemory mem(2);
+  TreeNetwork tree(2, 2, mem, 2);
+  EXPECT_EQ(tree.num_relays(), 1);
+  // b == 2: one variable per child edge.
+  EXPECT_NE(tree.uplink(0), tree.uplink(1));
+  EXPECT_EQ(tree.relays()[0].rotation.size(), 2u);
+}
+
+// Structural invariants across a parameter sweep of (n, b).
+class TreeNetworkSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(TreeNetworkSweep, StructuralInvariants) {
+  const auto [n, b] = GetParam();
+  SharedMemory mem(b);
+  TreeNetwork tree(n, b, mem, n);
+
+  // Every leaf has an uplink (n >= 2).
+  for (ProcessId p = 0; p < n; ++p) {
+    const VarId v = tree.uplink(p);
+    ASSERT_NE(v, kNoVar);
+    // The leaf is a registered accessor of its uplink.
+    const auto& acc = mem.accessors(v);
+    EXPECT_NE(std::find(acc.begin(), acc.end(), p), acc.end());
+    // The b-bound holds (SharedMemory enforces it on creation; re-check).
+    EXPECT_LE(static_cast<int>(acc.size()), b);
+  }
+
+  // Relay pids are n..n+R-1 and each relay's rotation is non-empty; each
+  // relay is an accessor of every variable in its rotation.
+  std::set<ProcessId> pids;
+  for (const RelaySpec& r : tree.relays()) {
+    EXPECT_GE(r.pid, n);
+    EXPECT_TRUE(pids.insert(r.pid).second);
+    ASSERT_FALSE(r.rotation.empty());
+    for (const VarId v : r.rotation) {
+      const auto& acc = mem.accessors(v);
+      EXPECT_NE(std::find(acc.begin(), acc.end(), r.pid), acc.end());
+    }
+  }
+
+  // Connectivity: union-find over shared variables joins all leaves and
+  // relays into one component.
+  const std::int32_t total = n + tree.num_relays();
+  std::vector<int> parent(static_cast<std::size_t>(total));
+  for (int i = 0; i < total; ++i) parent[static_cast<std::size_t>(i)] = i;
+  std::function<int(int)> find = [&](int x) {
+    while (parent[static_cast<std::size_t>(x)] != x)
+      x = parent[static_cast<std::size_t>(x)] =
+          parent[static_cast<std::size_t>(parent[static_cast<std::size_t>(x)])];
+    return x;
+  };
+  for (VarId v = 0; v < mem.num_vars(); ++v) {
+    const auto& acc = mem.accessors(v);
+    for (std::size_t i = 1; i < acc.size(); ++i)
+      parent[static_cast<std::size_t>(find(acc[i]))] = find(acc[0]);
+  }
+  const int root = find(0);
+  for (int p = 1; p < total; ++p) EXPECT_EQ(find(p), root) << "process " << p;
+
+  // Depth is logarithmic: depth <= ceil(log_a n) + 1 for arity a =
+  // max(2, b-1).
+  const int arity = std::max(2, b - 1);
+  std::int64_t log_bound = 1;
+  std::int64_t power = 1;
+  while (power < n) {
+    power *= arity;
+    ++log_bound;
+  }
+  EXPECT_LE(tree.depth(), log_bound + 1);
+  EXPECT_GE(tree.latency_steps_bound(), 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, TreeNetworkSweep,
+    ::testing::Combine(::testing::Values(2, 3, 4, 5, 8, 16, 17, 33, 64, 100),
+                       ::testing::Values(2, 3, 4, 6)));
+
+}  // namespace
+}  // namespace sesp

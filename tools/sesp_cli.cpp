@@ -1,0 +1,340 @@
+// sesp_cli — command-line driver for the session-problem laboratory.
+//
+// Runs any (substrate, timing model, algorithm, adversary) combination,
+// verifies the resulting timed computation, compares against the Table 1
+// bounds, and optionally dumps the trace in the sesp-trace format.
+//
+//   sesp_cli --substrate=mpm --model=sporadic --s=5 --n=4 <continued>
+//     --c1=1 --d1=2 --d2=10 --adversary=worst
+//   sesp_cli --substrate=smm --model=periodic --s=4 --n=9 --b=3
+//   sesp_cli --substrate=p2p --model=async --topology=ring --s=3 --n=8
+//   sesp_cli --check-certificate=cert.txt
+//
+// Exit status: 0 when the run solves the instance (or the certificate is
+// valid), 1 otherwise, 2 on usage errors.
+
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "adversary/certificate.hpp"
+#include "adversary/delay_strategies.hpp"
+#include "adversary/step_schedulers.hpp"
+#include "algorithms/mpm/async_alg.hpp"
+#include "algorithms/mpm/periodic_alg.hpp"
+#include "algorithms/mpm/semisync_alg.hpp"
+#include "algorithms/mpm/sporadic_alg.hpp"
+#include "algorithms/mpm/sync_alg.hpp"
+#include "algorithms/p2p/knowledge_algs.hpp"
+#include "algorithms/smm/async_alg.hpp"
+#include "algorithms/smm/periodic_alg.hpp"
+#include "algorithms/smm/semisync_alg.hpp"
+#include "algorithms/smm/sync_alg.hpp"
+#include "analysis/bounds.hpp"
+#include "analysis/session_stats.hpp"
+#include "analysis/timeline.hpp"
+#include "model/trace_io.hpp"
+#include "p2p/p2p_simulator.hpp"
+#include "sim/experiment.hpp"
+
+namespace sesp {
+namespace {
+
+struct Options {
+  std::string substrate = "mpm";
+  std::string model = "semisync";
+  std::string adversary = "worst";
+  std::string topology = "complete";
+  std::string dump_trace;
+  std::string check_certificate;
+  ProblemSpec spec{3, 3, 2};
+  Ratio c1 = 1, c2 = 2, d1 = 0, d2 = 4;
+  std::uint64_t seed = 1992;
+  bool print_trace = false;
+  bool timeline = false;
+  bool stats = false;
+  bool show_bounds = true;
+};
+
+void usage(std::ostream& os) {
+  os << "usage: sesp_cli [options]\n"
+        "  --substrate=mpm|smm|p2p      communication substrate\n"
+        "  --model=sync|periodic|semisync|sporadic|async\n"
+        "  --s=N --n=N --b=N            problem instance\n"
+        "  --c1=R --c2=R --d1=R --d2=R  timing constants (rationals: 7/2)\n"
+        "  --adversary=worst|lockstep|random  schedule family\n"
+        "  --topology=complete|ring|line|star|tree|grid  (p2p only)\n"
+        "  --seed=N                     adversary randomness\n"
+        "  --print-trace                show the timed computation\n"
+        "  --timeline                   render an ASCII timeline\n"
+        "  --stats                      per-session statistics\n"
+        "  --dump-trace=FILE            write sesp-trace format\n"
+        "  --check-certificate=FILE     re-validate a violation certificate\n";
+}
+
+std::optional<Options> parse(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const std::size_t eq = arg.find('=');
+    const std::string key = arg.substr(0, eq);
+    const std::string value =
+        eq == std::string::npos ? "" : arg.substr(eq + 1);
+    auto ratio = [&value]() { return ratio_from_text(value); };
+    if (key == "--substrate") opt.substrate = value;
+    else if (key == "--model") opt.model = value;
+    else if (key == "--adversary") opt.adversary = value;
+    else if (key == "--topology") opt.topology = value;
+    else if (key == "--dump-trace") opt.dump_trace = value;
+    else if (key == "--check-certificate") opt.check_certificate = value;
+    else if (key == "--s") opt.spec.s = std::stoll(value);
+    else if (key == "--n") opt.spec.n = std::stoi(value);
+    else if (key == "--b") opt.spec.b = std::stoi(value);
+    else if (key == "--seed") opt.seed = std::stoull(value);
+    else if (key == "--print-trace") opt.print_trace = true;
+    else if (key == "--timeline") opt.timeline = true;
+    else if (key == "--stats") opt.stats = true;
+    else if (key == "--c1" || key == "--c2" || key == "--d1" ||
+             key == "--d2") {
+      const auto r = ratio();
+      if (!r) {
+        std::cerr << "bad rational for " << key << "\n";
+        return std::nullopt;
+      }
+      if (key == "--c1") opt.c1 = *r;
+      if (key == "--c2") opt.c2 = *r;
+      if (key == "--d1") opt.d1 = *r;
+      if (key == "--d2") opt.d2 = *r;
+    } else if (key == "--help" || key == "-h") {
+      usage(std::cout);
+      std::exit(0);
+    } else {
+      std::cerr << "unknown option: " << key << "\n";
+      return std::nullopt;
+    }
+  }
+  return opt;
+}
+
+TimingConstraints build_constraints(const Options& opt,
+                                    std::int32_t total_processes) {
+  if (opt.model == "sync") return TimingConstraints::synchronous(opt.c2, opt.d2);
+  if (opt.model == "periodic") {
+    // Heterogeneous periods: process i gets c1 + (c2-c1)*i/(total-1).
+    std::vector<Duration> periods;
+    for (std::int32_t i = 0; i < total_processes; ++i) {
+      const Ratio frac = total_processes > 1
+                             ? Ratio(i, std::max(total_processes - 1, 1))
+                             : Ratio(0);
+      periods.push_back(opt.c1 + (opt.c2 - opt.c1) * frac);
+    }
+    return TimingConstraints::periodic(periods, opt.d2);
+  }
+  if (opt.model == "semisync")
+    return TimingConstraints::semi_synchronous(opt.c1, opt.c2, opt.d2);
+  if (opt.model == "sporadic")
+    return TimingConstraints::sporadic(opt.c1, opt.d1, opt.d2);
+  return TimingConstraints::asynchronous(opt.c2, opt.d2);
+}
+
+void print_verdict(const Verdict& v, const ProblemSpec& spec) {
+  std::cout << "sessions:    " << v.sessions << " (need " << spec.s << ")\n"
+            << "admissible:  " << (v.admissible ? "yes" : "no");
+  if (!v.admissible) std::cout << "  [" << v.admissibility_violation << "]";
+  std::cout << "\nsolves:      " << (v.solves ? "yes" : "no") << "\n";
+  if (v.termination_time)
+    std::cout << "termination: " << v.termination_time->to_string() << "\n";
+  std::cout << "rounds:      " << v.rounds.rounds_ceiling() << "\n";
+  if (v.gamma) std::cout << "gamma:       " << v.gamma->to_string() << "\n";
+}
+
+void maybe_dump(const Options& opt, const TimedComputation& trace) {
+  if (opt.print_trace) std::cout << trace.to_string(100);
+  if (opt.timeline) std::cout << '\n' << render_timeline(trace);
+  if (opt.stats)
+    std::cout << "stats:       " << compute_session_stats(trace).to_string()
+              << "\n";
+  if (!opt.dump_trace.empty()) {
+    std::ofstream out(opt.dump_trace);
+    out << to_text(trace);
+    std::cout << "trace written to " << opt.dump_trace << "\n";
+  }
+}
+
+int run_certificate_check(const Options& opt) {
+  std::ifstream in(opt.check_certificate);
+  if (!in) {
+    std::cerr << "cannot open " << opt.check_certificate << "\n";
+    return 2;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  std::string error;
+  const auto cert = certificate_from_text(buf.str(), &error);
+  if (!cert) {
+    std::cerr << "parse error: " << error << "\n";
+    return 2;
+  }
+  const CertificateCheck check = check_certificate(*cert);
+  std::cout << "construction: " << cert->construction << "\n"
+            << "algorithm:    " << cert->algorithm << "\n"
+            << "instance:     s=" << cert->spec.s << " n=" << cert->spec.n
+            << " b=" << cert->spec.b << "\n"
+            << "sessions:     " << check.sessions << " (violation needs < "
+            << cert->spec.s << ")\n"
+            << "verdict:      " << (check.valid ? "VALID" : "invalid") << "\n";
+  if (!check.valid) std::cout << "detail:       " << check.detail << "\n";
+  return check.valid ? 0 : 1;
+}
+
+int run_mpm(const Options& opt) {
+  const auto constraints = build_constraints(opt, opt.spec.n);
+  std::unique_ptr<MpmAlgorithmFactory> factory;
+  if (opt.model == "sync") factory = std::make_unique<SyncMpmFactory>();
+  else if (opt.model == "periodic")
+    factory = std::make_unique<PeriodicMpmFactory>();
+  else if (opt.model == "semisync")
+    factory = std::make_unique<SemiSyncMpmFactory>();
+  else if (opt.model == "sporadic")
+    factory = std::make_unique<SporadicMpmFactory>();
+  else factory = std::make_unique<AsyncMpmFactory>();
+  std::cout << "algorithm:   " << factory->name() << "\n";
+
+  if (opt.adversary == "worst") {
+    const WorstCase wc = mpm_worst_case(opt.spec, constraints, *factory, 4,
+                                        opt.seed);
+    std::cout << "runs:        " << wc.runs << "\n"
+              << "max time:    " << wc.max_termination.to_string() << "\n"
+              << "min sessions:" << wc.min_sessions << "\n"
+              << "all solved:  " << (wc.all_solved ? "yes" : "no") << "\n";
+    if (!wc.first_failure.empty())
+      std::cout << "failure:     " << wc.first_failure << "\n";
+    return wc.all_solved ? 0 : 1;
+  }
+
+  std::unique_ptr<StepScheduler> sched;
+  std::unique_ptr<DelayStrategy> delay;
+  if (opt.model == "periodic") {
+    // The periodic model admits exactly one schedule per period vector.
+    sched = std::make_unique<FixedPeriodScheduler>(constraints.periods);
+    delay = std::make_unique<FixedDelay>(opt.d2);
+  } else if (opt.adversary == "lockstep") {
+    sched = std::make_unique<FixedPeriodScheduler>(
+        opt.spec.n, opt.model == "sporadic" ? opt.c1 : opt.c2);
+    delay = std::make_unique<FixedDelay>(opt.d2);
+  } else {
+    const Duration lo = opt.c1.is_positive() ? opt.c1 : opt.c2 / 8;
+    sched = std::make_unique<UniformGapScheduler>(
+        lo, opt.model == "sporadic" ? opt.c1 * 8 : opt.c2, opt.seed);
+    delay = std::make_unique<UniformRandomDelay>(opt.d1, opt.d2, opt.seed + 1);
+  }
+  const MpmOutcome out =
+      run_mpm_once(opt.spec, constraints, *factory, *sched, *delay);
+  print_verdict(out.verdict, opt.spec);
+  maybe_dump(opt, out.run.trace);
+  return out.verdict.solves ? 0 : 1;
+}
+
+int run_smm(const Options& opt) {
+  const std::int32_t total = smm_total_processes(opt.spec.n, opt.spec.b);
+  const auto constraints = build_constraints(opt, total);
+  std::unique_ptr<SmmAlgorithmFactory> factory;
+  if (opt.model == "sync") factory = std::make_unique<SyncSmmFactory>();
+  else if (opt.model == "periodic")
+    factory = std::make_unique<PeriodicSmmFactory>();
+  else if (opt.model == "semisync")
+    factory = std::make_unique<SemiSyncSmmFactory>();
+  else factory = std::make_unique<AsyncSmmFactory>();
+  std::cout << "algorithm:   " << factory->name() << "\n";
+
+  if (opt.adversary == "worst") {
+    const WorstCase wc = smm_worst_case(opt.spec, constraints, *factory, 4,
+                                        opt.seed);
+    std::cout << "runs:        " << wc.runs << "\n"
+              << "max time:    " << wc.max_termination.to_string() << "\n"
+              << "max rounds:  " << wc.max_rounds << "\n"
+              << "all solved:  " << (wc.all_solved ? "yes" : "no") << "\n";
+    if (!wc.first_failure.empty())
+      std::cout << "failure:     " << wc.first_failure << "\n";
+    return wc.all_solved ? 0 : 1;
+  }
+
+  std::unique_ptr<StepScheduler> sched;
+  if (opt.model == "periodic") {
+    sched = std::make_unique<FixedPeriodScheduler>(constraints.periods);
+  } else if (opt.adversary == "lockstep") {
+    sched = std::make_unique<FixedPeriodScheduler>(total, opt.c2);
+  } else {
+    const Duration lo = opt.c1.is_positive() ? opt.c1 : opt.c2 / 8;
+    sched = std::make_unique<UniformGapScheduler>(lo, opt.c2, opt.seed);
+  }
+  const SmmOutcome out = run_smm_once(opt.spec, constraints, *factory, *sched);
+  print_verdict(out.verdict, opt.spec);
+  maybe_dump(opt, out.run.trace);
+  return out.verdict.solves ? 0 : 1;
+}
+
+int run_p2p(const Options& opt) {
+  Topology topo = Topology::complete(opt.spec.n);
+  if (opt.topology == "ring") topo = Topology::ring(opt.spec.n);
+  else if (opt.topology == "line") topo = Topology::line(opt.spec.n);
+  else if (opt.topology == "star") topo = Topology::star(opt.spec.n);
+  else if (opt.topology == "tree") topo = Topology::tree(opt.spec.n, 2);
+  else if (opt.topology == "grid")
+    topo = Topology::grid(2, (opt.spec.n + 1) / 2);
+  if (topo.num_nodes() != opt.spec.n) {
+    std::cerr << "topology size mismatch\n";
+    return 2;
+  }
+
+  const auto constraints = build_constraints(opt, opt.spec.n);
+  std::unique_ptr<P2pAlgorithmFactory> factory;
+  if (opt.model == "sync") factory = std::make_unique<P2pSyncFactory>();
+  else if (opt.model == "periodic")
+    factory = std::make_unique<P2pPeriodicFactory>();
+  else factory = std::make_unique<P2pRoundsFactory>();
+  std::cout << "algorithm:   " << factory->name() << "\n"
+            << "topology:    " << topo.name()
+            << " (diameter " << topo.diameter() << ")\n";
+
+  FixedPeriodScheduler sched(
+      opt.model == "periodic"
+          ? FixedPeriodScheduler(constraints.periods)
+          : FixedPeriodScheduler(opt.spec.n, opt.model == "sporadic"
+                                                 ? opt.c1
+                                                 : opt.c2));
+  FixedDelay delay(opt.d2);
+  P2pSimulator sim(opt.spec, constraints, topo, *factory, sched, delay);
+  const P2pRunResult run = sim.run();
+  const Verdict verdict = verify(run.trace, opt.spec, constraints);
+  print_verdict(verdict, opt.spec);
+  maybe_dump(opt, run.trace);
+  return verdict.solves ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace sesp
+
+int main(int argc, char** argv) {
+  const auto opt = sesp::parse(argc, argv);
+  if (!opt) {
+    sesp::usage(std::cerr);
+    return 2;
+  }
+  if (!opt->check_certificate.empty())
+    return sesp::run_certificate_check(*opt);
+
+  std::cout << "substrate:   " << opt->substrate << "\n"
+            << "model:       " << opt->model << "\n"
+            << "instance:    s=" << opt->spec.s << " n=" << opt->spec.n
+            << " b=" << opt->spec.b << "\n";
+  if (opt->substrate == "mpm") return sesp::run_mpm(*opt);
+  if (opt->substrate == "smm") return sesp::run_smm(*opt);
+  if (opt->substrate == "p2p") return sesp::run_p2p(*opt);
+  std::cerr << "unknown substrate\n";
+  return 2;
+}
