@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_periodic.dir/bench_table1_periodic.cpp.o"
+  "CMakeFiles/bench_table1_periodic.dir/bench_table1_periodic.cpp.o.d"
+  "bench_table1_periodic"
+  "bench_table1_periodic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_periodic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

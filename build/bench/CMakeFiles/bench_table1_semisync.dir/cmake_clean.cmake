@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_semisync.dir/bench_table1_semisync.cpp.o"
+  "CMakeFiles/bench_table1_semisync.dir/bench_table1_semisync.cpp.o.d"
+  "bench_table1_semisync"
+  "bench_table1_semisync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_semisync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

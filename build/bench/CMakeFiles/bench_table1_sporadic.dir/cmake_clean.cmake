@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_sporadic.dir/bench_table1_sporadic.cpp.o"
+  "CMakeFiles/bench_table1_sporadic.dir/bench_table1_sporadic.cpp.o.d"
+  "bench_table1_sporadic"
+  "bench_table1_sporadic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_sporadic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

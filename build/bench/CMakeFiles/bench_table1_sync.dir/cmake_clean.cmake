@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_sync.dir/bench_table1_sync.cpp.o"
+  "CMakeFiles/bench_table1_sync.dir/bench_table1_sync.cpp.o.d"
+  "bench_table1_sync"
+  "bench_table1_sync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/avionics_periodic.dir/avionics_periodic.cpp.o"
+  "CMakeFiles/avionics_periodic.dir/avionics_periodic.cpp.o.d"
+  "avionics_periodic"
+  "avionics_periodic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/avionics_periodic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

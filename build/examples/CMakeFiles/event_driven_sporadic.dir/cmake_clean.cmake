@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/event_driven_sporadic.dir/event_driven_sporadic.cpp.o"
+  "CMakeFiles/event_driven_sporadic.dir/event_driven_sporadic.cpp.o.d"
+  "event_driven_sporadic"
+  "event_driven_sporadic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/event_driven_sporadic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

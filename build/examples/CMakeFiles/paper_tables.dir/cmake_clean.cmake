@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paper_tables.dir/paper_tables.cpp.o"
+  "CMakeFiles/paper_tables.dir/paper_tables.cpp.o.d"
+  "paper_tables"
+  "paper_tables.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paper_tables.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/verified_counterexample.dir/verified_counterexample.cpp.o"
+  "CMakeFiles/verified_counterexample.dir/verified_counterexample.cpp.o.d"
+  "verified_counterexample"
+  "verified_counterexample.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/verified_counterexample.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

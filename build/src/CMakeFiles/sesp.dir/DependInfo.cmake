@@ -1,0 +1,66 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/adversary/certificate.cpp" "src/CMakeFiles/sesp.dir/adversary/certificate.cpp.o" "gcc" "src/CMakeFiles/sesp.dir/adversary/certificate.cpp.o.d"
+  "/root/repo/src/adversary/contamination.cpp" "src/CMakeFiles/sesp.dir/adversary/contamination.cpp.o" "gcc" "src/CMakeFiles/sesp.dir/adversary/contamination.cpp.o.d"
+  "/root/repo/src/adversary/delay_strategies.cpp" "src/CMakeFiles/sesp.dir/adversary/delay_strategies.cpp.o" "gcc" "src/CMakeFiles/sesp.dir/adversary/delay_strategies.cpp.o.d"
+  "/root/repo/src/adversary/exhaustive.cpp" "src/CMakeFiles/sesp.dir/adversary/exhaustive.cpp.o" "gcc" "src/CMakeFiles/sesp.dir/adversary/exhaustive.cpp.o.d"
+  "/root/repo/src/adversary/periodic_attack.cpp" "src/CMakeFiles/sesp.dir/adversary/periodic_attack.cpp.o" "gcc" "src/CMakeFiles/sesp.dir/adversary/periodic_attack.cpp.o.d"
+  "/root/repo/src/adversary/semisync_mp_retimer.cpp" "src/CMakeFiles/sesp.dir/adversary/semisync_mp_retimer.cpp.o" "gcc" "src/CMakeFiles/sesp.dir/adversary/semisync_mp_retimer.cpp.o.d"
+  "/root/repo/src/adversary/semisync_retimer.cpp" "src/CMakeFiles/sesp.dir/adversary/semisync_retimer.cpp.o" "gcc" "src/CMakeFiles/sesp.dir/adversary/semisync_retimer.cpp.o.d"
+  "/root/repo/src/adversary/sporadic_retimer.cpp" "src/CMakeFiles/sesp.dir/adversary/sporadic_retimer.cpp.o" "gcc" "src/CMakeFiles/sesp.dir/adversary/sporadic_retimer.cpp.o.d"
+  "/root/repo/src/adversary/step_schedulers.cpp" "src/CMakeFiles/sesp.dir/adversary/step_schedulers.cpp.o" "gcc" "src/CMakeFiles/sesp.dir/adversary/step_schedulers.cpp.o.d"
+  "/root/repo/src/algorithms/mpm/async_alg.cpp" "src/CMakeFiles/sesp.dir/algorithms/mpm/async_alg.cpp.o" "gcc" "src/CMakeFiles/sesp.dir/algorithms/mpm/async_alg.cpp.o.d"
+  "/root/repo/src/algorithms/mpm/broken_algs.cpp" "src/CMakeFiles/sesp.dir/algorithms/mpm/broken_algs.cpp.o" "gcc" "src/CMakeFiles/sesp.dir/algorithms/mpm/broken_algs.cpp.o.d"
+  "/root/repo/src/algorithms/mpm/periodic_alg.cpp" "src/CMakeFiles/sesp.dir/algorithms/mpm/periodic_alg.cpp.o" "gcc" "src/CMakeFiles/sesp.dir/algorithms/mpm/periodic_alg.cpp.o.d"
+  "/root/repo/src/algorithms/mpm/semisync_alg.cpp" "src/CMakeFiles/sesp.dir/algorithms/mpm/semisync_alg.cpp.o" "gcc" "src/CMakeFiles/sesp.dir/algorithms/mpm/semisync_alg.cpp.o.d"
+  "/root/repo/src/algorithms/mpm/sporadic_alg.cpp" "src/CMakeFiles/sesp.dir/algorithms/mpm/sporadic_alg.cpp.o" "gcc" "src/CMakeFiles/sesp.dir/algorithms/mpm/sporadic_alg.cpp.o.d"
+  "/root/repo/src/algorithms/mpm/sync_alg.cpp" "src/CMakeFiles/sesp.dir/algorithms/mpm/sync_alg.cpp.o" "gcc" "src/CMakeFiles/sesp.dir/algorithms/mpm/sync_alg.cpp.o.d"
+  "/root/repo/src/algorithms/p2p/knowledge_algs.cpp" "src/CMakeFiles/sesp.dir/algorithms/p2p/knowledge_algs.cpp.o" "gcc" "src/CMakeFiles/sesp.dir/algorithms/p2p/knowledge_algs.cpp.o.d"
+  "/root/repo/src/algorithms/smm/async_alg.cpp" "src/CMakeFiles/sesp.dir/algorithms/smm/async_alg.cpp.o" "gcc" "src/CMakeFiles/sesp.dir/algorithms/smm/async_alg.cpp.o.d"
+  "/root/repo/src/algorithms/smm/broken_algs.cpp" "src/CMakeFiles/sesp.dir/algorithms/smm/broken_algs.cpp.o" "gcc" "src/CMakeFiles/sesp.dir/algorithms/smm/broken_algs.cpp.o.d"
+  "/root/repo/src/algorithms/smm/periodic_alg.cpp" "src/CMakeFiles/sesp.dir/algorithms/smm/periodic_alg.cpp.o" "gcc" "src/CMakeFiles/sesp.dir/algorithms/smm/periodic_alg.cpp.o.d"
+  "/root/repo/src/algorithms/smm/semisync_alg.cpp" "src/CMakeFiles/sesp.dir/algorithms/smm/semisync_alg.cpp.o" "gcc" "src/CMakeFiles/sesp.dir/algorithms/smm/semisync_alg.cpp.o.d"
+  "/root/repo/src/algorithms/smm/sync_alg.cpp" "src/CMakeFiles/sesp.dir/algorithms/smm/sync_alg.cpp.o" "gcc" "src/CMakeFiles/sesp.dir/algorithms/smm/sync_alg.cpp.o.d"
+  "/root/repo/src/analysis/bounds.cpp" "src/CMakeFiles/sesp.dir/analysis/bounds.cpp.o" "gcc" "src/CMakeFiles/sesp.dir/analysis/bounds.cpp.o.d"
+  "/root/repo/src/analysis/causality.cpp" "src/CMakeFiles/sesp.dir/analysis/causality.cpp.o" "gcc" "src/CMakeFiles/sesp.dir/analysis/causality.cpp.o.d"
+  "/root/repo/src/analysis/report.cpp" "src/CMakeFiles/sesp.dir/analysis/report.cpp.o" "gcc" "src/CMakeFiles/sesp.dir/analysis/report.cpp.o.d"
+  "/root/repo/src/analysis/session_stats.cpp" "src/CMakeFiles/sesp.dir/analysis/session_stats.cpp.o" "gcc" "src/CMakeFiles/sesp.dir/analysis/session_stats.cpp.o.d"
+  "/root/repo/src/analysis/timeline.cpp" "src/CMakeFiles/sesp.dir/analysis/timeline.cpp.o" "gcc" "src/CMakeFiles/sesp.dir/analysis/timeline.cpp.o.d"
+  "/root/repo/src/model/step_record.cpp" "src/CMakeFiles/sesp.dir/model/step_record.cpp.o" "gcc" "src/CMakeFiles/sesp.dir/model/step_record.cpp.o.d"
+  "/root/repo/src/model/timed_computation.cpp" "src/CMakeFiles/sesp.dir/model/timed_computation.cpp.o" "gcc" "src/CMakeFiles/sesp.dir/model/timed_computation.cpp.o.d"
+  "/root/repo/src/model/trace_io.cpp" "src/CMakeFiles/sesp.dir/model/trace_io.cpp.o" "gcc" "src/CMakeFiles/sesp.dir/model/trace_io.cpp.o.d"
+  "/root/repo/src/mpm/mpm_simulator.cpp" "src/CMakeFiles/sesp.dir/mpm/mpm_simulator.cpp.o" "gcc" "src/CMakeFiles/sesp.dir/mpm/mpm_simulator.cpp.o.d"
+  "/root/repo/src/mpm/network.cpp" "src/CMakeFiles/sesp.dir/mpm/network.cpp.o" "gcc" "src/CMakeFiles/sesp.dir/mpm/network.cpp.o.d"
+  "/root/repo/src/mpm/topology.cpp" "src/CMakeFiles/sesp.dir/mpm/topology.cpp.o" "gcc" "src/CMakeFiles/sesp.dir/mpm/topology.cpp.o.d"
+  "/root/repo/src/p2p/p2p_simulator.cpp" "src/CMakeFiles/sesp.dir/p2p/p2p_simulator.cpp.o" "gcc" "src/CMakeFiles/sesp.dir/p2p/p2p_simulator.cpp.o.d"
+  "/root/repo/src/session/round_counter.cpp" "src/CMakeFiles/sesp.dir/session/round_counter.cpp.o" "gcc" "src/CMakeFiles/sesp.dir/session/round_counter.cpp.o.d"
+  "/root/repo/src/session/session_counter.cpp" "src/CMakeFiles/sesp.dir/session/session_counter.cpp.o" "gcc" "src/CMakeFiles/sesp.dir/session/session_counter.cpp.o.d"
+  "/root/repo/src/session/verifier.cpp" "src/CMakeFiles/sesp.dir/session/verifier.cpp.o" "gcc" "src/CMakeFiles/sesp.dir/session/verifier.cpp.o.d"
+  "/root/repo/src/sim/experiment.cpp" "src/CMakeFiles/sesp.dir/sim/experiment.cpp.o" "gcc" "src/CMakeFiles/sesp.dir/sim/experiment.cpp.o.d"
+  "/root/repo/src/sim/replay.cpp" "src/CMakeFiles/sesp.dir/sim/replay.cpp.o" "gcc" "src/CMakeFiles/sesp.dir/sim/replay.cpp.o.d"
+  "/root/repo/src/smm/knowledge.cpp" "src/CMakeFiles/sesp.dir/smm/knowledge.cpp.o" "gcc" "src/CMakeFiles/sesp.dir/smm/knowledge.cpp.o.d"
+  "/root/repo/src/smm/shared_memory.cpp" "src/CMakeFiles/sesp.dir/smm/shared_memory.cpp.o" "gcc" "src/CMakeFiles/sesp.dir/smm/shared_memory.cpp.o.d"
+  "/root/repo/src/smm/smm_simulator.cpp" "src/CMakeFiles/sesp.dir/smm/smm_simulator.cpp.o" "gcc" "src/CMakeFiles/sesp.dir/smm/smm_simulator.cpp.o.d"
+  "/root/repo/src/smm/tree_network.cpp" "src/CMakeFiles/sesp.dir/smm/tree_network.cpp.o" "gcc" "src/CMakeFiles/sesp.dir/smm/tree_network.cpp.o.d"
+  "/root/repo/src/timing/admissibility.cpp" "src/CMakeFiles/sesp.dir/timing/admissibility.cpp.o" "gcc" "src/CMakeFiles/sesp.dir/timing/admissibility.cpp.o.d"
+  "/root/repo/src/timing/constraints.cpp" "src/CMakeFiles/sesp.dir/timing/constraints.cpp.o" "gcc" "src/CMakeFiles/sesp.dir/timing/constraints.cpp.o.d"
+  "/root/repo/src/util/ratio.cpp" "src/CMakeFiles/sesp.dir/util/ratio.cpp.o" "gcc" "src/CMakeFiles/sesp.dir/util/ratio.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/CMakeFiles/sesp.dir/util/rng.cpp.o" "gcc" "src/CMakeFiles/sesp.dir/util/rng.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "src/CMakeFiles/sesp.dir/util/stats.cpp.o" "gcc" "src/CMakeFiles/sesp.dir/util/stats.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/CMakeFiles/sesp.dir/util/table.cpp.o" "gcc" "src/CMakeFiles/sesp.dir/util/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,2 @@
+# Empty dependencies file for sesp.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/admissibility_test.dir/admissibility_test.cpp.o"
+  "CMakeFiles/admissibility_test.dir/admissibility_test.cpp.o.d"
+  "admissibility_test"
+  "admissibility_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/admissibility_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

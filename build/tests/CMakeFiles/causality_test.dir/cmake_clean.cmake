@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/causality_test.dir/causality_test.cpp.o"
+  "CMakeFiles/causality_test.dir/causality_test.cpp.o.d"
+  "causality_test"
+  "causality_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/causality_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

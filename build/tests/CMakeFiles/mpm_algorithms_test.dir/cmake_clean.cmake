@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpm_algorithms_test.dir/mpm_algorithms_test.cpp.o"
+  "CMakeFiles/mpm_algorithms_test.dir/mpm_algorithms_test.cpp.o.d"
+  "mpm_algorithms_test"
+  "mpm_algorithms_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpm_algorithms_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

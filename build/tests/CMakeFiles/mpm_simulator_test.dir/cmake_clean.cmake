@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpm_simulator_test.dir/mpm_simulator_test.cpp.o"
+  "CMakeFiles/mpm_simulator_test.dir/mpm_simulator_test.cpp.o.d"
+  "mpm_simulator_test"
+  "mpm_simulator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpm_simulator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ratio_test.dir/ratio_test.cpp.o"
+  "CMakeFiles/ratio_test.dir/ratio_test.cpp.o.d"
+  "ratio_test"
+  "ratio_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ratio_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

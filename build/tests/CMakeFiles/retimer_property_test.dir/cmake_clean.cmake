@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/retimer_property_test.dir/retimer_property_test.cpp.o"
+  "CMakeFiles/retimer_property_test.dir/retimer_property_test.cpp.o.d"
+  "retimer_property_test"
+  "retimer_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/retimer_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/round_counter_test.dir/round_counter_test.cpp.o"
+  "CMakeFiles/round_counter_test.dir/round_counter_test.cpp.o.d"
+  "round_counter_test"
+  "round_counter_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/round_counter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/session_stats_test.dir/session_stats_test.cpp.o"
+  "CMakeFiles/session_stats_test.dir/session_stats_test.cpp.o.d"
+  "session_stats_test"
+  "session_stats_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/session_stats_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shared_memory_test.dir/shared_memory_test.cpp.o"
+  "CMakeFiles/shared_memory_test.dir/shared_memory_test.cpp.o.d"
+  "shared_memory_test"
+  "shared_memory_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shared_memory_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

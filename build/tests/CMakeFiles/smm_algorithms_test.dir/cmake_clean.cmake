@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smm_algorithms_test.dir/smm_algorithms_test.cpp.o"
+  "CMakeFiles/smm_algorithms_test.dir/smm_algorithms_test.cpp.o.d"
+  "smm_algorithms_test"
+  "smm_algorithms_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smm_algorithms_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

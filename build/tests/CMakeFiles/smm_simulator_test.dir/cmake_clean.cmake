@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smm_simulator_test.dir/smm_simulator_test.cpp.o"
+  "CMakeFiles/smm_simulator_test.dir/smm_simulator_test.cpp.o.d"
+  "smm_simulator_test"
+  "smm_simulator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smm_simulator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_table_test.dir/stats_table_test.cpp.o"
+  "CMakeFiles/stats_table_test.dir/stats_table_test.cpp.o.d"
+  "stats_table_test"
+  "stats_table_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timed_computation_test.dir/timed_computation_test.cpp.o"
+  "CMakeFiles/timed_computation_test.dir/timed_computation_test.cpp.o.d"
+  "timed_computation_test"
+  "timed_computation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timed_computation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

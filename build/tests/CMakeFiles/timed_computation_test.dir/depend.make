@@ -1,0 +1,2 @@
+# Empty dependencies file for timed_computation_test.
+# This may be replaced when dependencies are built.

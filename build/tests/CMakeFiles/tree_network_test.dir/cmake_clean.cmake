@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tree_network_test.dir/tree_network_test.cpp.o"
+  "CMakeFiles/tree_network_test.dir/tree_network_test.cpp.o.d"
+  "tree_network_test"
+  "tree_network_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tree_network_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

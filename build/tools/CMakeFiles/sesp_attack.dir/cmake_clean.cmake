@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sesp_attack.dir/sesp_attack.cpp.o"
+  "CMakeFiles/sesp_attack.dir/sesp_attack.cpp.o.d"
+  "sesp_attack"
+  "sesp_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sesp_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

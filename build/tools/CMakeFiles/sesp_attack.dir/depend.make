@@ -1,0 +1,2 @@
+# Empty dependencies file for sesp_attack.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sesp_cli.dir/sesp_cli.cpp.o"
+  "CMakeFiles/sesp_cli.dir/sesp_cli.cpp.o.d"
+  "sesp_cli"
+  "sesp_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sesp_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
