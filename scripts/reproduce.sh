@@ -9,6 +9,14 @@ cmake --build build
 
 ctest --test-dir build 2>&1 | tee test_output.txt
 
+# Sanitizer stage: the fault-injection fuzz (and everything else) must run
+# clean under ASan + UBSan. Skip with SESP_SKIP_SANITIZE=1.
+if [ "${SESP_SKIP_SANITIZE:-0}" != "1" ]; then
+  cmake -B build-asan -G Ninja -DSESP_SANITIZE=ON
+  cmake --build build-asan
+  ctest --test-dir build-asan 2>&1 | tee -a test_output.txt
+fi
+
 : > bench_output.txt
 for b in build/bench/*; do
   [ -f "$b" ] && [ -x "$b" ] || continue

@@ -1,0 +1,53 @@
+#include "faults/degradation.hpp"
+
+#include <sstream>
+
+namespace sesp {
+
+const char* to_string(RunOutcome outcome) {
+  switch (outcome) {
+    case RunOutcome::kSolved: return "solved";
+    case RunOutcome::kDegraded: return "degraded";
+    case RunOutcome::kDiagnosed: return "diagnosed";
+  }
+  return "unknown";
+}
+
+RunOutcome classify_outcome(const std::optional<SimError>& error,
+                            const Verdict& verdict) {
+  if (!verdict.admissible) return RunOutcome::kDiagnosed;
+  if (error) {
+    switch (error->code) {
+      case SimErrorCode::kStepLimitExceeded:
+      case SimErrorCode::kTimeLimitExceeded:
+      case SimErrorCode::kNoProgress:
+        return RunOutcome::kDegraded;  // watchdog stop, partial result stands
+      default:
+        return RunOutcome::kDiagnosed;
+    }
+  }
+  return verdict.solves ? RunOutcome::kSolved : RunOutcome::kDegraded;
+}
+
+std::string outcome_diagnostic(const std::optional<SimError>& error,
+                               const Verdict& verdict,
+                               const ProblemSpec& spec) {
+  std::ostringstream os;
+  if (!verdict.admissible) {
+    os << "inadmissible: " << verdict.admissibility_violation;
+    return os.str();
+  }
+  if (error) {
+    os << error->to_string();
+    return os.str();
+  }
+  if (!verdict.solves) {
+    os << "partial: sessions=" << verdict.sessions << "/" << spec.s
+       << (verdict.all_ports_idle ? "" : ", some port never idles");
+    return os.str();
+  }
+  os << "solved: sessions=" << verdict.sessions;
+  return os.str();
+}
+
+}  // namespace sesp

@@ -1,0 +1,40 @@
+#pragma once
+
+// Outcome taxonomy for runs that may have left the well-formed space. The
+// robustness contract of the simulators is that every run — faulty or not —
+// lands in exactly one of three buckets, never a silent wrong answer and
+// never a process abort:
+//
+//   kSolved    — the trace is admissible and solves the (s, n) instance;
+//   kDegraded  — the run ended (normally or via a watchdog) with an
+//                admissible trace but fewer sessions / missing termination:
+//                partial results, honestly reported;
+//   kDiagnosed — the verifier localized an inadmissibility (exact step,
+//                process, time) or the run raised a structural SimError.
+
+#include <optional>
+#include <string>
+
+#include "faults/sim_error.hpp"
+#include "session/verifier.hpp"
+
+namespace sesp {
+
+enum class RunOutcome : std::uint8_t { kSolved, kDegraded, kDiagnosed };
+
+const char* to_string(RunOutcome outcome);
+
+// Classifies one finished run. Watchdog stops (step/time budget,
+// no-progress) count as graceful degradation — the trace up to the stop is
+// still a well-formed partial result; all other SimErrors and every
+// admissibility violation count as diagnosed.
+RunOutcome classify_outcome(const std::optional<SimError>& error,
+                            const Verdict& verdict);
+
+// One-line explanation for reports: the admissibility violation site, the
+// SimError, or the session shortfall — whichever applies.
+std::string outcome_diagnostic(const std::optional<SimError>& error,
+                               const Verdict& verdict,
+                               const ProblemSpec& spec);
+
+}  // namespace sesp

@@ -1,0 +1,109 @@
+#include "faults/fault_injector.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace sesp {
+
+std::string InjectedFault::to_string() const {
+  std::ostringstream os;
+  os << sesp::to_string(kind) << " t=" << time;
+  if (process != kNetworkProcess) os << " process=" << process;
+  if (step >= 0) os << " step=" << step;
+  if (message != kNoMsg) os << " msg=" << message;
+  if (!detail.empty()) os << " (" << detail << ")";
+  return os.str();
+}
+
+FaultInjector::FaultInjector(FaultPlan plan)
+    : plan_(std::move(plan)), rng_(plan_.seed) {}
+
+bool FaultInjector::chance(std::uint32_t percent) {
+  if (percent == 0) return false;
+  if (percent >= 100) return true;
+  return rng_.next_bool(percent, 100);
+}
+
+bool FaultInjector::crash_now(ProcessId p, std::int64_t step_index,
+                              const Time& t) {
+  if (crashed_.count(p) != 0) return true;
+  for (const CrashFault& c : plan_.crashes) {
+    if (c.process == p && c.at_step <= step_index) {
+      crashed_.insert(p);
+      log_.push_back(InjectedFault{FaultKind::kCrash, p, kNoMsg, step_index, t,
+                                   "crash-stop"});
+      return true;
+    }
+  }
+  return false;
+}
+
+MessageAction FaultInjector::on_send(MsgId id, ProcessId sender,
+                                     ProcessId recipient, const Time& t) {
+  MessageAction act;
+  const MessageFaults& mf = plan_.messages;
+  const bool drop_listed =
+      std::find(mf.drop_ids.begin(), mf.drop_ids.end(), id) !=
+      mf.drop_ids.end();
+  const bool dup_listed =
+      std::find(mf.dup_ids.begin(), mf.dup_ids.end(), id) != mf.dup_ids.end();
+
+  if (drop_listed || chance(mf.drop_percent)) {
+    act.drop = true;
+    std::ostringstream os;
+    os << sender << "->" << recipient;
+    log_.push_back(InjectedFault{FaultKind::kDropMessage, sender, id, -1, t,
+                                 os.str()});
+    return act;
+  }
+  if (dup_listed || chance(mf.dup_percent)) {
+    act.duplicate = true;
+    act.extra_delay = mf.extra_delay;
+    log_.push_back(InjectedFault{FaultKind::kDuplicateMessage, sender, id, -1,
+                                 t, "second copy +" +
+                                        mf.extra_delay.to_string()});
+  }
+  if (chance(mf.delay_percent)) {
+    act.extra_delay += mf.extra_delay;
+    log_.push_back(InjectedFault{FaultKind::kDelayMessage, sender, id, -1, t,
+                                 "+" + mf.extra_delay.to_string()});
+  }
+  return act;
+}
+
+Time FaultInjector::perturb_step_time(ProcessId p, std::int64_t step_index,
+                                      const Time& prev,
+                                      const Time& scheduled) {
+  for (const TimingFault& f : plan_.timing) {
+    if (f.process != p || f.at_step != step_index) continue;
+    const Duration gap = scheduled - prev;
+    const Time perturbed = prev + gap * f.gap_scale;
+    log_.push_back(InjectedFault{FaultKind::kTimingViolation, p, kNoMsg,
+                                 step_index, perturbed,
+                                 "gap " + gap.to_string() + " -> " +
+                                     (gap * f.gap_scale).to_string()});
+    return perturbed;
+  }
+  return scheduled;
+}
+
+bool FaultInjector::corrupt_write(VarId var, ProcessId writer, const Time& t) {
+  const std::int64_t index = eligible_writes_++;
+  const WriteFaults& wf = plan_.writes;
+  const bool listed = std::find(wf.corrupt_at.begin(), wf.corrupt_at.end(),
+                                index) != wf.corrupt_at.end();
+  if (!listed && !chance(wf.corrupt_percent)) return false;
+  log_.push_back(InjectedFault{FaultKind::kWriteCorruption, writer, kNoMsg,
+                               index, t, "lost update of var " +
+                                             std::to_string(var)});
+  return true;
+}
+
+std::int64_t FaultInjector::injected(FaultKind kind) const {
+  std::int64_t count = 0;
+  for (const InjectedFault& f : log_)
+    if (f.kind == kind) ++count;
+  return count;
+}
+
+}  // namespace sesp

@@ -1,0 +1,87 @@
+#pragma once
+
+// Stateful execution engine for a FaultPlan. One injector instance serves one
+// simulator run: the run loops call the hooks at the four places chaos can
+// enter (before a compute step, at a send, when scheduling the next step,
+// and on a shared-variable write), and the injector both decides the
+// injection and records it in an ordered log so tests and reports can relate
+// every observed anomaly to the fault that caused it.
+//
+// The hooks are deliberately cheap no-ops for empty plans; simulators accept
+// a nullable injector and skip the calls entirely when none is attached.
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "faults/fault_plan.hpp"
+#include "model/ids.hpp"
+#include "util/ratio.hpp"
+#include "util/rng.hpp"
+
+namespace sesp {
+
+// One injected fault occurrence, in injection order.
+struct InjectedFault {
+  FaultKind kind = FaultKind::kCrash;
+  ProcessId process = kNetworkProcess;
+  MsgId message = kNoMsg;
+  std::int64_t step = -1;  // the target process's own step index, if any
+  Time time;
+  std::string detail;
+
+  std::string to_string() const;
+};
+
+// What to do with one sent message.
+struct MessageAction {
+  bool drop = false;
+  bool duplicate = false;
+  Duration extra_delay = Duration(0);
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPlan plan);
+
+  const FaultPlan& plan() const noexcept { return plan_; }
+
+  // True if `p` crash-stops instead of taking its `step_index`-th compute
+  // step. Idempotent per process (crash-stop is absorbing); the first hit is
+  // logged.
+  bool crash_now(ProcessId p, std::int64_t step_index, const Time& t);
+  bool crashed(ProcessId p) const { return crashed_.count(p) != 0; }
+  std::int32_t crash_count() const {
+    return static_cast<std::int32_t>(crashed_.size());
+  }
+
+  // Decides this message's fate at send time. Drop and duplicate/delay are
+  // exclusive (a dropped message has no delivery to duplicate).
+  MessageAction on_send(MsgId id, ProcessId sender, ProcessId recipient,
+                        const Time& t);
+
+  // Possibly perturbs the scheduler's chosen time for `p`'s
+  // `step_index`-th step: the gap from `prev` is scaled by the matching
+  // TimingFault. Returns `scheduled` unchanged when no fault matches.
+  Time perturb_step_time(ProcessId p, std::int64_t step_index,
+                         const Time& prev, const Time& scheduled);
+
+  // True if this corruption-eligible shared-variable write should lose the
+  // variable's previous contents. Called once per eligible write, in order.
+  bool corrupt_write(VarId var, ProcessId writer, const Time& t);
+
+  const std::vector<InjectedFault>& log() const noexcept { return log_; }
+  std::int64_t injected(FaultKind kind) const;
+
+ private:
+  bool chance(std::uint32_t percent);
+
+  FaultPlan plan_;
+  Rng rng_;
+  std::set<ProcessId> crashed_;
+  std::int64_t eligible_writes_ = 0;
+  std::vector<InjectedFault> log_;
+};
+
+}  // namespace sesp

@@ -1,0 +1,241 @@
+#include "faults/fault_plan.hpp"
+
+#include <sstream>
+
+#include "model/trace_io.hpp"
+#include "util/rng.hpp"
+
+namespace sesp {
+
+namespace {
+
+// Splits "a,b,c" into clauses; empty clauses are skipped.
+std::vector<std::string> split(const std::string& text, char sep) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (const char c : text) {
+    if (c == sep) {
+      if (!cur.empty()) out.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  if (!cur.empty()) out.push_back(cur);
+  return out;
+}
+
+bool parse_int(const std::string& text, std::int64_t* out) {
+  if (text.empty()) return false;
+  std::size_t pos = 0;
+  try {
+    *out = std::stoll(text, &pos);
+  } catch (...) {
+    return false;
+  }
+  return pos == text.size();
+}
+
+// "N%" -> N in [0, 100].
+bool parse_percent(const std::string& text, std::uint32_t* out) {
+  if (text.empty() || text.back() != '%') return false;
+  std::int64_t v = 0;
+  if (!parse_int(text.substr(0, text.size() - 1), &v)) return false;
+  if (v < 0 || v > 100) return false;
+  *out = static_cast<std::uint32_t>(v);
+  return true;
+}
+
+// "P@K" -> (process, step).
+bool parse_at(const std::string& text, std::int64_t* process,
+              std::int64_t* step) {
+  const std::size_t at = text.find('@');
+  if (at == std::string::npos) return false;
+  return parse_int(text.substr(0, at), process) &&
+         parse_int(text.substr(at + 1), step);
+}
+
+}  // namespace
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kCrash: return "crash";
+    case FaultKind::kDropMessage: return "drop";
+    case FaultKind::kDuplicateMessage: return "duplicate";
+    case FaultKind::kDelayMessage: return "delay";
+    case FaultKind::kTimingViolation: return "timing-violation";
+    case FaultKind::kWriteCorruption: return "write-corruption";
+  }
+  return "unknown";
+}
+
+std::string FaultPlan::to_string() const {
+  if (empty()) return "(no faults)";
+  std::ostringstream os;
+  const char* sep = "";
+  for (const CrashFault& c : crashes) {
+    os << sep << "crash:" << c.process << "@" << c.at_step;
+    sep = ",";
+  }
+  for (const TimingFault& t : timing) {
+    os << sep << "timing:" << t.process << "@" << t.at_step << "*"
+       << t.gap_scale.to_string();
+    sep = ",";
+  }
+  if (messages.drop_percent != 0) {
+    os << sep << "drop:" << messages.drop_percent << "%";
+    sep = ",";
+  }
+  for (const MsgId id : messages.drop_ids) {
+    os << sep << "drop:#" << id;
+    sep = ",";
+  }
+  if (messages.dup_percent != 0) {
+    os << sep << "dup:" << messages.dup_percent << "%";
+    sep = ",";
+  }
+  for (const MsgId id : messages.dup_ids) {
+    os << sep << "dup:#" << id;
+    sep = ",";
+  }
+  if (messages.delay_percent != 0) {
+    os << sep << "delay:" << messages.delay_percent << "%";
+    sep = ",";
+  }
+  if (messages.dup_percent != 0 || messages.delay_percent != 0 ||
+      !messages.dup_ids.empty()) {
+    os << sep << "extra:" << messages.extra_delay.to_string();
+    sep = ",";
+  }
+  if (writes.corrupt_percent != 0) {
+    os << sep << "corrupt:" << writes.corrupt_percent << "%";
+    sep = ",";
+  }
+  for (const std::int64_t k : writes.corrupt_at) {
+    os << sep << "corrupt:@" << k;
+    sep = ",";
+  }
+  os << sep << "seed:" << seed;
+  return os.str();
+}
+
+std::optional<FaultPlan> FaultPlan::parse(const std::string& text,
+                                          std::string* error) {
+  auto fail = [error](const std::string& why) -> std::optional<FaultPlan> {
+    if (error) *error = why;
+    return std::nullopt;
+  };
+
+  FaultPlan plan;
+  for (const std::string& clause : split(text, ',')) {
+    const std::size_t colon = clause.find(':');
+    if (colon == std::string::npos)
+      return fail("clause without ':': " + clause);
+    const std::string key = clause.substr(0, colon);
+    const std::string value = clause.substr(colon + 1);
+
+    if (key == "crash") {
+      std::int64_t p = 0, k = 0;
+      if (!parse_at(value, &p, &k)) return fail("bad crash clause: " + clause);
+      plan.crashes.push_back(
+          CrashFault{static_cast<ProcessId>(p), k});
+    } else if (key == "timing") {
+      const std::size_t star = value.find('*');
+      if (star == std::string::npos)
+        return fail("timing clause needs '*scale': " + clause);
+      std::int64_t p = 0, k = 0;
+      if (!parse_at(value.substr(0, star), &p, &k))
+        return fail("bad timing clause: " + clause);
+      const auto scale = ratio_from_text(value.substr(star + 1));
+      if (!scale || !scale->is_positive())
+        return fail("bad timing scale: " + clause);
+      plan.timing.push_back(
+          TimingFault{static_cast<ProcessId>(p), k, *scale});
+    } else if (key == "drop") {
+      std::uint32_t pct = 0;
+      std::int64_t id = 0;
+      if (parse_percent(value, &pct)) plan.messages.drop_percent = pct;
+      else if (!value.empty() && value[0] == '#' &&
+               parse_int(value.substr(1), &id))
+        plan.messages.drop_ids.push_back(id);
+      else return fail("bad drop clause: " + clause);
+    } else if (key == "dup") {
+      std::uint32_t pct = 0;
+      std::int64_t id = 0;
+      if (parse_percent(value, &pct)) plan.messages.dup_percent = pct;
+      else if (!value.empty() && value[0] == '#' &&
+               parse_int(value.substr(1), &id))
+        plan.messages.dup_ids.push_back(id);
+      else return fail("bad dup clause: " + clause);
+    } else if (key == "delay") {
+      std::uint32_t pct = 0;
+      if (!parse_percent(value, &pct))
+        return fail("bad delay clause: " + clause);
+      plan.messages.delay_percent = pct;
+    } else if (key == "extra") {
+      const auto r = ratio_from_text(value);
+      if (!r || r->is_negative()) return fail("bad extra clause: " + clause);
+      plan.messages.extra_delay = *r;
+    } else if (key == "corrupt") {
+      std::uint32_t pct = 0;
+      std::int64_t k = 0;
+      if (parse_percent(value, &pct)) plan.writes.corrupt_percent = pct;
+      else if (!value.empty() && value[0] == '@' &&
+               parse_int(value.substr(1), &k) && k >= 0)
+        plan.writes.corrupt_at.push_back(k);
+      else return fail("bad corrupt clause: " + clause);
+    } else if (key == "seed") {
+      std::int64_t s = 0;
+      if (!parse_int(value, &s) || s < 0)
+        return fail("bad seed clause: " + clause);
+      plan.seed = static_cast<std::uint64_t>(s);
+    } else {
+      return fail("unknown fault clause: " + clause);
+    }
+  }
+  return plan;
+}
+
+FaultPlan FaultPlan::random(std::uint64_t seed, std::int32_t num_processes) {
+  Rng rng(seed ^ 0xFA017'5EEDULL);
+  FaultPlan plan;
+  plan.seed = rng.next_u64();
+
+  const std::int32_t n = std::max(num_processes, 1);
+
+  // Crashes: up to 2 distinct-ish processes, early steps so they matter.
+  const std::uint64_t num_crashes = rng.next_below(3);
+  for (std::uint64_t i = 0; i < num_crashes; ++i)
+    plan.crashes.push_back(CrashFault{
+        static_cast<ProcessId>(rng.next_below(static_cast<std::uint64_t>(n))),
+        rng.next_int(0, 12)});
+
+  // Message chaos rates.
+  if (rng.next_bool(1, 2)) plan.messages.drop_percent =
+      static_cast<std::uint32_t>(rng.next_int(0, 30));
+  if (rng.next_bool(1, 3)) plan.messages.dup_percent =
+      static_cast<std::uint32_t>(rng.next_int(0, 10));
+  if (rng.next_bool(1, 3)) plan.messages.delay_percent =
+      static_cast<std::uint32_t>(rng.next_int(0, 10));
+  plan.messages.extra_delay = Ratio(rng.next_int(1, 8));
+
+  // Timing violations: both directions (too slow and too fast).
+  const std::uint64_t num_timing = rng.next_below(3);
+  for (std::uint64_t i = 0; i < num_timing; ++i) {
+    static const Ratio kScales[] = {Ratio(1, 8), Ratio(1, 4), Ratio(3),
+                                    Ratio(8)};
+    plan.timing.push_back(TimingFault{
+        static_cast<ProcessId>(rng.next_below(static_cast<std::uint64_t>(n))),
+        rng.next_int(0, 8), kScales[rng.next_below(4)]});
+  }
+
+  // Write corruption (SMM runs consume it; others ignore it).
+  if (rng.next_bool(1, 3)) plan.writes.corrupt_percent =
+      static_cast<std::uint32_t>(rng.next_int(0, 20));
+  if (rng.next_bool(1, 4))
+    plan.writes.corrupt_at.push_back(rng.next_int(0, 40));
+
+  return plan;
+}
+
+}  // namespace sesp

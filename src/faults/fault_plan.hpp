@@ -1,0 +1,121 @@
+#pragma once
+
+// Declarative chaos plans. A FaultPlan names every way an execution may leave
+// the paper's well-formed space (Section 2.2's admissibility assumptions):
+//
+//   * crash-stop       — a process halts before its k-th compute step,
+//                        violating the "infinitely many steps" liveness
+//                        clause (here: it never reaches an idle state);
+//   * message drop     — a sent message is never delivered, violating the
+//                        MPM's reliable-broadcast clause;
+//   * message duplicate— a message is delivered twice, which no admissible
+//                        network step sequence produces;
+//   * message delay    — an extra delay pushes a delivery outside [d1, d2];
+//   * timing violation — one step's gap is scaled outside the model's
+//                        admissible band (periods / [c1, c2] / >= c1);
+//   * write corruption — an SMM read-modify-write loses the variable's
+//                        previous contents (a lost update).
+//
+// Plans are pure data: deterministic per-target entries plus seeded Bernoulli
+// rates, so a recorded (plan, seed) pair reproduces the exact same chaos.
+// FaultInjector turns a plan into the stateful hooks the simulators consume.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "model/ids.hpp"
+#include "util/ratio.hpp"
+
+namespace sesp {
+
+enum class FaultKind : std::uint8_t {
+  kCrash,
+  kDropMessage,
+  kDuplicateMessage,
+  kDelayMessage,
+  kTimingViolation,
+  kWriteCorruption,
+};
+
+const char* to_string(FaultKind kind);
+
+// Crash-stop: `process` halts in place of taking its `at_step`-th compute
+// step (0-based over its own steps).
+struct CrashFault {
+  ProcessId process = 0;
+  std::int64_t at_step = 0;
+};
+
+// Scale the gap preceding `process`'s `at_step`-th compute step by
+// `gap_scale` (> 1 breaks upper bounds / exact periods, < 1 breaks c1).
+struct TimingFault {
+  ProcessId process = 0;
+  std::int64_t at_step = 0;
+  Ratio gap_scale = Ratio(4);
+};
+
+// Message-level chaos (MPM / P2P substrates). Percentages are Bernoulli per
+// sent message under the plan's seed; the id lists are deterministic
+// predicates applied on top.
+struct MessageFaults {
+  std::uint32_t drop_percent = 0;
+  std::uint32_t dup_percent = 0;
+  std::uint32_t delay_percent = 0;
+  Duration extra_delay = Duration(1);  // applied to dup / delay injections
+  std::vector<MsgId> drop_ids;
+  std::vector<MsgId> dup_ids;
+
+  bool any() const noexcept {
+    return drop_percent != 0 || dup_percent != 0 || delay_percent != 0 ||
+           !drop_ids.empty() || !dup_ids.empty();
+  }
+};
+
+// Shared-variable write corruption (SMM substrate). `corrupt_at` indexes the
+// global sequence of corruption-eligible writes (tree/uplink accesses);
+// `corrupt_percent` is Bernoulli per eligible write.
+struct WriteFaults {
+  std::uint32_t corrupt_percent = 0;
+  std::vector<std::int64_t> corrupt_at;
+
+  bool any() const noexcept {
+    return corrupt_percent != 0 || !corrupt_at.empty();
+  }
+};
+
+struct FaultPlan {
+  std::vector<CrashFault> crashes;
+  std::vector<TimingFault> timing;
+  MessageFaults messages;
+  WriteFaults writes;
+  std::uint64_t seed = 0x0FA17ULL;
+
+  bool empty() const noexcept {
+    return crashes.empty() && timing.empty() && !messages.any() &&
+           !writes.any();
+  }
+
+  std::string to_string() const;
+
+  // Parses the CLI grammar: comma-separated clauses
+  //   crash:P@K       crash process P before its K-th step
+  //   timing:P@K*S    scale the gap before P's K-th step by rational S
+  //   drop:N% | drop:#ID       drop rate / drop exactly message ID
+  //   dup:N%  | dup:#ID        duplicate rate / duplicate message ID
+  //   delay:N%                 extra-delay rate
+  //   extra:R                  the extra delay (rational, default 1)
+  //   corrupt:N% | corrupt:@K  corruption rate / corrupt K-th eligible write
+  //   seed:N                   Bernoulli seed
+  // Returns nullopt and sets *error on malformed input.
+  static std::optional<FaultPlan> parse(const std::string& text,
+                                        std::string* error = nullptr);
+
+  // Seeded random plan over `num_processes` processes, for fuzzing: a mix of
+  // crashes, loss/duplication/delay rates, timing violations and write
+  // corruption, occasionally empty.
+  static FaultPlan random(std::uint64_t seed, std::int32_t num_processes);
+};
+
+}  // namespace sesp

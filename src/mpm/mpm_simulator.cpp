@@ -1,7 +1,5 @@
 #include "mpm/mpm_simulator.hpp"
 
-#include <cstdio>
-#include <cstdlib>
 #include <queue>
 #include <vector>
 
@@ -36,22 +34,28 @@ struct EventAfter {
 MpmSimulator::MpmSimulator(const ProblemSpec& spec,
                            const TimingConstraints& constraints,
                            const MpmAlgorithmFactory& factory,
-                           StepScheduler& scheduler, DelayStrategy& delays)
+                           StepScheduler& scheduler, DelayStrategy& delays,
+                           FaultInjector* faults)
     : spec_(spec),
       constraints_(constraints),
       factory_(factory),
       scheduler_(scheduler),
-      delays_(delays) {
-  if (spec_.n <= 0) {
-    std::fprintf(stderr, "MpmSimulator fatal: need n >= 1\n");
-    std::abort();
-  }
-}
+      delays_(delays),
+      faults_(faults) {}
 
 MpmRunResult MpmSimulator::run(const MpmRunLimits& limits) {
   const std::int32_t n = spec_.n;
   MpmRunResult result{
-      TimedComputation(Substrate::kMessagePassing, n, n), false, false, 0, 0};
+      TimedComputation(Substrate::kMessagePassing, std::max(n, 0),
+                       std::max(n, 0)),
+      false, false, 0, 0, std::nullopt, {}};
+  if (n <= 0) {
+    SimError err;
+    err.code = SimErrorCode::kInvalidSpec;
+    err.detail = "MPM needs n >= 1 port processes, got " + std::to_string(n);
+    result.error = std::move(err);
+    return result;
+  }
   TimedComputation& trace = result.trace;
 
   Network network(n);
@@ -63,29 +67,85 @@ MpmRunResult MpmSimulator::run(const MpmRunLimits& limits) {
   std::priority_queue<Event, std::vector<Event>, EventAfter> queue;
   std::uint64_t seq = 0;
 
-  std::vector<Time> last_step_time(static_cast<std::size_t>(n));
   std::vector<std::int64_t> step_count(static_cast<std::size_t>(n), 0);
   // Messages delivered to each process but not yet picked up by a step.
   std::vector<std::vector<MsgId>> pending(static_cast<std::size_t>(n));
   std::int32_t non_idle = n;
 
-  for (ProcessId p = 0; p < n; ++p) {
-    const Time t = scheduler_.next_step_time(p, std::nullopt, 0);
+  // Schedules p's next compute step, applying any injected timing violation
+  // and rejecting schedules that run backwards in time.
+  auto schedule_step = [&](ProcessId p, std::optional<Time> prev,
+                           std::int64_t index) -> bool {
+    Time t = scheduler_.next_step_time(p, prev, index);
+    const Time floor = prev.value_or(Time(0));
+    if (faults_) t = faults_->perturb_step_time(p, index, floor, t);
+    if (t < floor) {
+      SimError err;
+      err.code = SimErrorCode::kNonMonotonicSchedule;
+      err.detail = "scheduled t=" + t.to_string() + " before t=" +
+                   floor.to_string();
+      err.process = p;
+      err.step_index = static_cast<std::int64_t>(trace.steps().size());
+      err.time = floor;
+      result.error = std::move(err);
+      return false;
+    }
     queue.push(Event{t, EventKind::kProcessStep, seq++, p, kNoMsg});
-  }
+    return true;
+  };
+
+  for (ProcessId p = 0; p < n; ++p)
+    if (!schedule_step(p, std::nullopt, 0)) return result;
+
+  Time last_event_time(0);
+  std::int64_t stagnant_events = 0;
 
   while (!queue.empty() && non_idle > 0) {
     const Event ev = queue.top();
     queue.pop();
 
+    // Watchdogs: step budget, time budget, and no-progress (model time
+    // pinned over an implausible number of consecutive events).
     if (result.compute_steps >= limits.max_steps ||
         limits.max_time < ev.time) {
       result.hit_limit = true;
+      SimError err;
+      const bool steps = result.compute_steps >= limits.max_steps;
+      err.code = steps ? SimErrorCode::kStepLimitExceeded
+                       : SimErrorCode::kTimeLimitExceeded;
+      err.detail = steps ? "compute-step budget " +
+                               std::to_string(limits.max_steps) + " exhausted"
+                         : "model-time budget " + limits.max_time.to_string() +
+                               " exhausted";
+      err.step_index = static_cast<std::int64_t>(trace.steps().size());
+      err.time = ev.time;
+      result.error = std::move(err);
       break;
+    }
+    if (ev.time == last_event_time) {
+      if (++stagnant_events > limits.max_stagnant_events) {
+        result.hit_limit = true;
+        SimError err;
+        err.code = SimErrorCode::kNoProgress;
+        err.detail = "time pinned at t=" + ev.time.to_string() + " for " +
+                     std::to_string(stagnant_events) + " events";
+        err.step_index = static_cast<std::int64_t>(trace.steps().size());
+        err.time = ev.time;
+        result.error = std::move(err);
+        break;
+      }
+    } else {
+      last_event_time = ev.time;
+      stagnant_events = 0;
     }
 
     if (ev.kind == EventKind::kDeliver) {
-      network.deliver(ev.message);
+      if (auto err = network.deliver(ev.message)) {
+        err->step_index = static_cast<std::int64_t>(trace.steps().size());
+        err->time = ev.time;
+        result.error = std::move(*err);
+        break;
+      }
       StepRecord st;
       st.kind = StepKind::kDeliver;
       st.process = kNetworkProcess;
@@ -101,6 +161,16 @@ MpmRunResult MpmSimulator::run(const MpmRunLimits& limits) {
 
     const ProcessId p = ev.process;
     const auto pi = static_cast<std::size_t>(p);
+
+    // Crash-stop: the process halts in place of this step; it never idles
+    // and takes no further steps. Messages already in flight to it still
+    // deliver into its (never drained) buffer.
+    if (faults_ && faults_->crash_now(p, step_count[pi], ev.time)) {
+      result.crashed.push_back(p);
+      --non_idle;
+      continue;
+    }
+
     const std::vector<MpmMessage> received = network.drain_buffer(p);
     const MpmStepResult action = algs[pi]->on_step(
         std::span<const MpmMessage>(received.data(), received.size()));
@@ -121,7 +191,7 @@ MpmRunResult MpmSimulator::run(const MpmRunLimits& limits) {
     pending[pi].clear();
 
     if (action.broadcast) {
-      for (ProcessId q = 0; q < n; ++q) {
+      for (ProcessId q = 0; q < n && !result.error; ++q) {
         MessageRecord rec;
         rec.sender = p;
         rec.recipient = q;
@@ -130,27 +200,51 @@ MpmRunResult MpmSimulator::run(const MpmRunLimits& limits) {
         rec.steps = action.message.steps;
         rec.done = action.message.done;
         const MsgId id = trace.append_message(rec);
-        network.send(id, action.message, q);
-        const Duration delay = delays_.delay(p, q, ev.time, id);
-        queue.push(
-            Event{ev.time + delay, EventKind::kDeliver, seq++, q, id});
         ++result.messages_sent;
+
+        const MessageAction act =
+            faults_ ? faults_->on_send(id, p, q, ev.time) : MessageAction{};
+        if (act.drop) continue;  // lost: sent but never enters the net
+
+        if (auto err = network.send(id, action.message, q)) {
+          err->step_index = static_cast<std::int64_t>(trace.steps().size());
+          err->time = ev.time;
+          result.error = std::move(*err);
+          break;
+        }
+        const Duration delay =
+            delays_.delay(p, q, ev.time, id) + act.extra_delay;
+        queue.push(Event{ev.time + delay, EventKind::kDeliver, seq++, q, id});
+
+        if (act.duplicate) {
+          // The duplicate is a distinct trace message with the same payload,
+          // delivered after an extra delay.
+          MessageRecord dup = rec;
+          const MsgId dup_id = trace.append_message(dup);
+          if (auto err = network.send(dup_id, action.message, q)) {
+            err->step_index = static_cast<std::int64_t>(trace.steps().size());
+            err->time = ev.time;
+            result.error = std::move(*err);
+            break;
+          }
+          queue.push(Event{ev.time + delay + act.extra_delay,
+                           EventKind::kDeliver, seq++, q, dup_id});
+          ++result.messages_sent;
+        }
       }
+      if (result.error) break;
     }
 
-    last_step_time[pi] = ev.time;
     ++step_count[pi];
 
     if (action.idle) {
       --non_idle;
-    } else {
-      const Time next =
-          scheduler_.next_step_time(p, ev.time, step_count[pi]);
-      queue.push(Event{next, EventKind::kProcessStep, seq++, p, kNoMsg});
+    } else if (!schedule_step(p, ev.time, step_count[pi])) {
+      break;
     }
   }
 
-  result.completed = non_idle == 0;
+  result.completed = non_idle == 0 && !result.error;
   return result;
 }
 

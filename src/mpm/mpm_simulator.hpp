@@ -9,11 +9,22 @@
 // are ordered before delivery steps carrying the same timestamp, so a
 // message delivered "at" a step time is only seen at the process's *next*
 // step — the worst admissible interleaving.
+//
+// An optional FaultInjector turns the executor into a chaos harness:
+// crash-stops, message drop/duplication/extra delay and timing violations
+// are applied at the corresponding hook points. Ill-formed situations —
+// injected or not — end the run with a structured SimError in the result
+// instead of terminating the process, and watchdogs (step budget, time
+// budget, no-progress detection) bound every run.
 
 #include <cstdint>
 #include <memory>
+#include <optional>
+#include <vector>
 
 #include "adversary/schedulers.hpp"
+#include "faults/fault_injector.hpp"
+#include "faults/sim_error.hpp"
 #include "model/ids.hpp"
 #include "model/timed_computation.hpp"
 #include "mpm/algorithm.hpp"
@@ -26,23 +37,32 @@ struct MpmRunLimits {
   // processes idle; guards against broken non-terminating algorithms.
   std::int64_t max_steps = 2'000'000;
   Time max_time = Time(1'000'000'000);
+  // No-progress watchdog: maximum consecutive events at one model time
+  // before the run is declared livelocked (zero-gap schedules).
+  std::int64_t max_stagnant_events = 100'000;
 };
 
 struct MpmRunResult {
   TimedComputation trace;
-  bool completed = false;     // all port processes idled
+  bool completed = false;     // every port process idled or crash-stopped
   bool hit_limit = false;     // stopped by MpmRunLimits instead
   std::int64_t compute_steps = 0;
   std::int64_t messages_sent = 0;
+  // Structured diagnostics: set when the run left the well-formed space
+  // (limit/watchdog trip, network anomaly, bad spec). Never aborts.
+  std::optional<SimError> error;
+  // Processes crash-stopped by fault injection, in crash order.
+  std::vector<ProcessId> crashed;
 };
 
 class MpmSimulator {
  public:
   // Every regular process is a port process in the MPM (its buf is its
   // port), so the system has spec.n regular processes plus the network.
+  // `faults` (optional, unowned) injects the chaos plan into the run.
   MpmSimulator(const ProblemSpec& spec, const TimingConstraints& constraints,
                const MpmAlgorithmFactory& factory, StepScheduler& scheduler,
-               DelayStrategy& delays);
+               DelayStrategy& delays, FaultInjector* faults = nullptr);
 
   MpmRunResult run(const MpmRunLimits& limits = MpmRunLimits{});
 
@@ -52,6 +72,7 @@ class MpmSimulator {
   const MpmAlgorithmFactory& factory_;
   StepScheduler& scheduler_;
   DelayStrategy& delays_;
+  FaultInjector* faults_;
 };
 
 }  // namespace sesp

@@ -1,50 +1,54 @@
 #include "mpm/network.hpp"
 
-#include <cstdio>
-#include <cstdlib>
+#include <algorithm>
 
 namespace sesp {
 
-namespace {
-[[noreturn]] void fail(const char* what) {
-  std::fprintf(stderr, "sesp::Network fatal: %s\n", what);
-  std::abort();
-}
-}  // namespace
-
 Network::Network(std::int32_t num_regular)
-    : num_regular_(num_regular),
-      bufs_(static_cast<std::size_t>(num_regular)) {
-  if (num_regular <= 0) fail("need at least one regular process");
-}
+    : num_regular_(std::max(num_regular, 0)),
+      bufs_(static_cast<std::size_t>(num_regular_)) {}
 
-void Network::send(MsgId id, const MpmMessage& m, ProcessId recipient) {
-  if (recipient < 0 || recipient >= num_regular_) fail("bad recipient");
+std::optional<SimError> Network::send(MsgId id, const MpmMessage& m,
+                                      ProcessId recipient) {
+  if (!valid(recipient)) {
+    SimError err;
+    err.code = SimErrorCode::kBadRecipient;
+    err.detail = "send to process " + std::to_string(recipient) +
+                 " outside [0, " + std::to_string(num_regular_) + ")";
+    err.message = id;
+    err.process = m.sender;
+    return err;
+  }
   net_.push_back(InTransit{id, m, recipient});
+  return std::nullopt;
 }
 
-void Network::deliver(MsgId id) {
+std::optional<SimError> Network::deliver(MsgId id) {
   for (std::size_t i = 0; i < net_.size(); ++i) {
     if (net_[i].id == id) {
       bufs_[static_cast<std::size_t>(net_[i].recipient)].push_back(
           net_[i].message);
       net_[i] = net_.back();
       net_.pop_back();
-      return;
+      return std::nullopt;
     }
   }
-  fail("deliver of message not in transit");
+  SimError err;
+  err.code = SimErrorCode::kUnknownMessage;
+  err.detail = "deliver of message not in transit";
+  err.message = id;
+  return err;
 }
 
 std::vector<MpmMessage> Network::drain_buffer(ProcessId p) {
-  if (p < 0 || p >= num_regular_) fail("bad process in drain_buffer");
+  if (!valid(p)) return {};
   std::vector<MpmMessage> out;
   out.swap(bufs_[static_cast<std::size_t>(p)]);
   return out;
 }
 
 std::size_t Network::buffered(ProcessId p) const {
-  if (p < 0 || p >= num_regular_) fail("bad process in buffered");
+  if (!valid(p)) return 0;
   return bufs_[static_cast<std::size_t>(p)].size();
 }
 

@@ -5,10 +5,16 @@
 // not yet received). The network process N takes delivery steps moving one
 // (m, q) from net to buf_q; a regular process's compute step empties its
 // buf. This class is pure state — the simulator drives it and records steps.
+//
+// Error handling: operations on ids or processes outside the model return a
+// structured SimError instead of terminating, so a harness bug or an
+// injected fault surfaces as a diagnosed run, never an abort.
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
+#include "faults/sim_error.hpp"
 #include "model/ids.hpp"
 #include "mpm/message.hpp"
 
@@ -20,22 +26,28 @@ class Network {
 
   std::int32_t num_regular() const noexcept { return num_regular_; }
 
-  // Adds (m, q) to net; returns a handle used to deliver it later. The
-  // caller (simulator) owns MsgId assignment so handles match the trace's
-  // MessageRecord ids.
-  void send(MsgId id, const MpmMessage& m, ProcessId recipient);
+  // Adds (m, q) to net; the caller (simulator) owns MsgId assignment so
+  // handles match the trace's MessageRecord ids. Returns a SimError (and
+  // leaves net unchanged) if the recipient is outside the process range.
+  [[nodiscard]] std::optional<SimError> send(MsgId id, const MpmMessage& m,
+                                             ProcessId recipient);
 
-  // Network step: moves the identified (m, q) from net to buf_q. Terminates
-  // the process if the id is not in transit (harness bug).
-  void deliver(MsgId id);
+  // Network step: moves the identified (m, q) from net to buf_q. Returns a
+  // SimError if the id is not in transit (double delivery or harness bug).
+  [[nodiscard]] std::optional<SimError> deliver(MsgId id);
 
-  // Regular-process step, receive half: removes and returns buf_p.
+  // Regular-process step, receive half: removes and returns buf_p. A
+  // process id outside the range has an empty buffer by definition.
   std::vector<MpmMessage> drain_buffer(ProcessId p);
 
   std::size_t in_transit() const noexcept { return net_.size(); }
   std::size_t buffered(ProcessId p) const;
 
  private:
+  bool valid(ProcessId p) const noexcept {
+    return p >= 0 && p < num_regular_;
+  }
+
   struct InTransit {
     MsgId id;
     MpmMessage message;

@@ -1,7 +1,5 @@
 #include "p2p/p2p_simulator.hpp"
 
-#include <cstdio>
-#include <cstdlib>
 #include <map>
 #include <memory>
 #include <queue>
@@ -37,28 +35,36 @@ P2pSimulator::P2pSimulator(const ProblemSpec& spec,
                            const TimingConstraints& constraints,
                            const Topology& topology,
                            const P2pAlgorithmFactory& factory,
-                           StepScheduler& scheduler, DelayStrategy& delays)
+                           StepScheduler& scheduler, DelayStrategy& delays,
+                           FaultInjector* faults)
     : spec_(spec),
       constraints_(constraints),
       topology_(topology),
       factory_(factory),
       scheduler_(scheduler),
-      delays_(delays) {
-  if (topology_.num_nodes() != spec_.n || !topology_.connected()) {
-    std::fprintf(stderr,
-                 "P2pSimulator fatal: topology must have n connected nodes\n");
-    std::abort();
-  }
-}
+      delays_(delays),
+      faults_(faults) {}
 
 P2pRunResult P2pSimulator::run(const P2pRunLimits& limits) {
   const std::int32_t n = spec_.n;
-  P2pRunResult result{TimedComputation(Substrate::kMessagePassing, n, n),
+  P2pRunResult result{TimedComputation(Substrate::kMessagePassing,
+                                       std::max(n, 0), std::max(n, 0)),
                       false,
                       false,
                       0,
                       0,
-                      topology_.diameter()};
+                      topology_.num_nodes() == n ? topology_.diameter() : 0,
+                      std::nullopt,
+                      {}};
+  if (n <= 0 || topology_.num_nodes() != n || !topology_.connected()) {
+    SimError err;
+    err.code = SimErrorCode::kInvalidSpec;
+    err.detail = "topology must have n=" + std::to_string(n) +
+                 " connected nodes (has " +
+                 std::to_string(topology_.num_nodes()) + ")";
+    result.error = std::move(err);
+    return result;
+  }
   TimedComputation& trace = result.trace;
 
   std::vector<std::unique_ptr<P2pAlgorithm>> algs;
@@ -78,9 +84,31 @@ P2pRunResult P2pSimulator::run(const P2pRunLimits& limits) {
   std::vector<std::int64_t> step_count(static_cast<std::size_t>(n), 0);
   std::int32_t non_idle = n;
 
+  auto schedule_step = [&](ProcessId p, std::optional<Time> prev,
+                           std::int64_t index) -> bool {
+    Time t = scheduler_.next_step_time(p, prev, index);
+    const Time floor = prev.value_or(Time(0));
+    if (faults_) t = faults_->perturb_step_time(p, index, floor, t);
+    if (t < floor) {
+      SimError err;
+      err.code = SimErrorCode::kNonMonotonicSchedule;
+      err.detail = "scheduled t=" + t.to_string() + " before t=" +
+                   floor.to_string();
+      err.process = p;
+      err.step_index = static_cast<std::int64_t>(trace.steps().size());
+      err.time = floor;
+      result.error = std::move(err);
+      return false;
+    }
+    queue.push(Event{t, EventKind::kProcessStep, seq++, p, kNoMsg});
+    return true;
+  };
+
   for (ProcessId p = 0; p < n; ++p)
-    queue.push(Event{scheduler_.next_step_time(p, std::nullopt, 0),
-                     EventKind::kProcessStep, seq++, p, kNoMsg});
+    if (!schedule_step(p, std::nullopt, 0)) return result;
+
+  Time last_event_time(0);
+  std::int64_t stagnant_events = 0;
 
   while (!queue.empty() && non_idle > 0) {
     const Event ev = queue.top();
@@ -88,10 +116,48 @@ P2pRunResult P2pSimulator::run(const P2pRunLimits& limits) {
     if (result.compute_steps >= limits.max_steps ||
         limits.max_time < ev.time) {
       result.hit_limit = true;
+      SimError err;
+      const bool steps = result.compute_steps >= limits.max_steps;
+      err.code = steps ? SimErrorCode::kStepLimitExceeded
+                       : SimErrorCode::kTimeLimitExceeded;
+      err.detail = steps ? "compute-step budget " +
+                               std::to_string(limits.max_steps) + " exhausted"
+                         : "model-time budget " + limits.max_time.to_string() +
+                               " exhausted";
+      err.step_index = static_cast<std::int64_t>(trace.steps().size());
+      err.time = ev.time;
+      result.error = std::move(err);
       break;
+    }
+    if (ev.time == last_event_time) {
+      if (++stagnant_events > limits.max_stagnant_events) {
+        result.hit_limit = true;
+        SimError err;
+        err.code = SimErrorCode::kNoProgress;
+        err.detail = "time pinned at t=" + ev.time.to_string() + " for " +
+                     std::to_string(stagnant_events) + " events";
+        err.step_index = static_cast<std::int64_t>(trace.steps().size());
+        err.time = ev.time;
+        result.error = std::move(err);
+        break;
+      }
+    } else {
+      last_event_time = ev.time;
+      stagnant_events = 0;
     }
 
     if (ev.kind == EventKind::kDeliver) {
+      const auto flight = in_flight.find(ev.message);
+      if (flight == in_flight.end()) {
+        SimError err;
+        err.code = SimErrorCode::kUnknownMessage;
+        err.detail = "deliver of message not in transit";
+        err.message = ev.message;
+        err.step_index = static_cast<std::int64_t>(trace.steps().size());
+        err.time = ev.time;
+        result.error = std::move(err);
+        break;
+      }
       StepRecord st;
       st.kind = StepKind::kDeliver;
       st.process = kNetworkProcess;
@@ -102,13 +168,20 @@ P2pRunResult P2pSimulator::run(const P2pRunLimits& limits) {
           trace.mutable_messages()[static_cast<std::size_t>(ev.message)];
       rec.deliver_step = index;
       pending[static_cast<std::size_t>(rec.recipient)].push_back(ev.message);
-      auto node = in_flight.extract(ev.message);
+      auto node = in_flight.extract(flight);
       buffered.insert(std::move(node));
       continue;
     }
 
     const ProcessId p = ev.process;
     const auto pi = static_cast<std::size_t>(p);
+
+    // Crash-stop: the process halts; its knowledge stops spreading.
+    if (faults_ && faults_->crash_now(p, step_count[pi], ev.time)) {
+      result.crashed.push_back(p);
+      --non_idle;
+      continue;
+    }
 
     // Receive: merge all delivered payloads. The step is appended after the
     // algorithm runs (its idle flag is part of the record), so the index is
@@ -147,23 +220,37 @@ P2pRunResult P2pSimulator::run(const P2pRunLimits& limits) {
       rec.steps = own.steps;
       rec.done = own.done;
       const MsgId id = trace.append_message(rec);
-      in_flight.emplace(id, view[pi]);
-      const Duration delay = delays_.delay(p, q, ev.time, id);
-      queue.push(Event{ev.time + delay, EventKind::kDeliver, seq++, q, id});
       ++result.messages_sent;
+
+      const MessageAction act =
+          faults_ ? faults_->on_send(id, p, q, ev.time) : MessageAction{};
+      if (act.drop) continue;  // lost: sent but never delivered
+
+      const Duration delay =
+          delays_.delay(p, q, ev.time, id) + act.extra_delay;
+      in_flight.emplace(id, view[pi]);
+      queue.push(Event{ev.time + delay, EventKind::kDeliver, seq++, q, id});
+
+      if (act.duplicate) {
+        MessageRecord dup = rec;
+        const MsgId dup_id = trace.append_message(dup);
+        in_flight.emplace(dup_id, view[pi]);
+        queue.push(Event{ev.time + delay + act.extra_delay,
+                         EventKind::kDeliver, seq++, q, dup_id});
+        ++result.messages_sent;
+      }
     }
 
     ++result.compute_steps;
     ++step_count[pi];
     if (idle) {
       --non_idle;
-    } else {
-      queue.push(Event{scheduler_.next_step_time(p, ev.time, step_count[pi]),
-                       EventKind::kProcessStep, seq++, p, kNoMsg});
+    } else if (!schedule_step(p, ev.time, step_count[pi])) {
+      break;
     }
   }
 
-  result.completed = non_idle == 0;
+  result.completed = non_idle == 0 && !result.error;
   return result;
 }
 

@@ -6,10 +6,18 @@
 // relay). Information crosses the network in diameter hops; the
 // bench_diameter experiment measures exactly that factor, which the
 // abstract model's d2 subsumes (conversion note (1) of the paper).
+//
+// Supports the same FaultInjector hooks and watchdog/SimError hardening as
+// MpmSimulator: crash-stop, message drop/duplication/extra delay, timing
+// violations, structured diagnostics instead of aborts.
 
 #include <cstdint>
+#include <optional>
+#include <vector>
 
 #include "adversary/schedulers.hpp"
+#include "faults/fault_injector.hpp"
+#include "faults/sim_error.hpp"
 #include "model/ids.hpp"
 #include "model/timed_computation.hpp"
 #include "mpm/topology.hpp"
@@ -21,23 +29,29 @@ namespace sesp {
 struct P2pRunLimits {
   std::int64_t max_steps = 2'000'000;
   Time max_time = Time(1'000'000'000);
+  std::int64_t max_stagnant_events = 100'000;
 };
 
 struct P2pRunResult {
   TimedComputation trace;
-  bool completed = false;
+  bool completed = false;  // every port process idled or crash-stopped
   bool hit_limit = false;
   std::int64_t compute_steps = 0;
   std::int64_t messages_sent = 0;
   std::int32_t diameter = 0;
+  // Structured diagnostics (see MpmRunResult::error).
+  std::optional<SimError> error;
+  std::vector<ProcessId> crashed;
 };
 
 class P2pSimulator {
  public:
-  // The topology must have exactly spec.n nodes and be connected.
+  // The topology must have exactly spec.n nodes and be connected (checked at
+  // run() time; a mismatch yields an invalid-spec SimError, not an abort).
   P2pSimulator(const ProblemSpec& spec, const TimingConstraints& constraints,
                const Topology& topology, const P2pAlgorithmFactory& factory,
-               StepScheduler& scheduler, DelayStrategy& delays);
+               StepScheduler& scheduler, DelayStrategy& delays,
+               FaultInjector* faults = nullptr);
 
   P2pRunResult run(const P2pRunLimits& limits = P2pRunLimits{});
 
@@ -48,6 +62,7 @@ class P2pSimulator {
   const P2pAlgorithmFactory& factory_;
   StepScheduler& scheduler_;
   DelayStrategy& delays_;
+  FaultInjector* faults_;
 };
 
 }  // namespace sesp

@@ -8,6 +8,7 @@ Verdict verify(const TimedComputation& tc, const ProblemSpec& spec,
   const AdmissibilityReport adm = check_admissible(tc, constraints);
   v.admissible = adm.admissible;
   v.admissibility_violation = adm.violation;
+  v.violation_site = adm.site;
 
   v.sessions = count_sessions(tc).sessions;
   v.all_ports_idle = tc.all_ports_idle();

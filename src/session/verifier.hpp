@@ -19,6 +19,9 @@ namespace sesp {
 struct Verdict {
   bool admissible = false;
   std::string admissibility_violation;
+  // Exact first violating step (process, index, time, message) when the
+  // inadmissibility maps to a step — the detection half of the fault model.
+  std::optional<ViolationSite> violation_site;
 
   std::int64_t sessions = 0;
   bool all_ports_idle = false;

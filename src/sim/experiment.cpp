@@ -1,7 +1,7 @@
 #include "sim/experiment.hpp"
 
-#include <functional>
 #include <memory>
+#include <sstream>
 #include <vector>
 
 #include "adversary/delay_strategies.hpp"
@@ -12,15 +12,17 @@ namespace sesp {
 namespace {
 
 void fold(WorstCase& wc, const Verdict& v, bool completed, bool hit_limit,
-          const std::string& label) {
+          const std::optional<SimError>& error, const std::string& label) {
   ++wc.runs;
-  if (!v.admissible || !v.solves || hit_limit) {
-    wc.all_solved = wc.all_solved && v.solves && !hit_limit;
+  if (!v.admissible || !v.solves || hit_limit || error) {
+    wc.all_solved = wc.all_solved && v.solves && !hit_limit && !error;
     wc.all_admissible = wc.all_admissible && v.admissible;
     if (wc.first_failure.empty()) {
       wc.first_failure = label + ": ";
       if (!v.admissible)
         wc.first_failure += "inadmissible (" + v.admissibility_violation + ")";
+      else if (error)
+        wc.first_failure += error->to_string();
       else if (hit_limit)
         wc.first_failure += "hit run limit";
       else
@@ -28,6 +30,12 @@ void fold(WorstCase& wc, const Verdict& v, bool completed, bool hit_limit,
             "solved=false (sessions=" + std::to_string(v.sessions) + ")";
     }
   }
+  // Limit hits are recorded on their own channel: a run that trips a limit
+  // must name the adversary and the limit even when another run already
+  // claimed first_failure (or succeeds later).
+  if (hit_limit && wc.first_limit_hit.empty())
+    wc.first_limit_hit =
+        label + ": " + (error ? error->to_string() : "hit run limit");
   if (wc.runs == 1 || v.sessions < wc.min_sessions)
     wc.min_sessions = v.sessions;
   if (completed && v.termination_time &&
@@ -44,8 +52,8 @@ MpmOutcome run_mpm_once(const ProblemSpec& spec,
                         const TimingConstraints& constraints,
                         const MpmAlgorithmFactory& factory,
                         StepScheduler& scheduler, DelayStrategy& delays,
-                        const MpmRunLimits& limits) {
-  MpmSimulator sim(spec, constraints, factory, scheduler, delays);
+                        const MpmRunLimits& limits, FaultInjector* faults) {
+  MpmSimulator sim(spec, constraints, factory, scheduler, delays, faults);
   MpmOutcome out{sim.run(limits), Verdict{}};
   out.verdict = verify(out.run.trace, spec, constraints);
   return out;
@@ -54,9 +62,23 @@ MpmOutcome run_mpm_once(const ProblemSpec& spec,
 SmmOutcome run_smm_once(const ProblemSpec& spec,
                         const TimingConstraints& constraints,
                         const SmmAlgorithmFactory& factory,
-                        StepScheduler& scheduler, const SmmRunLimits& limits) {
-  SmmSimulator sim(spec, constraints, factory, scheduler);
+                        StepScheduler& scheduler, const SmmRunLimits& limits,
+                        FaultInjector* faults) {
+  SmmSimulator sim(spec, constraints, factory, scheduler, faults);
   SmmOutcome out{sim.run(limits), Verdict{}};
+  out.verdict = verify(out.run.trace, spec, constraints);
+  return out;
+}
+
+P2pOutcome run_p2p_once(const ProblemSpec& spec,
+                        const TimingConstraints& constraints,
+                        const Topology& topology,
+                        const P2pAlgorithmFactory& factory,
+                        StepScheduler& scheduler, DelayStrategy& delays,
+                        const P2pRunLimits& limits, FaultInjector* faults) {
+  P2pSimulator sim(spec, constraints, topology, factory, scheduler, delays,
+                   faults);
+  P2pOutcome out{sim.run(limits), Verdict{}};
   out.verdict = verify(out.run.trace, spec, constraints);
   return out;
 }
@@ -163,7 +185,8 @@ WorstCase mpm_worst_case(const ProblemSpec& spec,
     const MpmOutcome out = run_mpm_once(spec, constraints, factory,
                                         *adv.sched, *adv.delay, limits);
     wc.any_hit_limit = wc.any_hit_limit || out.run.hit_limit;
-    fold(wc, out.verdict, out.run.completed, out.run.hit_limit, adv.label);
+    fold(wc, out.verdict, out.run.completed, out.run.hit_limit, out.run.error,
+         adv.label);
   }
   return wc;
 }
@@ -226,9 +249,142 @@ WorstCase smm_worst_case(const ProblemSpec& spec,
     const SmmOutcome out =
         run_smm_once(spec, constraints, factory, *adv.sched, limits);
     wc.any_hit_limit = wc.any_hit_limit || out.run.hit_limit;
-    fold(wc, out.verdict, out.run.completed, out.run.hit_limit, adv.label);
+    fold(wc, out.verdict, out.run.completed, out.run.hit_limit, out.run.error,
+         adv.label);
   }
   return wc;
+}
+
+// --- Degradation sweeps -----------------------------------------------------
+
+namespace {
+
+// The canonical deterministic adversary of each model (its first worst-case
+// family member): degradation cells isolate the injected faults, so the
+// schedule itself stays fixed and admissible.
+std::unique_ptr<StepScheduler> canonical_scheduler(
+    const TimingConstraints& constraints, std::int32_t num_processes) {
+  switch (constraints.model) {
+    case TimingModel::kPeriodic:
+      return std::make_unique<FixedPeriodScheduler>(constraints.periods);
+    case TimingModel::kSporadic:
+      return std::make_unique<FixedPeriodScheduler>(num_processes,
+                                                    constraints.c1);
+    case TimingModel::kSynchronous:
+    case TimingModel::kSemiSynchronous:
+      return std::make_unique<FixedPeriodScheduler>(num_processes,
+                                                    constraints.c2);
+    case TimingModel::kAsynchronous:
+      return std::make_unique<FixedPeriodScheduler>(
+          num_processes, constraints.c2.is_positive() ? constraints.c2
+                                                      : Duration(1));
+  }
+  return std::make_unique<FixedPeriodScheduler>(num_processes, Duration(1));
+}
+
+FaultPlan grid_plan(std::int32_t crashes, std::int32_t percent, bool smm,
+                    std::int32_t n, std::uint64_t seed) {
+  FaultPlan plan;
+  plan.seed = seed;
+  for (std::int32_t i = 0; i < crashes && i < n; ++i)
+    plan.crashes.push_back(CrashFault{i, 1 + i});
+  if (smm)
+    plan.writes.corrupt_percent = static_cast<std::uint32_t>(percent);
+  else
+    plan.messages.drop_percent = static_cast<std::uint32_t>(percent);
+  return plan;
+}
+
+void fill_cell(DegradationCell& cell, const Verdict& verdict,
+               const std::optional<SimError>& error, bool completed,
+               const FaultInjector& injector, const ProblemSpec& spec) {
+  cell.outcome = classify_outcome(error, verdict);
+  cell.sessions = verdict.sessions;
+  cell.completed = completed;
+  cell.admissible = verdict.admissible;
+  cell.injected = static_cast<std::int64_t>(injector.log().size());
+  cell.diagnostic = outcome_diagnostic(error, verdict, spec);
+}
+
+}  // namespace
+
+std::int32_t DegradationReport::count(RunOutcome outcome) const {
+  std::int32_t c = 0;
+  for (const DegradationCell& cell : cells)
+    if (cell.outcome == outcome) ++c;
+  return c;
+}
+
+std::string DegradationReport::to_string() const {
+  std::ostringstream os;
+  os << substrate << " " << algorithm << " degradation:\n";
+  for (const DegradationCell& cell : cells) {
+    os << "  k=" << cell.crashes << " p=" << cell.fault_percent
+       << "%  " << sesp::to_string(cell.outcome)
+       << "  sessions=" << cell.sessions
+       << (cell.completed ? "  completed" : "  stopped")
+       << "  injected=" << cell.injected << "  [" << cell.diagnostic << "]\n";
+  }
+  return os.str();
+}
+
+DegradationReport mpm_degradation(const ProblemSpec& spec,
+                                  const TimingConstraints& constraints,
+                                  const MpmAlgorithmFactory& factory,
+                                  const std::vector<std::int32_t>& crash_counts,
+                                  const std::vector<std::int32_t>& loss_percents,
+                                  std::uint64_t seed,
+                                  const MpmRunLimits& limits) {
+  DegradationReport report;
+  report.algorithm = factory.name();
+  report.substrate = "mpm";
+  for (const std::int32_t k : crash_counts) {
+    for (const std::int32_t p : loss_percents) {
+      FaultInjector injector(grid_plan(
+          k, p, false, spec.n, seed + 131 * static_cast<std::uint64_t>(k) +
+                                   static_cast<std::uint64_t>(p)));
+      auto sched = canonical_scheduler(constraints, spec.n);
+      FixedDelay delay(constraints.d2);
+      const MpmOutcome out = run_mpm_once(spec, constraints, factory, *sched,
+                                          delay, limits, &injector);
+      DegradationCell cell;
+      cell.crashes = k;
+      cell.fault_percent = p;
+      fill_cell(cell, out.verdict, out.run.error, out.run.completed, injector,
+                spec);
+      report.cells.push_back(std::move(cell));
+    }
+  }
+  return report;
+}
+
+DegradationReport smm_degradation(
+    const ProblemSpec& spec, const TimingConstraints& constraints,
+    const SmmAlgorithmFactory& factory,
+    const std::vector<std::int32_t>& crash_counts,
+    const std::vector<std::int32_t>& corrupt_percents, std::uint64_t seed,
+    const SmmRunLimits& limits) {
+  DegradationReport report;
+  report.algorithm = factory.name();
+  report.substrate = "smm";
+  const std::int32_t total = smm_total_processes(spec.n, spec.b);
+  for (const std::int32_t k : crash_counts) {
+    for (const std::int32_t p : corrupt_percents) {
+      FaultInjector injector(grid_plan(
+          k, p, true, spec.n, seed + 131 * static_cast<std::uint64_t>(k) +
+                                  static_cast<std::uint64_t>(p)));
+      auto sched = canonical_scheduler(constraints, total);
+      const SmmOutcome out =
+          run_smm_once(spec, constraints, factory, *sched, limits, &injector);
+      DegradationCell cell;
+      cell.crashes = k;
+      cell.fault_percent = p;
+      fill_cell(cell, out.verdict, out.run.error, out.run.completed, injector,
+                spec);
+      report.cells.push_back(std::move(cell));
+    }
+  }
+  return report;
 }
 
 }  // namespace sesp

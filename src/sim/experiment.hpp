@@ -4,13 +4,19 @@
 // algorithm under an adversary, verifies the trace, and aggregates
 // worst-case measurements over the canonical adversary family of each
 // timing model (the schedule families the paper's arguments quantify over).
+// The degradation API additionally sweeps crash/loss grids and classifies
+// every run as solved / degraded / diagnosed — the robustness contract.
 
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <vector>
 
+#include "faults/degradation.hpp"
+#include "faults/fault_injector.hpp"
 #include "model/ids.hpp"
 #include "mpm/mpm_simulator.hpp"
+#include "p2p/p2p_simulator.hpp"
 #include "session/verifier.hpp"
 #include "smm/smm_simulator.hpp"
 #include "timing/constraints.hpp"
@@ -27,17 +33,32 @@ struct SmmOutcome {
   Verdict verdict;
 };
 
+struct P2pOutcome {
+  P2pRunResult run;
+  Verdict verdict;
+};
+
 MpmOutcome run_mpm_once(const ProblemSpec& spec,
                         const TimingConstraints& constraints,
                         const MpmAlgorithmFactory& factory,
                         StepScheduler& scheduler, DelayStrategy& delays,
-                        const MpmRunLimits& limits = MpmRunLimits{});
+                        const MpmRunLimits& limits = MpmRunLimits{},
+                        FaultInjector* faults = nullptr);
 
 SmmOutcome run_smm_once(const ProblemSpec& spec,
                         const TimingConstraints& constraints,
                         const SmmAlgorithmFactory& factory,
                         StepScheduler& scheduler,
-                        const SmmRunLimits& limits = SmmRunLimits{});
+                        const SmmRunLimits& limits = SmmRunLimits{},
+                        FaultInjector* faults = nullptr);
+
+P2pOutcome run_p2p_once(const ProblemSpec& spec,
+                        const TimingConstraints& constraints,
+                        const Topology& topology,
+                        const P2pAlgorithmFactory& factory,
+                        StepScheduler& scheduler, DelayStrategy& delays,
+                        const P2pRunLimits& limits = P2pRunLimits{},
+                        FaultInjector* faults = nullptr);
 
 // Aggregate over an adversary family.
 struct WorstCase {
@@ -50,6 +71,10 @@ struct WorstCase {
   std::int64_t max_rounds = 0;     // rounds ceiling, max over runs
   Duration max_gamma = 0;
   std::string first_failure;       // description of the first failed run
+  // Which adversary first tripped a run limit and which limit it was —
+  // recorded independently of first_failure so a limit hit is never masked
+  // by an earlier (or later) non-limit failure.
+  std::string first_limit_hit;
 };
 
 // Runs the factory under the canonical adversaries of constraints.model:
@@ -68,5 +93,50 @@ WorstCase smm_worst_case(const ProblemSpec& spec,
                          std::int32_t random_runs = 8,
                          std::uint64_t seed = 0x5e5510'1992ULL,
                          const SmmRunLimits& limits = SmmRunLimits{});
+
+// --- Degradation sweeps -----------------------------------------------------
+//
+// For each (crashes k, fault rate p%) grid cell, one run under the model's
+// canonical deterministic adversary with a seeded FaultPlan: k crash-stops
+// spread over the processes plus p% message loss (MPM) or p% write
+// corruption (SMM). Every cell is classified; the contract is that no cell
+// ever aborts or reports a silent wrong answer.
+
+struct DegradationCell {
+  std::int32_t crashes = 0;
+  std::int32_t fault_percent = 0;  // message loss (MPM) / corruption (SMM)
+  RunOutcome outcome = RunOutcome::kSolved;
+  std::int64_t sessions = 0;
+  bool completed = false;
+  bool admissible = false;
+  std::int64_t injected = 0;       // total injected fault events
+  std::string diagnostic;          // outcome_diagnostic() of the run
+};
+
+struct DegradationReport {
+  std::string algorithm;
+  std::string substrate;
+  std::vector<DegradationCell> cells;
+
+  std::int32_t count(RunOutcome outcome) const;
+  // Rendered table, one row per cell.
+  std::string to_string() const;
+};
+
+DegradationReport mpm_degradation(
+    const ProblemSpec& spec, const TimingConstraints& constraints,
+    const MpmAlgorithmFactory& factory,
+    const std::vector<std::int32_t>& crash_counts = {0, 1, 2},
+    const std::vector<std::int32_t>& loss_percents = {0, 5, 20},
+    std::uint64_t seed = 0x0FA17'1992ULL,
+    const MpmRunLimits& limits = MpmRunLimits{});
+
+DegradationReport smm_degradation(
+    const ProblemSpec& spec, const TimingConstraints& constraints,
+    const SmmAlgorithmFactory& factory,
+    const std::vector<std::int32_t>& crash_counts = {0, 1, 2},
+    const std::vector<std::int32_t>& corrupt_percents = {0, 5, 20},
+    std::uint64_t seed = 0x0FA17'1992ULL,
+    const SmmRunLimits& limits = SmmRunLimits{});
 
 }  // namespace sesp

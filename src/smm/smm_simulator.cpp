@@ -1,7 +1,5 @@
 #include "smm/smm_simulator.hpp"
 
-#include <cstdio>
-#include <cstdlib>
 #include <queue>
 #include <vector>
 
@@ -33,19 +31,26 @@ std::int32_t smm_total_processes(std::int32_t n, std::int32_t b) {
 SmmSimulator::SmmSimulator(const ProblemSpec& spec,
                            const TimingConstraints& constraints,
                            const SmmAlgorithmFactory& factory,
-                           StepScheduler& scheduler)
+                           StepScheduler& scheduler, FaultInjector* faults)
     : spec_(spec),
       constraints_(constraints),
       factory_(factory),
-      scheduler_(scheduler) {
-  if (spec_.n <= 0 || (spec_.n > 1 && spec_.b < 2)) {
-    std::fprintf(stderr, "SmmSimulator fatal: need n >= 1 and b >= 2\n");
-    std::abort();
-  }
-}
+      scheduler_(scheduler),
+      faults_(faults) {}
 
 SmmRunResult SmmSimulator::run(const SmmRunLimits& limits) {
   const std::int32_t n = spec_.n;
+  if (n <= 0 || (n > 1 && spec_.b < 2)) {
+    SmmRunResult result{TimedComputation(Substrate::kSharedMemory,
+                                         std::max(n, 0), std::max(n, 0)),
+                        false, false, 0, 0, 0, 0, std::nullopt, {}};
+    SimError err;
+    err.code = SimErrorCode::kInvalidSpec;
+    err.detail = "SMM needs n >= 1 and b >= 2, got n=" + std::to_string(n) +
+                 " b=" + std::to_string(spec_.b);
+    result.error = std::move(err);
+    return result;
+  }
   SharedMemory mem(std::max(spec_.b, 1));
 
   // Port variables: accessed only by their port process, so any b works.
@@ -70,7 +75,9 @@ SmmRunResult SmmSimulator::run(const SmmRunLimits& limits) {
                       0,
                       tree.num_relays(),
                       tree.depth(),
-                      tree.latency_steps_bound()};
+                      tree.latency_steps_bound(),
+                      std::nullopt,
+                      {}};
   TimedComputation& trace = result.trace;
 
   std::vector<std::unique_ptr<SmmPortAlgorithm>> algs;
@@ -89,8 +96,31 @@ SmmRunResult SmmSimulator::run(const SmmRunLimits& limits) {
   std::vector<std::int64_t> step_count(static_cast<std::size_t>(total), 0);
   std::int32_t ports_non_idle = n;
 
+  auto schedule_step = [&](ProcessId p, std::optional<Time> prev,
+                           std::int64_t index) -> bool {
+    Time t = scheduler_.next_step_time(p, prev, index);
+    const Time floor = prev.value_or(Time(0));
+    if (faults_) t = faults_->perturb_step_time(p, index, floor, t);
+    if (t < floor) {
+      SimError err;
+      err.code = SimErrorCode::kNonMonotonicSchedule;
+      err.detail = "scheduled t=" + t.to_string() + " before t=" +
+                   floor.to_string();
+      err.process = p;
+      err.step_index = static_cast<std::int64_t>(trace.steps().size());
+      err.time = floor;
+      result.error = std::move(err);
+      return false;
+    }
+    queue.push(Event{t, seq++, p});
+    return true;
+  };
+
   for (ProcessId p = 0; p < total; ++p)
-    queue.push(Event{scheduler_.next_step_time(p, std::nullopt, 0), seq++, p});
+    if (!schedule_step(p, std::nullopt, 0)) return result;
+
+  Time last_event_time(0);
+  std::int64_t stagnant_events = 0;
 
   while (!queue.empty() && ports_non_idle > 0) {
     const Event ev = queue.top();
@@ -98,10 +128,47 @@ SmmRunResult SmmSimulator::run(const SmmRunLimits& limits) {
     if (result.compute_steps >= limits.max_steps ||
         limits.max_time < ev.time) {
       result.hit_limit = true;
+      SimError err;
+      const bool steps = result.compute_steps >= limits.max_steps;
+      err.code = steps ? SimErrorCode::kStepLimitExceeded
+                       : SimErrorCode::kTimeLimitExceeded;
+      err.detail = steps ? "compute-step budget " +
+                               std::to_string(limits.max_steps) + " exhausted"
+                         : "model-time budget " + limits.max_time.to_string() +
+                               " exhausted";
+      err.step_index = static_cast<std::int64_t>(trace.steps().size());
+      err.time = ev.time;
+      result.error = std::move(err);
       break;
+    }
+    if (ev.time == last_event_time) {
+      if (++stagnant_events > limits.max_stagnant_events) {
+        result.hit_limit = true;
+        SimError err;
+        err.code = SimErrorCode::kNoProgress;
+        err.detail = "time pinned at t=" + ev.time.to_string() + " for " +
+                     std::to_string(stagnant_events) + " events";
+        err.step_index = static_cast<std::int64_t>(trace.steps().size());
+        err.time = ev.time;
+        result.error = std::move(err);
+        break;
+      }
+    } else {
+      last_event_time = ev.time;
+      stagnant_events = 0;
     }
 
     const ProcessId p = ev.process;
+    const auto pi = static_cast<std::size_t>(p);
+
+    // Crash-stop: ports never idle afterwards; relays stop gossiping, which
+    // starves the subtree (the watchdog then ends livelocked runs).
+    if (faults_ && faults_->crash_now(p, step_count[pi], ev.time)) {
+      result.crashed.push_back(p);
+      if (p < n) --ports_non_idle;
+      continue;
+    }
+
     StepRecord st;
     st.kind = StepKind::kCompute;
     st.process = p;
@@ -109,10 +176,10 @@ SmmRunResult SmmSimulator::run(const SmmRunLimits& limits) {
 
     bool idle = false;
     if (p < n) {
-      SmmPortAlgorithm& alg = *algs[static_cast<std::size_t>(p)];
+      SmmPortAlgorithm& alg = *algs[pi];
       const SmmChoice choice = alg.choose();
       if (choice == SmmChoice::kPort) {
-        const VarId v = port_var[static_cast<std::size_t>(p)];
+        const VarId v = port_var[pi];
         Knowledge& value = mem.access(v, p);
         st.var = v;
         st.port = p;
@@ -124,10 +191,14 @@ SmmRunResult SmmSimulator::run(const SmmRunLimits& limits) {
         st.value_after_digest = value.digest();
       } else {
         VarId v = tree.uplink(p);
-        if (v == kNoVar) v = scratch_var[static_cast<std::size_t>(p)];
+        if (v == kNoVar) v = scratch_var[pi];
         Knowledge& value = mem.access(v, p);
         st.var = v;
         st.value_before_digest = value.digest();
+        // Write corruption: the read-modify-write loses the variable's
+        // previous contents (lost update) before this process's write.
+        if (faults_ && faults_->corrupt_write(v, p, ev.time))
+          value = Knowledge{};
         value.record(p, alg.advertised());
         alg.on_tree_snapshot(value);
         st.value_after_digest = value.digest();
@@ -143,6 +214,8 @@ SmmRunResult SmmSimulator::run(const SmmRunLimits& limits) {
       Knowledge& value = mem.access(v, p);
       st.var = v;
       st.value_before_digest = value.digest();
+      if (faults_ && faults_->corrupt_write(v, p, ev.time))
+        value = Knowledge{};
       value.merge(relay_knowledge[r]);
       relay_knowledge[r].merge(value);
       st.value_after_digest = value.digest();
@@ -150,18 +223,16 @@ SmmRunResult SmmSimulator::run(const SmmRunLimits& limits) {
 
     trace.append(st);
     ++result.compute_steps;
-    ++step_count[static_cast<std::size_t>(p)];
+    ++step_count[pi];
 
     if (idle) {
       --ports_non_idle;
-    } else {
-      queue.push(Event{scheduler_.next_step_time(
-                           p, ev.time, step_count[static_cast<std::size_t>(p)]),
-                       seq++, p});
+    } else if (!schedule_step(p, ev.time, step_count[pi])) {
+      break;
     }
   }
 
-  result.completed = ports_non_idle == 0;
+  result.completed = ports_non_idle == 0 && !result.error;
   return result;
 }
 

@@ -6,11 +6,20 @@
 // relays under the adversary's step schedule, and records the full timed
 // computation with per-step variable digests (for the reordering machinery
 // of Theorem 5.1).
+//
+// An optional FaultInjector adds crash-stops, timing violations and shared
+// variable write corruption (lost updates) at the corresponding hook points;
+// watchdogs (step/time budget, no-progress) bound every run, and ill-formed
+// situations surface as a structured SimError, never an abort.
 
 #include <cstdint>
 #include <memory>
+#include <optional>
+#include <vector>
 
 #include "adversary/schedulers.hpp"
+#include "faults/fault_injector.hpp"
+#include "faults/sim_error.hpp"
 #include "model/ids.hpp"
 #include "model/timed_computation.hpp"
 #include "smm/algorithm.hpp"
@@ -23,17 +32,23 @@ namespace sesp {
 struct SmmRunLimits {
   std::int64_t max_steps = 2'000'000;
   Time max_time = Time(1'000'000'000);
+  // No-progress watchdog: maximum consecutive events at one model time.
+  std::int64_t max_stagnant_events = 100'000;
 };
 
 struct SmmRunResult {
   TimedComputation trace;
-  bool completed = false;  // all port processes idled
+  bool completed = false;  // every port process idled or crash-stopped
   bool hit_limit = false;
   std::int64_t compute_steps = 0;
   // Layout facts, so callers can relate measurements to the tree constants.
   std::int32_t num_relays = 0;
   std::int32_t tree_depth = 0;
   std::int64_t tree_latency_steps = 0;
+  // Structured diagnostics (see MpmRunResult::error).
+  std::optional<SimError> error;
+  // Processes (ports or relays) crash-stopped by fault injection.
+  std::vector<ProcessId> crashed;
 };
 
 // Number of processes (ports + relays) the layout for (n, b) uses; step
@@ -43,7 +58,8 @@ std::int32_t smm_total_processes(std::int32_t n, std::int32_t b);
 class SmmSimulator {
  public:
   SmmSimulator(const ProblemSpec& spec, const TimingConstraints& constraints,
-               const SmmAlgorithmFactory& factory, StepScheduler& scheduler);
+               const SmmAlgorithmFactory& factory, StepScheduler& scheduler,
+               FaultInjector* faults = nullptr);
 
   SmmRunResult run(const SmmRunLimits& limits = SmmRunLimits{});
 
@@ -52,6 +68,7 @@ class SmmSimulator {
   TimingConstraints constraints_;
   const SmmAlgorithmFactory& factory_;
   StepScheduler& scheduler_;
+  FaultInjector* faults_;
 };
 
 }  // namespace sesp

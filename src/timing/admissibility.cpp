@@ -7,11 +7,24 @@ namespace sesp {
 
 namespace {
 
-AdmissibilityReport violation(std::string text) {
+AdmissibilityReport violation(std::string text,
+                              std::optional<ViolationSite> site =
+                                  std::nullopt) {
   AdmissibilityReport r;
   r.admissible = false;
   r.violation = std::move(text);
+  r.site = std::move(site);
   return r;
+}
+
+ViolationSite step_site(std::size_t step_index, ProcessId process,
+                        const Time& time, MsgId message = kNoMsg) {
+  ViolationSite s;
+  s.step_index = step_index;
+  s.process = process;
+  s.time = time;
+  s.message = message;
+  return s;
 }
 
 std::string describe_gap(ProcessId p, std::size_t step_index, const Time& prev,
@@ -49,43 +62,50 @@ AdmissibilityReport check_admissible(const TimedComputation& tc,
     const Time prev = it == last.end() ? Time(0) : it->second;
     const Duration gap = st.time - prev;
     last[st.process] = st.time;
+    const auto site = step_site(i, st.process, st.time);
 
     switch (model) {
       case TimingModel::kSynchronous:
         if (gap != constraints.c2)
           return violation("synchronous: " + describe_gap(st.process, i, prev,
                                                           st.time) +
-                           ", expected exactly " + constraints.c2.to_string());
+                               ", expected exactly " +
+                               constraints.c2.to_string(),
+                           site);
         break;
       case TimingModel::kPeriodic: {
         const Duration period =
             constraints.periods[static_cast<std::size_t>(st.process)];
         if (gap != period)
           return violation("periodic: " +
-                           describe_gap(st.process, i, prev, st.time) +
-                           ", expected exactly " + period.to_string());
+                               describe_gap(st.process, i, prev, st.time) +
+                               ", expected exactly " + period.to_string(),
+                           site);
         break;
       }
       case TimingModel::kSemiSynchronous:
         if (gap < constraints.c1 || constraints.c2 < gap)
           return violation("semi-synchronous: " +
-                           describe_gap(st.process, i, prev, st.time) +
-                           ", expected in [" + constraints.c1.to_string() +
-                           ", " + constraints.c2.to_string() + "]");
+                               describe_gap(st.process, i, prev, st.time) +
+                               ", expected in [" + constraints.c1.to_string() +
+                               ", " + constraints.c2.to_string() + "]",
+                           site);
         break;
       case TimingModel::kSporadic:
         if (gap < constraints.c1)
           return violation("sporadic: " +
-                           describe_gap(st.process, i, prev, st.time) +
-                           ", expected >= " + constraints.c1.to_string());
+                               describe_gap(st.process, i, prev, st.time) +
+                               ", expected >= " + constraints.c1.to_string(),
+                           site);
         break;
       case TimingModel::kAsynchronous:
         if (smm) break;  // no bounds in the shared memory form ([2])
         if (!gap.is_positive() || constraints.c2 < gap)
           return violation("asynchronous MPM: " +
-                           describe_gap(st.process, i, prev, st.time) +
-                           ", expected in (0, " + constraints.c2.to_string() +
-                           "]");
+                               describe_gap(st.process, i, prev, st.time) +
+                               ", expected in (0, " +
+                               constraints.c2.to_string() + "]",
+                           site);
         break;
     }
   }
@@ -114,7 +134,9 @@ AdmissibilityReport check_admissible(const TimedComputation& tc,
       std::ostringstream os;
       os << to_string(model) << ": message " << m.id << " delay " << delay
          << " outside [" << lo << ", " << hi << "]";
-      return violation(os.str());
+      return violation(os.str(),
+                       step_site(m.deliver_step, m.recipient,
+                                 steps[m.deliver_step].time, m.id));
     }
   }
 

@@ -13,10 +13,26 @@
 
 namespace sesp {
 
+// Exact location of the first admissibility violation: the trace step at
+// which the computation leaves the admissible space, the responsible
+// process, the model time, and (for delay violations) the message. This is
+// the detection half of the fault-tolerance contract: an injected timing
+// violation or duplicated delivery is localized to the step, not just
+// narrated.
+struct ViolationSite {
+  std::size_t step_index = 0;
+  ProcessId process = kNetworkProcess;
+  Time time;
+  MsgId message = kNoMsg;
+};
+
 struct AdmissibilityReport {
   bool admissible = true;
   // Human-readable description of the first violation found.
   std::string violation;
+  // Machine-readable location of that violation, when it maps to a step
+  // (gap and delay violations do; invalid constraints do not).
+  std::optional<ViolationSite> site;
 
   explicit operator bool() const noexcept { return admissible; }
 };

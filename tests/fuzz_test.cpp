@@ -163,5 +163,116 @@ TEST_P(FuzzSeeds, P2pRoundsOnRandomTopology) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSeeds, ::testing::Range(0, 20));
 
+// --- Fault-injection fuzz ---------------------------------------------------
+//
+// Chaos sweep: every seeded random fault plan — crashes, loss, duplication,
+// extra delays, timing violations, write corruption — must leave the run in
+// exactly one of the three contract buckets: solved, degraded with an
+// admissible partial verdict, or diagnosed with a localized inadmissibility /
+// structured SimError. Never an abort, never a silent wrong answer. Limits
+// are kept small so injected livelocks are cut fast by the watchdogs.
+
+class FaultFuzzSeeds : public ::testing::TestWithParam<int> {};
+
+// Checks the bucket invariants shared by all substrates.
+template <typename RunResult>
+void expect_contract(const RunResult& run, const Verdict& v,
+                     std::uint64_t seed) {
+  const RunOutcome oc = classify_outcome(run.error, v);
+  switch (oc) {
+    case RunOutcome::kSolved:
+      EXPECT_TRUE(v.admissible) << "seed=" << seed;
+      EXPECT_TRUE(v.solves) << "seed=" << seed;
+      EXPECT_FALSE(run.error.has_value()) << "seed=" << seed;
+      break;
+    case RunOutcome::kDegraded:
+      // Partial result: the trace up to the stop point is still admissible.
+      EXPECT_TRUE(v.admissible)
+          << "seed=" << seed << ": " << v.admissibility_violation;
+      break;
+    case RunOutcome::kDiagnosed:
+      EXPECT_TRUE(!v.admissible || run.error.has_value()) << "seed=" << seed;
+      if (!v.admissible)
+        EXPECT_FALSE(v.admissibility_violation.empty()) << "seed=" << seed;
+      break;
+  }
+  if (run.error) {
+    EXPECT_FALSE(run.error->to_string().empty()) << "seed=" << seed;
+    EXPECT_FALSE(run.completed) << "seed=" << seed;
+  }
+}
+
+TEST_P(FaultFuzzSeeds, MpmChaosAlwaysClassified) {
+  const std::uint64_t seed = 0xFA17'F0DDULL + 2654435761ULL * GetParam();
+  Rng meta(seed);
+  const ProblemSpec spec{1 + static_cast<std::int64_t>(meta.next_below(4)),
+                         2 + static_cast<std::int32_t>(meta.next_below(4)),
+                         2};
+  const Duration c1(1);
+  const Duration c2 = c1 + Ratio(meta.next_int(0, 6));
+  const Duration d2(meta.next_int(1, 10));
+  const auto constraints = TimingConstraints::semi_synchronous(c1, c2, d2);
+
+  FaultInjector injector(FaultPlan::random(seed, spec.n));
+  SemiSyncMpmFactory factory;
+  UniformGapScheduler sched(c1, c2, seed + 11);
+  UniformRandomDelay delay(Duration(0), d2, seed + 12);
+  MpmRunLimits limits;
+  limits.max_steps = 20'000;
+  const MpmOutcome out = run_mpm_once(spec, constraints, factory, sched,
+                                      delay, limits, &injector);
+  expect_contract(out.run, out.verdict, seed);
+}
+
+TEST_P(FaultFuzzSeeds, SmmChaosAlwaysClassified) {
+  const std::uint64_t seed = 0x53A1'F0DDULL + 1099511628211ULL * GetParam();
+  Rng meta(seed);
+  const ProblemSpec spec{1 + static_cast<std::int64_t>(meta.next_below(4)),
+                         2 + static_cast<std::int32_t>(meta.next_below(4)),
+                         2 + static_cast<std::int32_t>(meta.next_below(2))};
+  const Duration c1(1);
+  const Duration c2 = c1 + Ratio(meta.next_int(0, 5));
+  const auto constraints = TimingConstraints::semi_synchronous(c1, c2);
+  const std::int32_t total = smm_total_processes(spec.n, spec.b);
+
+  FaultInjector injector(FaultPlan::random(seed, total));
+  SemiSyncSmmFactory factory;
+  UniformGapScheduler sched(c1, c2, seed + 13);
+  SmmRunLimits limits;
+  limits.max_steps = 20'000;
+  const SmmOutcome out =
+      run_smm_once(spec, constraints, factory, sched, limits, &injector);
+  expect_contract(out.run, out.verdict, seed);
+}
+
+TEST_P(FaultFuzzSeeds, P2pChaosAlwaysClassified) {
+  const std::uint64_t seed = 0x1292'F0DDULL + 40503'86429ULL * GetParam();
+  Rng meta(seed);
+  const std::int32_t n = 2 + static_cast<std::int32_t>(meta.next_below(6));
+  const ProblemSpec spec{1 + static_cast<std::int64_t>(meta.next_below(3)),
+                         n, 2};
+  Topology topo = Topology::complete(n);
+  switch (meta.next_below(4)) {
+    case 0: topo = Topology::complete(n); break;
+    case 1: topo = Topology::ring(n); break;
+    case 2: topo = Topology::line(n); break;
+    case 3: topo = Topology::star(n); break;
+  }
+  const Duration c2(2), d2(meta.next_int(1, 6));
+  const auto constraints = TimingConstraints::asynchronous(c2, d2);
+
+  FaultInjector injector(FaultPlan::random(seed, n));
+  P2pRoundsFactory factory;
+  UniformGapScheduler sched(Duration(1, 2), c2, seed + 14);
+  UniformRandomDelay delay(Duration(0), d2, seed + 15);
+  P2pRunLimits limits;
+  limits.max_steps = 20'000;
+  const P2pOutcome out = run_p2p_once(spec, constraints, topo, factory, sched,
+                                      delay, limits, &injector);
+  expect_contract(out.run, out.verdict, seed);
+}
+
+INSTANTIATE_TEST_SUITE_P(ChaosSeeds, FaultFuzzSeeds, ::testing::Range(0, 200));
+
 }  // namespace
 }  // namespace sesp

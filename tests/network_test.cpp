@@ -8,12 +8,12 @@ namespace {
 TEST(NetworkTest, SendDeliverDrain) {
   Network net(3);
   EXPECT_EQ(net.in_transit(), 0u);
-  net.send(0, MpmMessage{0, 1, 2, false}, 1);
-  net.send(1, MpmMessage{0, 1, 2, false}, 2);
+  EXPECT_FALSE(net.send(0, MpmMessage{0, 1, 2, false}, 1));
+  EXPECT_FALSE(net.send(1, MpmMessage{0, 1, 2, false}, 2));
   EXPECT_EQ(net.in_transit(), 2u);
   EXPECT_EQ(net.buffered(1), 0u);
 
-  net.deliver(0);
+  EXPECT_FALSE(net.deliver(0));
   EXPECT_EQ(net.in_transit(), 1u);
   EXPECT_EQ(net.buffered(1), 1u);
 
@@ -28,30 +28,52 @@ TEST(NetworkTest, SendDeliverDrain) {
 
 TEST(NetworkTest, MultipleDeliveriesAccumulate) {
   Network net(2);
-  net.send(0, MpmMessage{0, 0, 0, false}, 1);
-  net.send(1, MpmMessage{1, 0, 0, false}, 1);
-  net.deliver(1);
-  net.deliver(0);
+  EXPECT_FALSE(net.send(0, MpmMessage{0, 0, 0, false}, 1));
+  EXPECT_FALSE(net.send(1, MpmMessage{1, 0, 0, false}, 1));
+  EXPECT_FALSE(net.deliver(1));
+  EXPECT_FALSE(net.deliver(0));
   EXPECT_EQ(net.buffered(1), 2u);
   EXPECT_EQ(net.drain_buffer(1).size(), 2u);
 }
 
-TEST(NetworkDeath, DeliverUnknownAborts) {
-  EXPECT_DEATH(
-      {
-        Network net(2);
-        net.deliver(42);
-      },
-      "not in transit");
+// The former abort paths now return structured diagnostics: delivering a
+// MsgId that is not in transit and addressing a recipient outside the
+// process range both yield a SimError naming the offending id, and leave the
+// network usable.
+TEST(NetworkTest, DeliverUnknownReturnsDiagnostic) {
+  Network net(2);
+  const auto err = net.deliver(42);
+  ASSERT_TRUE(err.has_value());
+  EXPECT_EQ(err->code, SimErrorCode::kUnknownMessage);
+  EXPECT_EQ(err->message, 42);
+  EXPECT_NE(err->to_string().find("42"), std::string::npos);
+  // The network is still functional after the failed call.
+  EXPECT_FALSE(net.send(0, MpmMessage{}, 1));
+  EXPECT_FALSE(net.deliver(0));
+  EXPECT_EQ(net.buffered(1), 1u);
 }
 
-TEST(NetworkDeath, BadRecipientAborts) {
-  EXPECT_DEATH(
-      {
-        Network net(2);
-        net.send(0, MpmMessage{}, 5);
-      },
-      "bad recipient");
+TEST(NetworkTest, BadRecipientReturnsDiagnostic) {
+  Network net(2);
+  const auto err = net.send(0, MpmMessage{}, 5);
+  ASSERT_TRUE(err.has_value());
+  EXPECT_EQ(err->code, SimErrorCode::kBadRecipient);
+  EXPECT_EQ(err->message, 0);
+  EXPECT_EQ(net.in_transit(), 0u);
+
+  // Negative recipients are equally rejected; only [0, n) is addressable.
+  const auto err2 = net.send(1, MpmMessage{}, -3);
+  ASSERT_TRUE(err2.has_value());
+  EXPECT_EQ(err2->code, SimErrorCode::kBadRecipient);
+}
+
+TEST(NetworkTest, DoubleDeliverIsDiagnosed) {
+  Network net(2);
+  EXPECT_FALSE(net.send(0, MpmMessage{}, 1));
+  EXPECT_FALSE(net.deliver(0));
+  const auto err = net.deliver(0);
+  ASSERT_TRUE(err.has_value());
+  EXPECT_EQ(err->code, SimErrorCode::kUnknownMessage);
 }
 
 }  // namespace

@@ -49,8 +49,10 @@ struct Options {
   std::string model = "semisync";
   std::string adversary = "worst";
   std::string topology = "complete";
+  std::string faults;
   std::string dump_trace;
   std::string check_certificate;
+  bool degradation = false;
   ProblemSpec spec{3, 3, 2};
   Ratio c1 = 1, c2 = 2, d1 = 0, d2 = 4;
   std::uint64_t seed = 1992;
@@ -68,6 +70,11 @@ void usage(std::ostream& os) {
         "  --c1=R --c2=R --d1=R --d2=R  timing constants (rationals: 7/2)\n"
         "  --adversary=worst|lockstep|random  schedule family\n"
         "  --topology=complete|ring|line|star|tree|grid  (p2p only)\n"
+        "  --faults=SPEC|random         inject faults (single run); SPEC is a\n"
+        "                               comma list: crash:P@K timing:P@K*S\n"
+        "                               drop:N%|#ID dup:N%|#ID delay:N%\n"
+        "                               extra:R corrupt:N%|@K seed:N\n"
+        "  --degradation                crash x loss/corruption grid report\n"
         "  --seed=N                     adversary randomness\n"
         "  --print-trace                show the timed computation\n"
         "  --timeline                   render an ASCII timeline\n"
@@ -89,6 +96,8 @@ std::optional<Options> parse(int argc, char** argv) {
     else if (key == "--model") opt.model = value;
     else if (key == "--adversary") opt.adversary = value;
     else if (key == "--topology") opt.topology = value;
+    else if (key == "--faults") opt.faults = value;
+    else if (key == "--degradation") opt.degradation = true;
     else if (key == "--dump-trace") opt.dump_trace = value;
     else if (key == "--check-certificate") opt.check_certificate = value;
     else if (key == "--s") opt.spec.s = std::stoll(value);
@@ -139,6 +148,43 @@ TimingConstraints build_constraints(const Options& opt,
   if (opt.model == "sporadic")
     return TimingConstraints::sporadic(opt.c1, opt.d1, opt.d2);
   return TimingConstraints::asynchronous(opt.c2, opt.d2);
+}
+
+// Builds the fault injector requested by --faults ("random" draws a seeded
+// chaos plan; anything else goes through FaultPlan::parse). Sets *status to 2
+// and returns nullptr on a malformed spec; returns nullptr with *status
+// untouched when no faults were requested.
+std::unique_ptr<FaultInjector> make_injector(const Options& opt,
+                                             std::int32_t num_processes,
+                                             int* status) {
+  if (opt.faults.empty()) return nullptr;
+  FaultPlan plan;
+  if (opt.faults == "random") {
+    plan = FaultPlan::random(opt.seed, num_processes);
+  } else {
+    std::string error;
+    const auto parsed = FaultPlan::parse(opt.faults, &error);
+    if (!parsed) {
+      std::cerr << "bad --faults: " << error << "\n";
+      *status = 2;
+      return nullptr;
+    }
+    plan = *parsed;
+  }
+  std::cout << "faults:      " << plan.to_string() << "\n";
+  return std::make_unique<FaultInjector>(plan);
+}
+
+// Per-run classification line shown whenever faults were injected: the
+// outcome bucket, the injected-event count, and the one-line diagnostic.
+int print_fault_outcome(const FaultInjector& inj,
+                        const std::optional<SimError>& error, const Verdict& v,
+                        const ProblemSpec& spec) {
+  const RunOutcome outcome = classify_outcome(error, v);
+  std::cout << "injected:    " << inj.log().size() << "\n"
+            << "outcome:     " << to_string(outcome) << "  ["
+            << outcome_diagnostic(error, v, spec) << "]\n";
+  return outcome == RunOutcome::kSolved ? 0 : 1;
 }
 
 void print_verdict(const Verdict& v, const ProblemSpec& spec) {
@@ -204,7 +250,25 @@ int run_mpm(const Options& opt) {
   else factory = std::make_unique<AsyncMpmFactory>();
   std::cout << "algorithm:   " << factory->name() << "\n";
 
-  if (opt.adversary == "worst") {
+  if (opt.degradation) {
+    MpmRunLimits limits;
+    limits.max_steps = 150'000;  // crash-induced livelocks cut over fast
+    const DegradationReport report =
+        mpm_degradation(opt.spec, constraints, *factory, {0, 1, 2},
+                        {0, 5, 20}, opt.seed, limits);
+    std::cout << report.to_string()
+              << "solved/degraded/diagnosed: "
+              << report.count(RunOutcome::kSolved) << "/"
+              << report.count(RunOutcome::kDegraded) << "/"
+              << report.count(RunOutcome::kDiagnosed) << "\n";
+    return 0;
+  }
+
+  int status = 0;
+  const auto injector = make_injector(opt, opt.spec.n, &status);
+  if (status) return status;
+
+  if (opt.adversary == "worst" && !injector) {
     const WorstCase wc = mpm_worst_case(opt.spec, constraints, *factory, 4,
                                         opt.seed);
     std::cout << "runs:        " << wc.runs << "\n"
@@ -232,10 +296,13 @@ int run_mpm(const Options& opt) {
         lo, opt.model == "sporadic" ? opt.c1 * 8 : opt.c2, opt.seed);
     delay = std::make_unique<UniformRandomDelay>(opt.d1, opt.d2, opt.seed + 1);
   }
-  const MpmOutcome out =
-      run_mpm_once(opt.spec, constraints, *factory, *sched, *delay);
+  const MpmOutcome out = run_mpm_once(opt.spec, constraints, *factory, *sched,
+                                      *delay, MpmRunLimits{}, injector.get());
   print_verdict(out.verdict, opt.spec);
   maybe_dump(opt, out.run.trace);
+  if (injector)
+    return print_fault_outcome(*injector, out.run.error, out.verdict,
+                               opt.spec);
   return out.verdict.solves ? 0 : 1;
 }
 
@@ -251,7 +318,25 @@ int run_smm(const Options& opt) {
   else factory = std::make_unique<AsyncSmmFactory>();
   std::cout << "algorithm:   " << factory->name() << "\n";
 
-  if (opt.adversary == "worst") {
+  if (opt.degradation) {
+    SmmRunLimits limits;
+    limits.max_steps = 150'000;
+    const DegradationReport report =
+        smm_degradation(opt.spec, constraints, *factory, {0, 1, 2},
+                        {0, 5, 20}, opt.seed, limits);
+    std::cout << report.to_string()
+              << "solved/degraded/diagnosed: "
+              << report.count(RunOutcome::kSolved) << "/"
+              << report.count(RunOutcome::kDegraded) << "/"
+              << report.count(RunOutcome::kDiagnosed) << "\n";
+    return 0;
+  }
+
+  int status = 0;
+  const auto injector = make_injector(opt, total, &status);
+  if (status) return status;
+
+  if (opt.adversary == "worst" && !injector) {
     const WorstCase wc = smm_worst_case(opt.spec, constraints, *factory, 4,
                                         opt.seed);
     std::cout << "runs:        " << wc.runs << "\n"
@@ -272,13 +357,21 @@ int run_smm(const Options& opt) {
     const Duration lo = opt.c1.is_positive() ? opt.c1 : opt.c2 / 8;
     sched = std::make_unique<UniformGapScheduler>(lo, opt.c2, opt.seed);
   }
-  const SmmOutcome out = run_smm_once(opt.spec, constraints, *factory, *sched);
+  const SmmOutcome out = run_smm_once(opt.spec, constraints, *factory, *sched,
+                                      SmmRunLimits{}, injector.get());
   print_verdict(out.verdict, opt.spec);
   maybe_dump(opt, out.run.trace);
+  if (injector)
+    return print_fault_outcome(*injector, out.run.error, out.verdict,
+                               opt.spec);
   return out.verdict.solves ? 0 : 1;
 }
 
 int run_p2p(const Options& opt) {
+  if (opt.spec.n < 1) {
+    std::cerr << "p2p needs n >= 1\n";
+    return 2;
+  }
   Topology topo = Topology::complete(opt.spec.n);
   if (opt.topology == "ring") topo = Topology::ring(opt.spec.n);
   else if (opt.topology == "line") topo = Topology::line(opt.spec.n);
@@ -308,12 +401,18 @@ int run_p2p(const Options& opt) {
                                                  ? opt.c1
                                                  : opt.c2));
   FixedDelay delay(opt.d2);
-  P2pSimulator sim(opt.spec, constraints, topo, *factory, sched, delay);
-  const P2pRunResult run = sim.run();
-  const Verdict verdict = verify(run.trace, opt.spec, constraints);
-  print_verdict(verdict, opt.spec);
-  maybe_dump(opt, run.trace);
-  return verdict.solves ? 0 : 1;
+  int status = 0;
+  const auto injector = make_injector(opt, opt.spec.n, &status);
+  if (status) return status;
+  const P2pOutcome out =
+      run_p2p_once(opt.spec, constraints, topo, *factory, sched, delay,
+                   P2pRunLimits{}, injector.get());
+  print_verdict(out.verdict, opt.spec);
+  maybe_dump(opt, out.run.trace);
+  if (injector)
+    return print_fault_outcome(*injector, out.run.error, out.verdict,
+                               opt.spec);
+  return out.verdict.solves ? 0 : 1;
 }
 
 }  // namespace
