@@ -23,9 +23,12 @@
 #include "sim/experiment.hpp"
 #include "util/table.hpp"
 
+#include "obs/bench_record.hpp"
+
 using namespace sesp;
 
 int main() {
+  obs::BenchRecorder recorder("ablation");
   bool ok = true;
 
   {
@@ -125,5 +128,5 @@ int main() {
 
   std::cout << (ok ? "[OK] all ablations behave as designed\n"
                    : "[FAIL] an ablation violated its expectation\n");
-  return ok ? 0 : 1;
+  return recorder.finish(ok);
 }

@@ -24,9 +24,12 @@
 #include "sim/experiment.hpp"
 #include "util/table.hpp"
 
+#include "obs/bench_record.hpp"
+
 using namespace sesp;
 
 int main() {
+  obs::BenchRecorder recorder("crossover");
   bool ok = true;
 
   {
@@ -133,5 +136,5 @@ int main() {
 
   std::cout << (ok ? "[OK] all crossover claims hold\n"
                    : "[FAIL] a crossover claim failed\n");
-  return ok ? 0 : 1;
+  return recorder.finish(ok);
 }

@@ -21,9 +21,12 @@
 #include "session/verifier.hpp"
 #include "util/table.hpp"
 
+#include "obs/bench_record.hpp"
+
 using namespace sesp;
 
 int main() {
+  obs::BenchRecorder recorder("diameter");
   bool ok = true;
   const Duration c2(1), d_hop(4);
   std::cout << "== Diameter factor (p2p rounds algorithm; c2=1, per-hop "
@@ -96,5 +99,5 @@ int main() {
   std::cout << (ok ? "[OK] diameter factor reproduced (cost grows with D, "
                      "collapses at D=1)\n"
                    : "[FAIL] diameter scaling broken\n");
-  return ok ? 0 : 1;
+  return recorder.finish(ok);
 }

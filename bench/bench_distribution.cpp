@@ -20,6 +20,8 @@
 #include "util/stats.hpp"
 #include "util/table.hpp"
 
+#include "obs/bench_record.hpp"
+
 using namespace sesp;
 
 namespace {
@@ -27,6 +29,7 @@ constexpr int kSeeds = 60;
 }
 
 int main() {
+  obs::BenchRecorder recorder("distribution");
   bool ok = true;
 
   {
@@ -112,5 +115,5 @@ int main() {
 
   std::cout << (ok ? "[OK] every sampled schedule solved within its bound\n"
                    : "[FAIL] a sampled schedule escaped its bound\n");
-  return ok ? 0 : 1;
+  return recorder.finish(ok);
 }

@@ -15,9 +15,12 @@
 #include "sim/experiment.hpp"
 #include "util/table.hpp"
 
+#include "obs/bench_record.hpp"
+
 using namespace sesp;
 
 int main() {
+  obs::BenchRecorder recorder("exhaustive");
   bool ok = true;
 
   std::cout << "== Exhaustive vs sampled worst case (tiny instances) ==\n";
@@ -93,5 +96,5 @@ int main() {
   std::cout << (ok ? "[OK] exhaustive enumeration confirms correctness and "
                      "bounds on every grid schedule\n"
                    : "[FAIL] exhaustive enumeration found a violation\n");
-  return ok ? 0 : 1;
+  return recorder.finish(ok);
 }

@@ -22,6 +22,8 @@
 #include "algorithms/smm/sync_alg.hpp"
 #include "sim/experiment.hpp"
 
+#include "obs/bench_record.hpp"
+
 using namespace sesp;
 
 namespace {
@@ -57,6 +59,7 @@ std::vector<Duration> spread_periods(std::int32_t total, Duration c1,
 }  // namespace
 
 int main() {
+  obs::BenchRecorder recorder("faults");
   bool ok = true;
   const ProblemSpec spec{3, 4, 2};
   const Duration c1(1), c2(2), d1(0), d2(4);
@@ -136,5 +139,5 @@ int main() {
   }
 
   std::cout << (ok ? "ALL CONTRACTS HOLD" : "CONTRACT VIOLATIONS") << "\n";
-  return ok ? 0 : 1;
+  return recorder.finish(ok);
 }

@@ -21,9 +21,12 @@
 #include "sim/experiment.hpp"
 #include "util/table.hpp"
 
+#include "obs/bench_record.hpp"
+
 using namespace sesp;
 
 int main() {
+  obs::BenchRecorder recorder("hierarchy");
   bool ok = true;
   std::cout << "== Hierarchy of timing models (MP), same workload ==\n";
   TextTable table({"s", "n", "sync", "periodic", "semi-sync", "sporadic",
@@ -79,5 +82,5 @@ int main() {
   table.print(std::cout);
   std::cout << (ok ? "[OK] hierarchy holds on every workload\n"
                    : "[FAIL] hierarchy violated\n");
-  return ok ? 0 : 1;
+  return recorder.finish(ok);
 }

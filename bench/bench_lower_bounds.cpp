@@ -26,9 +26,12 @@
 #include "sim/experiment.hpp"
 #include "util/table.hpp"
 
+#include "obs/bench_record.hpp"
+
 using namespace sesp;
 
 int main() {
+  obs::BenchRecorder recorder("lower_bounds");
   bool ok = true;
 
   {
@@ -264,5 +267,5 @@ int main() {
   std::cout << (ok ? "[OK] all lower-bound constructions behaved as the "
                      "theorems predict\n"
                    : "[FAIL] a lower-bound construction misbehaved\n");
-  return ok ? 0 : 1;
+  return recorder.finish(ok);
 }

@@ -26,6 +26,8 @@
 #include "sim/experiment.hpp"
 #include "util/table.hpp"
 
+#include "obs/bench_record.hpp"
+
 using namespace sesp;
 
 namespace {
@@ -50,6 +52,7 @@ Ratio measure(const ProblemSpec& spec, const TimingConstraints& constraints,
 }  // namespace
 
 int main() {
+  obs::BenchRecorder recorder("open_question");
   bool ok = true;
   const ProblemSpec spec{6, 4, 2};
   const Duration c1(1), d2(24);
@@ -97,5 +100,5 @@ int main() {
             << (ok ? "[OK] the models are empirically incomparable — "
                      "matching the paper's open question\n"
                    : "[FAIL] unexpected dominance or an unsolved instance\n");
-  return ok ? 0 : 1;
+  return recorder.finish(ok);
 }

@@ -2,8 +2,20 @@
 // throughput, session counting, tree gossip, and exact-rational arithmetic.
 // These are the P-substrate entries of DESIGN.md — performance, not bound
 // reproduction.
+//
+// Benchmarks are registered dynamically so `--quick` (or SESP_BENCH_QUICK=1)
+// can shrink the s/n sweeps; CI runs the quick sweep through the same
+// uniform bench loop as every other bench. The binary also measures the
+// observer hot-path overhead directly (zero-observer vs metrics-observer
+// steps/sec) and records both figures in BENCH_substrates.json.
 
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+#include <vector>
 
 #include "adversary/delay_strategies.hpp"
 #include "adversary/step_schedulers.hpp"
@@ -13,6 +25,7 @@
 #include "algorithms/smm/broken_algs.hpp"
 #include "analysis/causality.hpp"
 #include "model/trace_io.hpp"
+#include "obs/bench_record.hpp"
 #include "session/session_counter.hpp"
 #include "sim/experiment.hpp"
 #include "util/rng.hpp"
@@ -34,13 +47,13 @@ void BM_RatioArithmetic(benchmark::State& state) {
     ++i;
   }
 }
-BENCHMARK(BM_RatioArithmetic);
 
 void BM_SessionCounting(benchmark::State& state) {
   const auto n_ports = static_cast<std::int32_t>(state.range(0));
+  const auto trace_len = static_cast<int>(state.range(1));
   Rng rng(11);
   std::vector<StepRecord> steps;
-  for (int i = 0; i < 100'000; ++i) {
+  for (int i = 0; i < trace_len; ++i) {
     StepRecord st;
     st.kind = StepKind::kCompute;
     st.port = static_cast<PortIndex>(
@@ -52,9 +65,8 @@ void BM_SessionCounting(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(count_sessions_in(steps, n_ports));
   }
-  state.SetItemsProcessed(state.iterations() * 100'000);
+  state.SetItemsProcessed(state.iterations() * trace_len);
 }
-BENCHMARK(BM_SessionCounting)->Arg(4)->Arg(32)->Arg(256);
 
 void BM_MpmSimulator(benchmark::State& state) {
   const auto s = static_cast<std::int64_t>(state.range(0));
@@ -73,7 +85,6 @@ void BM_MpmSimulator(benchmark::State& state) {
   }
   state.SetItemsProcessed(steps);
 }
-BENCHMARK(BM_MpmSimulator)->Arg(4)->Arg(16)->Arg(64);
 
 void BM_SmmSimulatorTreeGossip(benchmark::State& state) {
   const auto n = static_cast<std::int32_t>(state.range(0));
@@ -91,7 +102,6 @@ void BM_SmmSimulatorTreeGossip(benchmark::State& state) {
   }
   state.SetItemsProcessed(steps);
 }
-BENCHMARK(BM_SmmSimulatorTreeGossip)->Arg(4)->Arg(16)->Arg(64);
 
 void BM_CausalOrderBuild(benchmark::State& state) {
   const ProblemSpec spec{8, 4, 2};
@@ -109,7 +119,6 @@ void BM_CausalOrderBuild(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() *
                           static_cast<std::int64_t>(run.trace.steps().size()));
 }
-BENCHMARK(BM_CausalOrderBuild);
 
 void BM_TraceRoundTrip(benchmark::State& state) {
   const ProblemSpec spec{6, 4, 2};
@@ -127,7 +136,6 @@ void BM_TraceRoundTrip(benchmark::State& state) {
     benchmark::DoNotOptimize(parsed->steps().size());
   }
 }
-BENCHMARK(BM_TraceRoundTrip);
 
 void BM_SemiSyncRetimer(benchmark::State& state) {
   const ProblemSpec spec{4, 8, 2};
@@ -140,9 +148,115 @@ void BM_SemiSyncRetimer(benchmark::State& state) {
     benchmark::DoNotOptimize(result.certificate);
   }
 }
-BENCHMARK(BM_SemiSyncRetimer);
+
+void register_benchmarks(bool quick) {
+  const std::vector<std::int64_t> counting_ports =
+      quick ? std::vector<std::int64_t>{4, 32}
+            : std::vector<std::int64_t>{4, 32, 256};
+  const std::int64_t trace_len = quick ? 10'000 : 100'000;
+  const std::vector<std::int64_t> mpm_s =
+      quick ? std::vector<std::int64_t>{4, 16}
+            : std::vector<std::int64_t>{4, 16, 64};
+  const std::vector<std::int64_t> smm_n =
+      quick ? std::vector<std::int64_t>{4, 16}
+            : std::vector<std::int64_t>{4, 16, 64};
+
+  benchmark::RegisterBenchmark("BM_RatioArithmetic", BM_RatioArithmetic);
+  for (const std::int64_t p : counting_ports)
+    benchmark::RegisterBenchmark("BM_SessionCounting", BM_SessionCounting)
+        ->Args({p, trace_len});
+  for (const std::int64_t s : mpm_s)
+    benchmark::RegisterBenchmark("BM_MpmSimulator", BM_MpmSimulator)->Arg(s);
+  for (const std::int64_t n : smm_n)
+    benchmark::RegisterBenchmark("BM_SmmSimulatorTreeGossip",
+                                 BM_SmmSimulatorTreeGossip)
+        ->Arg(n);
+  benchmark::RegisterBenchmark("BM_CausalOrderBuild", BM_CausalOrderBuild);
+  benchmark::RegisterBenchmark("BM_TraceRoundTrip", BM_TraceRoundTrip);
+  if (!quick)
+    benchmark::RegisterBenchmark("BM_SemiSyncRetimer", BM_SemiSyncRetimer);
+}
+
+// Direct hot-path overhead measurement outside google-benchmark: the same
+// MPM workload with (a) no observer anywhere (the pre-observability hot
+// path: every hook one null check) and (b) a metrics observer installed.
+// Both steps/sec figures land in the bench record, making the
+// "zero-observer run shows no measurable slowdown" claim checkable from
+// BENCH_substrates.json alone.
+void measure_observer_overhead(obs::BenchRecorder& recorder, bool quick) {
+  const ProblemSpec spec{16, 4, 2};
+  const auto constraints =
+      TimingConstraints::sporadic(Duration(1), Duration(1), Duration(5));
+  SporadicMpmFactory factory;
+  const int reps = quick ? 40 : 200;
+
+  const auto run_workload = [&]() -> std::int64_t {
+    std::int64_t steps = 0;
+    for (int i = 0; i < reps; ++i) {
+      FixedPeriodScheduler sched(spec.n, Duration(1));
+      FixedDelay delay(Duration(5));
+      MpmSimulator sim(spec, constraints, factory, sched, delay);
+      steps += sim.run().compute_steps;
+    }
+    return steps;
+  };
+  const auto timed = [&](std::int64_t* steps_out) -> double {
+    const auto t0 = std::chrono::steady_clock::now();
+    *steps_out = run_workload();
+    return std::chrono::duration_cast<std::chrono::duration<double>>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+  };
+
+  // (a) genuinely unobserved: detach the recorder's default observer.
+  obs::Observer* const previous = obs::set_default_observer(nullptr);
+  std::int64_t steps_noobs = 0;
+  run_workload();  // warm-up
+  const double secs_noobs = timed(&steps_noobs);
+  obs::set_default_observer(previous);
+
+  // (b) observed through the recorder's metrics registry.
+  std::int64_t steps_obs = 0;
+  const double secs_obs = timed(&steps_obs);
+
+  const double rate_noobs =
+      secs_noobs > 0.0 ? static_cast<double>(steps_noobs) / secs_noobs : 0.0;
+  const double rate_obs =
+      secs_obs > 0.0 ? static_cast<double>(steps_obs) / secs_obs : 0.0;
+  recorder.note("steps_per_sec_noobs", rate_noobs);
+  recorder.note("steps_per_sec_obs", rate_obs);
+  if (rate_noobs > 0.0)
+    recorder.note("observer_overhead_percent",
+                  (rate_noobs - rate_obs) / rate_noobs * 100.0);
+}
 
 }  // namespace
 }  // namespace sesp
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bool quick = false;
+  const char* env = std::getenv("SESP_BENCH_QUICK");
+  if (env && *env && std::string_view(env) != "0") quick = true;
+  std::vector<char*> args;
+  args.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--quick")
+      quick = true;
+    else
+      args.push_back(argv[i]);
+  }
+
+  sesp::obs::BenchRecorder recorder("substrates");
+  recorder.note("mode", std::string(quick ? "quick" : "full"));
+
+  sesp::register_benchmarks(quick);
+  int bench_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&bench_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, args.data()))
+    return recorder.finish(false);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  sesp::measure_observer_overhead(recorder, quick);
+  return recorder.finish(true);
+}

@@ -12,11 +12,13 @@
 #include "algorithms/smm/semisync_alg.hpp"
 #include "analysis/bounds.hpp"
 #include "analysis/report.hpp"
+#include "obs/bench_record.hpp"
 #include "sim/experiment.hpp"
 
 using namespace sesp;
 
 int main() {
+  obs::BenchRecorder recorder("table1_async");
   bool ok = true;
 
   {
@@ -41,6 +43,7 @@ int main() {
       }
     }
     report.print(std::cout);
+    report.append_rows(recorder);
     ok = ok && report.all_ok();
     std::cout << '\n';
   }
@@ -63,8 +66,9 @@ int main() {
       }
     }
     report.print(std::cout);
+    report.append_rows(recorder);
     ok = ok && report.all_ok();
   }
 
-  return ok ? 0 : 1;
+  return recorder.finish(ok);
 }

@@ -16,6 +16,7 @@
 #include "algorithms/smm/semisync_alg.hpp"
 #include "analysis/bounds.hpp"
 #include "analysis/report.hpp"
+#include "obs/bench_record.hpp"
 #include "sim/experiment.hpp"
 
 using namespace sesp;
@@ -36,6 +37,7 @@ std::vector<Duration> spread_periods(std::int32_t count, const Duration& cmin,
 }  // namespace
 
 int main() {
+  obs::BenchRecorder recorder("table1_periodic");
   bool ok = true;
 
   {
@@ -62,6 +64,7 @@ int main() {
       }
     }
     report.print(std::cout);
+    report.append_rows(recorder);
     ok = ok && report.all_ok();
     std::cout << '\n';
   }
@@ -88,8 +91,9 @@ int main() {
       }
     }
     report.print(std::cout);
+    report.append_rows(recorder);
     ok = ok && report.all_ok();
   }
 
-  return ok ? 0 : 1;
+  return recorder.finish(ok);
 }

@@ -15,11 +15,13 @@
 #include "algorithms/smm/semisync_alg.hpp"
 #include "analysis/bounds.hpp"
 #include "analysis/report.hpp"
+#include "obs/bench_record.hpp"
 #include "sim/experiment.hpp"
 
 using namespace sesp;
 
 int main() {
+  obs::BenchRecorder recorder("table1_semisync");
   bool ok = true;
 
   {
@@ -50,6 +52,7 @@ int main() {
       }
     }
     report.print(std::cout);
+    report.append_rows(recorder);
     ok = ok && report.all_ok();
     std::cout << '\n';
   }
@@ -80,8 +83,9 @@ int main() {
       }
     }
     report.print(std::cout);
+    report.append_rows(recorder);
     ok = ok && report.all_ok();
   }
 
-  return ok ? 0 : 1;
+  return recorder.finish(ok);
 }

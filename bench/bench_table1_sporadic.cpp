@@ -13,11 +13,13 @@
 #include "algorithms/mpm/sporadic_alg.hpp"
 #include "analysis/bounds.hpp"
 #include "analysis/report.hpp"
+#include "obs/bench_record.hpp"
 #include "sim/experiment.hpp"
 
 using namespace sesp;
 
 int main() {
+  obs::BenchRecorder recorder("table1_sporadic");
   BoundReport report(
       "Table 1 / sporadic MP: A(sp); gamma taken from each measured run");
 
@@ -55,5 +57,6 @@ int main() {
                      .to_string()
               << "\n";
   }
-  return report.all_ok() ? 0 : 1;
+  report.append_rows(recorder);
+  return recorder.finish(report.all_ok());
 }

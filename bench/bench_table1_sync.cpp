@@ -8,11 +8,13 @@
 #include "algorithms/smm/sync_alg.hpp"
 #include "analysis/bounds.hpp"
 #include "analysis/report.hpp"
+#include "obs/bench_record.hpp"
 #include "sim/experiment.hpp"
 
 using namespace sesp;
 
 int main() {
+  obs::BenchRecorder recorder("table1_sync");
   BoundReport report("Table 1 / synchronous: L = U = s*c2");
 
   for (const std::int64_t s : {1, 2, 4, 8, 16, 32}) {
@@ -41,5 +43,6 @@ int main() {
   }
 
   report.print(std::cout);
-  return report.all_ok() ? 0 : 1;
+  report.append_rows(recorder);
+  return recorder.finish(report.all_ok());
 }

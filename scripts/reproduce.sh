@@ -17,6 +17,12 @@ if [ "${SESP_SKIP_SANITIZE:-0}" != "1" ]; then
   ctest --test-dir build-asan 2>&1 | tee -a test_output.txt
 fi
 
+# Bench stage: every bench binary writes a machine-readable perf record
+# (BENCH_<name>.json, schema sesp-bench/1); the verdict comes from the
+# structured ok / solved / admissible / upper_ok fields via sesp_bench_merge,
+# not from grepping the tables. SESP_BENCH_QUICK=1 shrinks the substrate
+# microbenchmark sweeps (CI uses it); the BoundReport benches are unaffected.
+rm -f BENCH_*.json bench_results.json
 : > bench_output.txt
 for b in build/bench/*; do
   [ -f "$b" ] && [ -x "$b" ] || continue
@@ -25,5 +31,5 @@ for b in build/bench/*; do
 done
 
 echo
-echo "Verdicts:"
-grep -E '\[OK\]|\[FAIL\]' bench_output.txt
+echo "Verdicts (from BENCH_*.json):"
+build/tools/sesp_bench_merge --out=bench_results.json BENCH_*.json

@@ -6,6 +6,7 @@
 
 #include "adversary/step_schedulers.hpp"
 #include "analysis/bounds.hpp"
+#include "obs/observer.hpp"
 #include "session/session_counter.hpp"
 #include "sim/experiment.hpp"
 #include "smm/smm_simulator.hpp"
@@ -52,6 +53,13 @@ ContaminationReport run_contamination_experiment(
     const ProblemSpec& spec, const TimingConstraints& base,
     const SmmAlgorithmFactory& factory, Duration c_min,
     Duration slow_period_override) {
+  obs::Observer* const o = obs::default_observer();
+  obs::Span span(o ? o->trace : nullptr, "adversary.contamination",
+                 "adversary",
+                 o && o->trace
+                     ? obs::args_object({obs::arg_int("n", spec.n),
+                                         obs::arg_int("b", spec.b)})
+                     : std::string());
   ContaminationReport report;
   report.c_min = c_min;
   report.L = bounds::floor_log(2 * spec.b - 1, 2 * spec.n - 1);

@@ -4,6 +4,7 @@
 #include <cstdlib>
 
 #include "mpm/mpm_simulator.hpp"
+#include "obs/observer.hpp"
 #include "session/verifier.hpp"
 
 namespace sesp {
@@ -101,7 +102,11 @@ ExhaustiveResult explore_mpm(const ProblemSpec& spec,
   ExhaustiveResult result;
   std::vector<std::int32_t> prefix;  // explicit decisions for the next run
 
+  obs::Observer* const o = obs::default_observer();
+  obs::Span span(o ? o->trace : nullptr, "adversary.explore_mpm", "adversary");
+
   while (result.runs < max_runs) {
+    if (o && o->exhaustive_runs) o->exhaustive_runs->inc();
     std::vector<std::int32_t> consumed;
     ChoiceCursor cursor(prefix, consumed);
     ChoiceScheduler scheduler(cursor, gap_choices);
@@ -137,6 +142,11 @@ ExhaustiveResult explore_mpm(const ProblemSpec& spec,
       break;
     }
   }
+  if (o && o->trace)
+    span.set_args(obs::args_object(
+        {obs::arg_int("runs", result.runs),
+         obs::arg_int("complete", result.complete ? 1 : 0),
+         obs::arg_int("min_sessions", result.min_sessions)}));
   return result;
 }
 

@@ -8,6 +8,7 @@
 
 #include "adversary/step_schedulers.hpp"
 #include "analysis/bounds.hpp"
+#include "obs/observer.hpp"
 #include "session/session_counter.hpp"
 #include "sim/experiment.hpp"
 #include "smm/smm_simulator.hpp"
@@ -115,6 +116,9 @@ SemiSyncRetimingResult semisync_retime(const TimedComputation& trace,
                                        const ProblemSpec& spec,
                                        const TimingConstraints& constraints,
                                        std::int64_t B) {
+  obs::Observer* const o = obs::default_observer();
+  obs::Span span(o ? o->trace : nullptr, "adversary.semisync_retime",
+                 "adversary");
   const Duration c1 = constraints.c1;
   const Duration c2 = constraints.c2;
   if (B == 0) B = semisync_safe_B(spec, c1, c2);
@@ -156,6 +160,7 @@ SemiSyncRetimingResult semisync_retime(const TimedComputation& trace,
   constexpr std::size_t kNone = static_cast<std::size_t>(-1);
 
   for (std::int64_t k = 1; k <= max_chunk; ++k) {
+    if (o && o->retimer_iterations) o->retimer_iterations->inc();
     const auto& chunk = by_chunk[static_cast<std::size_t>(k - 1)];
     const Time t0 = c1 * 2 * Ratio(B) * Ratio(k - 1);
     // The descendant suffix is anchored at the chunk's *effective* end —

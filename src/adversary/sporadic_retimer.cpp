@@ -8,6 +8,7 @@
 #include "adversary/delay_strategies.hpp"
 #include "adversary/step_schedulers.hpp"
 #include "analysis/bounds.hpp"
+#include "obs/observer.hpp"
 #include "session/session_counter.hpp"
 #include "sim/experiment.hpp"
 
@@ -61,6 +62,9 @@ SporadicRetimingResult half_compression_retime(
     const TimedComputation& trace, const ProblemSpec& spec,
     const TimingConstraints& check_constraints, const Ratio& base_period,
     const Ratio& expected_delay, std::int64_t B) {
+  obs::Observer* const o = obs::default_observer();
+  obs::Span obs_span(o ? o->trace : nullptr,
+                     "adversary.half_compression_retime", "adversary");
   const Duration c1 = check_constraints.c1;
   if (B < 1) return fail("B < 1: the bound is trivial");
   const Ratio K = base_period;
@@ -111,6 +115,7 @@ SporadicRetimingResult half_compression_retime(
   std::vector<ProcessId> pick(static_cast<std::size_t>(max_chunk) + 1);
   pick[0] = 0;
   for (std::int64_t k = 1; k <= max_chunk; ++k) {
+    if (o && o->retimer_iterations) o->retimer_iterations->inc();
     ProcessId cand = static_cast<ProcessId>(k % spec.n);
     if (cand == pick[static_cast<std::size_t>(k - 1)])
       cand = static_cast<ProcessId>((k + 1) % spec.n);

@@ -2,6 +2,8 @@
 
 #include <ostream>
 
+#include "obs/json.hpp"
+
 namespace sesp {
 
 BoundReport::BoundReport(std::string title) : title_(std::move(title)) {}
@@ -55,6 +57,48 @@ void BoundReport::print(std::ostream& os) const {
   table.print(os);
   os << (all_ok() ? "[OK] all rows solved, admissible, within upper bounds\n"
                   : "[FAIL] some row exceeded its upper bound or failed\n");
+}
+
+void BoundReport::append_rows(obs::BenchRecorder& recorder) const {
+  for (const BoundRow& row : rows_) {
+    obs::PerfRow perf;
+    perf.cell = row.cell;
+    perf.measure = row.measure;
+    perf.lower = row.lower;
+    perf.measured = row.measured;
+    perf.upper = row.upper;
+    perf.solved = row.solved;
+    perf.admissible = row.admissible;
+    perf.upper_ok = row.upper_ok();
+    perf.lower_reached = row.lower_reached();
+    recorder.add_row(std::move(perf));
+  }
+}
+
+void BoundReport::write_json(obs::JsonWriter& w) const {
+  w.begin_object();
+  w.field("title", title_);
+  w.field("all_ok", all_ok());
+  w.key("rows");
+  w.begin_array();
+  for (const BoundRow& row : rows_) {
+    w.begin_object();
+    w.field("cell", row.cell);
+    w.field("measure", row.measure);
+    w.field("lower", row.lower);
+    w.field("measured", row.measured);
+    w.field("upper", row.upper);
+    w.field("lower_approx", row.lower.to_double());
+    w.field("measured_approx", row.measured.to_double());
+    w.field("upper_approx", row.upper.to_double());
+    w.field("solved", row.solved);
+    w.field("admissible", row.admissible);
+    w.field("upper_ok", row.upper_ok());
+    w.field("lower_reached", row.lower_reached());
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
 }
 
 }  // namespace sesp

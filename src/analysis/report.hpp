@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/bench_record.hpp"
 #include "sim/experiment.hpp"
 #include "util/ratio.hpp"
 #include "util/table.hpp"
@@ -49,6 +50,16 @@ class BoundReport {
   bool all_ok() const;
 
   void print(std::ostream& os) const;
+
+  const std::vector<BoundRow>& rows() const { return rows_; }
+
+  // Mirrors every row into the bench perf record (same cells and flags the
+  // rendered table shows — the JSON and the table never disagree).
+  void append_rows(obs::BenchRecorder& recorder) const;
+
+  // {"title":...,"all_ok":...,"rows":[...]} with the same per-row fields as
+  // the bench record schema.
+  void write_json(obs::JsonWriter& w) const;
 
  private:
   std::string title_;

@@ -35,16 +35,25 @@ MpmSimulator::MpmSimulator(const ProblemSpec& spec,
                            const TimingConstraints& constraints,
                            const MpmAlgorithmFactory& factory,
                            StepScheduler& scheduler, DelayStrategy& delays,
-                           FaultInjector* faults)
+                           FaultInjector* faults, obs::Observer* observer)
     : spec_(spec),
       constraints_(constraints),
       factory_(factory),
       scheduler_(scheduler),
       delays_(delays),
-      faults_(faults) {}
+      faults_(faults),
+      observer_(observer) {}
 
 MpmRunResult MpmSimulator::run(const MpmRunLimits& limits) {
   const std::int32_t n = spec_.n;
+  obs::Observer* const o = obs::resolve(observer_);
+  obs::Span run_span(o ? o->trace : nullptr, "mpm.run", "sim",
+                     o && o->trace
+                         ? obs::args_object(
+                               {obs::arg_int("n", n),
+                                obs::arg_int("s", spec_.s)})
+                         : std::string());
+  if (o && o->runs) o->runs->inc();
   MpmRunResult result{
       TimedComputation(Substrate::kMessagePassing, std::max(n, 0),
                        std::max(n, 0)),
@@ -54,6 +63,7 @@ MpmRunResult MpmSimulator::run(const MpmRunLimits& limits) {
     err.code = SimErrorCode::kInvalidSpec;
     err.detail = "MPM needs n >= 1 port processes, got " + std::to_string(n);
     result.error = std::move(err);
+    obs::observe_error(o, *result.error);
     return result;
   }
   TimedComputation& trace = result.trace;
@@ -78,7 +88,11 @@ MpmRunResult MpmSimulator::run(const MpmRunLimits& limits) {
                            std::int64_t index) -> bool {
     Time t = scheduler_.next_step_time(p, prev, index);
     const Time floor = prev.value_or(Time(0));
-    if (faults_) t = faults_->perturb_step_time(p, index, floor, t);
+    if (faults_) {
+      const Time scheduled = t;
+      t = faults_->perturb_step_time(p, index, floor, t);
+      if (t != scheduled) obs::observe_fault(o, "timing", p, t);
+    }
     if (t < floor) {
       SimError err;
       err.code = SimErrorCode::kNonMonotonicSchedule;
@@ -95,7 +109,10 @@ MpmRunResult MpmSimulator::run(const MpmRunLimits& limits) {
   };
 
   for (ProcessId p = 0; p < n; ++p)
-    if (!schedule_step(p, std::nullopt, 0)) return result;
+    if (!schedule_step(p, std::nullopt, 0)) {
+      obs::observe_error(o, *result.error);
+      return result;
+    }
 
   Time last_event_time(0);
   std::int64_t stagnant_events = 0;
@@ -103,6 +120,8 @@ MpmRunResult MpmSimulator::run(const MpmRunLimits& limits) {
   while (!queue.empty() && non_idle > 0) {
     const Event ev = queue.top();
     queue.pop();
+    if (o && o->event_queue_depth)
+      o->event_queue_depth->set(static_cast<std::int64_t>(queue.size()) + 1);
 
     // Watchdogs: step budget, time budget, and no-progress (model time
     // pinned over an implausible number of consecutive events).
@@ -156,6 +175,11 @@ MpmRunResult MpmSimulator::run(const MpmRunLimits& limits) {
           trace.mutable_messages()[static_cast<std::size_t>(ev.message)];
       rec.deliver_step = index;
       pending[static_cast<std::size_t>(rec.recipient)].push_back(ev.message);
+      if (o && o->messages_delivered) {
+        o->messages_delivered->inc();
+        o->pending_depth->set(static_cast<std::int64_t>(
+            pending[static_cast<std::size_t>(rec.recipient)].size()));
+      }
       continue;
     }
 
@@ -166,6 +190,7 @@ MpmRunResult MpmSimulator::run(const MpmRunLimits& limits) {
     // and takes no further steps. Messages already in flight to it still
     // deliver into its (never drained) buffer.
     if (faults_ && faults_->crash_now(p, step_count[pi], ev.time)) {
+      obs::observe_fault(o, "crash", p, ev.time);
       result.crashed.push_back(p);
       --non_idle;
       continue;
@@ -183,6 +208,7 @@ MpmRunResult MpmSimulator::run(const MpmRunLimits& limits) {
     st.idle_after = action.idle;
     const std::size_t step_index = trace.append(st);
     ++result.compute_steps;
+    if (o && o->steps) o->steps->inc();
 
     // Mark receipt of everything drained at this step.
     for (const MsgId id : pending[pi])
@@ -201,10 +227,17 @@ MpmRunResult MpmSimulator::run(const MpmRunLimits& limits) {
         rec.done = action.message.done;
         const MsgId id = trace.append_message(rec);
         ++result.messages_sent;
+        if (o && o->messages_sent) o->messages_sent->inc();
 
         const MessageAction act =
             faults_ ? faults_->on_send(id, p, q, ev.time) : MessageAction{};
-        if (act.drop) continue;  // lost: sent but never enters the net
+        if (act.drop) {  // lost: sent but never enters the net
+          if (o && o->messages_dropped) o->messages_dropped->inc();
+          obs::observe_fault(o, "drop", p, ev.time);
+          continue;
+        }
+        if (act.extra_delay.is_positive())
+          obs::observe_fault(o, "delay", p, ev.time);
 
         if (auto err = network.send(id, action.message, q)) {
           err->step_index = static_cast<std::int64_t>(trace.steps().size());
@@ -219,6 +252,7 @@ MpmRunResult MpmSimulator::run(const MpmRunLimits& limits) {
         if (act.duplicate) {
           // The duplicate is a distinct trace message with the same payload,
           // delivered after an extra delay.
+          obs::observe_fault(o, "duplicate", p, ev.time);
           MessageRecord dup = rec;
           const MsgId dup_id = trace.append_message(dup);
           if (auto err = network.send(dup_id, action.message, q)) {
@@ -230,6 +264,7 @@ MpmRunResult MpmSimulator::run(const MpmRunLimits& limits) {
           queue.push(Event{ev.time + delay + act.extra_delay,
                            EventKind::kDeliver, seq++, q, dup_id});
           ++result.messages_sent;
+          if (o && o->messages_sent) o->messages_sent->inc();
         }
       }
       if (result.error) break;
@@ -245,6 +280,15 @@ MpmRunResult MpmSimulator::run(const MpmRunLimits& limits) {
   }
 
   result.completed = non_idle == 0 && !result.error;
+  if (result.error) obs::observe_error(o, *result.error);
+  obs::observe_watchdog_margins(o, result.compute_steps, limits.max_steps,
+                                last_event_time, limits.max_time);
+  if (o && o->trace)
+    run_span.set_args(obs::args_object(
+        {obs::arg_int("n", n), obs::arg_int("s", spec_.s),
+         obs::arg_int("steps", result.compute_steps),
+         obs::arg_int("messages", result.messages_sent),
+         obs::arg_int("completed", result.completed ? 1 : 0)}));
   return result;
 }
 

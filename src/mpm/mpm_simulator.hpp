@@ -16,6 +16,12 @@
 // injected or not — end the run with a structured SimError in the result
 // instead of terminating the process, and watchdogs (step budget, time
 // budget, no-progress detection) bound every run.
+//
+// An optional obs::Observer (same nullable pattern) instruments the run:
+// step/message counters, queue-depth gauges, watchdog-margin histograms, a
+// run span, and a trace event per injected fault and per SimError. With no
+// observer attached (explicit or process default) every hook is a single
+// null check.
 
 #include <cstdint>
 #include <memory>
@@ -28,6 +34,7 @@
 #include "model/ids.hpp"
 #include "model/timed_computation.hpp"
 #include "mpm/algorithm.hpp"
+#include "obs/observer.hpp"
 #include "timing/constraints.hpp"
 
 namespace sesp {
@@ -59,10 +66,13 @@ class MpmSimulator {
  public:
   // Every regular process is a port process in the MPM (its buf is its
   // port), so the system has spec.n regular processes plus the network.
-  // `faults` (optional, unowned) injects the chaos plan into the run.
+  // `faults` (optional, unowned) injects the chaos plan into the run;
+  // `observer` (optional, unowned) instruments it — when null, the process
+  // default observer (if any) is used.
   MpmSimulator(const ProblemSpec& spec, const TimingConstraints& constraints,
                const MpmAlgorithmFactory& factory, StepScheduler& scheduler,
-               DelayStrategy& delays, FaultInjector* faults = nullptr);
+               DelayStrategy& delays, FaultInjector* faults = nullptr,
+               obs::Observer* observer = nullptr);
 
   MpmRunResult run(const MpmRunLimits& limits = MpmRunLimits{});
 
@@ -73,6 +83,7 @@ class MpmSimulator {
   StepScheduler& scheduler_;
   DelayStrategy& delays_;
   FaultInjector* faults_;
+  obs::Observer* observer_;
 };
 
 }  // namespace sesp

@@ -1,0 +1,248 @@
+#include "obs/bench_record.hpp"
+
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "obs/json.hpp"
+
+namespace sesp::obs {
+
+BenchRecorder::BenchRecorder(std::string name)
+    : name_(std::move(name)),
+      observer_(&metrics_, nullptr),
+      start_(std::chrono::steady_clock::now()) {
+  previous_default_ = set_default_observer(&observer_);
+}
+
+BenchRecorder::~BenchRecorder() {
+  if (!finished_) finish(false);
+  set_default_observer(previous_default_);
+}
+
+void BenchRecorder::add_row(PerfRow row) { rows_.push_back(std::move(row)); }
+
+void BenchRecorder::note(const std::string& key, double value) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.value(value);
+  notes_.emplace_back(key, os.str());
+}
+
+void BenchRecorder::note(const std::string& key, std::int64_t value) {
+  notes_.emplace_back(key, std::to_string(value));
+}
+
+void BenchRecorder::note(const std::string& key, const std::string& value) {
+  notes_.emplace_back(key, "\"" + json_escape(value) + "\"");
+}
+
+std::string BenchRecorder::output_path() const {
+  const char* dir = std::getenv("SESP_BENCH_JSON_DIR");
+  std::string path = dir && *dir ? std::string(dir) + "/" : std::string();
+  return path + "BENCH_" + name_ + ".json";
+}
+
+std::string BenchRecorder::render(bool ok) const {
+  const double wall =
+      std::chrono::duration_cast<std::chrono::duration<double>>(
+          std::chrono::steady_clock::now() - start_)
+          .count();
+  const std::int64_t steps = observer_.steps->value();
+
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.begin_object();
+  w.field("schema", "sesp-bench/1");
+  w.field("bench", name_);
+  w.field("ok", ok);
+  w.field("wall_seconds", wall);
+  w.field("steps", steps);
+  w.field("steps_per_sec",
+          wall > 0.0 ? static_cast<double>(steps) / wall : 0.0);
+  w.field("runs", observer_.runs->value());
+  w.key("rows");
+  w.begin_array();
+  for (const PerfRow& row : rows_) {
+    w.begin_object();
+    w.field("cell", row.cell);
+    w.field("measure", row.measure);
+    w.field("lower", row.lower);
+    w.field("measured", row.measured);
+    w.field("upper", row.upper);
+    w.field("lower_approx", row.lower.to_double());
+    w.field("measured_approx", row.measured.to_double());
+    w.field("upper_approx", row.upper.to_double());
+    w.field("solved", row.solved);
+    w.field("admissible", row.admissible);
+    w.field("upper_ok", row.upper_ok);
+    w.field("lower_reached", row.lower_reached);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("notes");
+  w.begin_object();
+  w.end_object();
+  w.key("metrics");
+  metrics_.write_json(w);
+  w.end_object();
+
+  // Splice the pre-rendered notes into the (empty) notes object; doing the
+  // string surgery here keeps JsonWriter single-pass.
+  std::string text = os.str();
+  if (!notes_.empty()) {
+    std::string rendered;
+    bool first = true;
+    for (const auto& [key, value] : notes_) {
+      if (!first) rendered += ',';
+      first = false;
+      rendered += "\"" + json_escape(key) + "\":" + value;
+    }
+    const std::string marker = "\"notes\":{}";
+    const std::size_t at = text.find(marker);
+    if (at != std::string::npos)
+      text.replace(at, marker.size(), "\"notes\":{" + rendered + "}");
+  }
+  return text;
+}
+
+int BenchRecorder::finish(bool ok) {
+  if (finished_) return first_ok_ ? 0 : 1;
+  finished_ = true;
+  first_ok_ = ok;
+  const std::string path = output_path();
+  std::ofstream out(path);
+  if (out) {
+    out << render(ok) << '\n';
+    std::cout << "perf record written to " << path << "\n";
+  } else {
+    std::cerr << "warning: cannot write " << path << "\n";
+  }
+  return ok ? 0 : 1;
+}
+
+// --- Aggregation ------------------------------------------------------------
+
+bool validate_bench_record(const std::string& text, std::string* error) {
+  std::string parse_error;
+  const auto doc = parse_json(text, &parse_error);
+  if (!doc) {
+    if (error) *error = "parse error: " + parse_error;
+    return false;
+  }
+  if (!doc->is_object()) {
+    if (error) *error = "record is not a JSON object";
+    return false;
+  }
+  const auto require = [&](const char* name, JsonValue::Kind kind) {
+    const JsonValue* v = doc->find(name);
+    if (!v || v->kind != kind) {
+      if (error)
+        *error = std::string("missing or mistyped field \"") + name + "\"";
+      return false;
+    }
+    return true;
+  };
+  if (!require("schema", JsonValue::Kind::kString)) return false;
+  if (doc->find("schema")->string != "sesp-bench/1") {
+    if (error) *error = "unknown schema \"" + doc->find("schema")->string +
+                        "\" (want sesp-bench/1)";
+    return false;
+  }
+  if (!require("bench", JsonValue::Kind::kString)) return false;
+  if (!require("ok", JsonValue::Kind::kBool)) return false;
+  if (!require("wall_seconds", JsonValue::Kind::kNumber)) return false;
+  if (!require("steps", JsonValue::Kind::kNumber)) return false;
+  if (!require("steps_per_sec", JsonValue::Kind::kNumber)) return false;
+  if (!require("runs", JsonValue::Kind::kNumber)) return false;
+  if (!require("rows", JsonValue::Kind::kArray)) return false;
+  if (!require("notes", JsonValue::Kind::kObject)) return false;
+  if (!require("metrics", JsonValue::Kind::kObject)) return false;
+  for (const JsonValue& row : doc->find("rows")->array) {
+    for (const char* field : {"cell", "measure", "lower", "measured", "upper"})
+      if (!row.find(field) || !row.find(field)->is_string()) {
+        if (error)
+          *error = std::string("row missing string field \"") + field + "\"";
+        return false;
+      }
+    for (const char* field :
+         {"solved", "admissible", "upper_ok", "lower_reached"})
+      if (!row.find(field) || !row.find(field)->is_bool()) {
+        if (error)
+          *error = std::string("row missing bool field \"") + field + "\"";
+        return false;
+      }
+  }
+  return true;
+}
+
+BenchAggregate aggregate_bench_records(
+    const std::vector<std::pair<std::string, std::string>>& named_texts) {
+  BenchAggregate agg;
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.begin_object();
+  w.field("schema", "sesp-bench-results/1");
+
+  // First pass: classify, so the summary fields precede the bulk payload.
+  struct Entry {
+    std::string name;
+    const std::string* text;
+    bool valid = false;
+    bool ok = false;
+  };
+  std::vector<Entry> entries;
+  for (const auto& [name, text] : named_texts) {
+    Entry e{name, &text, false, false};
+    std::string error;
+    if (validate_bench_record(text, &error)) {
+      e.valid = true;
+      const auto doc = parse_json(text);
+      e.ok = doc->find("ok")->boolean;
+      ++agg.records;
+      if (!e.ok) {
+        ++agg.failed;
+        agg.failures.push_back(doc->find("bench")->string);
+      }
+    } else {
+      ++agg.malformed;
+      agg.failures.push_back(name + " (" + error + ")");
+    }
+    entries.push_back(std::move(e));
+  }
+
+  w.field("records", agg.records);
+  w.field("failed", agg.failed);
+  w.field("malformed", agg.malformed);
+  w.field("all_ok", agg.all_ok());
+  w.key("failures");
+  w.begin_array();
+  for (const std::string& f : agg.failures) w.value(f);
+  w.end_array();
+  w.end_object();
+
+  // Embed the validated records verbatim (they are known-valid JSON), again
+  // via string surgery to keep the writer single-pass.
+  std::string text = os.str();
+  text.pop_back();  // trailing '}'
+  text += ",\"benches\":[";
+  bool first = true;
+  for (const Entry& e : entries) {
+    if (!e.valid) continue;
+    if (!first) text += ',';
+    first = false;
+    std::string body = *e.text;
+    // Trim trailing whitespace/newline from the on-disk record.
+    while (!body.empty() && (body.back() == '\n' || body.back() == '\r' ||
+                             body.back() == ' '))
+      body.pop_back();
+    text += body;
+  }
+  text += "]}";
+  agg.results_json = std::move(text);
+  return agg;
+}
+
+}  // namespace sesp::obs

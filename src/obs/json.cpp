@@ -1,0 +1,364 @@
+#include "obs/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <ostream>
+
+namespace sesp::obs {
+
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+JsonWriter::JsonWriter(std::ostream& os) : os_(os) {}
+
+JsonWriter::~JsonWriter() = default;
+
+void JsonWriter::before_value() {
+  if (stack_.empty()) {
+    if (root_written_) std::abort();  // two top-level values
+    root_written_ = true;
+    return;
+  }
+  Frame& top = stack_.back();
+  if (top.array) {
+    if (top.has_value) os_ << ',';
+    top.has_value = true;
+  } else {
+    if (!top.has_key) std::abort();  // object value without a key
+    top.has_key = false;
+  }
+}
+
+void JsonWriter::begin_object() {
+  before_value();
+  stack_.push_back(Frame{false, false, false});
+  os_ << '{';
+}
+
+void JsonWriter::end_object() {
+  if (stack_.empty() || stack_.back().array || stack_.back().has_key)
+    std::abort();
+  stack_.pop_back();
+  os_ << '}';
+}
+
+void JsonWriter::begin_array() {
+  before_value();
+  stack_.push_back(Frame{true, false, false});
+  os_ << '[';
+}
+
+void JsonWriter::end_array() {
+  if (stack_.empty() || !stack_.back().array) std::abort();
+  stack_.pop_back();
+  os_ << ']';
+}
+
+void JsonWriter::key(std::string_view name) {
+  if (stack_.empty() || stack_.back().array || stack_.back().has_key)
+    std::abort();
+  Frame& top = stack_.back();
+  if (top.has_value) os_ << ',';
+  top.has_value = true;
+  top.has_key = true;
+  os_ << '"' << json_escape(name) << "\":";
+}
+
+void JsonWriter::value(std::string_view text) {
+  before_value();
+  os_ << '"' << json_escape(text) << '"';
+}
+
+void JsonWriter::value(std::int64_t number) {
+  before_value();
+  os_ << number;
+}
+
+void JsonWriter::value(double number) {
+  before_value();
+  if (!std::isfinite(number)) {
+    os_ << "null";
+    return;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", number);
+  os_ << buf;
+}
+
+void JsonWriter::value(bool boolean) {
+  before_value();
+  os_ << (boolean ? "true" : "false");
+}
+
+void JsonWriter::null_value() {
+  before_value();
+  os_ << "null";
+}
+
+const JsonValue* JsonValue::find(std::string_view name) const {
+  if (kind != Kind::kObject) return nullptr;
+  for (const auto& [key, value] : object)
+    if (key == name) return &value;
+  return nullptr;
+}
+
+namespace {
+
+class Parser {
+ public:
+  Parser(std::string_view text, std::string* error)
+      : text_(text), error_(error) {}
+
+  std::optional<JsonValue> parse() {
+    JsonValue v;
+    if (!parse_value(v)) return std::nullopt;
+    skip_ws();
+    if (pos_ != text_.size()) {
+      fail("trailing characters after document");
+      return std::nullopt;
+    }
+    return v;
+  }
+
+ private:
+  void fail(const std::string& what) {
+    if (error_ && error_->empty())
+      *error_ = what + " at offset " + std::to_string(pos_);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  bool literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) {
+      fail("bad literal");
+      return false;
+    }
+    pos_ += word.size();
+    return true;
+  }
+
+  bool parse_string(std::string& out) {
+    if (pos_ >= text_.size() || text_[pos_] != '"') {
+      fail("expected string");
+      return false;
+    }
+    ++pos_;
+    out.clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) break;
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) {
+              fail("truncated \\u escape");
+              return false;
+            }
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = text_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f')
+                code |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F')
+                code |= static_cast<unsigned>(h - 'A' + 10);
+              else {
+                fail("bad \\u escape");
+                return false;
+              }
+            }
+            // UTF-8 encode (BMP only; our writer never emits surrogates).
+            if (code < 0x80) {
+              out += static_cast<char>(code);
+            } else if (code < 0x800) {
+              out += static_cast<char>(0xC0 | (code >> 6));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            } else {
+              out += static_cast<char>(0xE0 | (code >> 12));
+              out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            }
+            break;
+          }
+          default:
+            fail("bad escape");
+            return false;
+        }
+      } else {
+        out += c;
+      }
+    }
+    fail("unterminated string");
+    return false;
+  }
+
+  bool parse_value(JsonValue& out) {
+    skip_ws();
+    if (pos_ >= text_.size()) {
+      fail("unexpected end of input");
+      return false;
+    }
+    const char c = text_[pos_];
+    switch (c) {
+      case 'n':
+        out.kind = JsonValue::Kind::kNull;
+        return literal("null");
+      case 't':
+        out.kind = JsonValue::Kind::kBool;
+        out.boolean = true;
+        return literal("true");
+      case 'f':
+        out.kind = JsonValue::Kind::kBool;
+        out.boolean = false;
+        return literal("false");
+      case '"':
+        out.kind = JsonValue::Kind::kString;
+        return parse_string(out.string);
+      case '[': {
+        ++pos_;
+        out.kind = JsonValue::Kind::kArray;
+        skip_ws();
+        if (pos_ < text_.size() && text_[pos_] == ']') {
+          ++pos_;
+          return true;
+        }
+        while (true) {
+          JsonValue elem;
+          if (!parse_value(elem)) return false;
+          out.array.push_back(std::move(elem));
+          skip_ws();
+          if (pos_ >= text_.size()) {
+            fail("unterminated array");
+            return false;
+          }
+          if (text_[pos_] == ',') {
+            ++pos_;
+            continue;
+          }
+          if (text_[pos_] == ']') {
+            ++pos_;
+            return true;
+          }
+          fail("expected ',' or ']'");
+          return false;
+        }
+      }
+      case '{': {
+        ++pos_;
+        out.kind = JsonValue::Kind::kObject;
+        skip_ws();
+        if (pos_ < text_.size() && text_[pos_] == '}') {
+          ++pos_;
+          return true;
+        }
+        while (true) {
+          skip_ws();
+          std::string name;
+          if (!parse_string(name)) return false;
+          skip_ws();
+          if (pos_ >= text_.size() || text_[pos_] != ':') {
+            fail("expected ':'");
+            return false;
+          }
+          ++pos_;
+          JsonValue member;
+          if (!parse_value(member)) return false;
+          out.object.emplace_back(std::move(name), std::move(member));
+          skip_ws();
+          if (pos_ >= text_.size()) {
+            fail("unterminated object");
+            return false;
+          }
+          if (text_[pos_] == ',') {
+            ++pos_;
+            continue;
+          }
+          if (text_[pos_] == '}') {
+            ++pos_;
+            return true;
+          }
+          fail("expected ',' or '}'");
+          return false;
+        }
+      }
+      default: {
+        // Number.
+        const std::size_t start = pos_;
+        if (text_[pos_] == '-') ++pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E' || text_[pos_] == '+' ||
+                text_[pos_] == '-'))
+          ++pos_;
+        if (pos_ == start) {
+          fail("unexpected character");
+          return false;
+        }
+        const std::string token(text_.substr(start, pos_ - start));
+        char* end = nullptr;
+        out.number = std::strtod(token.c_str(), &end);
+        if (end != token.c_str() + token.size()) {
+          fail("bad number");
+          return false;
+        }
+        out.kind = JsonValue::Kind::kNumber;
+        return true;
+      }
+    }
+  }
+
+  std::string_view text_;
+  std::string* error_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::optional<JsonValue> parse_json(std::string_view text,
+                                    std::string* error) {
+  std::string scratch;
+  Parser parser(text, error ? error : &scratch);
+  return parser.parse();
+}
+
+}  // namespace sesp::obs

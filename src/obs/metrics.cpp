@@ -1,0 +1,145 @@
+#include "obs/metrics.hpp"
+
+#include <cstdlib>
+#include <ostream>
+#include <sstream>
+
+#include "obs/json.hpp"
+
+namespace sesp::obs {
+
+void Histogram::observe(const Ratio& value) {
+  ++count_;
+  if (!min_ || value < *min_) min_ = value;
+  if (!max_ || *max_ < value) max_ = value;
+  const double v = value.to_double();
+  sum_ += v;
+  int bucket = 0;
+  double bound = 1.0;
+  for (int e = 0; e > kMinExponent; --e) bound /= 2.0;  // 2^kMinExponent
+  while (bucket < kBuckets && v > bound) {
+    bound *= 2.0;
+    ++bucket;
+  }
+  ++buckets_[static_cast<std::size_t>(bucket)];
+}
+
+const Ratio& Histogram::min() const {
+  if (!min_) std::abort();
+  return *min_;
+}
+
+const Ratio& Histogram::max() const {
+  if (!max_) std::abort();
+  return *max_;
+}
+
+double Histogram::mean() const {
+  if (count_ == 0) std::abort();
+  return sum_ / static_cast<double>(count_);
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  return counters_[name];
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  return gauges_[name];
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  return histograms_[name];
+}
+
+void MetricsRegistry::write_json(JsonWriter& w) const {
+  w.begin_object();
+  w.key("counters");
+  w.begin_object();
+  for (const auto& [name, c] : counters_) w.field(name, c.value());
+  w.end_object();
+  w.key("gauges");
+  w.begin_object();
+  for (const auto& [name, g] : gauges_) {
+    w.key(name);
+    w.begin_object();
+    w.field("value", g.value());
+    w.field("max", g.max());
+    w.end_object();
+  }
+  w.end_object();
+  w.key("histograms");
+  w.begin_object();
+  for (const auto& [name, h] : histograms_) {
+    w.key(name);
+    w.begin_object();
+    w.field("count", h.count());
+    if (!h.empty()) {
+      w.field("min", h.min());
+      w.field("max", h.max());
+      w.field("min_approx", h.min().to_double());
+      w.field("max_approx", h.max().to_double());
+      w.field("mean", h.mean());
+      w.key("buckets");
+      w.begin_array();
+      for (const std::int64_t b : h.buckets()) w.value(b);
+      w.end_array();
+    }
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+}
+
+void MetricsRegistry::write_jsonl(std::ostream& os) const {
+  for (const auto& [name, c] : counters_) {
+    JsonWriter w(os);
+    w.begin_object();
+    w.field("metric", name);
+    w.field("type", "counter");
+    w.field("value", c.value());
+    w.end_object();
+    os << '\n';
+  }
+  for (const auto& [name, g] : gauges_) {
+    JsonWriter w(os);
+    w.begin_object();
+    w.field("metric", name);
+    w.field("type", "gauge");
+    w.field("value", g.value());
+    w.field("max", g.max());
+    w.end_object();
+    os << '\n';
+  }
+  for (const auto& [name, h] : histograms_) {
+    JsonWriter w(os);
+    w.begin_object();
+    w.field("metric", name);
+    w.field("type", "histogram");
+    w.field("count", h.count());
+    if (!h.empty()) {
+      w.field("min", h.min());
+      w.field("max", h.max());
+      w.field("mean", h.mean());
+    }
+    w.end_object();
+    os << '\n';
+  }
+}
+
+std::string MetricsRegistry::to_string() const {
+  std::ostringstream os;
+  for (const auto& [name, c] : counters_)
+    os << "  " << name << " = " << c.value() << "\n";
+  for (const auto& [name, g] : gauges_)
+    os << "  " << name << " = " << g.value() << " (max " << g.max() << ")\n";
+  for (const auto& [name, h] : histograms_) {
+    os << "  " << name << " : count=" << h.count();
+    if (!h.empty())
+      os << " min=" << h.min().to_string() << " max=" << h.max().to_string()
+         << " mean=" << h.mean();
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace sesp::obs

@@ -1,0 +1,112 @@
+#pragma once
+
+// Metrics registry for the simulators and tools: counters (monotone int64),
+// gauges (last value + high-water mark) and exact-Ratio-aware histograms.
+// Model-time quantities are exact rationals everywhere in this library, so
+// the histogram keeps min/max as exact Ratios (those are the values
+// compared against the paper's bounds) and only the mean and the bucket
+// shape as doubles — the same philosophy as util/stats.Summary.
+//
+// Hot-path contract: instruments are resolved by name ONCE (Observer caches
+// the pointers); per-event updates are a single branch plus an integer
+// add. References returned by the registry are stable for its lifetime
+// (node-based map). Not thread-safe — the simulators are single-threaded.
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "util/ratio.hpp"
+
+namespace sesp::obs {
+
+class JsonWriter;
+
+class Counter {
+ public:
+  void inc(std::int64_t n = 1) noexcept { value_ += n; }
+  std::int64_t value() const noexcept { return value_; }
+
+ private:
+  std::int64_t value_ = 0;
+};
+
+// Last-written value plus high-water mark (queue depths, pending buffers).
+class Gauge {
+ public:
+  void set(std::int64_t v) noexcept {
+    value_ = v;
+    if (v > max_) max_ = v;
+  }
+  std::int64_t value() const noexcept { return value_; }
+  std::int64_t max() const noexcept { return max_; }
+
+ private:
+  std::int64_t value_ = 0;
+  std::int64_t max_ = 0;
+};
+
+// Exact min/max, double mean, and a power-of-two bucket shape. Bucket i
+// counts values v with upper_bound(i-1) < v <= upper_bound(i) where
+// upper_bound(i) = 2^(i + kMinExponent); values at or below 2^kMinExponent
+// land in bucket 0, values above the last bound in the overflow bucket.
+class Histogram {
+ public:
+  static constexpr int kBuckets = 24;
+  static constexpr int kMinExponent = -8;  // first bound 1/256
+
+  void observe(const Ratio& value);
+
+  std::int64_t count() const noexcept { return count_; }
+  bool empty() const noexcept { return count_ == 0; }
+  // Terminate on empty (harness bug) — same contract as Summary.
+  const Ratio& min() const;
+  const Ratio& max() const;
+  double mean() const;
+  const std::array<std::int64_t, kBuckets + 1>& buckets() const noexcept {
+    return buckets_;
+  }
+
+ private:
+  std::int64_t count_ = 0;
+  std::optional<Ratio> min_;
+  std::optional<Ratio> max_;
+  double sum_ = 0.0;
+  std::array<std::int64_t, kBuckets + 1> buckets_{};
+};
+
+class MetricsRegistry {
+ public:
+  // Lookup-or-create; returned references stay valid for the registry's
+  // lifetime.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  bool empty() const noexcept {
+    return counters_.empty() && gauges_.empty() && histograms_.empty();
+  }
+
+  const std::map<std::string, Counter>& counters() const { return counters_; }
+  const std::map<std::string, Gauge>& gauges() const { return gauges_; }
+  const std::map<std::string, Histogram>& histograms() const {
+    return histograms_;
+  }
+
+  // One JSON object: {"counters":{...},"gauges":{...},"histograms":{...}}.
+  void write_json(JsonWriter& w) const;
+  // One JSON object per line, machine-mergeable:
+  //   {"metric":"sim.steps","type":"counter","value":123}
+  void write_jsonl(std::ostream& os) const;
+  // Human-readable aligned listing for --metrics.
+  std::string to_string() const;
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace sesp::obs

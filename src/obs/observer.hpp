@@ -1,0 +1,89 @@
+#pragma once
+
+// The nullable observability hook threaded through the simulators,
+// verifier, experiment driver and adversaries — the same pattern as
+// faults/FaultInjector: run loops accept an `obs::Observer*`, a null
+// pointer means "not observed" and every hook collapses to one branch, so
+// the zero-observer hot path stays allocation-free.
+//
+// An Observer bundles a MetricsRegistry (instrument handles are resolved by
+// name once, at construction) and an optional TraceSink. Either half may be
+// null: metrics-only observation (the bench perf records) skips all span
+// bookkeeping; trace-only observation skips the counters.
+//
+// A process-wide *default* observer (null unless installed) lets the layers
+// that own no observer pointer — the worst-case/degradation drivers, the
+// retimers, the exhaustive enumerator, benches via BenchRecorder — pick up
+// instrumentation without widening every signature. Simulators resolve
+// explicit-or-default once per run.
+
+#include <cstdint>
+#include <string>
+
+#include "faults/sim_error.hpp"
+#include "model/ids.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/ratio.hpp"
+
+namespace sesp::obs {
+
+struct Observer {
+  Observer() = default;
+  // Resolves the canonical instrument set from `metrics` (may be null).
+  explicit Observer(MetricsRegistry* metrics, TraceSink* trace = nullptr);
+
+  MetricsRegistry* metrics = nullptr;
+  TraceSink* trace = nullptr;
+
+  // Pre-resolved hot-path instruments; all null iff metrics is null. Names
+  // are documented in docs/observability.md.
+  Counter* runs = nullptr;                // sim.runs
+  Counter* steps = nullptr;               // sim.steps
+  Counter* messages_sent = nullptr;       // sim.messages.sent
+  Counter* messages_delivered = nullptr;  // sim.messages.delivered
+  Counter* messages_dropped = nullptr;    // sim.messages.dropped
+  Counter* shared_reads = nullptr;        // sim.shared.reads
+  Counter* shared_writes = nullptr;       // sim.shared.writes
+  Counter* errors = nullptr;              // sim.errors
+  Counter* faults_injected = nullptr;     // faults.injected
+  Counter* sessions = nullptr;            // verify.sessions
+  Counter* verified_runs = nullptr;       // verify.runs
+  Counter* retimer_iterations = nullptr;  // adversary.retimer.iterations
+  Counter* exhaustive_runs = nullptr;     // adversary.exhaustive.runs
+  Gauge* pending_depth = nullptr;         // sim.pending.depth
+  Gauge* event_queue_depth = nullptr;     // sim.event_queue.depth
+  Histogram* step_margin = nullptr;       // sim.watchdog.step_margin
+  Histogram* time_margin = nullptr;       // sim.watchdog.time_margin
+  Histogram* termination_time = nullptr;  // verify.termination_time
+};
+
+// Process-wide default observer; null until installed. Returns the previous
+// value so scopes can save/restore (see BenchRecorder). Not thread-safe,
+// like the rest of the harness.
+Observer* default_observer() noexcept;
+Observer* set_default_observer(Observer* observer) noexcept;
+
+// Explicit-or-default resolution used at the top of every run loop.
+inline Observer* resolve(Observer* explicit_observer) noexcept {
+  return explicit_observer ? explicit_observer : default_observer();
+}
+
+// --- Hook helpers (all tolerate a null observer) ---------------------------
+
+// Every injected fault becomes a "fault.<kind>" instant trace event and a
+// faults.injected count.
+void observe_fault(Observer* obs, std::string_view kind, ProcessId process,
+                   const Time& time);
+
+// Every SimError becomes an "error.<code>" instant trace event and a
+// sim.errors count.
+void observe_error(Observer* obs, const SimError& error);
+
+// Watchdog headroom at end of run: the unused fraction of the step and
+// model-time budgets, recorded as exact ratios in [0, 1].
+void observe_watchdog_margins(Observer* obs, std::int64_t steps_used,
+                              std::int64_t max_steps, const Time& end_time,
+                              const Time& max_time);
+
+}  // namespace sesp::obs

@@ -36,17 +36,26 @@ P2pSimulator::P2pSimulator(const ProblemSpec& spec,
                            const Topology& topology,
                            const P2pAlgorithmFactory& factory,
                            StepScheduler& scheduler, DelayStrategy& delays,
-                           FaultInjector* faults)
+                           FaultInjector* faults, obs::Observer* observer)
     : spec_(spec),
       constraints_(constraints),
       topology_(topology),
       factory_(factory),
       scheduler_(scheduler),
       delays_(delays),
-      faults_(faults) {}
+      faults_(faults),
+      observer_(observer) {}
 
 P2pRunResult P2pSimulator::run(const P2pRunLimits& limits) {
   const std::int32_t n = spec_.n;
+  obs::Observer* const o = obs::resolve(observer_);
+  obs::Span run_span(o ? o->trace : nullptr, "p2p.run", "sim",
+                     o && o->trace
+                         ? obs::args_object(
+                               {obs::arg_int("n", n),
+                                obs::arg_int("s", spec_.s)})
+                         : std::string());
+  if (o && o->runs) o->runs->inc();
   P2pRunResult result{TimedComputation(Substrate::kMessagePassing,
                                        std::max(n, 0), std::max(n, 0)),
                       false,
@@ -63,6 +72,7 @@ P2pRunResult P2pSimulator::run(const P2pRunLimits& limits) {
                  " connected nodes (has " +
                  std::to_string(topology_.num_nodes()) + ")";
     result.error = std::move(err);
+    obs::observe_error(o, *result.error);
     return result;
   }
   TimedComputation& trace = result.trace;
@@ -88,7 +98,11 @@ P2pRunResult P2pSimulator::run(const P2pRunLimits& limits) {
                            std::int64_t index) -> bool {
     Time t = scheduler_.next_step_time(p, prev, index);
     const Time floor = prev.value_or(Time(0));
-    if (faults_) t = faults_->perturb_step_time(p, index, floor, t);
+    if (faults_) {
+      const Time scheduled = t;
+      t = faults_->perturb_step_time(p, index, floor, t);
+      if (t != scheduled) obs::observe_fault(o, "timing", p, t);
+    }
     if (t < floor) {
       SimError err;
       err.code = SimErrorCode::kNonMonotonicSchedule;
@@ -105,7 +119,10 @@ P2pRunResult P2pSimulator::run(const P2pRunLimits& limits) {
   };
 
   for (ProcessId p = 0; p < n; ++p)
-    if (!schedule_step(p, std::nullopt, 0)) return result;
+    if (!schedule_step(p, std::nullopt, 0)) {
+      obs::observe_error(o, *result.error);
+      return result;
+    }
 
   Time last_event_time(0);
   std::int64_t stagnant_events = 0;
@@ -113,6 +130,8 @@ P2pRunResult P2pSimulator::run(const P2pRunLimits& limits) {
   while (!queue.empty() && non_idle > 0) {
     const Event ev = queue.top();
     queue.pop();
+    if (o && o->event_queue_depth)
+      o->event_queue_depth->set(static_cast<std::int64_t>(queue.size()) + 1);
     if (result.compute_steps >= limits.max_steps ||
         limits.max_time < ev.time) {
       result.hit_limit = true;
@@ -168,6 +187,11 @@ P2pRunResult P2pSimulator::run(const P2pRunLimits& limits) {
           trace.mutable_messages()[static_cast<std::size_t>(ev.message)];
       rec.deliver_step = index;
       pending[static_cast<std::size_t>(rec.recipient)].push_back(ev.message);
+      if (o && o->messages_delivered) {
+        o->messages_delivered->inc();
+        o->pending_depth->set(static_cast<std::int64_t>(
+            pending[static_cast<std::size_t>(rec.recipient)].size()));
+      }
       auto node = in_flight.extract(flight);
       buffered.insert(std::move(node));
       continue;
@@ -178,6 +202,7 @@ P2pRunResult P2pSimulator::run(const P2pRunLimits& limits) {
 
     // Crash-stop: the process halts; its knowledge stops spreading.
     if (faults_ && faults_->crash_now(p, step_count[pi], ev.time)) {
+      obs::observe_fault(o, "crash", p, ev.time);
       result.crashed.push_back(p);
       --non_idle;
       continue;
@@ -221,10 +246,17 @@ P2pRunResult P2pSimulator::run(const P2pRunLimits& limits) {
       rec.done = own.done;
       const MsgId id = trace.append_message(rec);
       ++result.messages_sent;
+      if (o && o->messages_sent) o->messages_sent->inc();
 
       const MessageAction act =
           faults_ ? faults_->on_send(id, p, q, ev.time) : MessageAction{};
-      if (act.drop) continue;  // lost: sent but never delivered
+      if (act.drop) {  // lost: sent but never delivered
+        if (o && o->messages_dropped) o->messages_dropped->inc();
+        obs::observe_fault(o, "drop", p, ev.time);
+        continue;
+      }
+      if (act.extra_delay.is_positive())
+        obs::observe_fault(o, "delay", p, ev.time);
 
       const Duration delay =
           delays_.delay(p, q, ev.time, id) + act.extra_delay;
@@ -232,16 +264,19 @@ P2pRunResult P2pSimulator::run(const P2pRunLimits& limits) {
       queue.push(Event{ev.time + delay, EventKind::kDeliver, seq++, q, id});
 
       if (act.duplicate) {
+        obs::observe_fault(o, "duplicate", p, ev.time);
         MessageRecord dup = rec;
         const MsgId dup_id = trace.append_message(dup);
         in_flight.emplace(dup_id, view[pi]);
         queue.push(Event{ev.time + delay + act.extra_delay,
                          EventKind::kDeliver, seq++, q, dup_id});
         ++result.messages_sent;
+        if (o && o->messages_sent) o->messages_sent->inc();
       }
     }
 
     ++result.compute_steps;
+    if (o && o->steps) o->steps->inc();
     ++step_count[pi];
     if (idle) {
       --non_idle;
@@ -251,6 +286,16 @@ P2pRunResult P2pSimulator::run(const P2pRunLimits& limits) {
   }
 
   result.completed = non_idle == 0 && !result.error;
+  if (result.error) obs::observe_error(o, *result.error);
+  obs::observe_watchdog_margins(o, result.compute_steps, limits.max_steps,
+                                last_event_time, limits.max_time);
+  if (o && o->trace)
+    run_span.set_args(obs::args_object(
+        {obs::arg_int("n", n), obs::arg_int("s", spec_.s),
+         obs::arg_int("steps", result.compute_steps),
+         obs::arg_int("messages", result.messages_sent),
+         obs::arg_int("diameter", result.diameter),
+         obs::arg_int("completed", result.completed ? 1 : 0)}));
   return result;
 }
 

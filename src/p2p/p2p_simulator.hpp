@@ -9,7 +9,9 @@
 //
 // Supports the same FaultInjector hooks and watchdog/SimError hardening as
 // MpmSimulator: crash-stop, message drop/duplication/extra delay, timing
-// violations, structured diagnostics instead of aborts.
+// violations, structured diagnostics instead of aborts. An optional
+// obs::Observer (same nullable pattern) instruments the run with the shared
+// metric/trace vocabulary (see docs/observability.md).
 
 #include <cstdint>
 #include <optional>
@@ -21,6 +23,7 @@
 #include "model/ids.hpp"
 #include "model/timed_computation.hpp"
 #include "mpm/topology.hpp"
+#include "obs/observer.hpp"
 #include "p2p/algorithm.hpp"
 #include "timing/constraints.hpp"
 
@@ -51,7 +54,8 @@ class P2pSimulator {
   P2pSimulator(const ProblemSpec& spec, const TimingConstraints& constraints,
                const Topology& topology, const P2pAlgorithmFactory& factory,
                StepScheduler& scheduler, DelayStrategy& delays,
-               FaultInjector* faults = nullptr);
+               FaultInjector* faults = nullptr,
+               obs::Observer* observer = nullptr);
 
   P2pRunResult run(const P2pRunLimits& limits = P2pRunLimits{});
 
@@ -63,6 +67,7 @@ class P2pSimulator {
   StepScheduler& scheduler_;
   DelayStrategy& delays_;
   FaultInjector* faults_;
+  obs::Observer* observer_;
 };
 
 }  // namespace sesp

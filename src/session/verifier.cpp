@@ -3,7 +3,10 @@
 namespace sesp {
 
 Verdict verify(const TimedComputation& tc, const ProblemSpec& spec,
-               const TimingConstraints& constraints) {
+               const TimingConstraints& constraints,
+               obs::Observer* observer) {
+  obs::Observer* const o = obs::resolve(observer);
+  obs::Span span(o ? o->trace : nullptr, "verify.run", "verify");
   Verdict v;
   const AdmissibilityReport adm = check_admissible(tc, constraints);
   v.admissible = adm.admissible;
@@ -16,6 +19,17 @@ Verdict verify(const TimedComputation& tc, const ProblemSpec& spec,
   v.termination_time = tc.termination_time();
   v.rounds = count_rounds(tc);
   v.gamma = tc.gamma();
+  if (o) {
+    if (o->verified_runs) o->verified_runs->inc();
+    if (o->sessions && v.sessions > 0) o->sessions->inc(v.sessions);
+    if (o->termination_time && v.termination_time)
+      o->termination_time->observe(*v.termination_time);
+  }
+  if (o && o->trace)
+    span.set_args(obs::args_object(
+        {obs::arg_int("sessions", v.sessions),
+         obs::arg_int("admissible", v.admissible ? 1 : 0),
+         obs::arg_int("solves", v.solves ? 1 : 0)}));
   return v;
 }
 

@@ -10,6 +10,7 @@
 
 #include "model/ids.hpp"
 #include "model/timed_computation.hpp"
+#include "obs/observer.hpp"
 #include "session/round_counter.hpp"
 #include "session/session_counter.hpp"
 #include "timing/admissibility.hpp"
@@ -36,7 +37,11 @@ struct Verdict {
   std::optional<Duration> gamma;
 };
 
+// `observer` (optional, unowned) records a "verify.run" span plus session /
+// verified-run counters and the termination-time histogram; when null the
+// process default observer (if any) is used.
 Verdict verify(const TimedComputation& tc, const ProblemSpec& spec,
-               const TimingConstraints& constraints);
+               const TimingConstraints& constraints,
+               obs::Observer* observer = nullptr);
 
 }  // namespace sesp

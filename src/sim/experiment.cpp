@@ -52,10 +52,12 @@ MpmOutcome run_mpm_once(const ProblemSpec& spec,
                         const TimingConstraints& constraints,
                         const MpmAlgorithmFactory& factory,
                         StepScheduler& scheduler, DelayStrategy& delays,
-                        const MpmRunLimits& limits, FaultInjector* faults) {
-  MpmSimulator sim(spec, constraints, factory, scheduler, delays, faults);
+                        const MpmRunLimits& limits, FaultInjector* faults,
+                        obs::Observer* observer) {
+  MpmSimulator sim(spec, constraints, factory, scheduler, delays, faults,
+                   observer);
   MpmOutcome out{sim.run(limits), Verdict{}};
-  out.verdict = verify(out.run.trace, spec, constraints);
+  out.verdict = verify(out.run.trace, spec, constraints, observer);
   return out;
 }
 
@@ -63,10 +65,10 @@ SmmOutcome run_smm_once(const ProblemSpec& spec,
                         const TimingConstraints& constraints,
                         const SmmAlgorithmFactory& factory,
                         StepScheduler& scheduler, const SmmRunLimits& limits,
-                        FaultInjector* faults) {
-  SmmSimulator sim(spec, constraints, factory, scheduler, faults);
+                        FaultInjector* faults, obs::Observer* observer) {
+  SmmSimulator sim(spec, constraints, factory, scheduler, faults, observer);
   SmmOutcome out{sim.run(limits), Verdict{}};
-  out.verdict = verify(out.run.trace, spec, constraints);
+  out.verdict = verify(out.run.trace, spec, constraints, observer);
   return out;
 }
 
@@ -75,11 +77,12 @@ P2pOutcome run_p2p_once(const ProblemSpec& spec,
                         const Topology& topology,
                         const P2pAlgorithmFactory& factory,
                         StepScheduler& scheduler, DelayStrategy& delays,
-                        const P2pRunLimits& limits, FaultInjector* faults) {
+                        const P2pRunLimits& limits, FaultInjector* faults,
+                        obs::Observer* observer) {
   P2pSimulator sim(spec, constraints, topology, factory, scheduler, delays,
-                   faults);
+                   faults, observer);
   P2pOutcome out{sim.run(limits), Verdict{}};
-  out.verdict = verify(out.run.trace, spec, constraints);
+  out.verdict = verify(out.run.trace, spec, constraints, observer);
   return out;
 }
 
@@ -181,7 +184,13 @@ WorstCase mpm_worst_case(const ProblemSpec& spec,
       break;
   }
 
+  obs::Observer* const o = obs::default_observer();
   for (Adversary& adv : family) {
+    obs::Span span(o ? o->trace : nullptr, "adversary.mpm_worst_case",
+                   "adversary",
+                   o && o->trace
+                       ? obs::args_object({obs::arg_str("label", adv.label)})
+                       : std::string());
     const MpmOutcome out = run_mpm_once(spec, constraints, factory,
                                         *adv.sched, *adv.delay, limits);
     wc.any_hit_limit = wc.any_hit_limit || out.run.hit_limit;
@@ -245,7 +254,13 @@ WorstCase smm_worst_case(const ProblemSpec& spec,
     }
   }
 
+  obs::Observer* const o = obs::default_observer();
   for (Adversary& adv : family) {
+    obs::Span span(o ? o->trace : nullptr, "adversary.smm_worst_case",
+                   "adversary",
+                   o && o->trace
+                       ? obs::args_object({obs::arg_str("label", adv.label)})
+                       : std::string());
     const SmmOutcome out =
         run_smm_once(spec, constraints, factory, *adv.sched, limits);
     wc.any_hit_limit = wc.any_hit_limit || out.run.hit_limit;
@@ -338,8 +353,14 @@ DegradationReport mpm_degradation(const ProblemSpec& spec,
   DegradationReport report;
   report.algorithm = factory.name();
   report.substrate = "mpm";
+  obs::Observer* const o = obs::default_observer();
   for (const std::int32_t k : crash_counts) {
     for (const std::int32_t p : loss_percents) {
+      obs::Span span(o ? o->trace : nullptr, "degradation.mpm_cell", "sim",
+                     o && o->trace
+                         ? obs::args_object({obs::arg_int("crashes", k),
+                                             obs::arg_int("percent", p)})
+                         : std::string());
       FaultInjector injector(grid_plan(
           k, p, false, spec.n, seed + 131 * static_cast<std::uint64_t>(k) +
                                    static_cast<std::uint64_t>(p)));
@@ -368,8 +389,14 @@ DegradationReport smm_degradation(
   report.algorithm = factory.name();
   report.substrate = "smm";
   const std::int32_t total = smm_total_processes(spec.n, spec.b);
+  obs::Observer* const o = obs::default_observer();
   for (const std::int32_t k : crash_counts) {
     for (const std::int32_t p : corrupt_percents) {
+      obs::Span span(o ? o->trace : nullptr, "degradation.smm_cell", "sim",
+                     o && o->trace
+                         ? obs::args_object({obs::arg_int("crashes", k),
+                                             obs::arg_int("percent", p)})
+                         : std::string());
       FaultInjector injector(grid_plan(
           k, p, true, spec.n, seed + 131 * static_cast<std::uint64_t>(k) +
                                   static_cast<std::uint64_t>(p)));

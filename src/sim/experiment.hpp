@@ -38,19 +38,23 @@ struct P2pOutcome {
   Verdict verdict;
 };
 
+// `observer` (optional, unowned) instruments the simulator run and the
+// verification pass; when null the process default observer applies.
 MpmOutcome run_mpm_once(const ProblemSpec& spec,
                         const TimingConstraints& constraints,
                         const MpmAlgorithmFactory& factory,
                         StepScheduler& scheduler, DelayStrategy& delays,
                         const MpmRunLimits& limits = MpmRunLimits{},
-                        FaultInjector* faults = nullptr);
+                        FaultInjector* faults = nullptr,
+                        obs::Observer* observer = nullptr);
 
 SmmOutcome run_smm_once(const ProblemSpec& spec,
                         const TimingConstraints& constraints,
                         const SmmAlgorithmFactory& factory,
                         StepScheduler& scheduler,
                         const SmmRunLimits& limits = SmmRunLimits{},
-                        FaultInjector* faults = nullptr);
+                        FaultInjector* faults = nullptr,
+                        obs::Observer* observer = nullptr);
 
 P2pOutcome run_p2p_once(const ProblemSpec& spec,
                         const TimingConstraints& constraints,
@@ -58,7 +62,8 @@ P2pOutcome run_p2p_once(const ProblemSpec& spec,
                         const P2pAlgorithmFactory& factory,
                         StepScheduler& scheduler, DelayStrategy& delays,
                         const P2pRunLimits& limits = P2pRunLimits{},
-                        FaultInjector* faults = nullptr);
+                        FaultInjector* faults = nullptr,
+                        obs::Observer* observer = nullptr);
 
 // Aggregate over an adversary family.
 struct WorstCase {

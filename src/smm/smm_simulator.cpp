@@ -31,15 +31,26 @@ std::int32_t smm_total_processes(std::int32_t n, std::int32_t b) {
 SmmSimulator::SmmSimulator(const ProblemSpec& spec,
                            const TimingConstraints& constraints,
                            const SmmAlgorithmFactory& factory,
-                           StepScheduler& scheduler, FaultInjector* faults)
+                           StepScheduler& scheduler, FaultInjector* faults,
+                           obs::Observer* observer)
     : spec_(spec),
       constraints_(constraints),
       factory_(factory),
       scheduler_(scheduler),
-      faults_(faults) {}
+      faults_(faults),
+      observer_(observer) {}
 
 SmmRunResult SmmSimulator::run(const SmmRunLimits& limits) {
   const std::int32_t n = spec_.n;
+  obs::Observer* const o = obs::resolve(observer_);
+  obs::Span run_span(o ? o->trace : nullptr, "smm.run", "sim",
+                     o && o->trace
+                         ? obs::args_object(
+                               {obs::arg_int("n", n),
+                                obs::arg_int("s", spec_.s),
+                                obs::arg_int("b", spec_.b)})
+                         : std::string());
+  if (o && o->runs) o->runs->inc();
   if (n <= 0 || (n > 1 && spec_.b < 2)) {
     SmmRunResult result{TimedComputation(Substrate::kSharedMemory,
                                          std::max(n, 0), std::max(n, 0)),
@@ -49,6 +60,7 @@ SmmRunResult SmmSimulator::run(const SmmRunLimits& limits) {
     err.detail = "SMM needs n >= 1 and b >= 2, got n=" + std::to_string(n) +
                  " b=" + std::to_string(spec_.b);
     result.error = std::move(err);
+    obs::observe_error(o, *result.error);
     return result;
   }
   SharedMemory mem(std::max(spec_.b, 1));
@@ -100,7 +112,11 @@ SmmRunResult SmmSimulator::run(const SmmRunLimits& limits) {
                            std::int64_t index) -> bool {
     Time t = scheduler_.next_step_time(p, prev, index);
     const Time floor = prev.value_or(Time(0));
-    if (faults_) t = faults_->perturb_step_time(p, index, floor, t);
+    if (faults_) {
+      const Time scheduled = t;
+      t = faults_->perturb_step_time(p, index, floor, t);
+      if (t != scheduled) obs::observe_fault(o, "timing", p, t);
+    }
     if (t < floor) {
       SimError err;
       err.code = SimErrorCode::kNonMonotonicSchedule;
@@ -117,7 +133,10 @@ SmmRunResult SmmSimulator::run(const SmmRunLimits& limits) {
   };
 
   for (ProcessId p = 0; p < total; ++p)
-    if (!schedule_step(p, std::nullopt, 0)) return result;
+    if (!schedule_step(p, std::nullopt, 0)) {
+      obs::observe_error(o, *result.error);
+      return result;
+    }
 
   Time last_event_time(0);
   std::int64_t stagnant_events = 0;
@@ -125,6 +144,8 @@ SmmRunResult SmmSimulator::run(const SmmRunLimits& limits) {
   while (!queue.empty() && ports_non_idle > 0) {
     const Event ev = queue.top();
     queue.pop();
+    if (o && o->event_queue_depth)
+      o->event_queue_depth->set(static_cast<std::int64_t>(queue.size()) + 1);
     if (result.compute_steps >= limits.max_steps ||
         limits.max_time < ev.time) {
       result.hit_limit = true;
@@ -164,6 +185,7 @@ SmmRunResult SmmSimulator::run(const SmmRunLimits& limits) {
     // Crash-stop: ports never idle afterwards; relays stop gossiping, which
     // starves the subtree (the watchdog then ends livelocked runs).
     if (faults_ && faults_->crash_now(p, step_count[pi], ev.time)) {
+      obs::observe_fault(o, "crash", p, ev.time);
       result.crashed.push_back(p);
       if (p < n) --ports_non_idle;
       continue;
@@ -197,11 +219,17 @@ SmmRunResult SmmSimulator::run(const SmmRunLimits& limits) {
         st.value_before_digest = value.digest();
         // Write corruption: the read-modify-write loses the variable's
         // previous contents (lost update) before this process's write.
-        if (faults_ && faults_->corrupt_write(v, p, ev.time))
+        if (faults_ && faults_->corrupt_write(v, p, ev.time)) {
+          obs::observe_fault(o, "corrupt", p, ev.time);
           value = Knowledge{};
+        }
         value.record(p, alg.advertised());
         alg.on_tree_snapshot(value);
         st.value_after_digest = value.digest();
+      }
+      if (o && o->shared_reads) {
+        o->shared_reads->inc();
+        o->shared_writes->inc();
       }
       idle = alg.is_idle();
       st.idle_after = idle;
@@ -214,15 +242,22 @@ SmmRunResult SmmSimulator::run(const SmmRunLimits& limits) {
       Knowledge& value = mem.access(v, p);
       st.var = v;
       st.value_before_digest = value.digest();
-      if (faults_ && faults_->corrupt_write(v, p, ev.time))
+      if (faults_ && faults_->corrupt_write(v, p, ev.time)) {
+        obs::observe_fault(o, "corrupt", p, ev.time);
         value = Knowledge{};
+      }
       value.merge(relay_knowledge[r]);
       relay_knowledge[r].merge(value);
       st.value_after_digest = value.digest();
+      if (o && o->shared_reads) {
+        o->shared_reads->inc();
+        o->shared_writes->inc();
+      }
     }
 
     trace.append(st);
     ++result.compute_steps;
+    if (o && o->steps) o->steps->inc();
     ++step_count[pi];
 
     if (idle) {
@@ -233,6 +268,16 @@ SmmRunResult SmmSimulator::run(const SmmRunLimits& limits) {
   }
 
   result.completed = ports_non_idle == 0 && !result.error;
+  if (result.error) obs::observe_error(o, *result.error);
+  obs::observe_watchdog_margins(o, result.compute_steps, limits.max_steps,
+                                last_event_time, limits.max_time);
+  if (o && o->trace)
+    run_span.set_args(obs::args_object(
+        {obs::arg_int("n", n), obs::arg_int("s", spec_.s),
+         obs::arg_int("b", spec_.b),
+         obs::arg_int("steps", result.compute_steps),
+         obs::arg_int("relays", result.num_relays),
+         obs::arg_int("completed", result.completed ? 1 : 0)}));
   return result;
 }
 

@@ -11,6 +11,11 @@
 // variable write corruption (lost updates) at the corresponding hook points;
 // watchdogs (step/time budget, no-progress) bound every run, and ill-formed
 // situations surface as a structured SimError, never an abort.
+//
+// An optional obs::Observer (same nullable pattern) instruments the run:
+// step and shared-variable read/write counters, queue-depth gauges,
+// watchdog-margin histograms, a run span, and a trace event per injected
+// fault and per SimError.
 
 #include <cstdint>
 #include <memory>
@@ -22,6 +27,7 @@
 #include "faults/sim_error.hpp"
 #include "model/ids.hpp"
 #include "model/timed_computation.hpp"
+#include "obs/observer.hpp"
 #include "smm/algorithm.hpp"
 #include "smm/shared_memory.hpp"
 #include "smm/tree_network.hpp"
@@ -59,7 +65,8 @@ class SmmSimulator {
  public:
   SmmSimulator(const ProblemSpec& spec, const TimingConstraints& constraints,
                const SmmAlgorithmFactory& factory, StepScheduler& scheduler,
-               FaultInjector* faults = nullptr);
+               FaultInjector* faults = nullptr,
+               obs::Observer* observer = nullptr);
 
   SmmRunResult run(const SmmRunLimits& limits = SmmRunLimits{});
 
@@ -69,6 +76,7 @@ class SmmSimulator {
   const SmmAlgorithmFactory& factory_;
   StepScheduler& scheduler_;
   FaultInjector* faults_;
+  obs::Observer* observer_;
 };
 
 }  // namespace sesp

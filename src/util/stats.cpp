@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "obs/json.hpp"
+
 namespace sesp {
 
 namespace {
@@ -32,6 +34,19 @@ const Ratio& Summary::max() const {
 double Summary::mean() const {
   if (count_ == 0) fail("mean() on empty summary");
   return sum_ / static_cast<double>(count_);
+}
+
+void Summary::write_json(obs::JsonWriter& w) const {
+  w.begin_object();
+  w.field("count", static_cast<std::int64_t>(count_));
+  if (count_ > 0) {
+    w.field("min", *min_);
+    w.field("max", *max_);
+    w.field("min_approx", min_->to_double());
+    w.field("max_approx", max_->to_double());
+    w.field("mean", mean());
+  }
+  w.end_object();
 }
 
 Ratio max_of(const std::vector<Ratio>& values) {

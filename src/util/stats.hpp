@@ -13,6 +13,10 @@
 
 namespace sesp {
 
+namespace obs {
+class JsonWriter;
+}  // namespace obs
+
 class Summary {
  public:
   void add(const Ratio& value);
@@ -24,6 +28,10 @@ class Summary {
   const Ratio& min() const;
   const Ratio& max() const;
   double mean() const;
+
+  // One JSON object: {"count":N,"min":"a/b","max":"c/d","min_approx":...,
+  // "max_approx":...,"mean":...}; min/max/mean omitted when empty.
+  void write_json(obs::JsonWriter& w) const;
 
  private:
   std::size_t count_ = 0;

@@ -1,0 +1,499 @@
+// Tests for the observability layer: metric instrument semantics, span
+// nesting, JSON/JSONL round-trips through the in-tree parser, the
+// zero-observer no-op contract, bench perf records (BENCH_*.json) and their
+// aggregation, and the BoundReport / Summary JSON mirrors of the rendered
+// tables.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "adversary/delay_strategies.hpp"
+#include "adversary/step_schedulers.hpp"
+#include "algorithms/mpm/sporadic_alg.hpp"
+#include "analysis/report.hpp"
+#include "obs/bench_record.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/observer.hpp"
+#include "obs/trace.hpp"
+#include "sim/experiment.hpp"
+#include "util/stats.hpp"
+
+namespace sesp {
+namespace {
+
+// --- metrics ---------------------------------------------------------------
+
+TEST(MetricsTest, CounterIncrements) {
+  obs::Counter c;
+  EXPECT_EQ(c.value(), 0);
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42);
+}
+
+TEST(MetricsTest, GaugeTracksHighWaterMark) {
+  obs::Gauge g;
+  g.set(3);
+  g.set(10);
+  g.set(4);
+  EXPECT_EQ(g.value(), 4);
+  EXPECT_EQ(g.max(), 10);
+}
+
+TEST(MetricsTest, HistogramKeepsExactExtremes) {
+  obs::Histogram h;
+  EXPECT_TRUE(h.empty());
+  h.observe(Ratio(7, 2));
+  h.observe(Ratio(1, 3));
+  h.observe(Ratio(5));
+  EXPECT_EQ(h.count(), 3);
+  EXPECT_EQ(h.min(), Ratio(1, 3));
+  EXPECT_EQ(h.max(), Ratio(5));
+  EXPECT_NEAR(h.mean(), (3.5 + 1.0 / 3.0 + 5.0) / 3.0, 1e-12);
+  std::int64_t total = 0;
+  for (const std::int64_t b : h.buckets()) total += b;
+  EXPECT_EQ(total, 3);
+}
+
+TEST(MetricsTest, RegistryHandlesAreStable) {
+  obs::MetricsRegistry reg;
+  obs::Counter& a = reg.counter("sim.steps");
+  reg.counter("zzz.other");  // later insertions must not move `a`
+  obs::Counter& b = reg.counter("sim.steps");
+  EXPECT_EQ(&a, &b);
+  a.inc(5);
+  EXPECT_EQ(reg.counters().at("sim.steps").value(), 5);
+}
+
+TEST(MetricsTest, JsonlLinesParse) {
+  obs::MetricsRegistry reg;
+  reg.counter("sim.steps").inc(7);
+  reg.gauge("sim.pending.depth").set(3);
+  reg.histogram("verify.termination_time").observe(Ratio(9, 2));
+  std::ostringstream os;
+  reg.write_jsonl(os);
+  std::istringstream lines(os.str());
+  std::string line;
+  int parsed = 0;
+  while (std::getline(lines, line)) {
+    std::string error;
+    const auto v = obs::parse_json(line, &error);
+    ASSERT_TRUE(v) << error << " in: " << line;
+    ASSERT_TRUE(v->find("metric"));
+    ++parsed;
+  }
+  EXPECT_EQ(parsed, 3);
+}
+
+// --- json ------------------------------------------------------------------
+
+TEST(JsonTest, WriterParserRoundTrip) {
+  std::ostringstream os;
+  {
+    obs::JsonWriter w(os);
+    w.begin_object();
+    w.field("name", "quote \" backslash \\ tab \t");
+    w.field("ratio", Ratio(7, 2));
+    w.field("count", std::int64_t{42});
+    w.field("ok", true);
+    w.key("list");
+    w.begin_array();
+    w.value(1.5);
+    w.null_value();
+    w.end_array();
+    w.end_object();
+  }
+  std::string error;
+  const auto v = obs::parse_json(os.str(), &error);
+  ASSERT_TRUE(v) << error;
+  EXPECT_EQ(v->find("name")->string, "quote \" backslash \\ tab \t");
+  EXPECT_EQ(v->find("ratio")->string, "7/2");
+  EXPECT_EQ(v->find("count")->as_int64(), 42);
+  EXPECT_TRUE(v->find("ok")->boolean);
+  ASSERT_EQ(v->find("list")->array.size(), 2u);
+  EXPECT_DOUBLE_EQ(v->find("list")->array[0].number, 1.5);
+  EXPECT_TRUE(v->find("list")->array[1].is_null());
+}
+
+TEST(JsonTest, RejectsTrailingGarbage) {
+  std::string error;
+  EXPECT_FALSE(obs::parse_json("{} x", &error));
+  EXPECT_FALSE(obs::parse_json("{\"a\":}", &error));
+}
+
+// --- tracing ---------------------------------------------------------------
+
+TEST(TraceTest, SpansNestAndRecordDepth) {
+  obs::TraceSink sink;
+  {
+    obs::Span outer(&sink, "outer", "sim");
+    {
+      obs::Span inner(&sink, "inner", "sim");
+      sink.instant("fault.crash", "fault");
+    }
+  }
+  ASSERT_EQ(sink.events().size(), 3u);
+  // Events are recorded at close: instant, inner, outer.
+  EXPECT_EQ(sink.events()[0].name, "fault.crash");
+  EXPECT_EQ(sink.events()[0].depth, 2);
+  EXPECT_EQ(sink.events()[1].name, "inner");
+  EXPECT_EQ(sink.events()[1].depth, 1);
+  EXPECT_EQ(sink.events()[2].name, "outer");
+  EXPECT_EQ(sink.events()[2].depth, 0);
+  EXPECT_EQ(sink.depth(), 0);
+}
+
+TEST(TraceTest, NullSinkSpanIsANoOp) {
+  obs::Span span(nullptr, "nothing", "sim");
+  span.set_args(obs::args_object({obs::arg_int("x", 1)}));
+  // Nothing to assert beyond "does not crash".
+}
+
+TEST(TraceTest, EventCapCountsDrops) {
+  obs::TraceSink sink;
+  sink.set_max_events(2);
+  for (int i = 0; i < 5; ++i) sink.instant("e", "sim");
+  EXPECT_EQ(sink.events().size(), 2u);
+  EXPECT_EQ(sink.dropped(), 3);
+}
+
+TEST(TraceTest, JsonlRoundTripsThroughParser) {
+  obs::TraceSink sink;
+  {
+    obs::Span span(&sink, "mpm.run", "sim",
+                   obs::args_object({obs::arg_int("n", 4),
+                                     obs::arg_str("adv", "worst \"case\"")}));
+  }
+  sink.instant("error.no_progress", "error");
+  std::ostringstream os;
+  sink.write_jsonl(os);
+  std::istringstream lines(os.str());
+  std::string line;
+  int parsed = 0;
+  while (std::getline(lines, line)) {
+    std::string error;
+    const auto v = obs::parse_json(line, &error);
+    ASSERT_TRUE(v) << error << " in: " << line;
+    ASSERT_TRUE(v->find("name"));
+    ASSERT_TRUE(v->find("ph"));
+    if (v->find("name")->string == "mpm.run") {
+      const obs::JsonValue* args = v->find("args");
+      ASSERT_TRUE(args);
+      EXPECT_EQ(args->find("n")->as_int64(), 4);
+      EXPECT_EQ(args->find("adv")->string, "worst \"case\"");
+    }
+    ++parsed;
+  }
+  EXPECT_EQ(parsed, 2);
+}
+
+// --- observer --------------------------------------------------------------
+
+TEST(ObserverTest, NullObserverHooksAreNoOps) {
+  obs::observe_fault(nullptr, "crash", 0, Time(1));
+  SimError err;
+  err.code = SimErrorCode::kNoProgress;
+  obs::observe_error(nullptr, err);
+  obs::observe_watchdog_margins(nullptr, 10, 100, Time(5), Time(50));
+}
+
+TEST(ObserverTest, ResolveFallsBackToDefault) {
+  ASSERT_EQ(obs::default_observer(), nullptr) << "test leaked a default";
+  EXPECT_EQ(obs::resolve(nullptr), nullptr);
+
+  obs::MetricsRegistry reg;
+  obs::Observer observer(&reg);
+  obs::Observer* previous = obs::set_default_observer(&observer);
+  EXPECT_EQ(previous, nullptr);
+  EXPECT_EQ(obs::resolve(nullptr), &observer);
+
+  obs::Observer explicit_observer;
+  EXPECT_EQ(obs::resolve(&explicit_observer), &explicit_observer);
+  obs::set_default_observer(nullptr);
+  EXPECT_EQ(obs::resolve(nullptr), nullptr);
+}
+
+TEST(ObserverTest, HooksFeedTheNamedInstruments) {
+  obs::MetricsRegistry reg;
+  obs::TraceSink sink;
+  obs::Observer observer(&reg, &sink);
+  ASSERT_NE(observer.faults_injected, nullptr);
+
+  obs::observe_fault(&observer, "drop", 2, Time(3));
+  SimError err;
+  err.code = SimErrorCode::kStepLimitExceeded;
+  obs::observe_error(&observer, err);
+  obs::observe_watchdog_margins(&observer, 25, 100, Time(30), Time(40));
+
+  EXPECT_EQ(reg.counters().at("faults.injected").value(), 1);
+  EXPECT_EQ(reg.counters().at("sim.errors").value(), 1);
+  EXPECT_EQ(reg.histograms().at("sim.watchdog.step_margin").min(),
+            Ratio(3, 4));
+  EXPECT_EQ(reg.histograms().at("sim.watchdog.time_margin").min(),
+            Ratio(1, 4));
+  ASSERT_EQ(sink.events().size(), 2u);
+  EXPECT_EQ(sink.events()[0].name, "fault.drop");
+  EXPECT_EQ(sink.events()[0].category, "fault");
+  EXPECT_EQ(sink.events()[1].category, "error");
+}
+
+// A full experiment run with an observer installed populates the simulator
+// and verifier metrics; the same run with none leaves no trace of the obs
+// layer (the zero-observer contract the hot path is built around).
+TEST(ObserverTest, ExperimentRunPopulatesMetricsOnlyWhenObserved) {
+  ASSERT_EQ(obs::default_observer(), nullptr);
+  const ProblemSpec spec{3, 3, 2};
+  const auto constraints =
+      TimingConstraints::sporadic(Duration(1), Duration(1), Duration(5));
+  SporadicMpmFactory factory;
+
+  // Unobserved run: nothing installed, nothing recorded anywhere.
+  {
+    FixedPeriodScheduler sched(spec.n, Duration(1));
+    FixedDelay delay(Duration(5));
+    const MpmOutcome out =
+        run_mpm_once(spec, constraints, factory, sched, delay);
+    EXPECT_TRUE(out.verdict.solves);
+  }
+
+  obs::MetricsRegistry reg;
+  obs::TraceSink sink;
+  obs::Observer observer(&reg, &sink);
+  {
+    FixedPeriodScheduler sched(spec.n, Duration(1));
+    FixedDelay delay(Duration(5));
+    const MpmOutcome out = run_mpm_once(spec, constraints, factory, sched,
+                                        delay, MpmRunLimits{}, nullptr,
+                                        &observer);
+    EXPECT_TRUE(out.verdict.solves);
+  }
+  EXPECT_EQ(reg.counters().at("sim.runs").value(), 1);
+  EXPECT_GT(reg.counters().at("sim.steps").value(), 0);
+  EXPECT_GT(reg.counters().at("sim.messages.delivered").value(), 0);
+  EXPECT_EQ(reg.counters().at("verify.runs").value(), 1);
+  EXPECT_GE(reg.counters().at("verify.sessions").value(), spec.s);
+  EXPECT_EQ(reg.histograms().at("verify.termination_time").count(), 1);
+  bool saw_run_span = false, saw_verify_span = false;
+  for (const obs::TraceEvent& ev : sink.events()) {
+    saw_run_span = saw_run_span || ev.name == "mpm.run";
+    saw_verify_span = saw_verify_span || ev.name == "verify.run";
+  }
+  EXPECT_TRUE(saw_run_span);
+  EXPECT_TRUE(saw_verify_span);
+}
+
+// --- bench records ---------------------------------------------------------
+
+class BenchRecordTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("sesp_obs_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+    ::setenv("SESP_BENCH_JSON_DIR", dir_.c_str(), 1);
+  }
+  void TearDown() override {
+    ::unsetenv("SESP_BENCH_JSON_DIR");
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+
+  std::filesystem::path dir_;
+};
+
+obs::PerfRow sample_row(bool ok) {
+  obs::PerfRow row;
+  row.cell = "s=2 n=2";
+  row.measure = "time";
+  row.lower = Ratio(3, 2);
+  row.measured = Ratio(2);
+  row.upper = Ratio(3);
+  row.solved = ok;
+  row.admissible = true;
+  row.upper_ok = ok;
+  row.lower_reached = true;
+  return row;
+}
+
+TEST_F(BenchRecordTest, FinishWritesValidatedRecord) {
+  {
+    obs::BenchRecorder recorder("unit");
+    recorder.add_row(sample_row(true));
+    recorder.note("mode", std::string("test"));
+    recorder.note("reps", std::int64_t{3});
+    recorder.note("rate", 1.5);
+    EXPECT_EQ(recorder.finish(true), 0);
+  }
+  std::ifstream in(dir_ / "BENCH_unit.json");
+  ASSERT_TRUE(in.good());
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  std::string error;
+  EXPECT_TRUE(obs::validate_bench_record(buf.str(), &error)) << error;
+  const auto v = obs::parse_json(buf.str());
+  ASSERT_TRUE(v);
+  EXPECT_EQ(v->find("schema")->string, "sesp-bench/1");
+  EXPECT_EQ(v->find("bench")->string, "unit");
+  EXPECT_TRUE(v->find("ok")->boolean);
+  ASSERT_EQ(v->find("rows")->array.size(), 1u);
+  const obs::JsonValue& row = v->find("rows")->array[0];
+  EXPECT_EQ(row.find("lower")->string, "3/2");
+  EXPECT_DOUBLE_EQ(row.find("lower_approx")->number, 1.5);
+  EXPECT_TRUE(row.find("upper_ok")->boolean);
+  EXPECT_EQ(v->find("notes")->find("mode")->string, "test");
+  EXPECT_EQ(v->find("notes")->find("reps")->as_int64(), 3);
+  ASSERT_TRUE(v->find("metrics"));
+}
+
+TEST_F(BenchRecordTest, FirstFinishWins) {
+  obs::BenchRecorder recorder("unit_twice");
+  EXPECT_EQ(recorder.finish(false), 1);
+  EXPECT_EQ(recorder.finish(true), 1);  // still the first verdict
+  std::ifstream in(dir_ / "BENCH_unit_twice.json");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const auto v = obs::parse_json(buf.str());
+  ASSERT_TRUE(v);
+  EXPECT_FALSE(v->find("ok")->boolean);
+}
+
+TEST_F(BenchRecordTest, RecorderRestoresPreviousDefaultObserver) {
+  ASSERT_EQ(obs::default_observer(), nullptr);
+  {
+    obs::BenchRecorder recorder("unit_scope");
+    EXPECT_EQ(obs::default_observer(), &recorder.observer());
+    recorder.finish(true);
+  }
+  EXPECT_EQ(obs::default_observer(), nullptr);
+}
+
+TEST_F(BenchRecordTest, AggregateDerivesVerdictFromStructuredFields) {
+  obs::BenchRecorder good("agg_good");
+  good.add_row(sample_row(true));
+  obs::BenchRecorder bad("agg_bad");
+  bad.add_row(sample_row(false));
+
+  const obs::BenchAggregate agg = obs::aggregate_bench_records(
+      {{"good.json", good.render(true)},
+       {"bad.json", bad.render(false)},
+       {"broken.json", "{not json"}});
+  EXPECT_EQ(agg.records, 2);  // the malformed file never becomes a record
+  EXPECT_EQ(agg.failed, 1);
+  EXPECT_EQ(agg.malformed, 1);
+  EXPECT_FALSE(agg.all_ok());
+  ASSERT_EQ(agg.failures.size(), 2u);
+
+  std::string error;
+  const auto merged = obs::parse_json(agg.results_json, &error);
+  ASSERT_TRUE(merged) << error;
+  EXPECT_EQ(merged->find("schema")->string, "sesp-bench-results/1");
+  EXPECT_FALSE(merged->find("all_ok")->boolean);
+  EXPECT_EQ(merged->find("benches")->array.size(), 2u);
+
+  const obs::BenchAggregate ok_agg =
+      obs::aggregate_bench_records({{"good.json", good.render(true)}});
+  EXPECT_TRUE(ok_agg.all_ok());
+
+  good.finish(true);
+  bad.finish(false);
+}
+
+TEST_F(BenchRecordTest, ValidateRejectsWrongSchemaAndMissingFields) {
+  std::string error;
+  EXPECT_FALSE(obs::validate_bench_record("{\"schema\":\"other/1\"}", &error));
+  EXPECT_FALSE(obs::validate_bench_record("[]", &error));
+  EXPECT_FALSE(obs::validate_bench_record("", &error));
+}
+
+// --- report / summary JSON mirrors -----------------------------------------
+
+TEST(ReportJsonTest, WriteJsonMatchesRenderedTable) {
+  BoundReport report("json mirror");
+  WorstCase wc;
+  wc.runs = 3;
+  wc.all_solved = true;
+  wc.all_admissible = true;
+  wc.max_termination = Ratio(7, 2);
+  report.add_time_row("s=2 n=2", Ratio(3), wc, Ratio(4));
+  wc.all_solved = false;
+  wc.max_termination = Ratio(9);
+  report.add_time_row("s=4 n=2", Ratio(3), wc, Ratio(4));
+  EXPECT_FALSE(report.all_ok());
+
+  std::ostringstream os;
+  {
+    obs::JsonWriter w(os);
+    report.write_json(w);
+  }
+  const auto v = obs::parse_json(os.str());
+  ASSERT_TRUE(v);
+  EXPECT_EQ(v->find("title")->string, "json mirror");
+  EXPECT_FALSE(v->find("all_ok")->boolean);
+  ASSERT_EQ(v->find("rows")->array.size(), report.rows().size());
+  for (std::size_t i = 0; i < report.rows().size(); ++i) {
+    const BoundRow& row = report.rows()[i];
+    const obs::JsonValue& j = v->find("rows")->array[i];
+    EXPECT_EQ(j.find("cell")->string, row.cell);
+    EXPECT_EQ(j.find("lower")->string, row.lower.to_string());
+    EXPECT_EQ(j.find("measured")->string, row.measured.to_string());
+    EXPECT_EQ(j.find("upper")->string, row.upper.to_string());
+    EXPECT_EQ(j.find("solved")->boolean, row.solved);
+    EXPECT_EQ(j.find("upper_ok")->boolean, row.upper_ok());
+    EXPECT_EQ(j.find("lower_reached")->boolean, row.lower_reached());
+  }
+  // The structured verdict and the rendered verdict line must agree.
+  std::ostringstream table;
+  report.print(table);
+  EXPECT_NE(table.str().find("[FAIL]"), std::string::npos);
+}
+
+TEST(ReportJsonTest, AppendRowsMirrorsIntoBenchRecorder) {
+  BoundReport report("recorder mirror");
+  WorstCase wc;
+  wc.all_solved = true;
+  wc.all_admissible = true;
+  wc.max_termination = Ratio(2);
+  report.add_time_row("cell", Ratio(1), wc, Ratio(2));
+
+  ::setenv("SESP_BENCH_JSON_DIR", std::filesystem::temp_directory_path().c_str(),
+           1);
+  obs::BenchRecorder recorder("mirror_unit");
+  report.append_rows(recorder);
+  const std::string text = recorder.render(report.all_ok());
+  recorder.finish(report.all_ok());
+  ::unsetenv("SESP_BENCH_JSON_DIR");
+  std::error_code ec;
+  std::filesystem::remove(
+      std::filesystem::temp_directory_path() / "BENCH_mirror_unit.json", ec);
+
+  const auto v = obs::parse_json(text);
+  ASSERT_TRUE(v);
+  ASSERT_EQ(v->find("rows")->array.size(), 1u);
+  EXPECT_EQ(v->find("rows")->array[0].find("cell")->string, "cell");
+  EXPECT_TRUE(v->find("ok")->boolean);
+}
+
+TEST(ReportJsonTest, SummaryJsonMatchesExactExtremes) {
+  Summary summary;
+  summary.add(Ratio(1, 2));
+  summary.add(Ratio(5, 2));
+  std::ostringstream os;
+  {
+    obs::JsonWriter w(os);
+    summary.write_json(w);
+  }
+  const auto v = obs::parse_json(os.str());
+  ASSERT_TRUE(v);
+  EXPECT_EQ(v->find("count")->as_int64(), 2);
+  EXPECT_EQ(v->find("min")->string, "1/2");
+  EXPECT_EQ(v->find("max")->string, "5/2");
+  EXPECT_DOUBLE_EQ(v->find("mean")->number, 1.5);
+}
+
+}  // namespace
+}  // namespace sesp

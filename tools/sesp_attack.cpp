@@ -29,6 +29,7 @@
 #include "algorithms/smm/async_alg.hpp"
 #include "algorithms/smm/broken_algs.hpp"
 #include "algorithms/smm/semisync_alg.hpp"
+#include "cli_observation.hpp"
 #include "model/trace_io.hpp"
 
 namespace sesp {
@@ -41,6 +42,7 @@ struct Options {
   ProblemSpec spec{4, 8, 2};
   Ratio c1 = 1, c2 = 12, d1 = 0, d2 = 24;
   bool expect_survive = false;
+  ObservationOptions obs;
 };
 
 void usage(std::ostream& os) {
@@ -51,6 +53,7 @@ void usage(std::ostream& os) {
         "  --s=N --n=N --b=N --c1=R --c2=R --d1=R --d2=R\n"
         "  --out=FILE                   write the certificate here\n"
         "  --expect-survive             exit 0 when NO certificate is found\n";
+  ObservationOptions::usage(os);
 }
 
 std::optional<Options> parse(int argc, char** argv) {
@@ -61,6 +64,7 @@ std::optional<Options> parse(int argc, char** argv) {
     const std::string key = arg.substr(0, eq);
     const std::string value =
         eq == std::string::npos ? "" : arg.substr(eq + 1);
+    if (opt.obs.consume(key, value)) continue;
     if (key == "--construction") opt.construction = value;
     else if (key == "--alg") opt.alg = value;
     else if (key == "--out") opt.out = value;
@@ -178,6 +182,9 @@ int main(int argc, char** argv) {
     sesp::usage(std::cerr);
     return 2;
   }
+  // Retimers and verifier report through the default observer; outputs are
+  // emitted when the scope closes.
+  sesp::ObservationScope observation(opt->obs, "sesp_attack");
   std::cout << "construction: " << opt->construction
             << "  target: " << opt->alg << "  instance: s=" << opt->spec.s
             << " n=" << opt->spec.n << " b=" << opt->spec.b << "\n";

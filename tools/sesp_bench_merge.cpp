@@ -1,0 +1,68 @@
+// sesp_bench_merge — aggregate the BENCH_*.json perf records the bench
+// binaries write into one bench_results.json and derive the reproduction
+// verdict from the structured ok / solved / admissible / upper_ok fields
+// (instead of grepping bench stdout for [OK] / [FAIL]).
+//
+//   sesp_bench_merge --out=bench_results.json BENCH_table1_sync.json ...
+//
+// Exit status: 0 when every record parses, validates against sesp-bench/1
+// and reports ok=true; 1 when any record fails or is malformed; 2 when no
+// record files were given or one cannot be read.
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/bench_record.hpp"
+
+int main(int argc, char** argv) {
+  std::string out_path = "bench_results.json";
+  std::vector<std::pair<std::string, std::string>> named_texts;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--out=", 0) == 0) {
+      out_path = arg.substr(6);
+      continue;
+    }
+    if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: sesp_bench_merge [--out=FILE] BENCH_*.json...\n";
+      return 0;
+    }
+    std::ifstream in(arg);
+    if (!in) {
+      std::cerr << "cannot open " << arg << "\n";
+      return 2;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    named_texts.emplace_back(arg, buf.str());
+  }
+  if (named_texts.empty()) {
+    std::cerr << "no bench records given\n"
+              << "usage: sesp_bench_merge [--out=FILE] BENCH_*.json...\n";
+    return 2;
+  }
+
+  const sesp::obs::BenchAggregate agg =
+      sesp::obs::aggregate_bench_records(named_texts);
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::cerr << "cannot open " << out_path << "\n";
+    return 2;
+  }
+  out << agg.results_json;
+
+  std::cout << "records:   " << agg.records << "\n"
+            << "failed:    " << agg.failed << "\n"
+            << "malformed: " << agg.malformed << "\n";
+  for (const std::string& name : agg.failures)
+    std::cout << "  FAIL " << name << "\n";
+  std::cout << "merged into " << out_path << "\n"
+            << (agg.all_ok() ? "[OK] all bench records passed\n"
+                             : "[FAIL] some bench record failed validation\n");
+  return agg.all_ok() ? 0 : 1;
+}

@@ -40,6 +40,7 @@
 #include "model/trace_io.hpp"
 #include "p2p/p2p_simulator.hpp"
 #include "sim/experiment.hpp"
+#include "cli_observation.hpp"
 
 namespace sesp {
 namespace {
@@ -60,6 +61,7 @@ struct Options {
   bool timeline = false;
   bool stats = false;
   bool show_bounds = true;
+  ObservationOptions obs;
 };
 
 void usage(std::ostream& os) {
@@ -81,6 +83,7 @@ void usage(std::ostream& os) {
         "  --stats                      per-session statistics\n"
         "  --dump-trace=FILE            write sesp-trace format\n"
         "  --check-certificate=FILE     re-validate a violation certificate\n";
+  ObservationOptions::usage(os);
 }
 
 std::optional<Options> parse(int argc, char** argv) {
@@ -92,6 +95,7 @@ std::optional<Options> parse(int argc, char** argv) {
     const std::string value =
         eq == std::string::npos ? "" : arg.substr(eq + 1);
     auto ratio = [&value]() { return ratio_from_text(value); };
+    if (opt.obs.consume(key, value)) continue;
     if (key == "--substrate") opt.substrate = value;
     else if (key == "--model") opt.model = value;
     else if (key == "--adversary") opt.adversary = value;
@@ -426,6 +430,10 @@ int main(int argc, char** argv) {
   }
   if (!opt->check_certificate.empty())
     return sesp::run_certificate_check(*opt);
+
+  // Installed for the whole dispatch so every nested layer reports into it;
+  // the metrics / JSON / trace outputs are emitted when the scope closes.
+  sesp::ObservationScope observation(opt->obs, "sesp_cli");
 
   std::cout << "substrate:   " << opt->substrate << "\n"
             << "model:       " << opt->model << "\n"
