@@ -48,6 +48,22 @@ void BM_RatioArithmetic(benchmark::State& state) {
   }
 }
 
+// Same mix restricted to integers (den == 1) — the shape simulator time
+// bookkeeping has almost always, served by the inline fast paths.
+void BM_RatioIntegerArithmetic(benchmark::State& state) {
+  Rng rng(7);
+  std::vector<Ratio> values;
+  for (int i = 0; i < 256; ++i)
+    values.push_back(Ratio(rng.next_int(-1000, 1000)));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const Ratio r = values[i % 256] * values[(i + 1) % 256] +
+                    values[(i + 2) % 256];
+    benchmark::DoNotOptimize(r);
+    ++i;
+  }
+}
+
 void BM_SessionCounting(benchmark::State& state) {
   const auto n_ports = static_cast<std::int32_t>(state.range(0));
   const auto trace_len = static_cast<int>(state.range(1));
@@ -162,6 +178,8 @@ void register_benchmarks(bool quick) {
             : std::vector<std::int64_t>{4, 16, 64};
 
   benchmark::RegisterBenchmark("BM_RatioArithmetic", BM_RatioArithmetic);
+  benchmark::RegisterBenchmark("BM_RatioIntegerArithmetic",
+                               BM_RatioIntegerArithmetic);
   for (const std::int64_t p : counting_ports)
     benchmark::RegisterBenchmark("BM_SessionCounting", BM_SessionCounting)
         ->Args({p, trace_len});

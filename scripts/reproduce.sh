@@ -1,8 +1,19 @@
 #!/usr/bin/env bash
 # Full reproduction: build, test, run every experiment, and collect the
 # outputs next to the repository root (test_output.txt / bench_output.txt).
+#
+# Sweep parallelism: --jobs=N (or SESP_JOBS=N) sets the worker-thread count
+# for the sweep engine in every test and bench below; results are
+# bit-identical for any value (docs/parallelism.md). Default: hardware.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+for arg in "$@"; do
+  case "$arg" in
+    --jobs=*) export SESP_JOBS="${arg#--jobs=}" ;;
+    *) echo "unknown argument: $arg (supported: --jobs=N)" >&2; exit 2 ;;
+  esac
+done
 
 cmake -B build -G Ninja
 cmake --build build

@@ -2,7 +2,10 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <deque>
 
+#include "exec/jobs.hpp"
+#include "exec/thread_pool.hpp"
 #include "mpm/mpm_simulator.hpp"
 #include "obs/observer.hpp"
 #include "session/verifier.hpp"
@@ -69,13 +72,15 @@ class ChoiceDelay final : public DelayStrategy {
 };
 
 // Odometer increment over the consumed positions: bumps the last consumed
-// position; on overflow resets it and carries left. Returns false when the
-// whole (reachable) tree has been enumerated.
+// position; on overflow resets it and carries left, never into the first
+// `fixed` positions (the enumeration stays inside the subtree whose leading
+// decisions are pinned). Returns false when that (sub)tree is exhausted.
 bool advance(std::vector<std::int32_t>& prefix,
-             const std::vector<std::int32_t>& consumed_options) {
+             const std::vector<std::int32_t>& consumed_options,
+             std::size_t fixed) {
   prefix.resize(consumed_options.size(), 0);
   std::size_t at = consumed_options.size();
-  while (at-- > 0) {
+  while (at-- > fixed) {
     if (prefix[at] + 1 <
         consumed_options[at]) {
       ++prefix[at];
@@ -86,25 +91,28 @@ bool advance(std::vector<std::int32_t>& prefix,
   return false;
 }
 
-}  // namespace
+// Decision strings are canonical without trailing zeros: the cursor treats
+// positions past the prefix end as 0, so [1] and [1,0] name the same
+// schedule. Serial and subtree enumeration produce different spellings of
+// the same winner; trimming makes worst_choices identical for any job
+// count.
+void canonicalize(std::vector<std::int32_t>& choices) {
+  while (!choices.empty() && choices.back() == 0) choices.pop_back();
+}
 
-ExhaustiveResult explore_mpm(const ProblemSpec& spec,
-                             const TimingConstraints& constraints,
-                             const MpmAlgorithmFactory& factory,
-                             const std::vector<Duration>& gap_choices,
-                             const std::vector<Duration>& delay_choices,
-                             std::int64_t max_runs) {
-  if (gap_choices.empty() || delay_choices.empty()) {
-    std::fprintf(stderr, "explore_mpm fatal: empty choice sets\n");
-    std::abort();
-  }
-
+// The serial enumeration core, restricted to the subtree whose first
+// `fixed` decisions are pinned by `start` and budgeted to max_runs runs.
+// The full serial enumeration is the fixed=0, empty-start instance; the
+// parallel path runs one instance per subtree.
+ExhaustiveResult explore_subtree(const ProblemSpec& spec,
+                                 const TimingConstraints& constraints,
+                                 const MpmAlgorithmFactory& factory,
+                                 const std::vector<Duration>& gap_choices,
+                                 const std::vector<Duration>& delay_choices,
+                                 std::vector<std::int32_t> prefix,
+                                 std::size_t fixed, std::int64_t max_runs,
+                                 obs::Observer* o) {
   ExhaustiveResult result;
-  std::vector<std::int32_t> prefix;  // explicit decisions for the next run
-
-  obs::Observer* const o = obs::default_observer();
-  obs::Span span(o ? o->trace : nullptr, "adversary.explore_mpm", "adversary");
-
   while (result.runs < max_runs) {
     if (o && o->exhaustive_runs) o->exhaustive_runs->inc();
     std::vector<std::int32_t> consumed;
@@ -112,9 +120,10 @@ ExhaustiveResult explore_mpm(const ProblemSpec& spec,
     ChoiceScheduler scheduler(cursor, gap_choices);
     ChoiceDelay delays(cursor, delay_choices);
 
-    MpmSimulator sim(spec, constraints, factory, scheduler, delays);
+    MpmSimulator sim(spec, constraints, factory, scheduler, delays, nullptr,
+                     o);
     const MpmRunResult run = sim.run();
-    const Verdict verdict = verify(run.trace, spec, constraints);
+    const Verdict verdict = verify(run.trace, spec, constraints, o);
     ++result.runs;
 
     if (!verdict.admissible || !verdict.solves || run.hit_limit) {
@@ -137,12 +146,115 @@ ExhaustiveResult explore_mpm(const ProblemSpec& spec,
       result.worst_choices = prefix;
     }
 
-    if (!advance(prefix, consumed)) {
+    if (!advance(prefix, consumed, fixed)) {
       result.complete = true;
       break;
     }
   }
-  if (o && o->trace)
+  canonicalize(result.worst_choices);
+  return result;
+}
+
+// Appends a (whole) subtree result to the serial-order accumulator.
+void fold_subtree(ExhaustiveResult& acc, const ExhaustiveResult& sub) {
+  if (sub.runs == 0) return;
+  acc.all_admissible = acc.all_admissible && sub.all_admissible;
+  acc.all_solved = acc.all_solved && sub.all_solved;
+  if (acc.first_failure.empty()) acc.first_failure = sub.first_failure;
+  if (acc.runs == 0 || sub.min_sessions < acc.min_sessions)
+    acc.min_sessions = sub.min_sessions;
+  // Strict <: on ties the earlier subtree's winner stands, exactly like the
+  // serial loop's strict update.
+  if (acc.max_termination < sub.max_termination) {
+    acc.max_termination = sub.max_termination;
+    acc.worst_choices = sub.worst_choices;
+  }
+  acc.runs += sub.runs;
+}
+
+}  // namespace
+
+ExhaustiveResult explore_mpm(const ProblemSpec& spec,
+                             const TimingConstraints& constraints,
+                             const MpmAlgorithmFactory& factory,
+                             const std::vector<Duration>& gap_choices,
+                             const std::vector<Duration>& delay_choices,
+                             std::int64_t max_runs) {
+  if (gap_choices.empty() || delay_choices.empty()) {
+    std::fprintf(stderr, "explore_mpm fatal: empty choice sets\n");
+    std::abort();
+  }
+
+  obs::Observer* const parent = obs::default_observer();
+  obs::Span span(parent ? parent->trace : nullptr, "adversary.explore_mpm",
+                 "adversary");
+
+  // The first n decisions of every run are the initial gap choices (one per
+  // process, consumed unconditionally before the event loop), so the first
+  // K = min(2, n) positions always branch over the full gap set: pinning
+  // them partitions the schedule tree into B = |gaps|^K independent
+  // subtrees. Each subtree is explored speculatively with the full budget;
+  // the serial-order walk below then reconstructs the exact serial result —
+  // bit-identical aggregates for every job count.
+  const std::size_t gaps = gap_choices.size();
+  const std::size_t fan_out =
+      spec.n >= 1 ? static_cast<std::size_t>(spec.n < 2 ? spec.n : 2) : 0;
+  std::size_t subtrees = 1;
+  for (std::size_t i = 0; i < fan_out; ++i) subtrees *= gaps;
+
+  ExhaustiveResult result;
+  if (exec::default_jobs() <= 1 || exec::inside_pool_worker() ||
+      subtrees <= 1 || max_runs < 1) {
+    result = explore_subtree(spec, constraints, factory, gap_choices,
+                             delay_choices, {}, 0, max_runs, parent);
+  } else {
+    auto digits_of = [&](std::size_t b) {
+      std::vector<std::int32_t> digits(fan_out, 0);
+      for (std::size_t at = fan_out; at-- > 0;) {
+        digits[at] = static_cast<std::int32_t>(b % gaps);
+        b /= gaps;
+      }
+      return digits;
+    };
+
+    std::deque<obs::ObservationShard> shards;
+    for (std::size_t b = 0; b < subtrees; ++b) shards.emplace_back(parent);
+    std::vector<ExhaustiveResult> subs(subtrees);
+    exec::parallel_for_each(subtrees, [&](std::size_t b) {
+      subs[b] = explore_subtree(spec, constraints, factory, gap_choices,
+                                delay_choices, digits_of(b), fan_out,
+                                max_runs, shards[b].observer());
+    });
+
+    // Serial-order accounting: spend the budget subtree by subtree. A
+    // subtree the budget cuts into is re-run serially with exactly the
+    // remaining budget so the truncation point (and with it every
+    // aggregate) matches the serial enumeration run for run.
+    std::int64_t remaining = max_runs;
+    bool exhausted_all = true;
+    for (std::size_t b = 0; b < subtrees; ++b) {
+      shards[b].merge_into_parent();
+      if (remaining <= 0) {
+        exhausted_all = false;
+        continue;
+      }
+      if (subs[b].runs <= remaining) {
+        fold_subtree(result, subs[b]);
+        remaining -= subs[b].runs;
+        if (!subs[b].complete) exhausted_all = false;
+      } else {
+        const ExhaustiveResult partial = explore_subtree(
+            spec, constraints, factory, gap_choices, delay_choices,
+            digits_of(b), fan_out, remaining, parent);
+        fold_subtree(result, partial);
+        remaining = 0;
+        exhausted_all = false;
+      }
+    }
+    result.complete = exhausted_all;
+  }
+
+  if (parent && parent->trace)
     span.set_args(obs::args_object(
         {obs::arg_int("runs", result.runs),
          obs::arg_int("complete", result.complete ? 1 : 0),

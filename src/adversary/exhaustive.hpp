@@ -14,6 +14,12 @@
 // incremented, so exactly the reachable schedules are visited. Feasible for
 // n <= 3, s <= 3 with two or three options per decision (thousands to a few
 // hundred thousand runs).
+//
+// With jobs > 1 the top-level branch fan-out runs in parallel: the subtrees
+// under the first min(2, n) gap decisions are explored speculatively and
+// re-assembled in serial order, so the result — including the max_runs
+// truncation point and the worst_choices tie-breaks — is bit-identical to
+// the serial enumeration for every job count (docs/parallelism.md).
 
 #include <cstdint>
 #include <string>
@@ -40,6 +46,10 @@ struct ExhaustiveResult {
 
   // First failing run's description, if any.
   std::string first_failure;
+
+  // Decision strings are reported without trailing zeros (the canonical
+  // spelling); field-wise equality backs the determinism regressions.
+  bool operator==(const ExhaustiveResult&) const = default;
 };
 
 // Explores every schedule where each process's consecutive step gap is

@@ -1,0 +1,40 @@
+#include "exec/jobs.hpp"
+
+#include <cstdlib>
+#include <thread>
+
+namespace sesp::exec {
+
+namespace {
+
+int explicit_jobs = 0;
+
+int env_jobs() noexcept {
+  const char* env = std::getenv("SESP_JOBS");
+  if (!env || !*env) return 0;
+  char* end = nullptr;
+  const long v = std::strtol(env, &end, 10);
+  if (end == env || *end != '\0' || v < 1 || v > 1024) return 0;
+  return static_cast<int>(v);
+}
+
+}  // namespace
+
+int hardware_jobs() noexcept {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+int default_jobs() noexcept {
+  if (explicit_jobs > 0) return explicit_jobs;
+  const int env = env_jobs();
+  return env > 0 ? env : hardware_jobs();
+}
+
+int set_default_jobs(int jobs) noexcept {
+  const int previous = explicit_jobs;
+  explicit_jobs = jobs > 0 ? jobs : 0;
+  return previous;
+}
+
+}  // namespace sesp::exec

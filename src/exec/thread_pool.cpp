@@ -1,0 +1,144 @@
+#include "exec/thread_pool.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "exec/jobs.hpp"
+
+namespace sesp::exec {
+
+namespace {
+
+thread_local bool tls_inside_worker = false;
+
+// One job at a time: run() holds run_mu_ for its whole duration, workers
+// synchronize on mu_. The job is described by (fn_, count_) and consumed
+// through the atomic cursor next_; helpers_wanted_ caps how many workers
+// may join, so a jobs=2 sweep on a 16-thread pool really uses two threads.
+class Pool {
+ public:
+  ~Pool() {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      stop_ = true;
+    }
+    cv_job_.notify_all();
+    for (std::thread& t : workers_) t.join();
+  }
+
+  void run(std::size_t count, const std::function<void(std::size_t)>& fn,
+           int max_workers) {
+    std::lock_guard<std::mutex> run_lk(run_mu_);
+    const int helpers_goal = max_workers - 1;
+    std::unique_lock<std::mutex> lk(mu_);
+    ensure_workers(helpers_goal);
+    const int helpers =
+        static_cast<int>(workers_.size()) < helpers_goal
+            ? static_cast<int>(workers_.size())
+            : helpers_goal;
+    fn_ = &fn;
+    count_ = count;
+    next_.store(0, std::memory_order_relaxed);
+    helpers_wanted_ = helpers;
+    helpers_done_ = 0;
+    ++generation_;
+    lk.unlock();
+    cv_job_.notify_all();
+
+    // The caller participates as a worker; marking it inside-pool makes a
+    // nested parallel_for_each from its own slice run inline instead of
+    // re-entering run() and deadlocking on run_mu_.
+    const bool was_inside = tls_inside_worker;
+    tls_inside_worker = true;
+    work();
+    tls_inside_worker = was_inside;
+
+    lk.lock();
+    // Workers that never woke must not join a job whose fn is about to go
+    // out of scope; zeroing helpers_wanted_ under the lock closes the door.
+    const int joined = helpers - helpers_wanted_;
+    helpers_wanted_ = 0;
+    cv_done_.wait(lk, [&] { return helpers_done_ == joined; });
+    fn_ = nullptr;
+  }
+
+ private:
+  void ensure_workers(int wanted) {
+    // Capped well above any sane SESP_JOBS; the pool exists for sweeps,
+    // not for thousands of threads.
+    constexpr int kMaxWorkers = 256;
+    if (wanted > kMaxWorkers) wanted = kMaxWorkers;
+    while (static_cast<int>(workers_.size()) < wanted)
+      workers_.emplace_back([this] { worker_loop(); });
+  }
+
+  void work() {
+    const std::function<void(std::size_t)>& fn = *fn_;
+    const std::size_t count = count_;
+    for (;;) {
+      const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) break;
+      fn(i);
+    }
+  }
+
+  void worker_loop() {
+    tls_inside_worker = true;
+    std::uint64_t seen = 0;
+    std::unique_lock<std::mutex> lk(mu_);
+    for (;;) {
+      cv_job_.wait(lk, [&] {
+        return stop_ || (generation_ != seen && helpers_wanted_ > 0);
+      });
+      if (stop_) return;
+      seen = generation_;
+      --helpers_wanted_;
+      lk.unlock();
+      work();
+      lk.lock();
+      ++helpers_done_;
+      cv_done_.notify_all();
+    }
+  }
+
+  std::mutex run_mu_;  // serializes concurrent run() callers
+
+  std::mutex mu_;
+  std::condition_variable cv_job_;
+  std::condition_variable cv_done_;
+  std::vector<std::thread> workers_;
+  bool stop_ = false;
+  std::uint64_t generation_ = 0;
+  int helpers_wanted_ = 0;
+  int helpers_done_ = 0;
+
+  const std::function<void(std::size_t)>* fn_ = nullptr;
+  std::size_t count_ = 0;
+  std::atomic<std::size_t> next_{0};
+};
+
+Pool& shared_pool() {
+  static Pool pool;
+  return pool;
+}
+
+}  // namespace
+
+bool inside_pool_worker() noexcept { return tls_inside_worker; }
+
+void parallel_for_each(std::size_t count,
+                       const std::function<void(std::size_t)>& fn, int jobs) {
+  if (count == 0) return;
+  int k = jobs > 0 ? jobs : default_jobs();
+  if (static_cast<std::size_t>(k) > count) k = static_cast<int>(count);
+  if (k <= 1 || tls_inside_worker) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  shared_pool().run(count, fn, k);
+}
+
+}  // namespace sesp::exec

@@ -1,0 +1,42 @@
+#pragma once
+
+// Fixed-size thread pool and the parallel_for_each primitive underneath
+// every sweep layer (docs/parallelism.md).
+//
+// Design constraints, in order:
+//   1. Determinism. parallel_for_each(count, fn) runs fn(i) exactly once
+//      for every i in [0, count); callers write results into slot i of a
+//      pre-sized vector, so the output is independent of which worker ran
+//      which index and of the worker count. Nothing in this layer hands a
+//      task a shared RNG, clock, or accumulator.
+//   2. Zero-cost serial path. With jobs <= 1 (or count <= 1) the loop runs
+//      inline on the caller's thread — no threads, no atomics, no
+//      allocation — so SESP_JOBS=1 is exactly the pre-parallel hot path.
+//   3. Safe nesting. A parallel_for_each issued from inside a pool task
+//      runs inline (the sweep layers compose: a degradation grid whose
+//      cells are themselves swept never deadlocks, it just stays on the
+//      outer level's workers).
+//
+// Workers are lazily spawned on first parallel use and shared process-wide;
+// indices are handed out with an atomic cursor (dynamic load balancing is
+// invisible to results by constraint 1).
+
+#include <cstddef>
+#include <functional>
+
+namespace sesp::exec {
+
+// Runs fn(0) .. fn(count-1), all indices exactly once, returning after the
+// last completes. Uses up to `jobs` threads including the caller's
+// (jobs <= 0 resolves via default_jobs()). fn must not throw: the library
+// reports failures through structured results, not exceptions, and a throw
+// out of a worker would terminate (std::thread semantics).
+void parallel_for_each(std::size_t count,
+                       const std::function<void(std::size_t)>& fn,
+                       int jobs = 0);
+
+// True while the calling thread is executing a pool task; nested
+// parallel_for_each calls observe this and run inline.
+bool inside_pool_worker() noexcept;
+
+}  // namespace sesp::exec

@@ -81,6 +81,9 @@ MpmRunResult MpmSimulator::run(const MpmRunLimits& limits) {
   // Messages delivered to each process but not yet picked up by a step.
   std::vector<std::vector<MsgId>> pending(static_cast<std::size_t>(n));
   std::int32_t non_idle = n;
+  // Per-step receive scratch, reused across the whole run so the steady
+  // state allocates nothing.
+  std::vector<MpmMessage> received;
 
   // Schedules p's next compute step, applying any injected timing violation
   // and rejecting schedules that run backwards in time.
@@ -196,7 +199,7 @@ MpmRunResult MpmSimulator::run(const MpmRunLimits& limits) {
       continue;
     }
 
-    const std::vector<MpmMessage> received = network.drain_buffer(p);
+    network.drain_buffer_into(p, received);
     const MpmStepResult action = algs[pi]->on_step(
         std::span<const MpmMessage>(received.data(), received.size()));
 

@@ -20,18 +20,36 @@ std::optional<SimError> Network::send(MsgId id, const MpmMessage& m,
     return err;
   }
   net_.push_back(InTransit{id, m, recipient});
+  if (id >= 0) {
+    if (static_cast<std::size_t>(id) >= slot_of_.size())
+      slot_of_.resize(static_cast<std::size_t>(id) + 1, -1);
+    slot_of_[static_cast<std::size_t>(id)] =
+        static_cast<std::int32_t>(net_.size() - 1);
+  }
   return std::nullopt;
 }
 
 std::optional<SimError> Network::deliver(MsgId id) {
-  for (std::size_t i = 0; i < net_.size(); ++i) {
-    if (net_[i].id == id) {
-      bufs_[static_cast<std::size_t>(net_[i].recipient)].push_back(
-          net_[i].message);
-      net_[i] = net_.back();
-      net_.pop_back();
-      return std::nullopt;
-    }
+  std::size_t i = net_.size();
+  if (id >= 0 && static_cast<std::size_t>(id) < slot_of_.size()) {
+    const std::int32_t slot = slot_of_[static_cast<std::size_t>(id)];
+    if (slot >= 0) i = static_cast<std::size_t>(slot);
+  } else {
+    // Ids outside the dense range (never produced by the trace, but
+    // reachable through injected faults) take the old scan.
+    for (i = 0; i < net_.size(); ++i)
+      if (net_[i].id == id) break;
+  }
+  if (i < net_.size() && net_[i].id == id) {
+    bufs_[static_cast<std::size_t>(net_[i].recipient)].push_back(
+        net_[i].message);
+    if (net_[i].id >= 0) slot_of_[static_cast<std::size_t>(net_[i].id)] = -1;
+    net_[i] = net_.back();
+    net_.pop_back();
+    if (i < net_.size() && net_[i].id >= 0)
+      slot_of_[static_cast<std::size_t>(net_[i].id)] =
+          static_cast<std::int32_t>(i);
+    return std::nullopt;
   }
   SimError err;
   err.code = SimErrorCode::kUnknownMessage;
@@ -45,6 +63,14 @@ std::vector<MpmMessage> Network::drain_buffer(ProcessId p) {
   std::vector<MpmMessage> out;
   out.swap(bufs_[static_cast<std::size_t>(p)]);
   return out;
+}
+
+void Network::drain_buffer_into(ProcessId p, std::vector<MpmMessage>& out) {
+  out.clear();
+  if (!valid(p)) return;
+  std::vector<MpmMessage>& buf = bufs_[static_cast<std::size_t>(p)];
+  out.insert(out.end(), buf.begin(), buf.end());
+  buf.clear();
 }
 
 std::size_t Network::buffered(ProcessId p) const {

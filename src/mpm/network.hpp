@@ -40,6 +40,11 @@ class Network {
   // process id outside the range has an empty buffer by definition.
   std::vector<MpmMessage> drain_buffer(ProcessId p);
 
+  // Allocation-free variant for the simulator's per-step loop: replaces the
+  // contents of `out` with buf_p and empties buf_p, both sides keeping
+  // their capacity, so steady-state steps do no heap traffic.
+  void drain_buffer_into(ProcessId p, std::vector<MpmMessage>& out);
+
   std::size_t in_transit() const noexcept { return net_.size(); }
   std::size_t buffered(ProcessId p) const;
 
@@ -57,6 +62,11 @@ class Network {
   std::int32_t num_regular_;
   std::vector<InTransit> net_;
   std::vector<std::vector<MpmMessage>> bufs_;
+  // MsgId -> index into net_ (-1 when not in transit), so deliver() is O(1)
+  // instead of a scan of everything in flight. Ids are assigned densely by
+  // the trace, so a flat vector indexed by id works; out-of-range or
+  // negative ids fall back to the scan (and its structured error).
+  std::vector<std::int32_t> slot_of_;
 };
 
 }  // namespace sesp

@@ -39,6 +39,15 @@ double Histogram::mean() const {
   return sum_ / static_cast<double>(count_);
 }
 
+void Histogram::merge_from(const Histogram& other) {
+  count_ += other.count_;
+  if (other.min_ && (!min_ || *other.min_ < *min_)) min_ = other.min_;
+  if (other.max_ && (!max_ || *max_ < *other.max_)) max_ = other.max_;
+  sum_ += other.sum_;
+  for (std::size_t i = 0; i < buckets_.size(); ++i)
+    buckets_[i] += other.buckets_[i];
+}
+
 Counter& MetricsRegistry::counter(const std::string& name) {
   return counters_[name];
 }
@@ -124,6 +133,13 @@ void MetricsRegistry::write_jsonl(std::ostream& os) const {
     w.end_object();
     os << '\n';
   }
+}
+
+void MetricsRegistry::merge_from(const MetricsRegistry& other) {
+  for (const auto& [name, c] : other.counters_) counters_[name].merge_from(c);
+  for (const auto& [name, g] : other.gauges_) gauges_[name].merge_from(g);
+  for (const auto& [name, h] : other.histograms_)
+    histograms_[name].merge_from(h);
 }
 
 std::string MetricsRegistry::to_string() const {

@@ -10,7 +10,17 @@
 // Hot-path contract: instruments are resolved by name ONCE (Observer caches
 // the pointers); per-event updates are a single branch plus an integer
 // add. References returned by the registry are stable for its lifetime
-// (node-based map). Not thread-safe — the simulators are single-threaded.
+// (node-based map).
+//
+// Concurrency contract (docs/observability.md, docs/parallelism.md): a
+// MetricsRegistry is single-writer — no instrument may be updated from two
+// threads. Parallel sweeps therefore shard: every task records into its own
+// task-private registry (obs::ObservationShard) and the shards are folded
+// into the parent with merge_from() at the barrier, in task-index order, so
+// the merged registry is bit-identical for every worker count. Counters
+// merge by sum, gauges take the merged-in value as "written later" and the
+// max of high-water marks, histograms merge counts/extrema/buckets (the
+// double mean accumulates in merge order, hence the fixed task ordering).
 
 #include <array>
 #include <cstdint>
@@ -29,6 +39,8 @@ class Counter {
   void inc(std::int64_t n = 1) noexcept { value_ += n; }
   std::int64_t value() const noexcept { return value_; }
 
+  void merge_from(const Counter& other) noexcept { value_ += other.value_; }
+
  private:
   std::int64_t value_ = 0;
 };
@@ -42,6 +54,14 @@ class Gauge {
   }
   std::int64_t value() const noexcept { return value_; }
   std::int64_t max() const noexcept { return max_; }
+
+  // The merged-in shard is treated as having written later: its last value
+  // wins, high-water marks combine. An all-zero shard (its task never
+  // touched the gauge, or only ever wrote zero) does not clobber the value.
+  void merge_from(const Gauge& other) noexcept {
+    if (other.value_ != 0 || other.max_ != 0) value_ = other.value_;
+    if (other.max_ > max_) max_ = other.max_;
+  }
 
  private:
   std::int64_t value_ = 0;
@@ -68,6 +88,10 @@ class Histogram {
   const std::array<std::int64_t, kBuckets + 1>& buckets() const noexcept {
     return buckets_;
   }
+
+  // Counts and buckets add, extrema combine; the double sum accumulates in
+  // merge order (hence the fixed task ordering in parallel sweeps).
+  void merge_from(const Histogram& other);
 
  private:
   std::int64_t count_ = 0;
@@ -102,6 +126,11 @@ class MetricsRegistry {
   void write_jsonl(std::ostream& os) const;
   // Human-readable aligned listing for --metrics.
   std::string to_string() const;
+
+  // Folds a task shard into this registry (instrument-wise merge_from;
+  // instruments missing here are created). Single-writer contract: call
+  // from the owning thread, after the shard's task has completed.
+  void merge_from(const MetricsRegistry& other);
 
  private:
   std::map<std::string, Counter> counters_;

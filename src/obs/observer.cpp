@@ -43,6 +43,20 @@ Observer::Observer(MetricsRegistry* m, TraceSink* t) : metrics(m), trace(t) {
   termination_time = &metrics->histogram("verify.termination_time");
 }
 
+ObservationShard::ObservationShard(Observer* parent) : parent_(parent) {
+  if (!parent_) return;
+  if (parent_->metrics) metrics_.emplace();
+  if (parent_->trace) trace_.emplace();
+  observer_ = Observer(metrics_ ? &*metrics_ : nullptr,
+                       trace_ ? &*trace_ : nullptr);
+}
+
+void ObservationShard::merge_into_parent() {
+  if (!parent_) return;
+  if (metrics_ && parent_->metrics) parent_->metrics->merge_from(*metrics_);
+  if (trace_ && parent_->trace) parent_->trace->merge_from(*trace_);
+}
+
 Observer* default_observer() noexcept { return g_default_observer; }
 
 Observer* set_default_observer(Observer* observer) noexcept {

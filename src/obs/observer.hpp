@@ -18,6 +18,7 @@
 // explicit-or-default once per run.
 
 #include <cstdint>
+#include <optional>
 #include <string>
 
 #include "faults/sim_error.hpp"
@@ -59,10 +60,47 @@ struct Observer {
 };
 
 // Process-wide default observer; null until installed. Returns the previous
-// value so scopes can save/restore (see BenchRecorder). Not thread-safe,
-// like the rest of the harness.
+// value so scopes can save/restore (see BenchRecorder). Install/uninstall
+// from the main thread only; parallel sweep tasks never touch the default —
+// they observe through task-private ObservationShards.
 Observer* default_observer() noexcept;
 Observer* set_default_observer(Observer* observer) noexcept;
+
+// Task-private observation for parallel sweeps (docs/parallelism.md).
+//
+// A MetricsRegistry/TraceSink pair is single-writer, so sweep layers give
+// every *task* (not every worker) its own shard: the shard owns a private
+// registry and sink mirroring whichever halves the parent observer has, and
+// observer() hands the task an Observer resolved against them. After the
+// barrier the driver calls merge_into_parent() on each shard in task-index
+// order — the only ordering that makes the merged metrics and trace
+// bit-identical for every worker count, including the serial path, which
+// uses the same shards so jobs=1 and jobs=N run identical code.
+//
+// With a null parent, observer() is null and the whole shard is inert —
+// unobserved sweeps stay allocation-free.
+class ObservationShard {
+ public:
+  explicit ObservationShard(Observer* parent);
+
+  // Observer holds pointers into our own members; pin the object (store
+  // shards in a std::deque, never a reallocating vector).
+  ObservationShard(const ObservationShard&) = delete;
+  ObservationShard& operator=(const ObservationShard&) = delete;
+
+  // Null iff the parent was null.
+  Observer* observer() noexcept { return parent_ ? &observer_ : nullptr; }
+
+  // Folds the shard into the parent's registry/sink. Call from the thread
+  // that owns the parent, after the shard's task completed, in task order.
+  void merge_into_parent();
+
+ private:
+  Observer* parent_ = nullptr;
+  std::optional<MetricsRegistry> metrics_;
+  std::optional<TraceSink> trace_;
+  Observer observer_;
+};
 
 // Explicit-or-default resolution used at the top of every run loop.
 inline Observer* resolve(Observer* explicit_observer) noexcept {

@@ -34,6 +34,23 @@ void TraceSink::instant(std::string name, std::string category,
   record(std::move(ev));
 }
 
+void TraceSink::merge_from(const TraceSink& other) {
+  const std::int64_t shift =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(other.epoch_ -
+                                                           epoch_)
+          .count();
+  for (const TraceEvent& ev : other.events_) {
+    if (events_.size() >= max_events_) {
+      ++dropped_;
+      continue;
+    }
+    TraceEvent shifted = ev;
+    shifted.start_ns += shift;
+    events_.push_back(std::move(shifted));
+  }
+  dropped_ += other.dropped_;
+}
+
 void TraceSink::write_jsonl(std::ostream& os) const {
   for (const TraceEvent& ev : events_) {
     JsonWriter w(os);

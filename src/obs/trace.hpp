@@ -57,6 +57,12 @@ class TraceSink {
 
   void write_jsonl(std::ostream& os) const;
 
+  // Folds a task shard's events into this sink (parallel sweeps give every
+  // task its own sink; see docs/parallelism.md). Timestamps are re-based
+  // from the shard's epoch onto ours so the merged timeline stays
+  // monotone-ish in wall time; events past our cap are counted as dropped.
+  void merge_from(const TraceSink& other);
+
  private:
   friend class Span;
   void record(TraceEvent ev);

@@ -1,15 +1,26 @@
 #include "sim/experiment.hpp"
 
+#include <deque>
 #include <memory>
 #include <sstream>
 #include <vector>
 
 #include "adversary/delay_strategies.hpp"
 #include "adversary/step_schedulers.hpp"
+#include "exec/thread_pool.hpp"
 
 namespace sesp {
 
 namespace {
+
+// One observation shard per sweep task, merged in task order after the
+// barrier — the deque pins the shards (Observer points into them).
+std::deque<obs::ObservationShard> make_shards(obs::Observer* parent,
+                                              std::size_t count) {
+  std::deque<obs::ObservationShard> shards;
+  for (std::size_t i = 0; i < count; ++i) shards.emplace_back(parent);
+  return shards;
+}
 
 void fold(WorstCase& wc, const Verdict& v, bool completed, bool hit_limit,
           const std::optional<SimError>& error, const std::string& label) {
@@ -184,18 +195,30 @@ WorstCase mpm_worst_case(const ProblemSpec& spec,
       break;
   }
 
-  obs::Observer* const o = obs::default_observer();
-  for (Adversary& adv : family) {
+  // Each adversary owns its schedulers (and their RNG streams), so runs are
+  // independent; results land in per-adversary slots and are folded in
+  // family order, making the aggregate identical for every job count.
+  obs::Observer* const parent = obs::default_observer();
+  std::deque<obs::ObservationShard> shards =
+      make_shards(parent, family.size());
+  std::vector<std::optional<MpmOutcome>> outs(family.size());
+  exec::parallel_for_each(family.size(), [&](std::size_t i) {
+    Adversary& adv = family[i];
+    obs::Observer* const o = shards[i].observer();
     obs::Span span(o ? o->trace : nullptr, "adversary.mpm_worst_case",
                    "adversary",
                    o && o->trace
                        ? obs::args_object({obs::arg_str("label", adv.label)})
                        : std::string());
-    const MpmOutcome out = run_mpm_once(spec, constraints, factory,
-                                        *adv.sched, *adv.delay, limits);
+    outs[i].emplace(run_mpm_once(spec, constraints, factory, *adv.sched,
+                                 *adv.delay, limits, nullptr, o));
+  });
+  for (std::size_t i = 0; i < family.size(); ++i) {
+    shards[i].merge_into_parent();
+    const MpmOutcome& out = *outs[i];
     wc.any_hit_limit = wc.any_hit_limit || out.run.hit_limit;
-    fold(wc, out.verdict, out.run.completed, out.run.hit_limit, out.run.error,
-         adv.label);
+    fold(wc, out.verdict, out.run.completed, out.run.hit_limit,
+         out.run.error, family[i].label);
   }
   return wc;
 }
@@ -254,18 +277,27 @@ WorstCase smm_worst_case(const ProblemSpec& spec,
     }
   }
 
-  obs::Observer* const o = obs::default_observer();
-  for (Adversary& adv : family) {
+  obs::Observer* const parent = obs::default_observer();
+  std::deque<obs::ObservationShard> shards =
+      make_shards(parent, family.size());
+  std::vector<std::optional<SmmOutcome>> outs(family.size());
+  exec::parallel_for_each(family.size(), [&](std::size_t i) {
+    Adversary& adv = family[i];
+    obs::Observer* const o = shards[i].observer();
     obs::Span span(o ? o->trace : nullptr, "adversary.smm_worst_case",
                    "adversary",
                    o && o->trace
                        ? obs::args_object({obs::arg_str("label", adv.label)})
                        : std::string());
-    const SmmOutcome out =
-        run_smm_once(spec, constraints, factory, *adv.sched, limits);
+    outs[i].emplace(run_smm_once(spec, constraints, factory, *adv.sched,
+                                 limits, nullptr, o));
+  });
+  for (std::size_t i = 0; i < family.size(); ++i) {
+    shards[i].merge_into_parent();
+    const SmmOutcome& out = *outs[i];
     wc.any_hit_limit = wc.any_hit_limit || out.run.hit_limit;
-    fold(wc, out.verdict, out.run.completed, out.run.hit_limit, out.run.error,
-         adv.label);
+    fold(wc, out.verdict, out.run.completed, out.run.hit_limit,
+         out.run.error, family[i].label);
   }
   return wc;
 }
@@ -353,29 +385,41 @@ DegradationReport mpm_degradation(const ProblemSpec& spec,
   DegradationReport report;
   report.algorithm = factory.name();
   report.substrate = "mpm";
-  obs::Observer* const o = obs::default_observer();
-  for (const std::int32_t k : crash_counts) {
-    for (const std::int32_t p : loss_percents) {
-      obs::Span span(o ? o->trace : nullptr, "degradation.mpm_cell", "sim",
-                     o && o->trace
-                         ? obs::args_object({obs::arg_int("crashes", k),
-                                             obs::arg_int("percent", p)})
-                         : std::string());
-      FaultInjector injector(grid_plan(
-          k, p, false, spec.n, seed + 131 * static_cast<std::uint64_t>(k) +
-                                   static_cast<std::uint64_t>(p)));
-      auto sched = canonical_scheduler(constraints, spec.n);
-      FixedDelay delay(constraints.d2);
-      const MpmOutcome out = run_mpm_once(spec, constraints, factory, *sched,
-                                          delay, limits, &injector);
-      DegradationCell cell;
-      cell.crashes = k;
-      cell.fault_percent = p;
-      fill_cell(cell, out.verdict, out.run.error, out.run.completed, injector,
-                spec);
-      report.cells.push_back(std::move(cell));
-    }
-  }
+  // Grid cells are fully independent (per-cell injector and scheduler, both
+  // seeded by the cell's own (k, p)); the cell list fixes the order.
+  struct Cell {
+    std::int32_t k;
+    std::int32_t p;
+  };
+  std::vector<Cell> grid;
+  for (const std::int32_t k : crash_counts)
+    for (const std::int32_t p : loss_percents) grid.push_back(Cell{k, p});
+  obs::Observer* const parent = obs::default_observer();
+  std::deque<obs::ObservationShard> shards = make_shards(parent, grid.size());
+  report.cells.resize(grid.size());
+  exec::parallel_for_each(grid.size(), [&](std::size_t i) {
+    const std::int32_t k = grid[i].k;
+    const std::int32_t p = grid[i].p;
+    obs::Observer* const o = shards[i].observer();
+    obs::Span span(o ? o->trace : nullptr, "degradation.mpm_cell", "sim",
+                   o && o->trace
+                       ? obs::args_object({obs::arg_int("crashes", k),
+                                           obs::arg_int("percent", p)})
+                       : std::string());
+    FaultInjector injector(grid_plan(
+        k, p, false, spec.n, seed + 131 * static_cast<std::uint64_t>(k) +
+                                 static_cast<std::uint64_t>(p)));
+    auto sched = canonical_scheduler(constraints, spec.n);
+    FixedDelay delay(constraints.d2);
+    const MpmOutcome out = run_mpm_once(spec, constraints, factory, *sched,
+                                        delay, limits, &injector, o);
+    DegradationCell& cell = report.cells[i];
+    cell.crashes = k;
+    cell.fault_percent = p;
+    fill_cell(cell, out.verdict, out.run.error, out.run.completed, injector,
+              spec);
+  });
+  for (obs::ObservationShard& shard : shards) shard.merge_into_parent();
   return report;
 }
 
@@ -389,28 +433,189 @@ DegradationReport smm_degradation(
   report.algorithm = factory.name();
   report.substrate = "smm";
   const std::int32_t total = smm_total_processes(spec.n, spec.b);
-  obs::Observer* const o = obs::default_observer();
-  for (const std::int32_t k : crash_counts) {
-    for (const std::int32_t p : corrupt_percents) {
-      obs::Span span(o ? o->trace : nullptr, "degradation.smm_cell", "sim",
-                     o && o->trace
-                         ? obs::args_object({obs::arg_int("crashes", k),
-                                             obs::arg_int("percent", p)})
-                         : std::string());
-      FaultInjector injector(grid_plan(
-          k, p, true, spec.n, seed + 131 * static_cast<std::uint64_t>(k) +
-                                  static_cast<std::uint64_t>(p)));
-      auto sched = canonical_scheduler(constraints, total);
-      const SmmOutcome out =
-          run_smm_once(spec, constraints, factory, *sched, limits, &injector);
-      DegradationCell cell;
-      cell.crashes = k;
-      cell.fault_percent = p;
-      fill_cell(cell, out.verdict, out.run.error, out.run.completed, injector,
-                spec);
-      report.cells.push_back(std::move(cell));
-    }
+  struct Cell {
+    std::int32_t k;
+    std::int32_t p;
+  };
+  std::vector<Cell> grid;
+  for (const std::int32_t k : crash_counts)
+    for (const std::int32_t p : corrupt_percents) grid.push_back(Cell{k, p});
+  obs::Observer* const parent = obs::default_observer();
+  std::deque<obs::ObservationShard> shards = make_shards(parent, grid.size());
+  report.cells.resize(grid.size());
+  exec::parallel_for_each(grid.size(), [&](std::size_t i) {
+    const std::int32_t k = grid[i].k;
+    const std::int32_t p = grid[i].p;
+    obs::Observer* const o = shards[i].observer();
+    obs::Span span(o ? o->trace : nullptr, "degradation.smm_cell", "sim",
+                   o && o->trace
+                       ? obs::args_object({obs::arg_int("crashes", k),
+                                           obs::arg_int("percent", p)})
+                       : std::string());
+    FaultInjector injector(grid_plan(
+        k, p, true, spec.n, seed + 131 * static_cast<std::uint64_t>(k) +
+                                static_cast<std::uint64_t>(p)));
+    auto sched = canonical_scheduler(constraints, total);
+    const SmmOutcome out = run_smm_once(spec, constraints, factory, *sched,
+                                        limits, &injector, o);
+    DegradationCell& cell = report.cells[i];
+    cell.crashes = k;
+    cell.fault_percent = p;
+    fill_cell(cell, out.verdict, out.run.error, out.run.completed, injector,
+              spec);
+  });
+  for (obs::ObservationShard& shard : shards) shard.merge_into_parent();
+  return report;
+}
+
+// --- Chaos sweeps -----------------------------------------------------------
+
+namespace {
+
+// Per-run classification produced inside the sweep tasks and folded in run
+// order afterwards.
+struct ChaosRun {
+  RunOutcome outcome = RunOutcome::kSolved;
+  bool ok = true;
+  std::string violation;
+  std::string digest;
+};
+
+// The bucket invariants of the robustness contract (the sweep form of the
+// FaultFuzz expect_contract checks): solved runs are admissible, solve and
+// carry no error; degraded runs keep an admissible partial trace; diagnosed
+// runs name their inadmissibility or carry a structured error; and an error
+// always means the run did not complete.
+template <typename RunResult>
+ChaosRun classify_chaos(const RunResult& run, const Verdict& v,
+                        std::uint64_t seed) {
+  ChaosRun r;
+  r.outcome = classify_outcome(run.error, v);
+  switch (r.outcome) {
+    case RunOutcome::kSolved:
+      if (!v.admissible || !v.solves || run.error) {
+        r.ok = false;
+        r.violation = "solved bucket violated";
+      }
+      break;
+    case RunOutcome::kDegraded:
+      if (!v.admissible) {
+        r.ok = false;
+        r.violation = "degraded but inadmissible: " +
+                      v.admissibility_violation;
+      }
+      break;
+    case RunOutcome::kDiagnosed:
+      if (v.admissible && !run.error) {
+        r.ok = false;
+        r.violation = "diagnosed without violation or error";
+      } else if (!v.admissible && v.admissibility_violation.empty()) {
+        r.ok = false;
+        r.violation = "inadmissible without a named violation";
+      }
+      break;
   }
+  if (run.error && run.completed) {
+    r.ok = false;
+    r.violation = "completed run carries an error";
+  }
+  if (!r.ok) r.violation = "seed " + std::to_string(seed) + ": " + r.violation;
+  r.digest = std::to_string(seed) + ":" + sesp::to_string(r.outcome) + ":" +
+             std::to_string(v.sessions) + (run.completed ? ":c;" : ":x;");
+  return r;
+}
+
+void fold_chaos(ChaosReport& report, const std::vector<ChaosRun>& runs) {
+  for (const ChaosRun& r : runs) {
+    ++report.runs;
+    switch (r.outcome) {
+      case RunOutcome::kSolved: ++report.solved; break;
+      case RunOutcome::kDegraded: ++report.degraded; break;
+      case RunOutcome::kDiagnosed: ++report.diagnosed; break;
+    }
+    if (!r.ok && report.contract_ok) {
+      report.contract_ok = false;
+      report.first_violation = r.violation;
+    }
+    report.digest += r.digest;
+  }
+}
+
+// Schedule bounds for the chaos schedules, robust across timing models
+// whose c1/c2 may be unset (zero).
+Duration chaos_gap_lo(const TimingConstraints& c) {
+  return c.c1.is_positive() ? c.c1 : Duration(1, 2);
+}
+Duration chaos_gap_hi(const TimingConstraints& c) {
+  const Duration lo = chaos_gap_lo(c);
+  return lo < c.c2 ? c.c2 : lo * 4;
+}
+
+}  // namespace
+
+ChaosReport mpm_chaos_sweep(const ProblemSpec& spec,
+                            const TimingConstraints& constraints,
+                            const MpmAlgorithmFactory& factory,
+                            std::int32_t runs, std::uint64_t seed,
+                            const MpmRunLimits& limits) {
+  const std::size_t count = runs > 0 ? static_cast<std::size_t>(runs) : 0;
+  const Duration lo = chaos_gap_lo(constraints);
+  const Duration hi = chaos_gap_hi(constraints);
+  const Duration dmax =
+      constraints.d2.is_positive() ? constraints.d2 : Duration(4);
+  obs::Observer* const parent = obs::default_observer();
+  std::deque<obs::ObservationShard> shards = make_shards(parent, count);
+  std::vector<ChaosRun> results(count);
+  exec::parallel_for_each(count, [&](std::size_t i) {
+    const std::uint64_t run_seed = seed + 2654435761ULL * i;
+    obs::Observer* const o = shards[i].observer();
+    obs::Span span(o ? o->trace : nullptr, "chaos.mpm_run", "sim",
+                   o && o->trace ? obs::args_object({obs::arg_int(
+                                       "seed",
+                                       static_cast<std::int64_t>(run_seed))})
+                                 : std::string());
+    FaultInjector injector(FaultPlan::random(run_seed, spec.n));
+    UniformGapScheduler sched(lo, hi, run_seed + 1);
+    UniformRandomDelay delay(Duration(0), dmax, run_seed + 2);
+    const MpmOutcome out = run_mpm_once(spec, constraints, factory, sched,
+                                        delay, limits, &injector, o);
+    results[i] = classify_chaos(out.run, out.verdict, run_seed);
+  });
+  ChaosReport report;
+  for (obs::ObservationShard& shard : shards) shard.merge_into_parent();
+  fold_chaos(report, results);
+  return report;
+}
+
+ChaosReport smm_chaos_sweep(const ProblemSpec& spec,
+                            const TimingConstraints& constraints,
+                            const SmmAlgorithmFactory& factory,
+                            std::int32_t runs, std::uint64_t seed,
+                            const SmmRunLimits& limits) {
+  const std::size_t count = runs > 0 ? static_cast<std::size_t>(runs) : 0;
+  const Duration lo = chaos_gap_lo(constraints);
+  const Duration hi = chaos_gap_hi(constraints);
+  const std::int32_t total = smm_total_processes(spec.n, spec.b);
+  obs::Observer* const parent = obs::default_observer();
+  std::deque<obs::ObservationShard> shards = make_shards(parent, count);
+  std::vector<ChaosRun> results(count);
+  exec::parallel_for_each(count, [&](std::size_t i) {
+    const std::uint64_t run_seed = seed + 2654435761ULL * i;
+    obs::Observer* const o = shards[i].observer();
+    obs::Span span(o ? o->trace : nullptr, "chaos.smm_run", "sim",
+                   o && o->trace ? obs::args_object({obs::arg_int(
+                                       "seed",
+                                       static_cast<std::int64_t>(run_seed))})
+                                 : std::string());
+    FaultInjector injector(FaultPlan::random(run_seed, total));
+    UniformGapScheduler sched(lo, hi, run_seed + 1);
+    const SmmOutcome out = run_smm_once(spec, constraints, factory, sched,
+                                        limits, &injector, o);
+    results[i] = classify_chaos(out.run, out.verdict, run_seed);
+  });
+  ChaosReport report;
+  for (obs::ObservationShard& shard : shards) shard.merge_into_parent();
+  fold_chaos(report, results);
   return report;
 }
 

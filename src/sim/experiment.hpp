@@ -6,6 +6,14 @@
 // timing model (the schedule families the paper's arguments quantify over).
 // The degradation API additionally sweeps crash/loss grids and classifies
 // every run as solved / degraded / diagnosed — the robustness contract.
+//
+// Every sweep in this header (worst-case families, degradation grids, chaos
+// sweeps) fans its independent runs out over the exec::parallel_for_each
+// pool and is bit-identical for every job count, including SESP_JOBS=1: the
+// run list is built up front, every run derives its RNG streams from its own
+// (seed, run-index) pair, results land in per-run slots, and observability
+// goes through per-run obs::ObservationShards merged in run order
+// (docs/parallelism.md).
 
 #include <cstdint>
 #include <optional>
@@ -80,6 +88,9 @@ struct WorstCase {
   // recorded independently of first_failure so a limit hit is never masked
   // by an earlier (or later) non-limit failure.
   std::string first_limit_hit;
+
+  // Field-wise equality, for the jobs-count determinism regressions.
+  bool operator==(const WorstCase&) const = default;
 };
 
 // Runs the factory under the canonical adversaries of constraints.model:
@@ -116,6 +127,8 @@ struct DegradationCell {
   bool admissible = false;
   std::int64_t injected = 0;       // total injected fault events
   std::string diagnostic;          // outcome_diagnostic() of the run
+
+  bool operator==(const DegradationCell&) const = default;
 };
 
 struct DegradationReport {
@@ -126,6 +139,8 @@ struct DegradationReport {
   std::int32_t count(RunOutcome outcome) const;
   // Rendered table, one row per cell.
   std::string to_string() const;
+
+  bool operator==(const DegradationReport&) const = default;
 };
 
 DegradationReport mpm_degradation(
@@ -143,5 +158,41 @@ DegradationReport smm_degradation(
     const std::vector<std::int32_t>& corrupt_percents = {0, 5, 20},
     std::uint64_t seed = 0x0FA17'1992ULL,
     const SmmRunLimits& limits = SmmRunLimits{});
+
+// --- Chaos sweeps -----------------------------------------------------------
+//
+// Parallel seeded fault-plan fuzzing, the sweep form of the FaultFuzz tests:
+// `runs` independent chaos runs, run r under a random admissible schedule
+// and the random fault plan both derived from seed + r's own stream, each
+// classified into the solved / degraded / diagnosed contract buckets.
+// `digest` is an order-stable fingerprint (one fragment per run, in run
+// order) used by the determinism regressions: it must be byte-identical for
+// every job count.
+
+struct ChaosReport {
+  std::int32_t runs = 0;
+  std::int32_t solved = 0;
+  std::int32_t degraded = 0;
+  std::int32_t diagnosed = 0;
+  bool contract_ok = true;      // every run landed cleanly in its bucket
+  std::string first_violation;  // first contract breach, if any
+  std::string digest;           // "<seed>:<bucket>:<sessions>:<c|x>;" per run
+
+  bool operator==(const ChaosReport&) const = default;
+};
+
+ChaosReport mpm_chaos_sweep(const ProblemSpec& spec,
+                            const TimingConstraints& constraints,
+                            const MpmAlgorithmFactory& factory,
+                            std::int32_t runs = 32,
+                            std::uint64_t seed = 0xC4A05'1992ULL,
+                            const MpmRunLimits& limits = MpmRunLimits{});
+
+ChaosReport smm_chaos_sweep(const ProblemSpec& spec,
+                            const TimingConstraints& constraints,
+                            const SmmAlgorithmFactory& factory,
+                            std::int32_t runs = 32,
+                            std::uint64_t seed = 0xC4A05'1992ULL,
+                            const SmmRunLimits& limits = SmmRunLimits{});
 
 }  // namespace sesp

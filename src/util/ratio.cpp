@@ -22,6 +22,7 @@ std::int64_t checked_narrow(__int128 v, const char* what) {
 }  // namespace
 
 Ratio::Ratio(std::int64_t num, std::int64_t den) : num_(num), den_(den) {
+  if (den_ == 1) return;  // already normalized; the dominant call shape
   if (den_ == 0) fail("zero denominator");
   if (den_ < 0) {
     if (num_ == INT64_MIN || den_ == INT64_MIN) fail("overflow negating");
@@ -59,30 +60,54 @@ Ratio Ratio::operator-() const {
   return r;
 }
 
-Ratio& Ratio::operator+=(const Ratio& rhs) {
-  const __int128 n = static_cast<__int128>(num_) * rhs.den_ +
-                     static_cast<__int128>(rhs.num_) * den_;
-  const __int128 d = static_cast<__int128>(den_) * rhs.den_;
-  // Normalize in 128 bits before narrowing so intermediate growth is benign.
-  __int128 a = n < 0 ? -n : n;
-  __int128 b = d;
-  while (b != 0) {
-    const __int128 t = a % b;
-    a = b;
-    b = t;
+namespace {
+
+// Knuth TAOCP 4.5.1 reduced addition, sign = +1 or -1 for subtraction. The
+// only gcds taken are gcd(d1, d2) and a gcd against that — both 64-bit —
+// instead of the old 128-bit Euclid loop over the raw cross-products.
+void combine(std::int64_t& num, std::int64_t& den, const Ratio& rhs,
+             int sign, const char* what) {
+  const std::int64_t rn = rhs.num();
+  const std::int64_t rd = rhs.den();
+  if (den == rd) {
+    // Same-denominator fast path: times on one period grid stay there.
+    const __int128 n = sign > 0 ? static_cast<__int128>(num) + rn
+                                : static_cast<__int128>(num) - rn;
+    const std::int64_t g = std::gcd(static_cast<std::int64_t>(n % den), den);
+    num = checked_narrow(n / g, what);
+    den = den / g;
+    return;
   }
-  const __int128 g = a == 0 ? 1 : a;
-  num_ = checked_narrow(n / g, "overflow in +");
-  den_ = checked_narrow(d / g, "overflow in +");
+  const std::int64_t g0 = std::gcd(den, rd);
+  if (g0 == 1) {
+    // Coprime denominators: the result is already in lowest terms.
+    const __int128 a = static_cast<__int128>(num) * rd;
+    const __int128 b = static_cast<__int128>(rn) * den;
+    num = checked_narrow(sign > 0 ? a + b : a - b, what);
+    den = checked_narrow(static_cast<__int128>(den) * rd, what);
+    return;
+  }
+  const __int128 a = static_cast<__int128>(num) * (rd / g0);
+  const __int128 b = static_cast<__int128>(rn) * (den / g0);
+  const __int128 t = sign > 0 ? a + b : a - b;
+  const std::int64_t g1 = std::gcd(static_cast<std::int64_t>(t % g0), g0);
+  num = checked_narrow(t / g1, what);
+  den = checked_narrow(static_cast<__int128>(den / g0) * (rd / g1), what);
+}
+
+}  // namespace
+
+Ratio& Ratio::add_slow(const Ratio& rhs) {
+  combine(num_, den_, rhs, +1, "overflow in +");
   return *this;
 }
 
-Ratio& Ratio::operator-=(const Ratio& rhs) {
-  Ratio neg = -rhs;
-  return *this += neg;
+Ratio& Ratio::sub_slow(const Ratio& rhs) {
+  combine(num_, den_, rhs, -1, "overflow in -");
+  return *this;
 }
 
-Ratio& Ratio::operator*=(const Ratio& rhs) {
+Ratio& Ratio::mul_slow(const Ratio& rhs) {
   // Cross-reduce first to keep intermediates small.
   const std::int64_t g1 = std::gcd(num_, rhs.den_);
   const std::int64_t g2 = std::gcd(rhs.num_, den_);
@@ -107,14 +132,6 @@ Ratio& Ratio::operator/=(const Ratio& rhs) {
     inv.den_ = rhs.num_;
   }
   return *this *= inv;
-}
-
-std::strong_ordering operator<=>(const Ratio& a, const Ratio& b) noexcept {
-  const __int128 lhs = static_cast<__int128>(a.num_) * b.den_;
-  const __int128 rhs = static_cast<__int128>(b.num_) * a.den_;
-  if (lhs < rhs) return std::strong_ordering::less;
-  if (lhs > rhs) return std::strong_ordering::greater;
-  return std::strong_ordering::equal;
 }
 
 std::string Ratio::to_string() const {

@@ -9,6 +9,14 @@
 // steps exactly on interval endpoints. Floating point would make the
 // admissibility checker flaky, so time is a normalized int64 fraction with
 // __int128 intermediates.
+//
+// Hot-path layout: most model-time values in practice are integers (den ==
+// 1) or share a denominator (steps on a common period grid), so +, -, * and
+// <=> take inline fast paths for those shapes — an overflow-checked int64
+// op, no gcd, no division — and fall back to the out-of-line slow paths
+// (Knuth 4.5.1 reduced arithmetic on __int128) only when the shapes are
+// mixed or the fast op would overflow. ratio_test cross-checks both paths
+// against a normalize-always reference.
 
 #include <compare>
 #include <cstdint>
@@ -46,9 +54,40 @@ class Ratio {
   std::int64_t ceil() const noexcept;
 
   Ratio operator-() const;
-  Ratio& operator+=(const Ratio& rhs);
-  Ratio& operator-=(const Ratio& rhs);
-  Ratio& operator*=(const Ratio& rhs);
+
+  Ratio& operator+=(const Ratio& rhs) {
+    if (den_ == 1 && rhs.den_ == 1) {
+      std::int64_t sum;
+      if (!__builtin_add_overflow(num_, rhs.num_, &sum)) {
+        num_ = sum;
+        return *this;
+      }
+    }
+    return add_slow(rhs);
+  }
+
+  Ratio& operator-=(const Ratio& rhs) {
+    if (den_ == 1 && rhs.den_ == 1) {
+      std::int64_t diff;
+      if (!__builtin_sub_overflow(num_, rhs.num_, &diff)) {
+        num_ = diff;
+        return *this;
+      }
+    }
+    return sub_slow(rhs);
+  }
+
+  Ratio& operator*=(const Ratio& rhs) {
+    if (den_ == 1 && rhs.den_ == 1) {
+      std::int64_t prod;
+      if (!__builtin_mul_overflow(num_, rhs.num_, &prod)) {
+        num_ = prod;
+        return *this;
+      }
+    }
+    return mul_slow(rhs);
+  }
+
   // Terminates on division by zero.
   Ratio& operator/=(const Ratio& rhs);
 
@@ -60,13 +99,27 @@ class Ratio {
   friend bool operator==(const Ratio& a, const Ratio& b) noexcept {
     return a.num_ == b.num_ && a.den_ == b.den_;
   }
+  // Denominators are always positive, so equal denominators (the common
+  // shape: integers, or times on one period grid) compare by numerator
+  // alone; only mixed shapes pay the 128-bit cross-multiply.
   friend std::strong_ordering operator<=>(const Ratio& a,
-                                          const Ratio& b) noexcept;
+                                          const Ratio& b) noexcept {
+    if (a.den_ == b.den_) return a.num_ <=> b.num_;
+    const __int128 lhs = static_cast<__int128>(a.num_) * b.den_;
+    const __int128 rhs = static_cast<__int128>(b.num_) * a.den_;
+    if (lhs < rhs) return std::strong_ordering::less;
+    if (lhs > rhs) return std::strong_ordering::greater;
+    return std::strong_ordering::equal;
+  }
 
   // "3", "7/2", "-1/3".
   std::string to_string() const;
 
  private:
+  Ratio& add_slow(const Ratio& rhs);
+  Ratio& sub_slow(const Ratio& rhs);
+  Ratio& mul_slow(const Ratio& rhs);
+
   std::int64_t num_;
   std::int64_t den_;
 };

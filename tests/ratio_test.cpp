@@ -6,6 +6,8 @@
 #include <tuple>
 #include <vector>
 
+#include "util/rng.hpp"
+
 namespace sesp {
 namespace {
 
@@ -137,6 +139,129 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values(-9, -2, 0, 1, 5, 14),
                        ::testing::Values(-7, -1, 0, 2, 10),
                        ::testing::Values(-3, 0, 1, 4)));
+
+// --- Fast-path vs reference cross-checks ------------------------------------
+//
+// The inline hot paths (den==1 add/sub/mul, same-denominator add, same-den
+// compare) must be indistinguishable from a shape-blind reference that
+// always cross-multiplies in 128 bits and normalizes with a full Euclid
+// pass. The pairs below are drawn to hit every shape: integer/integer
+// (fast), same denominator (semi-fast), mixed (slow), negatives and zero
+// throughout.
+
+Ratio ref_combine(const Ratio& a, const Ratio& b, int sign) {
+  const __int128 n = static_cast<__int128>(a.num()) * b.den() +
+                     sign * static_cast<__int128>(b.num()) * a.den();
+  const __int128 d = static_cast<__int128>(a.den()) * b.den();
+  __int128 x = n < 0 ? -n : n;
+  __int128 y = d;
+  while (y != 0) {
+    const __int128 t = x % y;
+    x = y;
+    y = t;
+  }
+  if (x == 0) x = 1;
+  return Ratio(static_cast<std::int64_t>(n / x),
+               static_cast<std::int64_t>(d / x));
+}
+
+Ratio ref_mul(const Ratio& a, const Ratio& b) {
+  const __int128 n = static_cast<__int128>(a.num()) * b.num();
+  const __int128 d = static_cast<__int128>(a.den()) * b.den();
+  __int128 x = n < 0 ? -n : n;
+  __int128 y = d;
+  while (y != 0) {
+    const __int128 t = x % y;
+    x = y;
+    y = t;
+  }
+  if (x == 0) x = 1;
+  return Ratio(static_cast<std::int64_t>(n / x),
+               static_cast<std::int64_t>(d / x));
+}
+
+std::strong_ordering ref_compare(const Ratio& a, const Ratio& b) {
+  const __int128 lhs = static_cast<__int128>(a.num()) * b.den();
+  const __int128 rhs = static_cast<__int128>(b.num()) * a.den();
+  if (lhs < rhs) return std::strong_ordering::less;
+  if (lhs > rhs) return std::strong_ordering::greater;
+  return std::strong_ordering::equal;
+}
+
+// Draws a value whose shape exercises a specific path: pure integers, a
+// shared denominator, or an arbitrary small rational.
+Ratio draw(Rng& rng, std::int64_t shared_den) {
+  const std::int64_t num = rng.next_int(0, 2'000'000) - 1'000'000;
+  switch (rng.next_below(4)) {
+    case 0: return Ratio(num % 1000);          // den == 1 fast shapes
+    case 1: return Ratio(num, shared_den);     // same-den shapes
+    case 2: return Ratio(num, rng.next_int(1, 1000));
+    default: return Ratio(num);
+  }
+}
+
+TEST(RatioCrossCheck, RandomizedFastPathsMatchReference) {
+  Rng rng(0x2a710'cafeULL);
+  for (int iter = 0; iter < 20'000; ++iter) {
+    const std::int64_t shared_den = rng.next_int(1, 64);
+    const Ratio a = draw(rng, shared_den);
+    const Ratio b = draw(rng, shared_den);
+    ASSERT_EQ(a + b, ref_combine(a, b, +1))
+        << a.to_string() << " + " << b.to_string();
+    ASSERT_EQ(a - b, ref_combine(a, b, -1))
+        << a.to_string() << " - " << b.to_string();
+    ASSERT_EQ(a * b, ref_mul(a, b))
+        << a.to_string() << " * " << b.to_string();
+    ASSERT_EQ(a <=> b, ref_compare(a, b))
+        << a.to_string() << " <=> " << b.to_string();
+    if (!b.is_zero()) {
+      const Ratio q = a / b;
+      ASSERT_EQ(q * b, a) << a.to_string() << " / " << b.to_string();
+    }
+  }
+}
+
+TEST(RatioCrossCheck, EndpointValuesCompareExactly) {
+  // Near-extreme numerators: the same-den comparison fast path and the
+  // 128-bit cross-multiply must agree where doubles could not even
+  // represent the difference.
+  const std::vector<Ratio> edge = {
+      Ratio(INT64_MAX, 1),          Ratio(INT64_MAX - 1, 1),
+      Ratio(INT64_MAX, 2),          Ratio(-INT64_MAX, 1),
+      Ratio(-INT64_MAX, 3),         Ratio(INT64_MAX, INT64_MAX - 1),
+      Ratio(INT64_MAX - 1, INT64_MAX),
+      Ratio(0),                     Ratio(1, INT64_MAX),
+      Ratio(-1, INT64_MAX)};
+  for (const Ratio& a : edge)
+    for (const Ratio& b : edge)
+      EXPECT_EQ(a <=> b, ref_compare(a, b))
+          << a.to_string() << " <=> " << b.to_string();
+}
+
+TEST(RatioCrossCheck, IntegerOverflowFallsBackNotWraps) {
+  // den==1 + den==1 whose sum exceeds int64: the inline path must hand off
+  // to the slow path, which diagnoses the overflow instead of wrapping.
+  EXPECT_DEATH(
+      {
+        Ratio r = Ratio(INT64_MAX) + Ratio(1);
+        (void)r;
+      },
+      "overflow");
+  // Near the edge but representable: fast path must produce the exact sum.
+  EXPECT_EQ(Ratio(INT64_MAX - 1) + Ratio(1), Ratio(INT64_MAX));
+  EXPECT_EQ(Ratio(INT64_MIN + 1) - Ratio(1), Ratio(INT64_MIN));
+}
+
+TEST(RatioCrossCheck, SameDenominatorAddStaysOnGrid) {
+  // Times on a period grid keep their denominator (or reduce): the shape
+  // the same-den fast path is for.
+  const Ratio a(7, 12), b(11, 12);
+  EXPECT_EQ(a + b, Ratio(18, 12));
+  EXPECT_EQ(a + b, Ratio(3, 2));
+  EXPECT_EQ(Ratio(5, 12) + Ratio(7, 12), Ratio(1));
+  EXPECT_EQ(Ratio(-7, 12) + Ratio(7, 12), Ratio(0));
+  EXPECT_EQ(Ratio(-5, 12) - Ratio(7, 12), Ratio(-1));
+}
 
 // Misuse is a hard failure, never silent wraparound: model time must stay
 // exact or the admissibility checker means nothing.

@@ -24,6 +24,7 @@
 #include "adversary/semisync_retimer.hpp"
 #include "adversary/sporadic_retimer.hpp"
 #include "algorithms/mpm/broken_algs.hpp"
+#include "exec/jobs.hpp"
 #include "algorithms/mpm/semisync_alg.hpp"
 #include "algorithms/mpm/sporadic_alg.hpp"
 #include "algorithms/smm/async_alg.hpp"
@@ -52,7 +53,9 @@ void usage(std::ostream& os) {
         "        step-count | rounds      (availability depends on substrate)\n"
         "  --s=N --n=N --b=N --c1=R --c2=R --d1=R --d2=R\n"
         "  --out=FILE                   write the certificate here\n"
-        "  --expect-survive             exit 0 when NO certificate is found\n";
+        "  --expect-survive             exit 0 when NO certificate is found\n"
+        "  --jobs=N                     sweep worker threads (default:\n"
+        "                               SESP_JOBS, then hardware)\n";
   ObservationOptions::usage(os);
 }
 
@@ -72,6 +75,14 @@ std::optional<Options> parse(int argc, char** argv) {
     else if (key == "--n") opt.spec.n = std::stoi(value);
     else if (key == "--b") opt.spec.b = std::stoi(value);
     else if (key == "--expect-survive") opt.expect_survive = true;
+    else if (key == "--jobs") {
+      const int jobs = std::stoi(value);
+      if (jobs < 1) {
+        std::cerr << "--jobs must be >= 1\n";
+        return std::nullopt;
+      }
+      exec::set_default_jobs(jobs);
+    }
     else if (key == "--c1" || key == "--c2" || key == "--d1" ||
              key == "--d2") {
       const auto r = ratio_from_text(value);

@@ -23,6 +23,7 @@
 
 #include "adversary/certificate.hpp"
 #include "adversary/delay_strategies.hpp"
+#include "exec/jobs.hpp"
 #include "adversary/step_schedulers.hpp"
 #include "algorithms/mpm/async_alg.hpp"
 #include "algorithms/mpm/periodic_alg.hpp"
@@ -78,6 +79,8 @@ void usage(std::ostream& os) {
         "                               extra:R corrupt:N%|@K seed:N\n"
         "  --degradation                crash x loss/corruption grid report\n"
         "  --seed=N                     adversary randomness\n"
+        "  --jobs=N                     sweep worker threads (default:\n"
+        "                               SESP_JOBS, then hardware)\n"
         "  --print-trace                show the timed computation\n"
         "  --timeline                   render an ASCII timeline\n"
         "  --stats                      per-session statistics\n"
@@ -108,6 +111,14 @@ std::optional<Options> parse(int argc, char** argv) {
     else if (key == "--n") opt.spec.n = std::stoi(value);
     else if (key == "--b") opt.spec.b = std::stoi(value);
     else if (key == "--seed") opt.seed = std::stoull(value);
+    else if (key == "--jobs") {
+      const int jobs = std::stoi(value);
+      if (jobs < 1) {
+        std::cerr << "--jobs must be >= 1\n";
+        return std::nullopt;
+      }
+      exec::set_default_jobs(jobs);
+    }
     else if (key == "--print-trace") opt.print_trace = true;
     else if (key == "--timeline") opt.timeline = true;
     else if (key == "--stats") opt.stats = true;
