@@ -1,0 +1,185 @@
+#include "conformance/reference.hpp"
+
+#include <sstream>
+#include <vector>
+
+namespace sesp::conformance {
+
+namespace {
+
+// Is there a step of `port` in [from, to)? Linear rescan on purpose.
+bool port_occurs(const std::vector<StepRecord>& steps, std::size_t from,
+                 std::size_t to, PortIndex port) {
+  for (std::size_t i = from; i < to; ++i)
+    if (steps[i].is_port_step() && steps[i].port == port) return true;
+  return false;
+}
+
+// Smallest end > from such that [from, end) contains every port, or 0 if no
+// such prefix exists.
+std::size_t session_end(const std::vector<StepRecord>& steps, std::size_t from,
+                        std::int32_t num_ports) {
+  for (std::size_t end = from + 1; end <= steps.size(); ++end) {
+    bool all = true;
+    for (PortIndex port = 0; port < num_ports; ++port) {
+      if (!port_occurs(steps, from, end, port)) {
+        all = false;
+        break;
+      }
+    }
+    if (all) return end;
+  }
+  return 0;
+}
+
+std::string gap_problem(ProcessId p, std::size_t ordinal, const Duration& gap,
+                        const std::string& expected) {
+  std::ostringstream os;
+  os << "reference: process " << p << " compute step #" << ordinal << " gap "
+     << gap << " " << expected;
+  return os.str();
+}
+
+}  // namespace
+
+std::int64_t reference_count_sessions(const TimedComputation& tc,
+                                      bool mutate) {
+  const auto& steps = tc.steps();
+  std::int64_t sessions = 0;
+  if (tc.num_ports() > 0) {
+    std::size_t cursor = 0;
+    while (cursor < steps.size()) {
+      const std::size_t end = session_end(steps, cursor, tc.num_ports());
+      if (end == 0) break;
+      ++sessions;
+      cursor = end;
+    }
+  }
+  if (mutate && sessions > 0) ++sessions;  // planted bug for the self-test
+  return sessions;
+}
+
+std::optional<std::string> reference_check_admissible(
+    const TimedComputation& tc, const TimingConstraints& constraints,
+    bool mutate) {
+  if (mutate) return std::nullopt;  // planted bug: everything "admissible"
+
+  if (auto err = constraints.validate())
+    return "reference: invalid constraints: " + *err;
+
+  const auto& steps = tc.steps();
+  const auto& msgs = tc.messages();
+
+  // Structural sanity, spelled out from the definitions.
+  for (std::size_t i = 0; i + 1 < steps.size(); ++i)
+    if (steps[i + 1].time < steps[i].time)
+      return "reference: time decreases at step " + std::to_string(i + 1);
+  std::vector<bool> went_idle(static_cast<std::size_t>(tc.num_processes()),
+                              false);
+  for (std::size_t i = 0; i < steps.size(); ++i) {
+    const StepRecord& st = steps[i];
+    if (!st.is_compute()) continue;
+    if (st.process < 0 || st.process >= tc.num_processes())
+      return "reference: bad process id at step " + std::to_string(i);
+    const auto p = static_cast<std::size_t>(st.process);
+    if (went_idle[p] && !st.idle_after)
+      return "reference: process " + std::to_string(st.process) +
+             " un-idles at step " + std::to_string(i);
+    if (st.idle_after) went_idle[p] = true;
+  }
+  for (const MessageRecord& m : msgs) {
+    if (m.send_step >= steps.size())
+      return "reference: message " + std::to_string(m.id) + " bad send step";
+    if (m.delivered()) {
+      if (m.deliver_step >= steps.size() || m.deliver_step < m.send_step)
+        return "reference: message " + std::to_string(m.id) +
+               " delivered before sent";
+      if (steps[m.deliver_step].kind != StepKind::kDeliver ||
+          steps[m.deliver_step].delivered != m.id)
+        return "reference: message " + std::to_string(m.id) +
+               " deliver step mismatch";
+    }
+    if (m.received()) {
+      if (!m.delivered())
+        return "reference: message " + std::to_string(m.id) +
+               " received but never delivered";
+      if (m.receive_step >= steps.size() || m.receive_step < m.deliver_step)
+        return "reference: message " + std::to_string(m.id) +
+               " received before delivered";
+      if (!steps[m.receive_step].is_compute() ||
+          steps[m.receive_step].process != m.recipient)
+        return "reference: message " + std::to_string(m.id) +
+               " receive step mismatch";
+    }
+  }
+
+  const bool smm = tc.substrate() == Substrate::kSharedMemory;
+  if (constraints.model == TimingModel::kPeriodic &&
+      constraints.periods.size() < static_cast<std::size_t>(tc.num_processes()))
+    return std::string("reference: periodic needs a period per process");
+
+  // Step gaps, judged per process from its extracted compute-time list
+  // (structurally different from the checker's single pass over the trace).
+  for (ProcessId p = 0; p < tc.num_processes(); ++p) {
+    const std::vector<Time> times = tc.compute_times(p);
+    Time prev(0);  // the paper's virtual predecessor at time 0
+    for (std::size_t k = 0; k < times.size(); ++k) {
+      const Duration gap = times[k] - prev;
+      prev = times[k];
+      switch (constraints.model) {
+        case TimingModel::kSynchronous:
+          if (gap != constraints.c2)
+            return gap_problem(p, k, gap,
+                               "!= c2 = " + constraints.c2.to_string());
+          break;
+        case TimingModel::kPeriodic:
+          if (gap != constraints.periods[static_cast<std::size_t>(p)])
+            return gap_problem(p, k, gap, "!= its period");
+          break;
+        case TimingModel::kSemiSynchronous:
+          if (gap < constraints.c1 || constraints.c2 < gap)
+            return gap_problem(p, k, gap, "outside [c1, c2]");
+          break;
+        case TimingModel::kSporadic:
+          if (gap < constraints.c1)
+            return gap_problem(p, k, gap, "< c1");
+          break;
+        case TimingModel::kAsynchronous:
+          if (smm) break;
+          if (!gap.is_positive() || constraints.c2 < gap)
+            return gap_problem(p, k, gap, "outside (0, c2]");
+          break;
+      }
+    }
+  }
+
+  // Message delays, for messages that were actually delivered.
+  for (const MessageRecord& m : msgs) {
+    if (!m.delivered()) continue;
+    const Duration delay = steps[m.deliver_step].time - steps[m.send_step].time;
+    bool ok = true;
+    switch (constraints.model) {
+      case TimingModel::kSynchronous:
+        ok = delay == constraints.d2;
+        break;
+      case TimingModel::kSporadic:
+        ok = !(delay < constraints.d1) && !(constraints.d2 < delay);
+        break;
+      case TimingModel::kPeriodic:
+      case TimingModel::kSemiSynchronous:
+      case TimingModel::kAsynchronous:
+        ok = !delay.is_negative() && !(constraints.d2 < delay);
+        break;
+    }
+    if (!ok) {
+      std::ostringstream os;
+      os << "reference: message " << m.id << " delay " << delay
+         << " violates the model";
+      return os.str();
+    }
+  }
+
+  return std::nullopt;
+}
+
+}  // namespace sesp::conformance

@@ -1,0 +1,40 @@
+#pragma once
+
+// Deliberately naive reference implementations of the two judgements every
+// other layer depends on: the greedy session count (session/) and the
+// admissibility predicate (timing/). Written from the paper's definitions
+// with no shared code and no cleverness — quadratic rescans, per-process
+// list extraction — so that a bug in the production implementations and a
+// bug here are unlikely to coincide. The conformance oracles cross-check
+// both implementations on every generated case.
+//
+// The `mutate` flags plant a deliberate off-by-one; the harness self-test
+// uses them to prove the differential oracles actually fire (a conformance
+// suite that cannot detect a seeded bug is vacuous).
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "model/timed_computation.hpp"
+#include "timing/constraints.hpp"
+
+namespace sesp::conformance {
+
+// Greedy maximal session count over the whole trace, recomputed by repeated
+// forward rescans (O(ports * steps) per session). Must agree with
+// count_sessions(tc).sessions. With mutate=true, over-reports by one
+// whenever at least one session exists.
+std::int64_t reference_count_sessions(const TimedComputation& tc,
+                                      bool mutate = false);
+
+// Admissibility judged from scratch: structural sanity, per-process step
+// gaps against the model envelope (time 0 as virtual predecessor), message
+// delays. Returns a description of the first problem found, or nullopt when
+// admissible. Must agree (as a boolean) with check_admissible. With
+// mutate=true, waves every computation through as admissible.
+std::optional<std::string> reference_check_admissible(
+    const TimedComputation& tc, const TimingConstraints& constraints,
+    bool mutate = false);
+
+}  // namespace sesp::conformance

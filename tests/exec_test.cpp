@@ -21,19 +21,12 @@
 #include "exec/thread_pool.hpp"
 #include "obs/observer.hpp"
 #include "sim/experiment.hpp"
+#include "support/test_support.hpp"
 
 namespace sesp {
 namespace {
 
-// Restores the explicit job count on scope exit so tests compose.
-class JobsGuard {
- public:
-  explicit JobsGuard(int jobs) : saved_(exec::set_default_jobs(jobs)) {}
-  ~JobsGuard() { exec::set_default_jobs(saved_); }
-
- private:
-  int saved_;
-};
+using test_support::JobsGuard;
 
 // --- parallel_for_each mechanics --------------------------------------------
 

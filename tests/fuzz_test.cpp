@@ -16,19 +16,22 @@
 #include "algorithms/smm/semisync_alg.hpp"
 #include "p2p/p2p_simulator.hpp"
 #include "sim/experiment.hpp"
+#include "support/test_support.hpp"
 #include "util/rng.hpp"
 
 namespace sesp {
 namespace {
+
+using test_support::expect_contract;
+using test_support::random_spec;
+using test_support::random_topology;
 
 class FuzzSeeds : public ::testing::TestWithParam<int> {};
 
 TEST_P(FuzzSeeds, SporadicMpmUnderRandomBurstsAndDelays) {
   const std::uint64_t seed = 0xF022ULL + 7919ULL * GetParam();
   Rng meta(seed);
-  const ProblemSpec spec{2 + static_cast<std::int64_t>(meta.next_below(6)),
-                         2 + static_cast<std::int32_t>(meta.next_below(4)),
-                         2};
+  const ProblemSpec spec = random_spec(meta, 2, 6, 2, 4);
   const Duration c1(1);
   const Duration d1(meta.next_int(0, 6));
   const Duration d2 = d1 + Ratio(meta.next_int(0, 12));
@@ -50,9 +53,7 @@ TEST_P(FuzzSeeds, SporadicMpmUnderRandomBurstsAndDelays) {
 TEST_P(FuzzSeeds, SemiSyncMpmUnderRandomSchedules) {
   const std::uint64_t seed = 0x5E15ULL + 104729ULL * GetParam();
   Rng meta(seed);
-  const ProblemSpec spec{1 + static_cast<std::int64_t>(meta.next_below(7)),
-                         2 + static_cast<std::int32_t>(meta.next_below(5)),
-                         2};
+  const ProblemSpec spec = random_spec(meta, 1, 7, 2, 5);
   const Duration c1(1);
   const Duration c2 = c1 + Ratio(meta.next_int(0, 15));
   const Duration d2(meta.next_int(1, 30));
@@ -72,9 +73,7 @@ TEST_P(FuzzSeeds, SemiSyncMpmUnderRandomSchedules) {
 TEST_P(FuzzSeeds, AsyncMpmUnderRandomSchedules) {
   const std::uint64_t seed = 0xA51CULL + 15485863ULL * GetParam();
   Rng meta(seed);
-  const ProblemSpec spec{1 + static_cast<std::int64_t>(meta.next_below(6)),
-                         2 + static_cast<std::int32_t>(meta.next_below(6)),
-                         2};
+  const ProblemSpec spec = random_spec(meta, 1, 6, 2, 6);
   const Duration c2(4), d2(meta.next_int(1, 20));
   const auto constraints = TimingConstraints::asynchronous(c2, d2);
 
@@ -91,9 +90,7 @@ TEST_P(FuzzSeeds, AsyncMpmUnderRandomSchedules) {
 TEST_P(FuzzSeeds, PeriodicSmmUnderRandomPeriods) {
   const std::uint64_t seed = 0x9E210DULL + 6700417ULL * GetParam();
   Rng meta(seed);
-  const ProblemSpec spec{1 + static_cast<std::int64_t>(meta.next_below(5)),
-                         2 + static_cast<std::int32_t>(meta.next_below(7)),
-                         2 + static_cast<std::int32_t>(meta.next_below(3))};
+  const ProblemSpec spec = random_spec(meta, 1, 5, 2, 7, 2, 3);
   const std::int32_t total = smm_total_processes(spec.n, spec.b);
   std::vector<Duration> periods;
   periods.reserve(static_cast<std::size_t>(total));
@@ -114,9 +111,7 @@ TEST_P(FuzzSeeds, PeriodicSmmUnderRandomPeriods) {
 TEST_P(FuzzSeeds, SemiSyncSmmUnderRandomSchedules) {
   const std::uint64_t seed = 0x53A11ULL + 32452843ULL * GetParam();
   Rng meta(seed);
-  const ProblemSpec spec{1 + static_cast<std::int64_t>(meta.next_below(5)),
-                         2 + static_cast<std::int32_t>(meta.next_below(5)),
-                         2};
+  const ProblemSpec spec = random_spec(meta, 1, 5, 2, 5);
   const Duration c1(1);
   const Duration c2 = c1 + Ratio(meta.next_int(0, 10));
   const auto constraints = TimingConstraints::semi_synchronous(c1, c2);
@@ -136,14 +131,7 @@ TEST_P(FuzzSeeds, P2pRoundsOnRandomTopology) {
   const std::int32_t n = 2 + static_cast<std::int32_t>(meta.next_below(10));
   const ProblemSpec spec{1 + static_cast<std::int64_t>(meta.next_below(4)),
                          n, 2};
-  Topology topo = Topology::complete(n);
-  switch (meta.next_below(5)) {
-    case 0: topo = Topology::complete(n); break;
-    case 1: topo = Topology::ring(n); break;
-    case 2: topo = Topology::line(n); break;
-    case 3: topo = Topology::star(n); break;
-    case 4: topo = Topology::tree(n, 2); break;
-  }
+  const Topology topo = random_topology(meta, n);
   const Duration c2(2), d2(meta.next_int(1, 8));
   const auto constraints = TimingConstraints::asynchronous(c2, d2);
 
@@ -174,40 +162,10 @@ INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSeeds, ::testing::Range(0, 20));
 
 class FaultFuzzSeeds : public ::testing::TestWithParam<int> {};
 
-// Checks the bucket invariants shared by all substrates.
-template <typename RunResult>
-void expect_contract(const RunResult& run, const Verdict& v,
-                     std::uint64_t seed) {
-  const RunOutcome oc = classify_outcome(run.error, v);
-  switch (oc) {
-    case RunOutcome::kSolved:
-      EXPECT_TRUE(v.admissible) << "seed=" << seed;
-      EXPECT_TRUE(v.solves) << "seed=" << seed;
-      EXPECT_FALSE(run.error.has_value()) << "seed=" << seed;
-      break;
-    case RunOutcome::kDegraded:
-      // Partial result: the trace up to the stop point is still admissible.
-      EXPECT_TRUE(v.admissible)
-          << "seed=" << seed << ": " << v.admissibility_violation;
-      break;
-    case RunOutcome::kDiagnosed:
-      EXPECT_TRUE(!v.admissible || run.error.has_value()) << "seed=" << seed;
-      if (!v.admissible)
-        EXPECT_FALSE(v.admissibility_violation.empty()) << "seed=" << seed;
-      break;
-  }
-  if (run.error) {
-    EXPECT_FALSE(run.error->to_string().empty()) << "seed=" << seed;
-    EXPECT_FALSE(run.completed) << "seed=" << seed;
-  }
-}
-
 TEST_P(FaultFuzzSeeds, MpmChaosAlwaysClassified) {
   const std::uint64_t seed = 0xFA17'F0DDULL + 2654435761ULL * GetParam();
   Rng meta(seed);
-  const ProblemSpec spec{1 + static_cast<std::int64_t>(meta.next_below(4)),
-                         2 + static_cast<std::int32_t>(meta.next_below(4)),
-                         2};
+  const ProblemSpec spec = random_spec(meta, 1, 4, 2, 4);
   const Duration c1(1);
   const Duration c2 = c1 + Ratio(meta.next_int(0, 6));
   const Duration d2(meta.next_int(1, 10));
@@ -227,9 +185,7 @@ TEST_P(FaultFuzzSeeds, MpmChaosAlwaysClassified) {
 TEST_P(FaultFuzzSeeds, SmmChaosAlwaysClassified) {
   const std::uint64_t seed = 0x53A1'F0DDULL + 1099511628211ULL * GetParam();
   Rng meta(seed);
-  const ProblemSpec spec{1 + static_cast<std::int64_t>(meta.next_below(4)),
-                         2 + static_cast<std::int32_t>(meta.next_below(4)),
-                         2 + static_cast<std::int32_t>(meta.next_below(2))};
+  const ProblemSpec spec = random_spec(meta, 1, 4, 2, 4, 2, 2);
   const Duration c1(1);
   const Duration c2 = c1 + Ratio(meta.next_int(0, 5));
   const auto constraints = TimingConstraints::semi_synchronous(c1, c2);
@@ -251,13 +207,7 @@ TEST_P(FaultFuzzSeeds, P2pChaosAlwaysClassified) {
   const std::int32_t n = 2 + static_cast<std::int32_t>(meta.next_below(6));
   const ProblemSpec spec{1 + static_cast<std::int64_t>(meta.next_below(3)),
                          n, 2};
-  Topology topo = Topology::complete(n);
-  switch (meta.next_below(4)) {
-    case 0: topo = Topology::complete(n); break;
-    case 1: topo = Topology::ring(n); break;
-    case 2: topo = Topology::line(n); break;
-    case 3: topo = Topology::star(n); break;
-  }
+  const Topology topo = random_topology(meta, n, 4);
   const Duration c2(2), d2(meta.next_int(1, 6));
   const auto constraints = TimingConstraints::asynchronous(c2, d2);
 

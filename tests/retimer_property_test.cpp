@@ -19,9 +19,12 @@
 #include "algorithms/mpm/sporadic_alg.hpp"
 #include "analysis/causality.hpp"
 #include "sim/experiment.hpp"
+#include "support/test_support.hpp"
 
 namespace sesp {
 namespace {
+
+using test_support::run_smm_lockstep;
 
 // --- Semi-synchronous retimer dichotomy --------------------------------------
 
@@ -71,9 +74,7 @@ TEST(SemiSyncRetimerProperties, ReorderedIsAPermutationWithSameMultiset) {
       TimingConstraints::semi_synchronous(Duration(1), Duration(12));
   TooFewStepsSmmFactory cheater(2);
 
-  const std::int32_t total = smm_total_processes(spec.n, spec.b);
-  FixedPeriodScheduler lockstep(total, constraints.c2);
-  const SmmOutcome base = run_smm_once(spec, constraints, cheater, lockstep);
+  const SmmOutcome base = run_smm_lockstep(spec, constraints, cheater);
   ASSERT_TRUE(base.run.completed);
   const SemiSyncRetimingResult result =
       semisync_retime(base.run.trace, spec, constraints);
@@ -101,10 +102,7 @@ TEST(SemiSyncRetimerProperties, ReorderRespectsGlobalCausality) {
       TimingConstraints::semi_synchronous(Duration(1), Duration(9));
   SemiSyncSmmFactory algorithm(SmmSemiSyncStrategy::kCommunicate);
 
-  const std::int32_t total = smm_total_processes(spec.n, spec.b);
-  FixedPeriodScheduler lockstep(total, constraints.c2);
-  const SmmOutcome base =
-      run_smm_once(spec, constraints, algorithm, lockstep);
+  const SmmOutcome base = run_smm_lockstep(spec, constraints, algorithm);
   ASSERT_TRUE(base.run.completed);
   const SemiSyncRetimingResult result =
       semisync_retime(base.run.trace, spec, constraints);

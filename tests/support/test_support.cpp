@@ -1,0 +1,37 @@
+#include "support/test_support.hpp"
+
+#include "adversary/step_schedulers.hpp"
+
+namespace sesp::test_support {
+
+ProblemSpec random_spec(Rng& meta, std::int64_t s_min, std::uint64_t s_range,
+                        std::int32_t n_min, std::uint64_t n_range,
+                        std::int32_t b_min, std::uint64_t b_range) {
+  ProblemSpec spec;
+  spec.s = s_min + static_cast<std::int64_t>(meta.next_below(s_range));
+  spec.n = n_min + static_cast<std::int32_t>(meta.next_below(n_range));
+  spec.b = b_min;
+  if (b_range > 1)
+    spec.b = b_min + static_cast<std::int32_t>(meta.next_below(b_range));
+  return spec;
+}
+
+Topology random_topology(Rng& meta, std::int32_t n, std::uint64_t choices) {
+  switch (meta.next_below(choices)) {
+    case 1: return Topology::ring(n);
+    case 2: return Topology::line(n);
+    case 3: return Topology::star(n);
+    case 4: return Topology::tree(n, 2);
+    default: return Topology::complete(n);
+  }
+}
+
+SmmOutcome run_smm_lockstep(const ProblemSpec& spec,
+                            const TimingConstraints& constraints,
+                            const SmmAlgorithmFactory& factory) {
+  const std::int32_t total = smm_total_processes(spec.n, spec.b);
+  FixedPeriodScheduler lockstep(total, constraints.c2);
+  return run_smm_once(spec, constraints, factory, lockstep);
+}
+
+}  // namespace sesp::test_support

@@ -1,0 +1,88 @@
+#pragma once
+
+// Shared randomized-input helpers for the test suites. Everything seeded
+// here derives from a caller-owned Rng, so a test failure always prints a
+// seed that reproduces the exact instance; nothing in this library has
+// hidden global state.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <utility>
+
+#include "exec/jobs.hpp"
+#include "faults/degradation.hpp"
+#include "model/ids.hpp"
+#include "mpm/topology.hpp"
+#include "session/verifier.hpp"
+#include "sim/experiment.hpp"
+#include "smm/algorithm.hpp"
+#include "timing/constraints.hpp"
+#include "util/rng.hpp"
+
+namespace sesp::test_support {
+
+// Random (s, n, b) drawn as min + next_below(range) — the draw pattern the
+// seeded suites standardize on. `b` consumes a draw only when b_range > 1,
+// so MPM specs (fixed b) don't perturb the stream.
+ProblemSpec random_spec(Rng& meta, std::int64_t s_min, std::uint64_t s_range,
+                        std::int32_t n_min, std::uint64_t n_range,
+                        std::int32_t b_min = 2, std::uint64_t b_range = 1);
+
+// One of the canonical topologies, uniformly over the first `choices`
+// entries of {complete, ring, line, star, tree(b=2)}.
+Topology random_topology(Rng& meta, std::int32_t n,
+                         std::uint64_t choices = 5);
+
+// Runs an SMM algorithm under the lockstep round-robin schedule (every
+// process with period exactly c2) — the base schedule of the Theorem 5.1
+// retimer and of every synchronous experiment.
+SmmOutcome run_smm_lockstep(const ProblemSpec& spec,
+                            const TimingConstraints& constraints,
+                            const SmmAlgorithmFactory& factory);
+
+// Restores the explicit exec:: job count on scope exit so tests compose.
+class JobsGuard {
+ public:
+  explicit JobsGuard(int jobs) : saved_(exec::set_default_jobs(jobs)) {}
+  ~JobsGuard() { exec::set_default_jobs(saved_); }
+
+  JobsGuard(const JobsGuard&) = delete;
+  JobsGuard& operator=(const JobsGuard&) = delete;
+
+ private:
+  int saved_;
+};
+
+// The three-bucket fault-tolerance contract shared by all substrates: a
+// chaos run is solved, degraded-but-admissible, or diagnosed — never an
+// abort, never a silent wrong answer.
+template <typename RunResult>
+void expect_contract(const RunResult& run, const Verdict& v,
+                     std::uint64_t seed) {
+  const RunOutcome oc = classify_outcome(run.error, v);
+  switch (oc) {
+    case RunOutcome::kSolved:
+      EXPECT_TRUE(v.admissible) << "seed=" << seed;
+      EXPECT_TRUE(v.solves) << "seed=" << seed;
+      EXPECT_FALSE(run.error.has_value()) << "seed=" << seed;
+      break;
+    case RunOutcome::kDegraded:
+      // Partial result: the trace up to the stop point is still admissible.
+      EXPECT_TRUE(v.admissible)
+          << "seed=" << seed << ": " << v.admissibility_violation;
+      break;
+    case RunOutcome::kDiagnosed:
+      EXPECT_TRUE(!v.admissible || run.error.has_value()) << "seed=" << seed;
+      if (!v.admissible) {
+        EXPECT_FALSE(v.admissibility_violation.empty()) << "seed=" << seed;
+      }
+      break;
+  }
+  if (run.error) {
+    EXPECT_FALSE(run.error->to_string().empty()) << "seed=" << seed;
+    EXPECT_FALSE(run.completed) << "seed=" << seed;
+  }
+}
+
+}  // namespace sesp::test_support
