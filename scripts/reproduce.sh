@@ -28,6 +28,30 @@ if [ "${SESP_SKIP_SANITIZE:-0}" != "1" ]; then
   ctest --test-dir build-asan 2>&1 | tee -a test_output.txt
 fi
 
+# Resume smoke: interrupt a checkpointed sweep deterministically, resume it,
+# and require the resumed stdout to be byte-identical to an uninterrupted
+# run (docs/robustness.md). Skip with SESP_SKIP_RESUME_SMOKE=1.
+if [ "${SESP_SKIP_RESUME_SMOKE:-0}" != "1" ]; then
+  smoke_cmd=(build/tools/sesp_cli --substrate=mpm --model=sporadic
+             --adversary=worst --s=3 --n=4 --c1=1 --d1=1 --d2=4 --jobs=2)
+  "${smoke_cmd[@]}" > resume_expected.out
+  rm -f resume_smoke.journal
+  rc=0
+  SESP_STOP_AFTER=2 SESP_JOURNAL_FSYNC=0 \
+    "${smoke_cmd[@]}" --journal=resume_smoke.journal > /dev/null 2>&1 || rc=$?
+  [ "$rc" -eq 75 ] || { echo "resume smoke: expected exit 75, got $rc" >&2; exit 1; }
+  for _ in $(seq 1 50); do
+    rc=0
+    SESP_JOURNAL_FSYNC=0 "${smoke_cmd[@]}" --resume=resume_smoke.journal \
+      > resume_actual.out 2>/dev/null || rc=$?
+    [ "$rc" -ne 75 ] && break
+  done
+  [ "$rc" -eq 0 ] || { echo "resume smoke: resume failed with $rc" >&2; exit 1; }
+  diff resume_expected.out resume_actual.out
+  rm -f resume_smoke.journal resume_expected.out resume_actual.out
+  echo "resume smoke: interrupted run resumed byte-identically"
+fi
+
 # Bench stage: every bench binary writes a machine-readable perf record
 # (BENCH_<name>.json, schema sesp-bench/1); the verdict comes from the
 # structured ok / solved / admissible / upper_ok fields via sesp_bench_merge,

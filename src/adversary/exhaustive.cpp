@@ -6,8 +6,11 @@
 
 #include "exec/jobs.hpp"
 #include "exec/thread_pool.hpp"
+#include "model/trace_io.hpp"
 #include "mpm/mpm_simulator.hpp"
 #include "obs/observer.hpp"
+#include "recovery/payload.hpp"
+#include "recovery/supervisor.hpp"
 #include "session/verifier.hpp"
 
 namespace sesp {
@@ -155,6 +158,57 @@ ExhaustiveResult explore_subtree(const ProblemSpec& spec,
   return result;
 }
 
+// Journal codec for one subtree's aggregate (docs/robustness.md): every
+// field the serial-order accounting consumes, exactly — the budgeted walk
+// resumes from checkpointed subtrees byte-identically.
+std::string encode_exhaustive(const ExhaustiveResult& r) {
+  recovery::PayloadWriter w;
+  w.put_bool("complete", r.complete);
+  w.put_int("runs", r.runs);
+  w.put_bool("all_solved", r.all_solved);
+  w.put_bool("all_admissible", r.all_admissible);
+  w.put_int("min_sessions", r.min_sessions);
+  w.put("max_termination", ratio_to_text(r.max_termination));
+  std::string choices;
+  for (std::size_t i = 0; i < r.worst_choices.size(); ++i) {
+    if (i) choices += ',';
+    choices += std::to_string(r.worst_choices[i]);
+  }
+  w.put("worst_choices", choices);
+  w.put("first_failure", r.first_failure);
+  return w.str();
+}
+
+ExhaustiveResult decode_exhaustive(const std::string& payload) {
+  ExhaustiveResult r;
+  if (const auto failure = recovery::decode_task_failure(payload)) {
+    // One budget unit spent on a subtree that never produced an aggregate:
+    // visible to the fold (runs > 0) and named in the report.
+    r.runs = 1;
+    r.all_solved = false;
+    r.first_failure = failure->to_string();
+    return r;
+  }
+  const recovery::PayloadReader reader(payload);
+  r.complete = reader.get_bool("complete", false);
+  r.runs = reader.get_int("runs", 0);
+  r.all_solved = reader.get_bool("all_solved", true);
+  r.all_admissible = reader.get_bool("all_admissible", true);
+  r.min_sessions = reader.get_int("min_sessions", 0);
+  if (const auto t = ratio_from_text(reader.get("max_termination")))
+    r.max_termination = *t;
+  const std::string choices = reader.get("worst_choices");
+  for (std::size_t at = 0; at < choices.size();) {
+    std::size_t end = choices.find(',', at);
+    if (end == std::string::npos) end = choices.size();
+    r.worst_choices.push_back(
+        static_cast<std::int32_t>(std::atoi(choices.substr(at, end - at).c_str())));
+    at = end + 1;
+  }
+  r.first_failure = reader.get("first_failure");
+  return r;
+}
+
 // Appends a (whole) subtree result to the serial-order accumulator.
 void fold_subtree(ExhaustiveResult& acc, const ExhaustiveResult& sub) {
   if (sub.runs == 0) return;
@@ -203,10 +257,30 @@ ExhaustiveResult explore_mpm(const ProblemSpec& spec,
   for (std::size_t i = 0; i < fan_out; ++i) subtrees *= gaps;
 
   ExhaustiveResult result;
-  if (exec::default_jobs() <= 1 || exec::inside_pool_worker() ||
-      subtrees <= 1 || max_runs < 1) {
-    result = explore_subtree(spec, constraints, factory, gap_choices,
-                             delay_choices, {}, 0, max_runs, parent);
+  recovery::Supervisor* const sup = recovery::current_for_sweep();
+  // A supervised walk always takes the subtree decomposition (any job
+  // count): subtrees are the checkpoint granularity, and the decomposition
+  // is already proven bit-identical to the serial enumeration.
+  const bool decompose =
+      subtrees > 1 && max_runs >= 1 &&
+      (sup != nullptr ||
+       (exec::default_jobs() > 1 && !exec::inside_pool_worker()));
+  if (!decompose) {
+    if (sup != nullptr) {
+      recovery::supervised_sweep(
+          "explore_mpm_serial", 1,
+          [&](std::size_t) {
+            return encode_exhaustive(
+                explore_subtree(spec, constraints, factory, gap_choices,
+                                delay_choices, {}, 0, max_runs, parent));
+          },
+          [&](std::size_t, const std::string& payload) {
+            result = decode_exhaustive(payload);
+          });
+    } else {
+      result = explore_subtree(spec, constraints, factory, gap_choices,
+                               delay_choices, {}, 0, max_runs, parent);
+    }
   } else {
     auto digits_of = [&](std::size_t b) {
       std::vector<std::int32_t> digits(fan_out, 0);
@@ -220,11 +294,21 @@ ExhaustiveResult explore_mpm(const ProblemSpec& spec,
     std::deque<obs::ObservationShard> shards;
     for (std::size_t b = 0; b < subtrees; ++b) shards.emplace_back(parent);
     std::vector<ExhaustiveResult> subs(subtrees);
-    exec::parallel_for_each(subtrees, [&](std::size_t b) {
-      subs[b] = explore_subtree(spec, constraints, factory, gap_choices,
-                                delay_choices, digits_of(b), fan_out,
-                                max_runs, shards[b].observer());
-    });
+    recovery::supervised_sweep(
+        "explore_mpm", subtrees,
+        [&](std::size_t b) {
+          return encode_exhaustive(explore_subtree(
+              spec, constraints, factory, gap_choices, delay_choices,
+              digits_of(b), fan_out, max_runs, shards[b].observer()));
+        },
+        [&](std::size_t b, const std::string& payload) {
+          shards[b].merge_into_parent();
+          subs[b] = decode_exhaustive(payload);
+        });
+
+    // A drained interrupt leaves subtrees unexplored; return the partial
+    // (complete=false, runs=0) aggregate — the tools never print it.
+    if (recovery::run_interrupted()) return result;
 
     // Serial-order accounting: spend the budget subtree by subtree. A
     // subtree the budget cuts into is re-run serially with exactly the
@@ -233,7 +317,6 @@ ExhaustiveResult explore_mpm(const ProblemSpec& spec,
     std::int64_t remaining = max_runs;
     bool exhausted_all = true;
     for (std::size_t b = 0; b < subtrees; ++b) {
-      shards[b].merge_into_parent();
       if (remaining <= 0) {
         exhausted_all = false;
         continue;

@@ -9,6 +9,8 @@
 #include "model/trace_io.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "recovery/payload.hpp"
+#include "recovery/supervisor.hpp"
 
 namespace sesp::conformance {
 
@@ -27,6 +29,44 @@ std::uint64_t fnv1a(std::uint64_t h, const std::string& s) noexcept {
 
 std::string substrate_name(Substrate s) {
   return s == Substrate::kSharedMemory ? "smm" : "mpm";
+}
+
+// Journal codec for one case verdict (docs/robustness.md). The descriptor
+// is NOT stored: generate_case() is deterministic in (seed, cell, index),
+// so a resumed run regenerates descriptors on demand instead of paying a
+// payload per case for them.
+std::string encode_case_result(const CaseResult& r) {
+  recovery::PayloadWriter w;
+  w.put_bool("ran", r.ran);
+  w.put_int("sessions", r.sessions);
+  w.put_int("steps", r.steps);
+  w.put_int("nfail", static_cast<std::int64_t>(r.failures.size()));
+  for (std::size_t i = 0; i < r.failures.size(); ++i) {
+    const std::string prefix = "f" + std::to_string(i);
+    w.put(prefix + ".oracle", r.failures[i].oracle);
+    w.put(prefix + ".detail", r.failures[i].detail);
+  }
+  return w.str();
+}
+
+CaseResult decode_case_result(const std::string& payload) {
+  CaseResult r;
+  if (const auto failure = recovery::decode_task_failure(payload)) {
+    r.ran = false;
+    r.failures.push_back(OracleFailure{"supervisor", failure->to_string()});
+    return r;
+  }
+  const recovery::PayloadReader reader(payload);
+  r.ran = reader.get_bool("ran", false);
+  r.sessions = reader.get_int("sessions", 0);
+  r.steps = reader.get_int("steps", 0);
+  const std::int64_t nfail = reader.get_int("nfail", 0);
+  for (std::int64_t i = 0; i < nfail; ++i) {
+    const std::string prefix = "f" + std::to_string(i);
+    r.failures.push_back(OracleFailure{reader.get(prefix + ".oracle"),
+                                       reader.get(prefix + ".detail")});
+  }
+  return r;
 }
 
 }  // namespace
@@ -74,31 +114,42 @@ ConformanceReport run_conformance(const ConformanceConfig& config,
       config.models.size() * config.substrates.size();
   const std::size_t total = num_cells * per_cell;
 
-  std::vector<CaseDescriptor> descriptors(total);
   std::vector<CaseResult> results(total);
+  const auto descriptor_at = [&](std::size_t i) {
+    const std::size_t cell = i / per_cell;
+    const std::size_t index = i % per_cell;
+    const TimingModel model = config.models[cell / config.substrates.size()];
+    const Substrate substrate =
+        config.substrates[cell % config.substrates.size()];
+    CaseDescriptor c = generate_case(model, substrate,
+                                     case_seed(config.seed, cell, index),
+                                     config.limits);
+    c.algorithm_override = config.algorithm_override;
+    return c;
+  };
 
   // Several reused layers (replay, retimers, verify) observe through the
   // process default observer, which is single-writer; detach it while
-  // worker threads run and restore it for the serial phases.
+  // worker threads run and restore it for the serial phases. Results travel
+  // through the journal codec in both the plain and the supervised path, so
+  // a checkpointed campaign resumes to a byte-identical report.
   obs::Observer* saved = obs::set_default_observer(nullptr);
-  exec::parallel_for_each(
-      total,
+  recovery::supervised_sweep(
+      "conformance_cases", total,
       [&](std::size_t i) {
-        const std::size_t cell = i / per_cell;
-        const std::size_t index = i % per_cell;
-        const TimingModel model =
-            config.models[cell / config.substrates.size()];
-        const Substrate substrate =
-            config.substrates[cell % config.substrates.size()];
-        CaseDescriptor c = generate_case(
-            model, substrate, case_seed(config.seed, cell, index),
-            config.limits);
-        c.algorithm_override = config.algorithm_override;
-        results[i] = check_case(c, config.oracles);
-        descriptors[i] = std::move(c);
+        return encode_case_result(check_case(descriptor_at(i),
+                                             config.oracles));
+      },
+      [&](std::size_t i, const std::string& payload) {
+        results[i] = decode_case_result(payload);
       },
       config.jobs);
   obs::set_default_observer(saved);
+
+  // A drained interrupt leaves pending cases unchecked; the partial report
+  // is never printed (the tools exit kExitInterrupted), so skip the
+  // aggregation and the minimizer outright.
+  if (recovery::run_interrupted()) return report;
 
   // Serial aggregation in case order — the digest and the recorded failure
   // list are independent of the job count by construction.
@@ -122,7 +173,7 @@ ConformanceReport run_conformance(const ConformanceConfig& config,
         if (static_cast<std::int64_t>(report.failures.size()) <
             config.max_failures) {
           FailureRecord f;
-          f.descriptor = descriptors[i];
+          f.descriptor = descriptor_at(i);
           f.oracle = r.first_oracle();
           f.detail = r.failures.empty() ? "did not run: incomplete"
                                         : r.failures[0].detail;

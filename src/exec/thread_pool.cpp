@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <exception>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -13,6 +14,46 @@ namespace sesp::exec {
 namespace {
 
 thread_local bool tls_inside_worker = false;
+
+// First-in-slot-order exception capture: every slot still runs (the
+// which-exception-wins choice must not depend on worker scheduling), the
+// smallest throwing index is kept, and the barrier rethrows it.
+struct ErrorSlot {
+  std::mutex mu;
+  std::exception_ptr error;
+  std::size_t slot = static_cast<std::size_t>(-1);
+
+  void note(std::size_t i, std::exception_ptr e) {
+    std::lock_guard<std::mutex> lk(mu);
+    if (i < slot) {
+      slot = i;
+      error = std::move(e);
+    }
+  }
+
+  void reset() {
+    std::lock_guard<std::mutex> lk(mu);
+    error = nullptr;
+    slot = static_cast<std::size_t>(-1);
+  }
+
+  std::exception_ptr take() {
+    std::lock_guard<std::mutex> lk(mu);
+    std::exception_ptr e = error;
+    error = nullptr;
+    slot = static_cast<std::size_t>(-1);
+    return e;
+  }
+};
+
+void run_slot(const std::function<void(std::size_t)>& fn, std::size_t i,
+              ErrorSlot& errors) {
+  try {
+    fn(i);
+  } catch (...) {
+    errors.note(i, std::current_exception());
+  }
+}
 
 // One job at a time: run() holds run_mu_ for its whole duration, workers
 // synchronize on mu_. The job is described by (fn_, count_) and consumed
@@ -33,6 +74,7 @@ class Pool {
            int max_workers) {
     std::lock_guard<std::mutex> run_lk(run_mu_);
     const int helpers_goal = max_workers - 1;
+    errors_.reset();
     std::unique_lock<std::mutex> lk(mu_);
     ensure_workers(helpers_goal);
     const int helpers =
@@ -63,6 +105,11 @@ class Pool {
     helpers_wanted_ = 0;
     cv_done_.wait(lk, [&] { return helpers_done_ == joined; });
     fn_ = nullptr;
+    lk.unlock();
+
+    // Rethrow the first (slot-order) task exception on the caller's thread,
+    // after the barrier, with all pool state already reset for the next job.
+    if (std::exception_ptr e = errors_.take()) std::rethrow_exception(e);
   }
 
  private:
@@ -81,7 +128,7 @@ class Pool {
     for (;;) {
       const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
       if (i >= count) break;
-      fn(i);
+      run_slot(fn, i, errors_);
     }
   }
 
@@ -118,6 +165,7 @@ class Pool {
   const std::function<void(std::size_t)>* fn_ = nullptr;
   std::size_t count_ = 0;
   std::atomic<std::size_t> next_{0};
+  ErrorSlot errors_;
 };
 
 Pool& shared_pool() {
@@ -135,7 +183,11 @@ void parallel_for_each(std::size_t count,
   int k = jobs > 0 ? jobs : default_jobs();
   if (static_cast<std::size_t>(k) > count) k = static_cast<int>(count);
   if (k <= 1 || tls_inside_worker) {
-    for (std::size_t i = 0; i < count; ++i) fn(i);
+    // Same containment contract as the pool path: run every slot, then
+    // rethrow the smallest-index exception.
+    ErrorSlot errors;
+    for (std::size_t i = 0; i < count; ++i) run_slot(fn, i, errors);
+    if (std::exception_ptr e = errors.take()) std::rethrow_exception(e);
     return;
   }
   shared_pool().run(count, fn, k);

@@ -28,9 +28,13 @@ namespace sesp::exec {
 
 // Runs fn(0) .. fn(count-1), all indices exactly once, returning after the
 // last completes. Uses up to `jobs` threads including the caller's
-// (jobs <= 0 resolves via default_jobs()). fn must not throw: the library
-// reports failures through structured results, not exceptions, and a throw
-// out of a worker would terminate (std::thread semantics).
+// (jobs <= 0 resolves via default_jobs()). The library reports failures
+// through structured results, not exceptions — but a task that does throw
+// is contained, not fatal: every remaining slot still runs (so the
+// exception choice is deterministic), and the exception from the
+// smallest-index throwing slot is rethrown at the barrier, on the caller's
+// thread, for every job count including the serial path. The pool stays
+// usable afterwards.
 void parallel_for_each(std::size_t count,
                        const std::function<void(std::size_t)>& fn,
                        int jobs = 0);

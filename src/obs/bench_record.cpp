@@ -125,6 +125,31 @@ int BenchRecorder::finish(bool ok) {
 
 // --- Aggregation ------------------------------------------------------------
 
+BenchRecordCheck classify_bench_record(const std::string& text,
+                                       std::string* error) {
+  std::size_t trimmed = text.size();
+  while (trimmed > 0 &&
+         (text[trimmed - 1] == '\n' || text[trimmed - 1] == '\r' ||
+          text[trimmed - 1] == ' ' || text[trimmed - 1] == '\t'))
+    --trimmed;
+  if (trimmed == 0) {
+    if (error) *error = "empty record (truncated at birth)";
+    return BenchRecordCheck::kTruncated;
+  }
+  std::string parse_error;
+  std::size_t offset = 0;
+  const auto doc =
+      parse_json(std::string_view(text).substr(0, trimmed), &parse_error,
+                 &offset);
+  if (!doc) {
+    if (error) *error = "parse error: " + parse_error;
+    return offset >= trimmed ? BenchRecordCheck::kTruncated
+                             : BenchRecordCheck::kMalformed;
+  }
+  return validate_bench_record(text, error) ? BenchRecordCheck::kValid
+                                            : BenchRecordCheck::kMalformed;
+}
+
 bool validate_bench_record(const std::string& text, std::string* error) {
   std::string parse_error;
   const auto doc = parse_json(text, &parse_error);
@@ -197,18 +222,26 @@ BenchAggregate aggregate_bench_records(
   for (const auto& [name, text] : named_texts) {
     Entry e{name, &text, false, false};
     std::string error;
-    if (validate_bench_record(text, &error)) {
-      e.valid = true;
-      const auto doc = parse_json(text);
-      e.ok = doc->find("ok")->boolean;
-      ++agg.records;
-      if (!e.ok) {
-        ++agg.failed;
-        agg.failures.push_back(doc->find("bench")->string);
+    switch (classify_bench_record(text, &error)) {
+      case BenchRecordCheck::kValid: {
+        e.valid = true;
+        const auto doc = parse_json(text);
+        e.ok = doc->find("ok")->boolean;
+        ++agg.records;
+        if (!e.ok) {
+          ++agg.failed;
+          agg.failures.push_back(doc->find("bench")->string);
+        }
+        break;
       }
-    } else {
-      ++agg.malformed;
-      agg.failures.push_back(name + " (" + error + ")");
+      case BenchRecordCheck::kTruncated:
+        ++agg.truncated;
+        agg.skipped.push_back(name + " (" + error + ")");
+        break;
+      case BenchRecordCheck::kMalformed:
+        ++agg.malformed;
+        agg.failures.push_back(name + " (" + error + ")");
+        break;
     }
     entries.push_back(std::move(e));
   }
@@ -216,10 +249,15 @@ BenchAggregate aggregate_bench_records(
   w.field("records", agg.records);
   w.field("failed", agg.failed);
   w.field("malformed", agg.malformed);
+  w.field("truncated", agg.truncated);
   w.field("all_ok", agg.all_ok());
   w.key("failures");
   w.begin_array();
   for (const std::string& f : agg.failures) w.value(f);
+  w.end_array();
+  w.key("skipped");
+  w.begin_array();
+  for (const std::string& s : agg.skipped) w.value(s);
   w.end_array();
   w.end_object();
 

@@ -104,9 +104,14 @@ struct BenchAggregate {
   std::int64_t records = 0;
   std::int64_t failed = 0;        // records with "ok": false
   std::int64_t malformed = 0;     // unparseable / wrong schema
+  std::int64_t truncated = 0;     // torn by a killed writer; skipped
   std::vector<std::string> failures;  // names (or filenames) of the above
+  std::vector<std::string> skipped;   // filenames of truncated records
   std::string results_json;       // the merged sesp-bench-results/1 document
 
+  // Truncated records are skipped with a warning, not failed: a bench
+  // killed mid-write (crash, Ctrl-C) must not fail the whole merge. The
+  // tool reports them with its own distinct exit code.
   bool all_ok() const {
     return records > 0 && failed == 0 && malformed == 0;
   }
@@ -121,5 +126,13 @@ BenchAggregate aggregate_bench_records(
 // Schema check used by the aggregator and obs_test: returns true iff `text`
 // parses as a valid sesp-bench/1 record; fills *error otherwise.
 bool validate_bench_record(const std::string& text, std::string* error);
+
+// Three-way classification behind the aggregator: a record whose JSON parse
+// fails exactly at the end of its (whitespace-trimmed) text was torn by a
+// killed writer — recoverable by rerunning the bench — while a mid-text
+// parse failure or a schema violation is malformed.
+enum class BenchRecordCheck { kValid, kTruncated, kMalformed };
+BenchRecordCheck classify_bench_record(const std::string& text,
+                                       std::string* error);
 
 }  // namespace sesp::obs

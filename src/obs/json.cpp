@@ -129,8 +129,9 @@ namespace {
 
 class Parser {
  public:
-  Parser(std::string_view text, std::string* error)
-      : text_(text), error_(error) {}
+  Parser(std::string_view text, std::string* error,
+         std::size_t* error_offset)
+      : text_(text), error_(error), error_offset_(error_offset) {}
 
   std::optional<JsonValue> parse() {
     JsonValue v;
@@ -145,8 +146,10 @@ class Parser {
 
  private:
   void fail(const std::string& what) {
-    if (error_ && error_->empty())
+    if (error_ && error_->empty()) {
       *error_ = what + " at offset " + std::to_string(pos_);
+      if (error_offset_) *error_offset_ = pos_;
+    }
   }
 
   void skip_ws() {
@@ -157,8 +160,17 @@ class Parser {
   }
 
   bool literal(std::string_view word) {
-    if (text_.substr(pos_, word.size()) != word) {
-      fail("bad literal");
+    const std::string_view got = text_.substr(pos_, word.size());
+    if (got != word) {
+      // A literal cut off by the end of input is truncation, not a typo:
+      // report it at the end so offset-based truncation detection works.
+      if (pos_ + got.size() == text_.size() &&
+          got == word.substr(0, got.size())) {
+        pos_ = text_.size();
+        fail("unexpected end of input");
+      } else {
+        fail("bad literal");
+      }
       return false;
     }
     pos_ += word.size();
@@ -349,15 +361,17 @@ class Parser {
 
   std::string_view text_;
   std::string* error_;
+  std::size_t* error_offset_;
   std::size_t pos_ = 0;
 };
 
 }  // namespace
 
 std::optional<JsonValue> parse_json(std::string_view text,
-                                    std::string* error) {
+                                    std::string* error,
+                                    std::size_t* error_offset) {
   std::string scratch;
-  Parser parser(text, error ? error : &scratch);
+  Parser parser(text, error ? error : &scratch, error_offset);
   return parser.parse();
 }
 

@@ -106,8 +106,13 @@ struct JsonValue {
 };
 
 // Parses one JSON document (trailing whitespace allowed, trailing garbage
-// is an error). Returns nullopt and fills *error on malformed input.
+// is an error). Returns nullopt and fills *error on malformed input;
+// *error_offset (optional) receives the byte offset of the failure, which
+// lets callers distinguish a document truncated at the end (offset ==
+// length of the meaningful prefix — e.g. a record torn by a killed writer)
+// from corruption in the middle.
 std::optional<JsonValue> parse_json(std::string_view text,
-                                    std::string* error = nullptr);
+                                    std::string* error = nullptr,
+                                    std::size_t* error_offset = nullptr);
 
 }  // namespace sesp::obs

@@ -1,0 +1,211 @@
+#include "recovery/journal.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace sesp::recovery {
+
+namespace {
+
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+constexpr char kSchema[] = "sesp-journal/1";
+
+bool fsync_enabled_from_env() {
+  const char* env = std::getenv("SESP_JOURNAL_FSYNC");
+  return !(env && env[0] == '0' && env[1] == '\0');
+}
+
+// Writes the whole buffer, riding out short writes and EINTR.
+bool write_all(int fd, const std::string& text) {
+  std::size_t done = 0;
+  while (done < text.size()) {
+    const ssize_t n = ::write(fd, text.data() + done, text.size() - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+std::string frame_record(const std::string& stage, std::uint64_t slot,
+                         const std::string& payload) {
+  std::ostringstream os;
+  os << "S " << stage << ' ' << slot << ' ' << payload.size() << ' '
+     << fnv1a_hex(fnv1a(payload)) << '\n'
+     << payload << "\n.\n";
+  return os.str();
+}
+
+}  // namespace
+
+std::uint64_t fnv1a(std::string_view text, std::uint64_t h) noexcept {
+  for (const char c : text) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+std::string fnv1a_hex(std::uint64_t h) {
+  static const char digits[] = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = digits[h & 0xF];
+    h >>= 4;
+  }
+  return out;
+}
+
+std::unique_ptr<RunJournal> RunJournal::create(const std::string& path,
+                                               const std::string& tool,
+                                               std::uint64_t config_digest,
+                                               std::string* error) {
+  const int fd =
+      ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_APPEND, 0644);
+  if (fd < 0) {
+    if (error) *error = "cannot create " + path;
+    return nullptr;
+  }
+  std::unique_ptr<RunJournal> j(new RunJournal);
+  j->path_ = path;
+  j->tool_ = tool;
+  j->config_digest_ = config_digest;
+  j->fd_ = fd;
+  j->fsync_ = fsync_enabled_from_env();
+  std::ostringstream header;
+  header << kSchema << " tool=" << tool
+         << " config=" << fnv1a_hex(config_digest) << '\n';
+  if (!write_all(fd, header.str())) {
+    if (error) *error = "cannot write journal header to " + path;
+    return nullptr;
+  }
+  if (j->fsync_) ::fsync(fd);
+  return j;
+}
+
+std::unique_ptr<RunJournal> RunJournal::open_resume(const std::string& path,
+                                                    std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    if (error) *error = "cannot open " + path;
+    return nullptr;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+
+  std::unique_ptr<RunJournal> j(new RunJournal);
+  j->path_ = path;
+  j->fsync_ = fsync_enabled_from_env();
+
+  // Header line.
+  std::size_t at = text.find('\n');
+  if (at == std::string::npos) {
+    if (error) *error = path + ": missing journal header";
+    return nullptr;
+  }
+  {
+    std::istringstream hs(text.substr(0, at));
+    std::string schema, tool_kv, config_kv;
+    hs >> schema >> tool_kv >> config_kv;
+    if (schema != kSchema || tool_kv.rfind("tool=", 0) != 0 ||
+        config_kv.rfind("config=", 0) != 0) {
+      if (error) *error = path + ": bad journal header (want " + kSchema + ")";
+      return nullptr;
+    }
+    j->tool_ = tool_kv.substr(5);
+    const std::string hex = config_kv.substr(7);
+    std::uint64_t digest = 0;
+    for (const char c : hex) {
+      digest <<= 4;
+      if (c >= '0' && c <= '9') digest |= static_cast<std::uint64_t>(c - '0');
+      else if (c >= 'a' && c <= 'f')
+        digest |= static_cast<std::uint64_t>(c - 'a' + 10);
+      else {
+        if (error) *error = path + ": bad config digest in header";
+        return nullptr;
+      }
+    }
+    j->config_digest_ = digest;
+  }
+  ++at;
+
+  // Record frames: keep every record whose frame parses and whose checksum
+  // verifies; stop at the first inconsistency (a torn tail from a crash
+  // mid-append — everything after it is untrusted).
+  while (at < text.size()) {
+    const std::size_t line_end = text.find('\n', at);
+    if (line_end == std::string::npos) {
+      ++j->dropped_;
+      break;
+    }
+    std::istringstream fs(text.substr(at, line_end - at));
+    std::string marker, stage;
+    std::uint64_t slot = 0;
+    std::size_t size = 0;
+    std::string checksum;
+    fs >> marker >> stage >> slot >> size >> checksum;
+    if (marker != "S" || stage.empty() || !fs || checksum.size() != 16) {
+      ++j->dropped_;
+      break;
+    }
+    const std::size_t payload_at = line_end + 1;
+    // Frame tail: payload bytes, '\n', ".\n".
+    if (payload_at + size + 3 > text.size()) {
+      ++j->dropped_;
+      break;
+    }
+    const std::string payload = text.substr(payload_at, size);
+    if (text.compare(payload_at + size, 3, "\n.\n") != 0 ||
+        fnv1a_hex(fnv1a(payload)) != checksum) {
+      ++j->dropped_;
+      break;
+    }
+    j->completed_[{stage, slot}] = payload;
+    at = payload_at + size + 3;
+  }
+
+  const int fd = ::open(path.c_str(), O_WRONLY | O_APPEND);
+  if (fd < 0) {
+    if (error) *error = "cannot reopen " + path + " for appending";
+    return nullptr;
+  }
+  j->fd_ = fd;
+  return j;
+}
+
+RunJournal::~RunJournal() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+bool RunJournal::append(const std::string& stage, std::uint64_t slot,
+                        const std::string& payload) {
+  const std::string frame = frame_record(stage, slot, payload);
+  std::lock_guard<std::mutex> lk(mu_);
+  if (fd_ < 0) return false;
+  if (!write_all(fd_, frame)) return false;
+  if (fsync_) ::fsync(fd_);
+  completed_[{stage, slot}] = payload;
+  return true;
+}
+
+const std::string* RunJournal::lookup(const std::string& stage,
+                                      std::uint64_t slot) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  const auto it = completed_.find({stage, slot});
+  return it == completed_.end() ? nullptr : &it->second;
+}
+
+std::int64_t RunJournal::records() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return static_cast<std::int64_t>(completed_.size());
+}
+
+}  // namespace sesp::recovery

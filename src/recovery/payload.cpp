@@ -1,0 +1,142 @@
+#include "recovery/payload.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace sesp::recovery {
+
+namespace {
+
+bool valid_key_char(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '.' || c == '_' || c == '-';
+}
+
+std::string escape(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+bool unescape(std::string_view value, std::string* out) {
+  out->clear();
+  out->reserve(value.size());
+  for (std::size_t i = 0; i < value.size(); ++i) {
+    if (value[i] != '\\') {
+      *out += value[i];
+      continue;
+    }
+    if (++i >= value.size()) return false;
+    switch (value[i]) {
+      case '\\': *out += '\\'; break;
+      case 'n': *out += '\n'; break;
+      case 'r': *out += '\r'; break;
+      default: return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+void PayloadWriter::put(std::string_view key, std::string_view value) {
+  if (key.empty()) {
+    std::fprintf(stderr, "recovery payload fatal: empty key\n");
+    std::abort();
+  }
+  for (const char c : key)
+    if (!valid_key_char(c)) {
+      std::fprintf(stderr, "recovery payload fatal: bad key char in '%.*s'\n",
+                   static_cast<int>(key.size()), key.data());
+      std::abort();
+    }
+  text_.append(key);
+  text_ += '=';
+  text_ += escape(value);
+  text_ += '\n';
+}
+
+void PayloadWriter::put_int(std::string_view key, std::int64_t value) {
+  put(key, std::to_string(value));
+}
+
+void PayloadWriter::put_uint(std::string_view key, std::uint64_t value) {
+  put(key, std::to_string(value));
+}
+
+void PayloadWriter::put_bool(std::string_view key, bool value) {
+  put(key, value ? "1" : "0");
+}
+
+PayloadReader::PayloadReader(std::string_view payload) {
+  std::size_t at = 0;
+  while (at < payload.size()) {
+    std::size_t end = payload.find('\n', at);
+    if (end == std::string_view::npos) end = payload.size();
+    const std::string_view line = payload.substr(at, end - at);
+    at = end + 1;
+    if (line.empty()) continue;
+    const std::size_t eq = line.find('=');
+    if (eq == std::string_view::npos || eq == 0) {
+      ok_ = false;
+      continue;
+    }
+    std::string value;
+    if (!unescape(line.substr(eq + 1), &value)) {
+      ok_ = false;
+      continue;
+    }
+    fields_.emplace_back(std::string(line.substr(0, eq)), std::move(value));
+  }
+}
+
+bool PayloadReader::has(std::string_view key) const noexcept {
+  for (const auto& [k, v] : fields_)
+    if (k == key) return true;
+  return false;
+}
+
+std::string PayloadReader::get(std::string_view key,
+                               std::string_view fallback) const {
+  for (const auto& [k, v] : fields_)
+    if (k == key) return v;
+  return std::string(fallback);
+}
+
+std::int64_t PayloadReader::get_int(std::string_view key,
+                                    std::int64_t fallback) const {
+  for (const auto& [k, v] : fields_)
+    if (k == key) {
+      char* end = nullptr;
+      const long long parsed = std::strtoll(v.c_str(), &end, 10);
+      return (end && *end == '\0' && !v.empty()) ? parsed : fallback;
+    }
+  return fallback;
+}
+
+std::uint64_t PayloadReader::get_uint(std::string_view key,
+                                      std::uint64_t fallback) const {
+  for (const auto& [k, v] : fields_)
+    if (k == key) {
+      char* end = nullptr;
+      const unsigned long long parsed = std::strtoull(v.c_str(), &end, 10);
+      return (end && *end == '\0' && !v.empty()) ? parsed : fallback;
+    }
+  return fallback;
+}
+
+bool PayloadReader::get_bool(std::string_view key, bool fallback) const {
+  for (const auto& [k, v] : fields_)
+    if (k == key) return v == "1";
+  return fallback;
+}
+
+}  // namespace sesp::recovery

@@ -1,0 +1,55 @@
+#pragma once
+
+// Slot-payload codec for the run journal (docs/robustness.md): an ordered
+// list of key=value lines. The format is the narrowest thing that satisfies
+// the resume contract — encoding is deterministic (insertion order, one
+// canonical escape), so a slot result serialized on one run and decoded on
+// a resumed run reproduces the exact bytes a fresh computation would have
+// produced. Values may contain anything; '\\', '\n' and '\r' travel
+// escaped. Keys are internal identifiers ([A-Za-z0-9._-], enforced).
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace sesp::recovery {
+
+class PayloadWriter {
+ public:
+  // Appends one field; keys restricted to [A-Za-z0-9._-] (terminates on
+  // violation — journal schema bugs must not produce unreadable records).
+  void put(std::string_view key, std::string_view value);
+  void put_int(std::string_view key, std::int64_t value);
+  void put_uint(std::string_view key, std::uint64_t value);
+  void put_bool(std::string_view key, bool value);
+
+  const std::string& str() const noexcept { return text_; }
+
+ private:
+  std::string text_;
+};
+
+class PayloadReader {
+ public:
+  // Parses the writer's output; unescapable input flips ok() off but the
+  // well-formed prefix stays readable (defense in depth — checksummed
+  // journal records should never get here malformed).
+  explicit PayloadReader(std::string_view payload);
+
+  bool ok() const noexcept { return ok_; }
+  bool has(std::string_view key) const noexcept;
+  // First value for `key`, or `fallback` when absent.
+  std::string get(std::string_view key,
+                  std::string_view fallback = {}) const;
+  std::int64_t get_int(std::string_view key, std::int64_t fallback) const;
+  std::uint64_t get_uint(std::string_view key, std::uint64_t fallback) const;
+  bool get_bool(std::string_view key, bool fallback) const;
+
+ private:
+  bool ok_ = true;
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+}  // namespace sesp::recovery

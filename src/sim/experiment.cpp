@@ -8,6 +8,9 @@
 #include "adversary/delay_strategies.hpp"
 #include "adversary/step_schedulers.hpp"
 #include "exec/thread_pool.hpp"
+#include "model/trace_io.hpp"
+#include "recovery/payload.hpp"
+#include "recovery/supervisor.hpp"
 
 namespace sesp {
 
@@ -22,39 +25,116 @@ std::deque<obs::ObservationShard> make_shards(obs::Observer* parent,
   return shards;
 }
 
-void fold(WorstCase& wc, const Verdict& v, bool completed, bool hit_limit,
-          const std::optional<SimError>& error, const std::string& label) {
+// Everything the worst-case aggregate consumes from one run, flattened to
+// journal-codable fields: the sweeps fold *decoded* WorstSlots (fresh or
+// replayed from a checkpoint journal) so the report is a pure function of
+// the payload bytes (docs/robustness.md).
+struct WorstSlot {
+  std::string label;
+  bool completed = false;
+  bool hit_limit = false;
+  bool admissible = false;
+  std::string violation;
+  bool solves = false;
+  std::int64_t sessions = 0;
+  std::optional<Time> termination;
+  std::int64_t rounds = 0;
+  std::optional<Duration> gamma;
+  std::optional<std::string> error;
+};
+
+template <typename Outcome>
+WorstSlot make_worst_slot(const std::string& label, const Outcome& out) {
+  WorstSlot s;
+  s.label = label;
+  s.completed = out.run.completed;
+  s.hit_limit = out.run.hit_limit;
+  const Verdict& v = out.verdict;
+  s.admissible = v.admissible;
+  s.violation = v.admissibility_violation;
+  s.solves = v.solves;
+  s.sessions = v.sessions;
+  s.termination = v.termination_time;
+  s.rounds = v.rounds.rounds_ceiling();
+  if (v.gamma) s.gamma = *v.gamma;
+  if (out.run.error) s.error = out.run.error->to_string();
+  return s;
+}
+
+std::string encode_worst_slot(const WorstSlot& s) {
+  recovery::PayloadWriter w;
+  w.put("label", s.label);
+  w.put_bool("completed", s.completed);
+  w.put_bool("hit_limit", s.hit_limit);
+  w.put_bool("admissible", s.admissible);
+  w.put("violation", s.violation);
+  w.put_bool("solves", s.solves);
+  w.put_int("sessions", s.sessions);
+  if (s.termination) w.put("termination", ratio_to_text(*s.termination));
+  w.put_int("rounds", s.rounds);
+  if (s.gamma) w.put("gamma", ratio_to_text(*s.gamma));
+  if (s.error) w.put("error", *s.error);
+  return w.str();
+}
+
+WorstSlot decode_worst_slot(const std::string& payload,
+                            const std::string& fallback_label) {
+  WorstSlot s;
+  s.label = fallback_label;
+  if (const auto failure = recovery::decode_task_failure(payload)) {
+    // Supervisor-level failure: the schedule itself was fine (admissible),
+    // the run just never produced a verdict.
+    s.admissible = true;
+    s.error = failure->to_string();
+    return s;
+  }
+  const recovery::PayloadReader r(payload);
+  s.label = r.get("label", fallback_label);
+  s.completed = r.get_bool("completed", false);
+  s.hit_limit = r.get_bool("hit_limit", false);
+  s.admissible = r.get_bool("admissible", false);
+  s.violation = r.get("violation");
+  s.solves = r.get_bool("solves", false);
+  s.sessions = r.get_int("sessions", 0);
+  if (r.has("termination"))
+    if (const auto t = ratio_from_text(r.get("termination"))) s.termination = *t;
+  s.rounds = r.get_int("rounds", 0);
+  if (r.has("gamma"))
+    if (const auto g = ratio_from_text(r.get("gamma"))) s.gamma = *g;
+  if (r.has("error")) s.error = r.get("error");
+  return s;
+}
+
+void fold(WorstCase& wc, const WorstSlot& s) {
   ++wc.runs;
-  if (!v.admissible || !v.solves || hit_limit || error) {
-    wc.all_solved = wc.all_solved && v.solves && !hit_limit && !error;
-    wc.all_admissible = wc.all_admissible && v.admissible;
+  wc.any_hit_limit = wc.any_hit_limit || s.hit_limit;
+  if (!s.admissible || !s.solves || s.hit_limit || s.error) {
+    wc.all_solved = wc.all_solved && s.solves && !s.hit_limit && !s.error;
+    wc.all_admissible = wc.all_admissible && s.admissible;
     if (wc.first_failure.empty()) {
-      wc.first_failure = label + ": ";
-      if (!v.admissible)
-        wc.first_failure += "inadmissible (" + v.admissibility_violation + ")";
-      else if (error)
-        wc.first_failure += error->to_string();
-      else if (hit_limit)
+      wc.first_failure = s.label + ": ";
+      if (!s.admissible)
+        wc.first_failure += "inadmissible (" + s.violation + ")";
+      else if (s.error)
+        wc.first_failure += *s.error;
+      else if (s.hit_limit)
         wc.first_failure += "hit run limit";
       else
         wc.first_failure +=
-            "solved=false (sessions=" + std::to_string(v.sessions) + ")";
+            "solved=false (sessions=" + std::to_string(s.sessions) + ")";
     }
   }
   // Limit hits are recorded on their own channel: a run that trips a limit
   // must name the adversary and the limit even when another run already
   // claimed first_failure (or succeeds later).
-  if (hit_limit && wc.first_limit_hit.empty())
-    wc.first_limit_hit =
-        label + ": " + (error ? error->to_string() : "hit run limit");
-  if (wc.runs == 1 || v.sessions < wc.min_sessions)
-    wc.min_sessions = v.sessions;
-  if (completed && v.termination_time &&
-      wc.max_termination < *v.termination_time)
-    wc.max_termination = *v.termination_time;
-  const std::int64_t rounds = v.rounds.rounds_ceiling();
-  if (wc.max_rounds < rounds) wc.max_rounds = rounds;
-  if (v.gamma && wc.max_gamma < *v.gamma) wc.max_gamma = *v.gamma;
+  if (s.hit_limit && wc.first_limit_hit.empty())
+    wc.first_limit_hit = s.label + ": " + (s.error ? *s.error : "hit run limit");
+  if (wc.runs == 1 || s.sessions < wc.min_sessions)
+    wc.min_sessions = s.sessions;
+  if (s.completed && s.termination && wc.max_termination < *s.termination)
+    wc.max_termination = *s.termination;
+  if (wc.max_rounds < s.rounds) wc.max_rounds = s.rounds;
+  if (s.gamma && wc.max_gamma < *s.gamma) wc.max_gamma = *s.gamma;
 }
 
 }  // namespace
@@ -197,29 +277,30 @@ WorstCase mpm_worst_case(const ProblemSpec& spec,
 
   // Each adversary owns its schedulers (and their RNG streams), so runs are
   // independent; results land in per-adversary slots and are folded in
-  // family order, making the aggregate identical for every job count.
+  // family order, making the aggregate identical for every job count and —
+  // via the WorstSlot payload round trip — for every interrupt/resume
+  // history when a recovery::Supervisor is installed.
   obs::Observer* const parent = obs::default_observer();
   std::deque<obs::ObservationShard> shards =
       make_shards(parent, family.size());
-  std::vector<std::optional<MpmOutcome>> outs(family.size());
-  exec::parallel_for_each(family.size(), [&](std::size_t i) {
-    Adversary& adv = family[i];
-    obs::Observer* const o = shards[i].observer();
-    obs::Span span(o ? o->trace : nullptr, "adversary.mpm_worst_case",
-                   "adversary",
-                   o && o->trace
-                       ? obs::args_object({obs::arg_str("label", adv.label)})
-                       : std::string());
-    outs[i].emplace(run_mpm_once(spec, constraints, factory, *adv.sched,
-                                 *adv.delay, limits, nullptr, o));
-  });
-  for (std::size_t i = 0; i < family.size(); ++i) {
-    shards[i].merge_into_parent();
-    const MpmOutcome& out = *outs[i];
-    wc.any_hit_limit = wc.any_hit_limit || out.run.hit_limit;
-    fold(wc, out.verdict, out.run.completed, out.run.hit_limit,
-         out.run.error, family[i].label);
-  }
+  recovery::supervised_sweep(
+      "mpm_worst_case", family.size(),
+      [&](std::size_t i) {
+        Adversary& adv = family[i];
+        obs::Observer* const o = shards[i].observer();
+        obs::Span span(
+            o ? o->trace : nullptr, "adversary.mpm_worst_case", "adversary",
+            o && o->trace
+                ? obs::args_object({obs::arg_str("label", adv.label)})
+                : std::string());
+        return encode_worst_slot(make_worst_slot(
+            adv.label, run_mpm_once(spec, constraints, factory, *adv.sched,
+                                    *adv.delay, limits, nullptr, o)));
+      },
+      [&](std::size_t i, const std::string& payload) {
+        shards[i].merge_into_parent();
+        fold(wc, decode_worst_slot(payload, family[i].label));
+      });
   return wc;
 }
 
@@ -280,25 +361,24 @@ WorstCase smm_worst_case(const ProblemSpec& spec,
   obs::Observer* const parent = obs::default_observer();
   std::deque<obs::ObservationShard> shards =
       make_shards(parent, family.size());
-  std::vector<std::optional<SmmOutcome>> outs(family.size());
-  exec::parallel_for_each(family.size(), [&](std::size_t i) {
-    Adversary& adv = family[i];
-    obs::Observer* const o = shards[i].observer();
-    obs::Span span(o ? o->trace : nullptr, "adversary.smm_worst_case",
-                   "adversary",
-                   o && o->trace
-                       ? obs::args_object({obs::arg_str("label", adv.label)})
-                       : std::string());
-    outs[i].emplace(run_smm_once(spec, constraints, factory, *adv.sched,
-                                 limits, nullptr, o));
-  });
-  for (std::size_t i = 0; i < family.size(); ++i) {
-    shards[i].merge_into_parent();
-    const SmmOutcome& out = *outs[i];
-    wc.any_hit_limit = wc.any_hit_limit || out.run.hit_limit;
-    fold(wc, out.verdict, out.run.completed, out.run.hit_limit,
-         out.run.error, family[i].label);
-  }
+  recovery::supervised_sweep(
+      "smm_worst_case", family.size(),
+      [&](std::size_t i) {
+        Adversary& adv = family[i];
+        obs::Observer* const o = shards[i].observer();
+        obs::Span span(
+            o ? o->trace : nullptr, "adversary.smm_worst_case", "adversary",
+            o && o->trace
+                ? obs::args_object({obs::arg_str("label", adv.label)})
+                : std::string());
+        return encode_worst_slot(make_worst_slot(
+            adv.label, run_smm_once(spec, constraints, factory, *adv.sched,
+                                    limits, nullptr, o)));
+      },
+      [&](std::size_t i, const std::string& payload) {
+        shards[i].merge_into_parent();
+        fold(wc, decode_worst_slot(payload, family[i].label));
+      });
   return wc;
 }
 
@@ -353,6 +433,48 @@ void fill_cell(DegradationCell& cell, const Verdict& verdict,
   cell.diagnostic = outcome_diagnostic(error, verdict, spec);
 }
 
+std::string encode_degradation_cell(const DegradationCell& cell) {
+  recovery::PayloadWriter w;
+  w.put_int("crashes", cell.crashes);
+  w.put_int("fault_percent", cell.fault_percent);
+  w.put_int("outcome", static_cast<std::int64_t>(cell.outcome));
+  w.put_int("sessions", cell.sessions);
+  w.put_bool("completed", cell.completed);
+  w.put_bool("admissible", cell.admissible);
+  w.put_int("injected", cell.injected);
+  w.put("diagnostic", cell.diagnostic);
+  return w.str();
+}
+
+DegradationCell decode_degradation_cell(const std::string& payload,
+                                        std::int32_t crashes,
+                                        std::int32_t percent) {
+  DegradationCell cell;
+  cell.crashes = crashes;
+  cell.fault_percent = percent;
+  if (const auto failure = recovery::decode_task_failure(payload)) {
+    // A cell whose every attempt failed is a diagnosed outcome: structured,
+    // named, never silently dropped from the grid.
+    cell.outcome = RunOutcome::kDiagnosed;
+    cell.diagnostic = failure->to_string();
+    return cell;
+  }
+  const recovery::PayloadReader r(payload);
+  cell.crashes = static_cast<std::int32_t>(r.get_int("crashes", crashes));
+  cell.fault_percent =
+      static_cast<std::int32_t>(r.get_int("fault_percent", percent));
+  const std::int64_t outcome = r.get_int("outcome", 0);
+  cell.outcome = outcome == 1   ? RunOutcome::kDegraded
+                 : outcome == 2 ? RunOutcome::kDiagnosed
+                                : RunOutcome::kSolved;
+  cell.sessions = r.get_int("sessions", 0);
+  cell.completed = r.get_bool("completed", false);
+  cell.admissible = r.get_bool("admissible", false);
+  cell.injected = r.get_int("injected", 0);
+  cell.diagnostic = r.get("diagnostic");
+  return cell;
+}
+
 }  // namespace
 
 std::int32_t DegradationReport::count(RunOutcome outcome) const {
@@ -397,29 +519,37 @@ DegradationReport mpm_degradation(const ProblemSpec& spec,
   obs::Observer* const parent = obs::default_observer();
   std::deque<obs::ObservationShard> shards = make_shards(parent, grid.size());
   report.cells.resize(grid.size());
-  exec::parallel_for_each(grid.size(), [&](std::size_t i) {
-    const std::int32_t k = grid[i].k;
-    const std::int32_t p = grid[i].p;
-    obs::Observer* const o = shards[i].observer();
-    obs::Span span(o ? o->trace : nullptr, "degradation.mpm_cell", "sim",
-                   o && o->trace
-                       ? obs::args_object({obs::arg_int("crashes", k),
-                                           obs::arg_int("percent", p)})
-                       : std::string());
-    FaultInjector injector(grid_plan(
-        k, p, false, spec.n, seed + 131 * static_cast<std::uint64_t>(k) +
-                                 static_cast<std::uint64_t>(p)));
-    auto sched = canonical_scheduler(constraints, spec.n);
-    FixedDelay delay(constraints.d2);
-    const MpmOutcome out = run_mpm_once(spec, constraints, factory, *sched,
-                                        delay, limits, &injector, o);
-    DegradationCell& cell = report.cells[i];
-    cell.crashes = k;
-    cell.fault_percent = p;
-    fill_cell(cell, out.verdict, out.run.error, out.run.completed, injector,
-              spec);
-  });
-  for (obs::ObservationShard& shard : shards) shard.merge_into_parent();
+  recovery::supervised_sweep(
+      "mpm_degradation", grid.size(),
+      [&](std::size_t i) {
+        const std::int32_t k = grid[i].k;
+        const std::int32_t p = grid[i].p;
+        obs::Observer* const o = shards[i].observer();
+        obs::Span span(o ? o->trace : nullptr, "degradation.mpm_cell", "sim",
+                       o && o->trace
+                           ? obs::args_object({obs::arg_int("crashes", k),
+                                               obs::arg_int("percent", p)})
+                           : std::string());
+        FaultInjector injector(grid_plan(
+            k, p, false, spec.n, seed + 131 * static_cast<std::uint64_t>(k) +
+                                     static_cast<std::uint64_t>(p)));
+        auto sched = canonical_scheduler(constraints, spec.n);
+        FixedDelay delay(constraints.d2);
+        const MpmOutcome out = run_mpm_once(spec, constraints, factory,
+                                            *sched, delay, limits, &injector,
+                                            o);
+        DegradationCell cell;
+        cell.crashes = k;
+        cell.fault_percent = p;
+        fill_cell(cell, out.verdict, out.run.error, out.run.completed,
+                  injector, spec);
+        return encode_degradation_cell(cell);
+      },
+      [&](std::size_t i, const std::string& payload) {
+        shards[i].merge_into_parent();
+        report.cells[i] =
+            decode_degradation_cell(payload, grid[i].k, grid[i].p);
+      });
   return report;
 }
 
@@ -443,28 +573,35 @@ DegradationReport smm_degradation(
   obs::Observer* const parent = obs::default_observer();
   std::deque<obs::ObservationShard> shards = make_shards(parent, grid.size());
   report.cells.resize(grid.size());
-  exec::parallel_for_each(grid.size(), [&](std::size_t i) {
-    const std::int32_t k = grid[i].k;
-    const std::int32_t p = grid[i].p;
-    obs::Observer* const o = shards[i].observer();
-    obs::Span span(o ? o->trace : nullptr, "degradation.smm_cell", "sim",
-                   o && o->trace
-                       ? obs::args_object({obs::arg_int("crashes", k),
-                                           obs::arg_int("percent", p)})
-                       : std::string());
-    FaultInjector injector(grid_plan(
-        k, p, true, spec.n, seed + 131 * static_cast<std::uint64_t>(k) +
-                                static_cast<std::uint64_t>(p)));
-    auto sched = canonical_scheduler(constraints, total);
-    const SmmOutcome out = run_smm_once(spec, constraints, factory, *sched,
-                                        limits, &injector, o);
-    DegradationCell& cell = report.cells[i];
-    cell.crashes = k;
-    cell.fault_percent = p;
-    fill_cell(cell, out.verdict, out.run.error, out.run.completed, injector,
-              spec);
-  });
-  for (obs::ObservationShard& shard : shards) shard.merge_into_parent();
+  recovery::supervised_sweep(
+      "smm_degradation", grid.size(),
+      [&](std::size_t i) {
+        const std::int32_t k = grid[i].k;
+        const std::int32_t p = grid[i].p;
+        obs::Observer* const o = shards[i].observer();
+        obs::Span span(o ? o->trace : nullptr, "degradation.smm_cell", "sim",
+                       o && o->trace
+                           ? obs::args_object({obs::arg_int("crashes", k),
+                                               obs::arg_int("percent", p)})
+                           : std::string());
+        FaultInjector injector(grid_plan(
+            k, p, true, spec.n, seed + 131 * static_cast<std::uint64_t>(k) +
+                                    static_cast<std::uint64_t>(p)));
+        auto sched = canonical_scheduler(constraints, total);
+        const SmmOutcome out = run_smm_once(spec, constraints, factory,
+                                            *sched, limits, &injector, o);
+        DegradationCell cell;
+        cell.crashes = k;
+        cell.fault_percent = p;
+        fill_cell(cell, out.verdict, out.run.error, out.run.completed,
+                  injector, spec);
+        return encode_degradation_cell(cell);
+      },
+      [&](std::size_t i, const std::string& payload) {
+        shards[i].merge_into_parent();
+        report.cells[i] =
+            decode_degradation_cell(payload, grid[i].k, grid[i].p);
+      });
   return report;
 }
 
@@ -525,20 +662,47 @@ ChaosRun classify_chaos(const RunResult& run, const Verdict& v,
   return r;
 }
 
-void fold_chaos(ChaosReport& report, const std::vector<ChaosRun>& runs) {
-  for (const ChaosRun& r : runs) {
-    ++report.runs;
-    switch (r.outcome) {
-      case RunOutcome::kSolved: ++report.solved; break;
-      case RunOutcome::kDegraded: ++report.degraded; break;
-      case RunOutcome::kDiagnosed: ++report.diagnosed; break;
-    }
-    if (!r.ok && report.contract_ok) {
-      report.contract_ok = false;
-      report.first_violation = r.violation;
-    }
-    report.digest += r.digest;
+void fold_chaos(ChaosReport& report, const ChaosRun& r) {
+  ++report.runs;
+  switch (r.outcome) {
+    case RunOutcome::kSolved: ++report.solved; break;
+    case RunOutcome::kDegraded: ++report.degraded; break;
+    case RunOutcome::kDiagnosed: ++report.diagnosed; break;
   }
+  if (!r.ok && report.contract_ok) {
+    report.contract_ok = false;
+    report.first_violation = r.violation;
+  }
+  report.digest += r.digest;
+}
+
+std::string encode_chaos_run(const ChaosRun& r) {
+  recovery::PayloadWriter w;
+  w.put_int("outcome", static_cast<std::int64_t>(r.outcome));
+  w.put_bool("ok", r.ok);
+  w.put("violation", r.violation);
+  w.put("digest", r.digest);
+  return w.str();
+}
+
+ChaosRun decode_chaos_run(const std::string& payload, std::uint64_t seed) {
+  ChaosRun r;
+  if (const auto failure = recovery::decode_task_failure(payload)) {
+    r.outcome = RunOutcome::kDiagnosed;
+    r.ok = false;
+    r.violation = "seed " + std::to_string(seed) + ": " + failure->to_string();
+    r.digest = std::to_string(seed) + ":failed;";
+    return r;
+  }
+  const recovery::PayloadReader reader(payload);
+  const std::int64_t outcome = reader.get_int("outcome", 0);
+  r.outcome = outcome == 1   ? RunOutcome::kDegraded
+              : outcome == 2 ? RunOutcome::kDiagnosed
+                             : RunOutcome::kSolved;
+  r.ok = reader.get_bool("ok", false);
+  r.violation = reader.get("violation");
+  r.digest = reader.get("digest");
+  return r;
 }
 
 // Schedule bounds for the chaos schedules, robust across timing models
@@ -565,25 +729,31 @@ ChaosReport mpm_chaos_sweep(const ProblemSpec& spec,
       constraints.d2.is_positive() ? constraints.d2 : Duration(4);
   obs::Observer* const parent = obs::default_observer();
   std::deque<obs::ObservationShard> shards = make_shards(parent, count);
-  std::vector<ChaosRun> results(count);
-  exec::parallel_for_each(count, [&](std::size_t i) {
-    const std::uint64_t run_seed = seed + 2654435761ULL * i;
-    obs::Observer* const o = shards[i].observer();
-    obs::Span span(o ? o->trace : nullptr, "chaos.mpm_run", "sim",
-                   o && o->trace ? obs::args_object({obs::arg_int(
-                                       "seed",
-                                       static_cast<std::int64_t>(run_seed))})
-                                 : std::string());
-    FaultInjector injector(FaultPlan::random(run_seed, spec.n));
-    UniformGapScheduler sched(lo, hi, run_seed + 1);
-    UniformRandomDelay delay(Duration(0), dmax, run_seed + 2);
-    const MpmOutcome out = run_mpm_once(spec, constraints, factory, sched,
-                                        delay, limits, &injector, o);
-    results[i] = classify_chaos(out.run, out.verdict, run_seed);
-  });
   ChaosReport report;
-  for (obs::ObservationShard& shard : shards) shard.merge_into_parent();
-  fold_chaos(report, results);
+  recovery::supervised_sweep(
+      "mpm_chaos", count,
+      [&](std::size_t i) {
+        const std::uint64_t run_seed = seed + 2654435761ULL * i;
+        obs::Observer* const o = shards[i].observer();
+        obs::Span span(
+            o ? o->trace : nullptr, "chaos.mpm_run", "sim",
+            o && o->trace
+                ? obs::args_object({obs::arg_int(
+                      "seed", static_cast<std::int64_t>(run_seed))})
+                : std::string());
+        FaultInjector injector(FaultPlan::random(run_seed, spec.n));
+        UniformGapScheduler sched(lo, hi, run_seed + 1);
+        UniformRandomDelay delay(Duration(0), dmax, run_seed + 2);
+        const MpmOutcome out = run_mpm_once(spec, constraints, factory, sched,
+                                            delay, limits, &injector, o);
+        return encode_chaos_run(classify_chaos(out.run, out.verdict,
+                                               run_seed));
+      },
+      [&](std::size_t i, const std::string& payload) {
+        shards[i].merge_into_parent();
+        fold_chaos(report,
+                   decode_chaos_run(payload, seed + 2654435761ULL * i));
+      });
   return report;
 }
 
@@ -598,24 +768,30 @@ ChaosReport smm_chaos_sweep(const ProblemSpec& spec,
   const std::int32_t total = smm_total_processes(spec.n, spec.b);
   obs::Observer* const parent = obs::default_observer();
   std::deque<obs::ObservationShard> shards = make_shards(parent, count);
-  std::vector<ChaosRun> results(count);
-  exec::parallel_for_each(count, [&](std::size_t i) {
-    const std::uint64_t run_seed = seed + 2654435761ULL * i;
-    obs::Observer* const o = shards[i].observer();
-    obs::Span span(o ? o->trace : nullptr, "chaos.smm_run", "sim",
-                   o && o->trace ? obs::args_object({obs::arg_int(
-                                       "seed",
-                                       static_cast<std::int64_t>(run_seed))})
-                                 : std::string());
-    FaultInjector injector(FaultPlan::random(run_seed, total));
-    UniformGapScheduler sched(lo, hi, run_seed + 1);
-    const SmmOutcome out = run_smm_once(spec, constraints, factory, sched,
-                                        limits, &injector, o);
-    results[i] = classify_chaos(out.run, out.verdict, run_seed);
-  });
   ChaosReport report;
-  for (obs::ObservationShard& shard : shards) shard.merge_into_parent();
-  fold_chaos(report, results);
+  recovery::supervised_sweep(
+      "smm_chaos", count,
+      [&](std::size_t i) {
+        const std::uint64_t run_seed = seed + 2654435761ULL * i;
+        obs::Observer* const o = shards[i].observer();
+        obs::Span span(
+            o ? o->trace : nullptr, "chaos.smm_run", "sim",
+            o && o->trace
+                ? obs::args_object({obs::arg_int(
+                      "seed", static_cast<std::int64_t>(run_seed))})
+                : std::string());
+        FaultInjector injector(FaultPlan::random(run_seed, total));
+        UniformGapScheduler sched(lo, hi, run_seed + 1);
+        const SmmOutcome out = run_smm_once(spec, constraints, factory, sched,
+                                            limits, &injector, o);
+        return encode_chaos_run(classify_chaos(out.run, out.verdict,
+                                               run_seed));
+      },
+      [&](std::size_t i, const std::string& payload) {
+        shards[i].merge_into_parent();
+        fold_chaos(report,
+                   decode_chaos_run(payload, seed + 2654435761ULL * i));
+      });
   return report;
 }
 

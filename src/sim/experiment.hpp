@@ -14,6 +14,11 @@
 // (seed, run-index) pair, results land in per-run slots, and observability
 // goes through per-run obs::ObservationShards merged in run order
 // (docs/parallelism.md).
+//
+// The same sweeps run under recovery::supervised_sweep: with a supervisor
+// installed (tool flags --journal/--resume) each slot's result is
+// checkpointed, deadline/retry task isolation applies, and an interrupted
+// sweep resumes to a byte-identical report (docs/robustness.md).
 
 #include <cstdint>
 #include <optional>

@@ -32,6 +32,21 @@ CommandResult run_command(const std::string& command) {
 
 const std::string kCli = SESP_CLI_PATH;
 const std::string kAttack = SESP_ATTACK_PATH;
+const std::string kConformance = SESP_CONFORMANCE_PATH;
+const std::string kBenchMerge = SESP_BENCH_MERGE_PATH;
+
+// Drops the tool's stderr (resume hints, recovery chatter) so the captured
+// output is exactly the stdout the byte-identity contract covers.
+std::string stdout_only(const std::string& command) {
+  return "( " + command + " 2>/dev/null )";
+}
+
+void write_file(const std::string& path, const std::string& text) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr) << path;
+  std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+}
 
 TEST(CliTest, RunsEveryModelOnMpm) {
   for (const std::string model :
@@ -102,6 +117,113 @@ TEST(CliTest, UsageErrorsExitTwo) {
   EXPECT_EQ(
       run_command(kCli + " --check-certificate=/definitely/missing").status,
       2);
+}
+
+// The crash-safe execution contract end to end (docs/robustness.md): a run
+// interrupted mid-sweep exits 75 with a resume hint, and --resume completes
+// it to a stdout byte-identical to the uninterrupted run's.
+TEST(CliTest, InterruptAndResumeIsByteIdentical) {
+  const std::string journal = ::testing::TempDir() + "/cli_resume.journal";
+  std::remove(journal.c_str());
+  const std::string sweep =
+      kCli + " --substrate=mpm --model=sporadic --adversary=worst"
+             " --s=3 --n=3 --c1=1 --d1=1 --d2=4 --jobs=2";
+
+  const auto plain = run_command(stdout_only(sweep));
+  ASSERT_EQ(plain.status, 0) << plain.output;
+
+  const auto interrupted = run_command(
+      "SESP_STOP_AFTER=2 SESP_JOURNAL_FSYNC=0 " + sweep +
+      " --journal=" + journal);
+  ASSERT_EQ(interrupted.status, 75) << interrupted.output;
+  EXPECT_NE(interrupted.output.find("resume with --resume="),
+            std::string::npos)
+      << interrupted.output;
+  // The partial run never prints the report.
+  EXPECT_EQ(interrupted.output.find("all solved"), std::string::npos)
+      << interrupted.output;
+
+  // Resume (repeatedly, in case another stop fires) until completion; the
+  // final stdout must match the uninterrupted run byte for byte.
+  CommandResult resumed;
+  for (int i = 0; i < 50; ++i) {
+    resumed = run_command(
+        stdout_only("SESP_JOURNAL_FSYNC=0 " + sweep + " --resume=" + journal));
+    if (resumed.status != 75) break;
+  }
+  ASSERT_EQ(resumed.status, 0) << resumed.output;
+  EXPECT_EQ(resumed.output, plain.output);
+  std::remove(journal.c_str());
+}
+
+TEST(CliTest, ConformanceResumeMatchesUninterruptedRun) {
+  const std::string journal =
+      ::testing::TempDir() + "/conformance_resume.journal";
+  std::remove(journal.c_str());
+  const std::string campaign =
+      kConformance + " --cases=10 --seed=5 --jobs=2 --no-minimize"
+                     " --substrate=smm --model=semisync";
+
+  const auto plain = run_command(stdout_only(campaign));
+  ASSERT_EQ(plain.status, 0) << plain.output;
+
+  const auto interrupted = run_command(
+      "SESP_STOP_AFTER=3 SESP_JOURNAL_FSYNC=0 " + campaign +
+      " --journal=" + journal);
+  ASSERT_EQ(interrupted.status, 75) << interrupted.output;
+
+  CommandResult resumed;
+  for (int i = 0; i < 50; ++i) {
+    resumed = run_command(stdout_only(
+        "SESP_JOURNAL_FSYNC=0 " + campaign + " --resume=" + journal));
+    if (resumed.status != 75) break;
+  }
+  ASSERT_EQ(resumed.status, 0) << resumed.output;
+  EXPECT_EQ(resumed.output, plain.output);
+
+  // Resuming under a different configuration must be refused up front.
+  const auto mismatch = run_command(
+      kConformance + " --cases=11 --seed=5 --jobs=2 --no-minimize"
+                     " --substrate=smm --model=semisync --resume=" + journal);
+  EXPECT_EQ(mismatch.status, 2) << mismatch.output;
+  EXPECT_NE(mismatch.output.find("different"), std::string::npos)
+      << mismatch.output;
+  std::remove(journal.c_str());
+}
+
+TEST(CliTest, BenchMergeSkipsTruncatedRecords) {
+  const std::string dir = ::testing::TempDir();
+  const std::string good = dir + "/BENCH_merge_good.json";
+  const std::string torn = dir + "/BENCH_merge_torn.json";
+  const std::string out = dir + "/bench_results_test.json";
+  const std::string record =
+      "{\"schema\":\"sesp-bench/1\",\"bench\":\"unit\",\"ok\":true,"
+      "\"wall_seconds\":0.1,\"steps\":10,\"steps_per_sec\":100,\"runs\":1,"
+      "\"rows\":[],\"notes\":{},\"metrics\":{}}";
+  write_file(good, record);
+  write_file(torn, record.substr(0, record.size() / 2));
+
+  // Truncated-only blemish: skipped with a warning, distinct exit code 3.
+  const auto warn = run_command(kBenchMerge + " --out=" + out + " " + good +
+                                " " + torn);
+  EXPECT_EQ(warn.status, 3) << warn.output;
+  EXPECT_NE(warn.output.find("skipped truncated record"), std::string::npos)
+      << warn.output;
+  EXPECT_NE(warn.output.find("truncated: 1"), std::string::npos)
+      << warn.output;
+
+  // Clean inputs still exit 0; a malformed record still fails with 1.
+  EXPECT_EQ(run_command(kBenchMerge + " --out=" + out + " " + good).status,
+            0);
+  const std::string bad = dir + "/BENCH_merge_bad.json";
+  write_file(bad, "{\"schema\":\"other/1\"}");
+  EXPECT_EQ(run_command(kBenchMerge + " --out=" + out + " " + good + " " +
+                        bad).status,
+            1);
+  std::remove(good.c_str());
+  std::remove(torn.c_str());
+  std::remove(bad.c_str());
+  std::remove(out.c_str());
 }
 
 TEST(CliTest, TraceDumpParsesBack) {

@@ -11,6 +11,7 @@
 
 #include <atomic>
 #include <cstdlib>
+#include <stdexcept>
 #include <vector>
 
 #include "adversary/exhaustive.hpp"
@@ -65,6 +66,45 @@ TEST(ParallelForEach, NestedCallsRunInline) {
       },
       4);
   EXPECT_EQ(inner_total.load(), 4 * 8);
+}
+
+// A throwing task must not tear down the pool or lose the sweep: every
+// slot still runs, and the barrier rethrows the smallest-index exception on
+// the caller's thread regardless of worker scheduling.
+TEST(ParallelForEach, FirstSlotOrderExceptionWinsAndAllSlotsRun) {
+  for (const int jobs : {1, 2, 8}) {
+    std::vector<std::atomic<int>> hits(16);
+    bool caught = false;
+    try {
+      exec::parallel_for_each(
+          hits.size(),
+          [&](std::size_t i) {
+            hits[i].fetch_add(1);
+            if (i == 3) throw std::runtime_error("slot 3");
+            if (i == 5) throw std::runtime_error("slot 5");
+          },
+          jobs);
+    } catch (const std::runtime_error& e) {
+      caught = true;
+      EXPECT_STREQ(e.what(), "slot 3") << "jobs=" << jobs;
+    }
+    EXPECT_TRUE(caught) << "jobs=" << jobs;
+    for (std::size_t i = 0; i < hits.size(); ++i)
+      EXPECT_EQ(hits[i].load(), 1) << "jobs=" << jobs << " i=" << i;
+  }
+}
+
+TEST(ParallelForEach, PoolStaysUsableAfterException) {
+  EXPECT_THROW(
+      exec::parallel_for_each(
+          8, [](std::size_t i) { if (i == 0) throw std::runtime_error("x"); },
+          4),
+      std::runtime_error);
+  // The next sweep must run clean: no stale exception, no lost workers.
+  std::vector<std::atomic<int>> hits(64);
+  exec::parallel_for_each(
+      hits.size(), [&](std::size_t i) { hits[i].fetch_add(1); }, 4);
+  for (std::size_t i = 0; i < hits.size(); ++i) EXPECT_EQ(hits[i].load(), 1);
 }
 
 TEST(Jobs, ExplicitOverrideWinsAndRestores) {

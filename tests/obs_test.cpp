@@ -410,6 +410,84 @@ TEST_F(BenchRecordTest, ValidateRejectsWrongSchemaAndMissingFields) {
   EXPECT_FALSE(obs::validate_bench_record("", &error));
 }
 
+// A record torn by a killed writer is every proper prefix of a valid one;
+// the classifier must separate those (recoverable: rerun the bench) from
+// mid-text corruption and schema violations (malformed: a real bug).
+TEST_F(BenchRecordTest, ClassifySeparatesTruncatedFromMalformed) {
+  obs::BenchRecorder recorder("classify");
+  recorder.add_row(sample_row(true));
+  recorder.note("mode", std::string("test"));
+  const std::string full = recorder.render(true);
+  recorder.finish(true);
+
+  std::string error;
+  EXPECT_EQ(obs::classify_bench_record(full, &error),
+            obs::BenchRecordCheck::kValid)
+      << error;
+
+  // Cut anywhere strictly inside the payload (before the closing brace of
+  // the top-level object): always truncated, never malformed.
+  const std::size_t last_brace = full.find_last_of('}');
+  ASSERT_NE(last_brace, std::string::npos);
+  for (const std::size_t keep :
+       {std::size_t{1}, full.size() / 4, full.size() / 2,
+        (3 * full.size()) / 4, last_brace}) {
+    EXPECT_EQ(obs::classify_bench_record(full.substr(0, keep), &error),
+              obs::BenchRecordCheck::kTruncated)
+        << "keep=" << keep;
+  }
+  // The empty file a writer creates and never fills is truncated too.
+  EXPECT_EQ(obs::classify_bench_record("", &error),
+            obs::BenchRecordCheck::kTruncated);
+  EXPECT_EQ(obs::classify_bench_record("  \n", &error),
+            obs::BenchRecordCheck::kTruncated);
+
+  // Mid-text corruption parses wrong before the end: malformed.
+  std::string corrupt = full;
+  corrupt[corrupt.find(':')] = ';';
+  EXPECT_EQ(obs::classify_bench_record(corrupt, &error),
+            obs::BenchRecordCheck::kMalformed);
+  // Complete JSON of the wrong shape: malformed, not truncated.
+  EXPECT_EQ(obs::classify_bench_record("{\"schema\":\"other/1\"}", &error),
+            obs::BenchRecordCheck::kMalformed);
+  EXPECT_EQ(obs::classify_bench_record("[]", &error),
+            obs::BenchRecordCheck::kMalformed);
+}
+
+TEST_F(BenchRecordTest, AggregateSkipsTruncatedRecordsWithoutFailing) {
+  obs::BenchRecorder good("agg_torn_good");
+  good.add_row(sample_row(true));
+  const std::string full = good.render(true);
+  const std::string torn = full.substr(0, full.size() / 2);
+  good.finish(true);
+
+  const obs::BenchAggregate agg = obs::aggregate_bench_records(
+      {{"good.json", full}, {"torn.json", torn}});
+  EXPECT_EQ(agg.records, 1);
+  EXPECT_EQ(agg.failed, 0);
+  EXPECT_EQ(agg.malformed, 0);
+  EXPECT_EQ(agg.truncated, 1);
+  ASSERT_EQ(agg.skipped.size(), 1u);
+  EXPECT_EQ(agg.skipped[0].rfind("torn.json", 0), 0u) << agg.skipped[0];
+  // Truncation degrades the merge (distinct exit code at the tool level)
+  // but does not fail it.
+  EXPECT_TRUE(agg.all_ok());
+
+  std::string error;
+  const auto merged = obs::parse_json(agg.results_json, &error);
+  ASSERT_TRUE(merged) << error;
+  EXPECT_EQ(merged->find("truncated")->as_int64(), 1);
+  ASSERT_EQ(merged->find("skipped")->array.size(), 1u);
+  EXPECT_TRUE(merged->find("all_ok")->boolean);
+
+  // All inputs torn: nothing merged, and that cannot count as success.
+  const obs::BenchAggregate empty =
+      obs::aggregate_bench_records({{"torn.json", torn}});
+  EXPECT_EQ(empty.records, 0);
+  EXPECT_EQ(empty.truncated, 1);
+  EXPECT_FALSE(empty.all_ok());
+}
+
 // --- report / summary JSON mirrors -----------------------------------------
 
 TEST(ReportJsonTest, WriteJsonMatchesRenderedTable) {

@@ -12,11 +12,14 @@
 //       --c1=1 --c2=24 --d2=48            (correct algorithm: no certificate)
 //
 // Exit status: 0 certificate produced (or correct algorithm survived with
-// --expect-survive), 1 no certificate, 2 usage error.
+// --expect-survive), 1 no certificate, 2 usage error, 75 (EX_TEMPFAIL) when
+// a supervised run was interrupted and can be resumed with --resume.
 
 #include <fstream>
+#include <functional>
 #include <iostream>
 #include <memory>
+#include <sstream>
 #include <string>
 
 #include "adversary/certificate.hpp"
@@ -31,7 +34,10 @@
 #include "algorithms/smm/broken_algs.hpp"
 #include "algorithms/smm/semisync_alg.hpp"
 #include "cli_observation.hpp"
+#include "cli_recovery.hpp"
 #include "model/trace_io.hpp"
+#include "recovery/payload.hpp"
+#include "recovery/supervisor.hpp"
 
 namespace sesp {
 namespace {
@@ -44,7 +50,20 @@ struct Options {
   Ratio c1 = 1, c2 = 12, d1 = 0, d2 = 24;
   bool expect_survive = false;
   ObservationOptions obs;
+  RecoveryOptions recovery;
 };
+
+// Fingerprint of every option that shapes the attack result; --out,
+// --expect-survive, --jobs and the observability flags only change how the
+// result is reported, not what it is (docs/robustness.md).
+std::uint64_t config_digest(const Options& opt) {
+  std::ostringstream os;
+  os << opt.construction << '|' << opt.alg << '|' << opt.spec.s << '|'
+     << opt.spec.n << '|' << opt.spec.b << '|' << ratio_to_text(opt.c1)
+     << '|' << ratio_to_text(opt.c2) << '|' << ratio_to_text(opt.d1) << '|'
+     << ratio_to_text(opt.d2);
+  return recovery::fnv1a(os.str());
+}
 
 void usage(std::ostream& os) {
   os << "usage: sesp_attack [options]\n"
@@ -56,6 +75,7 @@ void usage(std::ostream& os) {
         "  --expect-survive             exit 0 when NO certificate is found\n"
         "  --jobs=N                     sweep worker threads (default:\n"
         "                               SESP_JOBS, then hardware)\n";
+  RecoveryOptions::usage(os);
   ObservationOptions::usage(os);
 }
 
@@ -68,6 +88,7 @@ std::optional<Options> parse(int argc, char** argv) {
     const std::string value =
         eq == std::string::npos ? "" : arg.substr(eq + 1);
     if (opt.obs.consume(key, value)) continue;
+    if (opt.recovery.consume(key, value)) continue;
     if (key == "--construction") opt.construction = value;
     else if (key == "--alg") opt.alg = value;
     else if (key == "--out") opt.out = value;
@@ -107,16 +128,60 @@ std::int64_t alg_param(const std::string& alg) {
   return colon == std::string::npos ? 2 : std::stoll(alg.substr(colon + 1));
 }
 
-int finish(const Options& opt, bool certified, const std::string& summary,
-           const ViolationCertificate* cert) {
-  std::cout << summary << "\n";
-  if (certified && cert && !opt.out.empty()) {
+// Everything the tool reports about one attack, in journal-codec form: the
+// certificate travels as its textual encoding so a resumed run can rewrite
+// --out without re-running the construction.
+struct AttackOutcome {
+  bool certified = false;
+  std::string summary;
+  std::string cert_text;
+};
+
+std::string encode_outcome(const AttackOutcome& o) {
+  recovery::PayloadWriter w;
+  w.put_bool("certified", o.certified);
+  w.put("summary", o.summary);
+  if (!o.cert_text.empty()) w.put("certificate", o.cert_text);
+  return w.str();
+}
+
+AttackOutcome decode_outcome(const std::string& payload) {
+  AttackOutcome o;
+  if (const auto failure = recovery::decode_task_failure(payload)) {
+    o.summary = failure->to_string();
+    return o;
+  }
+  const recovery::PayloadReader r(payload);
+  o.certified = r.get_bool("certified", false);
+  o.summary = r.get("summary");
+  o.cert_text = r.get("certificate");
+  return o;
+}
+
+// Runs the whole construction as a single supervised slot: a journaled run
+// resumes straight to the decoded outcome, and a deadline or exception
+// becomes a certified=false outcome instead of a process abort.
+AttackOutcome run_supervised_attack(
+    const std::function<AttackOutcome()>& attack) {
+  AttackOutcome outcome;
+  recovery::supervised_sweep(
+      "attack", 1,
+      [&](std::size_t) { return encode_outcome(attack()); },
+      [&](std::size_t, const std::string& payload) {
+        outcome = decode_outcome(payload);
+      });
+  return outcome;
+}
+
+int finish(const Options& opt, const AttackOutcome& outcome) {
+  std::cout << outcome.summary << "\n";
+  if (outcome.certified && !outcome.cert_text.empty() && !opt.out.empty()) {
     std::ofstream out(opt.out);
-    out << to_text(*cert);
+    out << outcome.cert_text;
     std::cout << "certificate written to " << opt.out << "\n";
   }
-  if (opt.expect_survive) return certified ? 1 : 0;
-  return certified ? 0 : 1;
+  if (opt.expect_survive) return outcome.certified ? 1 : 0;
+  return outcome.certified ? 0 : 1;
 }
 
 int attack_smm(const Options& opt, bool async_mode) {
@@ -138,16 +203,22 @@ int attack_smm(const Options& opt, bool async_mode) {
   const auto constraints =
       async_mode ? async_attack_constraints(opt.spec)
                  : TimingConstraints::semi_synchronous(opt.c1, opt.c2);
-  const SemiSyncRetimingResult result =
-      async_mode ? attack_async_smm(opt.spec, *factory)
-                 : attack_semisync_smm(opt.spec, constraints, *factory);
-  if (result.certificate) {
-    const ViolationCertificate cert = make_certificate(
-        result, factory->name(), opt.spec,
-        async_mode ? TimingConstraints::asynchronous() : constraints);
-    return finish(opt, true, result.to_string(), &cert);
-  }
-  return finish(opt, false, result.to_string(), nullptr);
+  const AttackOutcome outcome = run_supervised_attack([&] {
+    const SemiSyncRetimingResult result =
+        async_mode ? attack_async_smm(opt.spec, *factory)
+                   : attack_semisync_smm(opt.spec, constraints, *factory);
+    AttackOutcome o;
+    o.summary = result.to_string();
+    if (result.certificate) {
+      o.certified = true;
+      o.cert_text = to_text(make_certificate(
+          result, factory->name(), opt.spec,
+          async_mode ? TimingConstraints::asynchronous() : constraints));
+    }
+    return o;
+  });
+  if (recovery::run_interrupted()) return 1;
+  return finish(opt, outcome);
 }
 
 int attack_mpm(const Options& opt, bool semisync_mode) {
@@ -173,15 +244,21 @@ int attack_mpm(const Options& opt, bool semisync_mode) {
       semisync_mode
           ? TimingConstraints::semi_synchronous(opt.c1, opt.c2, opt.d2)
           : TimingConstraints::sporadic(opt.c1, opt.d1, opt.d2);
-  const SporadicRetimingResult result =
-      semisync_mode ? attack_semisync_mpm(opt.spec, constraints, *factory)
-                    : attack_sporadic_mpm(opt.spec, constraints, *factory);
-  if (result.certificate) {
-    const ViolationCertificate cert =
-        make_certificate(result, factory->name(), opt.spec, constraints);
-    return finish(opt, true, result.to_string(), &cert);
-  }
-  return finish(opt, false, result.to_string(), nullptr);
+  const AttackOutcome outcome = run_supervised_attack([&] {
+    const SporadicRetimingResult result =
+        semisync_mode ? attack_semisync_mpm(opt.spec, constraints, *factory)
+                      : attack_sporadic_mpm(opt.spec, constraints, *factory);
+    AttackOutcome o;
+    o.summary = result.to_string();
+    if (result.certificate) {
+      o.certified = true;
+      o.cert_text = to_text(
+          make_certificate(result, factory->name(), opt.spec, constraints));
+    }
+    return o;
+  });
+  if (recovery::run_interrupted()) return 1;
+  return finish(opt, outcome);
 }
 
 }  // namespace
@@ -196,13 +273,24 @@ int main(int argc, char** argv) {
   // Retimers and verifier report through the default observer; outputs are
   // emitted when the scope closes.
   sesp::ObservationScope observation(opt->obs, "sesp_attack");
+  sesp::RecoveryScope recovery(opt->recovery, "sesp_attack",
+                               sesp::config_digest(*opt));
+  if (recovery.error()) return 2;
   std::cout << "construction: " << opt->construction
             << "  target: " << opt->alg << "  instance: s=" << opt->spec.s
             << " n=" << opt->spec.n << " b=" << opt->spec.b << "\n";
-  if (opt->construction == "semisync-sm") return sesp::attack_smm(*opt, false);
-  if (opt->construction == "async-sm") return sesp::attack_smm(*opt, true);
-  if (opt->construction == "sporadic-mp") return sesp::attack_mpm(*opt, false);
-  if (opt->construction == "semisync-mp") return sesp::attack_mpm(*opt, true);
-  std::cerr << "unknown construction\n";
-  return 2;
+  int status = 2;
+  if (opt->construction == "semisync-sm")
+    status = sesp::attack_smm(*opt, false);
+  else if (opt->construction == "async-sm")
+    status = sesp::attack_smm(*opt, true);
+  else if (opt->construction == "sporadic-mp")
+    status = sesp::attack_mpm(*opt, false);
+  else if (opt->construction == "semisync-mp")
+    status = sesp::attack_mpm(*opt, true);
+  else {
+    std::cerr << "unknown construction\n";
+    return 2;
+  }
+  return recovery.finish(status);
 }

@@ -7,7 +7,9 @@
 //
 // Exit status: 0 when every record parses, validates against sesp-bench/1
 // and reports ok=true; 1 when any record fails or is malformed; 2 when no
-// record files were given or one cannot be read.
+// record files were given or one cannot be read; 3 when the only blemish is
+// truncated records (torn by a killed writer — skipped with a warning, so a
+// bench interrupted mid-write degrades the merge instead of failing it).
 
 #include <fstream>
 #include <iostream>
@@ -56,13 +58,27 @@ int main(int argc, char** argv) {
   }
   out << agg.results_json;
 
+  for (const std::string& name : agg.skipped)
+    std::cerr << "warning: skipped truncated record " << name << "\n";
+
   std::cout << "records:   " << agg.records << "\n"
             << "failed:    " << agg.failed << "\n"
-            << "malformed: " << agg.malformed << "\n";
+            << "malformed: " << agg.malformed << "\n"
+            << "truncated: " << agg.truncated << "\n";
   for (const std::string& name : agg.failures)
     std::cout << "  FAIL " << name << "\n";
-  std::cout << "merged into " << out_path << "\n"
-            << (agg.all_ok() ? "[OK] all bench records passed\n"
-                             : "[FAIL] some bench record failed validation\n");
-  return agg.all_ok() ? 0 : 1;
+  for (const std::string& name : agg.skipped)
+    std::cout << "  SKIP " << name << "\n";
+  std::cout << "merged into " << out_path << "\n";
+  if (!agg.all_ok()) {
+    std::cout << "[FAIL] some bench record failed validation\n";
+    return 1;
+  }
+  if (agg.truncated > 0) {
+    std::cout << "[WARN] all surviving records passed; "
+              << agg.truncated << " truncated record(s) skipped\n";
+    return 3;
+  }
+  std::cout << "[OK] all bench records passed\n";
+  return 0;
 }

@@ -11,7 +11,8 @@
 //   sesp_cli --check-certificate=cert.txt
 //
 // Exit status: 0 when the run solves the instance (or the certificate is
-// valid), 1 otherwise, 2 on usage errors.
+// valid), 1 otherwise, 2 on usage errors, 75 (EX_TEMPFAIL) when a
+// supervised run was interrupted and can be resumed with --resume.
 
 #include <fstream>
 #include <iostream>
@@ -42,6 +43,7 @@
 #include "p2p/p2p_simulator.hpp"
 #include "sim/experiment.hpp"
 #include "cli_observation.hpp"
+#include "cli_recovery.hpp"
 
 namespace sesp {
 namespace {
@@ -63,7 +65,25 @@ struct Options {
   bool stats = false;
   bool show_bounds = true;
   ObservationOptions obs;
+  RecoveryOptions recovery;
 };
+
+// Fingerprint of every result-affecting option: the checkpoint journal must
+// only replay into the identical sweep. --jobs and the output/observability
+// flags are deliberately excluded — resuming at a different job count (or
+// with different reporting) is supported and bit-identical.
+std::uint64_t config_digest(const Options& opt) {
+  std::string c = opt.substrate + '|' + opt.model + '|' + opt.adversary +
+                  '|' + opt.topology + '|' + opt.faults + '|' +
+                  (opt.degradation ? "degradation" : "single") + '|' +
+                  std::to_string(opt.spec.s) + '|' +
+                  std::to_string(opt.spec.n) + '|' +
+                  std::to_string(opt.spec.b) + '|' + ratio_to_text(opt.c1) +
+                  '|' + ratio_to_text(opt.c2) + '|' + ratio_to_text(opt.d1) +
+                  '|' + ratio_to_text(opt.d2) + '|' +
+                  std::to_string(opt.seed);
+  return recovery::fnv1a(c);
+}
 
 void usage(std::ostream& os) {
   os << "usage: sesp_cli [options]\n"
@@ -87,6 +107,7 @@ void usage(std::ostream& os) {
         "  --dump-trace=FILE            write sesp-trace format\n"
         "  --check-certificate=FILE     re-validate a violation certificate\n";
   ObservationOptions::usage(os);
+  RecoveryOptions::usage(os);
 }
 
 std::optional<Options> parse(int argc, char** argv) {
@@ -99,6 +120,7 @@ std::optional<Options> parse(int argc, char** argv) {
         eq == std::string::npos ? "" : arg.substr(eq + 1);
     auto ratio = [&value]() { return ratio_from_text(value); };
     if (opt.obs.consume(key, value)) continue;
+    if (opt.recovery.consume(key, value)) continue;
     if (key == "--substrate") opt.substrate = value;
     else if (key == "--model") opt.model = value;
     else if (key == "--adversary") opt.adversary = value;
@@ -271,6 +293,7 @@ int run_mpm(const Options& opt) {
     const DegradationReport report =
         mpm_degradation(opt.spec, constraints, *factory, {0, 1, 2},
                         {0, 5, 20}, opt.seed, limits);
+    if (recovery::run_interrupted()) return 1;  // partial; finish() maps to 75
     std::cout << report.to_string()
               << "solved/degraded/diagnosed: "
               << report.count(RunOutcome::kSolved) << "/"
@@ -286,6 +309,7 @@ int run_mpm(const Options& opt) {
   if (opt.adversary == "worst" && !injector) {
     const WorstCase wc = mpm_worst_case(opt.spec, constraints, *factory, 4,
                                         opt.seed);
+    if (recovery::run_interrupted()) return 1;
     std::cout << "runs:        " << wc.runs << "\n"
               << "max time:    " << wc.max_termination.to_string() << "\n"
               << "min sessions:" << wc.min_sessions << "\n"
@@ -339,6 +363,7 @@ int run_smm(const Options& opt) {
     const DegradationReport report =
         smm_degradation(opt.spec, constraints, *factory, {0, 1, 2},
                         {0, 5, 20}, opt.seed, limits);
+    if (recovery::run_interrupted()) return 1;
     std::cout << report.to_string()
               << "solved/degraded/diagnosed: "
               << report.count(RunOutcome::kSolved) << "/"
@@ -354,6 +379,7 @@ int run_smm(const Options& opt) {
   if (opt.adversary == "worst" && !injector) {
     const WorstCase wc = smm_worst_case(opt.spec, constraints, *factory, 4,
                                         opt.seed);
+    if (recovery::run_interrupted()) return 1;
     std::cout << "runs:        " << wc.runs << "\n"
               << "max time:    " << wc.max_termination.to_string() << "\n"
               << "max rounds:  " << wc.max_rounds << "\n"
@@ -445,14 +471,21 @@ int main(int argc, char** argv) {
   // Installed for the whole dispatch so every nested layer reports into it;
   // the metrics / JSON / trace outputs are emitted when the scope closes.
   sesp::ObservationScope observation(opt->obs, "sesp_cli");
+  // Checkpoint/resume supervision for the sweeps underneath (worst-case
+  // families, degradation grids): journal flags are validated before any
+  // work runs, and a drained SIGINT/SIGTERM maps to exit 75 in finish().
+  sesp::RecoveryScope recovery(opt->recovery, "sesp_cli",
+                               sesp::config_digest(*opt));
+  if (recovery.error()) return 2;
 
   std::cout << "substrate:   " << opt->substrate << "\n"
             << "model:       " << opt->model << "\n"
             << "instance:    s=" << opt->spec.s << " n=" << opt->spec.n
             << " b=" << opt->spec.b << "\n";
-  if (opt->substrate == "mpm") return sesp::run_mpm(*opt);
-  if (opt->substrate == "smm") return sesp::run_smm(*opt);
-  if (opt->substrate == "p2p") return sesp::run_p2p(*opt);
-  std::cerr << "unknown substrate\n";
-  return 2;
+  int status = 2;
+  if (opt->substrate == "mpm") status = sesp::run_mpm(*opt);
+  else if (opt->substrate == "smm") status = sesp::run_smm(*opt);
+  else if (opt->substrate == "p2p") status = sesp::run_p2p(*opt);
+  else std::cerr << "unknown substrate\n";
+  return recovery.finish(status);
 }

@@ -15,7 +15,9 @@
 //   sesp_conformance --emit-golden=tests/golden   # regenerate corpus
 //
 // Exit status: 0 when every oracle was silent (or the witness reproduced /
-// the self-test passed), 1 on discrepancies, 2 on usage errors.
+// the self-test passed), 1 on discrepancies, 2 on usage errors, 75
+// (EX_TEMPFAIL) when a supervised campaign was interrupted and can be
+// resumed with --resume.
 
 #include <fstream>
 #include <iostream>
@@ -23,9 +25,12 @@
 #include <string>
 
 #include "cli_observation.hpp"
+#include "cli_recovery.hpp"
 #include "conformance/harness.hpp"
 #include "conformance/witness.hpp"
 #include "model/trace_io.hpp"
+#include "recovery/journal.hpp"
+#include "recovery/supervisor.hpp"
 
 namespace sesp {
 namespace {
@@ -37,7 +42,23 @@ struct Options {
   std::string emit_golden;
   bool self_test = false;
   ObservationOptions obs;
+  RecoveryOptions recovery;
 };
+
+// Fingerprint of every option that shapes which cases run and how they are
+// judged; --jobs, --witness-dir and the observability flags only change how
+// the campaign executes or reports, not its results (docs/robustness.md).
+std::uint64_t config_digest(const Options& opt) {
+  std::ostringstream os;
+  os << opt.config.cases_per_cell << '|' << opt.config.seed << '|'
+     << opt.config.algorithm_override << '|' << opt.config.minimize << '|'
+     << opt.config.max_failures << '|' << opt.self_test << '|';
+  for (const TimingModel m : opt.config.models) os << to_string(m) << ',';
+  os << '|';
+  for (const Substrate s : opt.config.substrates)
+    os << (s == Substrate::kSharedMemory ? "smm" : "mpm") << ',';
+  return recovery::fnv1a(os.str());
+}
 
 void usage(std::ostream& os) {
   os << "sesp_conformance [options]\n"
@@ -60,6 +81,7 @@ void usage(std::ostream& os) {
         "  --self-test                  plant a reference bug; expect the\n"
         "                               oracles to catch and shrink it\n"
         "  --emit-golden=DIR            write one golden trace per cell\n";
+  RecoveryOptions::usage(os);
   ObservationOptions::usage(os);
 }
 
@@ -149,6 +171,7 @@ int run_self_test(Options opt) {
   opt.config.max_failures = 2;
   const conformance::ConformanceReport report =
       conformance::run_conformance(opt.config);
+  if (recovery::run_interrupted()) return 1;
   std::cout << report.summary();
   if (report.total_failures == 0) {
     std::cout << "SELF-TEST FAILED: planted reference bug went undetected\n";
@@ -189,6 +212,7 @@ int run(int argc, char** argv) {
     const std::string value =
         eq == std::string::npos ? std::string() : arg.substr(eq + 1);
     if (opt.obs.consume(key, value)) continue;
+    if (opt.recovery.consume(key, value)) continue;
     if (key == "--help" || key == "-h") {
       usage(std::cout);
       return 0;
@@ -266,12 +290,18 @@ int run(int argc, char** argv) {
   }
 
   ObservationScope scope(opt.obs, "sesp_conformance");
+  RecoveryScope recovery(opt.recovery, "sesp_conformance",
+                         config_digest(opt));
+  if (recovery.error()) return 2;
   if (!opt.replay_file.empty()) return replay_witness_file(opt);
   if (!opt.emit_golden.empty()) return emit_golden(opt);
-  if (opt.self_test) return run_self_test(opt);
+  if (opt.self_test) return recovery.finish(run_self_test(opt));
 
   const conformance::ConformanceReport report =
       conformance::run_conformance(opt.config);
+  // A drained interrupt never prints the partial report; the journal holds
+  // every finished case and --resume completes the campaign.
+  if (recovery::run_interrupted()) return recovery.finish(1);
   std::cout << report.summary();
   for (std::size_t i = 0; i < report.failures.size(); ++i) {
     if (report.failures[i].witness.empty()) continue;
@@ -287,7 +317,7 @@ int run(int argc, char** argv) {
               << " (replay with: sesp_conformance --replay=" << path
               << ")\n";
   }
-  return report.ok() ? 0 : 1;
+  return recovery.finish(report.ok() ? 0 : 1);
 }
 
 }  // namespace
