@@ -43,6 +43,38 @@ std::string frame_record(const std::string& stage, std::uint64_t slot,
   return os.str();
 }
 
+// Checksum input for a lease line: every field, order-fixed, '|'-joined —
+// the same shape the S-frame uses for its payload.
+std::string lease_checksum(const LeaseRecord& lease) {
+  std::ostringstream os;
+  os << lease.worker << '|' << lease.stage << '|' << lease.lo << '|'
+     << lease.len << '|' << lease.deadline_ms << '|' << lease.event;
+  return fnv1a_hex(fnv1a(os.str()));
+}
+
+std::string frame_lease(const LeaseRecord& lease) {
+  std::ostringstream os;
+  os << "L " << lease.worker << ' ' << lease.stage << ' ' << lease.lo << ' '
+     << lease.len << ' ' << lease.deadline_ms << ' ' << lease.event << ' '
+     << lease_checksum(lease) << '\n';
+  return os.str();
+}
+
+bool parse_hex16(const std::string& hex, std::uint64_t* out) {
+  if (hex.size() != 16) return false;
+  std::uint64_t v = 0;
+  for (const char c : hex) {
+    v <<= 4;
+    if (c >= '0' && c <= '9') v |= static_cast<std::uint64_t>(c - '0');
+    else if (c >= 'a' && c <= 'f')
+      v |= static_cast<std::uint64_t>(c - 'a' + 10);
+    else
+      return false;
+  }
+  *out = v;
+  return true;
+}
+
 }  // namespace
 
 std::uint64_t fnv1a(std::string_view text, std::uint64_t h) noexcept {
@@ -61,6 +93,103 @@ std::string fnv1a_hex(std::uint64_t h) {
     h >>= 4;
   }
   return out;
+}
+
+bool parse_journal_header(std::string_view line, std::string* tool,
+                          std::uint64_t* config_digest, std::string* error) {
+  std::istringstream hs{std::string(line)};
+  std::string schema, tool_kv, config_kv;
+  hs >> schema >> tool_kv >> config_kv;
+  if (schema != kSchema || tool_kv.rfind("tool=", 0) != 0 ||
+      config_kv.rfind("config=", 0) != 0) {
+    if (error) *error = std::string("bad journal header (want ") + kSchema + ")";
+    return false;
+  }
+  std::uint64_t digest = 0;
+  if (!parse_hex16(config_kv.substr(7), &digest)) {
+    if (error) *error = "bad config digest in header";
+    return false;
+  }
+  if (tool) *tool = tool_kv.substr(5);
+  if (config_digest) *config_digest = digest;
+  return true;
+}
+
+std::size_t parse_journal_frames(std::string_view text, std::size_t at,
+                                 std::vector<JournalRecord>* records,
+                                 std::vector<LeaseRecord>* leases,
+                                 bool* torn) {
+  if (torn) *torn = false;
+  while (at < text.size()) {
+    const std::size_t line_end = text.find('\n', at);
+    if (line_end == std::string_view::npos) break;  // incomplete frame line
+    std::istringstream fs{std::string(text.substr(at, line_end - at))};
+    std::string marker;
+    fs >> marker;
+    if (marker == "S") {
+      std::string stage, checksum;
+      std::uint64_t slot = 0;
+      std::size_t size = 0;
+      fs >> stage >> slot >> size >> checksum;
+      if (stage.empty() || !fs || checksum.size() != 16) break;
+      const std::size_t payload_at = line_end + 1;
+      // Frame tail: payload bytes, '\n', ".\n".
+      if (payload_at + size + 3 > text.size()) break;
+      const std::string payload{text.substr(payload_at, size)};
+      if (text.compare(payload_at + size, 3, "\n.\n") != 0 ||
+          fnv1a_hex(fnv1a(payload)) != checksum) {
+        break;
+      }
+      if (records) records->push_back({stage, slot, payload});
+      at = payload_at + size + 3;
+    } else if (marker == "L") {
+      LeaseRecord lease;
+      std::string checksum;
+      fs >> lease.worker >> lease.stage >> lease.lo >> lease.len >>
+          lease.deadline_ms >> lease.event >> checksum;
+      if (!fs || lease.stage.empty() || lease.event.empty() ||
+          lease_checksum(lease) != checksum) {
+        break;
+      }
+      if (leases) leases->push_back(std::move(lease));
+      at = line_end + 1;
+    } else {
+      break;  // unknown marker — untrusted from here on
+    }
+  }
+  if (torn && at < text.size()) *torn = true;
+  return at;
+}
+
+JournalSnapshot read_journal_snapshot(const std::string& path) {
+  JournalSnapshot snap;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    snap.error = "cannot open " + path;
+    return snap;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+
+  std::size_t at = text.find('\n');
+  if (at == std::string::npos) {
+    snap.error = path + ": missing journal header";
+    return snap;
+  }
+  std::string header_error;
+  if (!parse_journal_header(std::string_view(text).substr(0, at), &snap.tool,
+                            &snap.config_digest, &header_error)) {
+    snap.error = path + ": " + header_error;
+    return snap;
+  }
+  ++at;
+
+  bool torn = false;
+  parse_journal_frames(text, at, &snap.records, &snap.leases, &torn);
+  snap.dropped = torn ? 1 : 0;
+  snap.ok = true;
+  return snap;
 }
 
 std::unique_ptr<RunJournal> RunJournal::create(const std::string& path,
@@ -92,85 +221,21 @@ std::unique_ptr<RunJournal> RunJournal::create(const std::string& path,
 
 std::unique_ptr<RunJournal> RunJournal::open_resume(const std::string& path,
                                                     std::string* error) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) {
-    if (error) *error = "cannot open " + path;
+  JournalSnapshot snap = read_journal_snapshot(path);
+  if (!snap.ok) {
+    if (error) *error = snap.error;
     return nullptr;
   }
-  std::ostringstream buf;
-  buf << in.rdbuf();
-  const std::string text = buf.str();
 
   std::unique_ptr<RunJournal> j(new RunJournal);
   j->path_ = path;
   j->fsync_ = fsync_enabled_from_env();
-
-  // Header line.
-  std::size_t at = text.find('\n');
-  if (at == std::string::npos) {
-    if (error) *error = path + ": missing journal header";
-    return nullptr;
-  }
-  {
-    std::istringstream hs(text.substr(0, at));
-    std::string schema, tool_kv, config_kv;
-    hs >> schema >> tool_kv >> config_kv;
-    if (schema != kSchema || tool_kv.rfind("tool=", 0) != 0 ||
-        config_kv.rfind("config=", 0) != 0) {
-      if (error) *error = path + ": bad journal header (want " + kSchema + ")";
-      return nullptr;
-    }
-    j->tool_ = tool_kv.substr(5);
-    const std::string hex = config_kv.substr(7);
-    std::uint64_t digest = 0;
-    for (const char c : hex) {
-      digest <<= 4;
-      if (c >= '0' && c <= '9') digest |= static_cast<std::uint64_t>(c - '0');
-      else if (c >= 'a' && c <= 'f')
-        digest |= static_cast<std::uint64_t>(c - 'a' + 10);
-      else {
-        if (error) *error = path + ": bad config digest in header";
-        return nullptr;
-      }
-    }
-    j->config_digest_ = digest;
-  }
-  ++at;
-
-  // Record frames: keep every record whose frame parses and whose checksum
-  // verifies; stop at the first inconsistency (a torn tail from a crash
-  // mid-append — everything after it is untrusted).
-  while (at < text.size()) {
-    const std::size_t line_end = text.find('\n', at);
-    if (line_end == std::string::npos) {
-      ++j->dropped_;
-      break;
-    }
-    std::istringstream fs(text.substr(at, line_end - at));
-    std::string marker, stage;
-    std::uint64_t slot = 0;
-    std::size_t size = 0;
-    std::string checksum;
-    fs >> marker >> stage >> slot >> size >> checksum;
-    if (marker != "S" || stage.empty() || !fs || checksum.size() != 16) {
-      ++j->dropped_;
-      break;
-    }
-    const std::size_t payload_at = line_end + 1;
-    // Frame tail: payload bytes, '\n', ".\n".
-    if (payload_at + size + 3 > text.size()) {
-      ++j->dropped_;
-      break;
-    }
-    const std::string payload = text.substr(payload_at, size);
-    if (text.compare(payload_at + size, 3, "\n.\n") != 0 ||
-        fnv1a_hex(fnv1a(payload)) != checksum) {
-      ++j->dropped_;
-      break;
-    }
-    j->completed_[{stage, slot}] = payload;
-    at = payload_at + size + 3;
-  }
+  j->tool_ = std::move(snap.tool);
+  j->config_digest_ = snap.config_digest;
+  j->dropped_ = snap.dropped;
+  for (JournalRecord& r : snap.records)
+    j->completed_[{std::move(r.stage), r.slot}] = std::move(r.payload);
+  j->leases_ = std::move(snap.leases);
 
   const int fd = ::open(path.c_str(), O_WRONLY | O_APPEND);
   if (fd < 0) {
@@ -196,6 +261,16 @@ bool RunJournal::append(const std::string& stage, std::uint64_t slot,
   return true;
 }
 
+bool RunJournal::append_lease(const LeaseRecord& lease) {
+  const std::string frame = frame_lease(lease);
+  std::lock_guard<std::mutex> lk(mu_);
+  if (fd_ < 0) return false;
+  if (!write_all(fd_, frame)) return false;
+  if (fsync_) ::fsync(fd_);
+  leases_.push_back(lease);
+  return true;
+}
+
 const std::string* RunJournal::lookup(const std::string& stage,
                                       std::uint64_t slot) const {
   std::lock_guard<std::mutex> lk(mu_);
@@ -206,6 +281,16 @@ const std::string* RunJournal::lookup(const std::string& stage,
 std::int64_t RunJournal::records() const {
   std::lock_guard<std::mutex> lk(mu_);
   return static_cast<std::int64_t>(completed_.size());
+}
+
+std::vector<LeaseRecord> RunJournal::leases() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return leases_;
+}
+
+void RunJournal::sync() {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (fd_ >= 0) ::fsync(fd_);
 }
 
 }  // namespace sesp::recovery

@@ -1,0 +1,197 @@
+#include "shard/launch.hpp"
+
+#include <fcntl.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+
+#include "recovery/journal.hpp"
+#include "shard/shard.hpp"
+
+namespace sesp::shard {
+
+namespace {
+
+// Async-signal-safe stop flag for the monitor loop; mirrors the
+// supervisor's handler discipline.
+volatile std::sig_atomic_t g_launch_stop = 0;
+
+void launch_signal_handler(int) { g_launch_stop = 1; }
+
+pid_t spawn_worker(const std::vector<std::string>& command,
+                   std::int32_t worker_id, const std::string& dir) {
+  const pid_t pid = ::fork();
+  if (pid != 0) return pid;
+
+  // Child: redirect stdout+stderr to the worker log (appending, so a
+  // restarted worker's output follows its first run's), then exec.
+  const std::string log =
+      dir + "/worker-" + std::to_string(worker_id) + ".log";
+  const int fd = ::open(log.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd >= 0) {
+    ::dup2(fd, STDOUT_FILENO);
+    ::dup2(fd, STDERR_FILENO);
+    if (fd > STDERR_FILENO) ::close(fd);
+  }
+  std::vector<std::string> args = command;
+  args.push_back("--worker-id=" + std::to_string(worker_id));
+  std::vector<char*> argv;
+  argv.reserve(args.size() + 1);
+  for (std::string& a : args) argv.push_back(a.data());
+  argv.push_back(nullptr);
+  ::execv(argv[0], argv.data());
+  ::execvp(argv[0], argv.data());  // fall back to PATH resolution
+  std::fprintf(stderr, "cannot exec %s\n", argv[0]);
+  std::_Exit(127);
+}
+
+struct WorkerSlot {
+  pid_t pid = -1;
+  bool done = false;
+  bool abandoned = false;
+};
+
+}  // namespace
+
+std::int64_t count_slot_records(const std::string& dir) {
+  std::int64_t total = 0;
+  for (const std::string& path : list_worker_journals(dir)) {
+    const recovery::JournalSnapshot snap =
+        recovery::read_journal_snapshot(path);
+    if (snap.ok) total += static_cast<std::int64_t>(snap.records.size());
+  }
+  return total;
+}
+
+std::string self_exe_path(const std::string& fallback) {
+  char buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  if (n <= 0) return fallback;
+  buf[n] = '\0';
+  return std::string(buf);
+}
+
+LaunchResult run_workers(const std::vector<std::string>& command,
+                         const LaunchOptions& opt) {
+  LaunchResult result;
+  if (command.empty()) {
+    result.error = "empty worker command";
+    return result;
+  }
+  if (opt.workers < 1) {
+    result.error = "--workers must be >= 1";
+    return result;
+  }
+
+  g_launch_stop = 0;
+  void (*saved_int)(int) = std::signal(SIGINT, launch_signal_handler);
+  void (*saved_term)(int) = std::signal(SIGTERM, launch_signal_handler);
+
+  std::vector<WorkerSlot> slots(static_cast<std::size_t>(opt.workers));
+  for (std::int32_t i = 0; i < opt.workers; ++i)
+    slots[static_cast<std::size_t>(i)].pid =
+        spawn_worker(command, i, opt.dir);
+
+  bool kill_pending = opt.kill.after_records >= 0;
+  bool forwarded = false;
+  bool fatal = false;
+
+  const auto live = [&](const WorkerSlot& s) {
+    return s.pid > 0 && !s.done && !s.abandoned;
+  };
+
+  for (;;) {
+    bool any_running = false;
+    for (WorkerSlot& slot : slots)
+      if (live(slot)) any_running = true;
+    if (!any_running) break;
+
+    if (g_launch_stop && !forwarded) {
+      for (WorkerSlot& slot : slots)
+        if (live(slot)) ::kill(slot.pid, SIGTERM);
+      forwarded = true;
+      result.interrupted = true;
+    }
+
+    if (kill_pending && !g_launch_stop && !fatal &&
+        count_slot_records(opt.dir) >= opt.kill.after_records) {
+      const std::size_t target =
+          static_cast<std::size_t>(opt.kill.worker) % slots.size();
+      if (live(slots[target])) {
+        ::kill(slots[target].pid, opt.kill.signo);
+        ++result.kills;
+      }
+      kill_pending = false;
+    }
+
+    for (std::int32_t i = 0; i < opt.workers; ++i) {
+      WorkerSlot& slot = slots[static_cast<std::size_t>(i)];
+      if (!live(slot)) continue;
+      int status = 0;
+      const pid_t reaped = ::waitpid(slot.pid, &status, WNOHANG);
+      if (reaped != slot.pid) continue;
+      slot.pid = -1;
+
+      bool restart = false;
+      if (WIFEXITED(status)) {
+        const int code = WEXITSTATUS(status);
+        if (code == 0 || code == 1) {
+          slot.done = true;
+        } else if (code == 2) {
+          // Usage/config error: deterministic, a restart cannot help.
+          fatal = true;
+          result.error = "worker " + std::to_string(i) +
+                         " failed (exit 2); see " + opt.dir + "/worker-" +
+                         std::to_string(i) + ".log";
+        } else {
+          // 75 (drained interrupt) resumes on restart; anything else is
+          // a crash-equivalent.
+          restart = true;
+        }
+      } else {
+        restart = true;  // killed by a signal
+      }
+
+      if (fatal) break;
+      if (restart) {
+        if (g_launch_stop) {
+          slot.done = true;  // it drained our forwarded SIGTERM
+        } else if (result.restarts < opt.max_restarts) {
+          ++result.restarts;
+          slot.pid = spawn_worker(command, i, opt.dir);
+        } else {
+          slot.abandoned = true;
+          ++result.abandoned;
+          std::fprintf(stderr,
+                       "shard: worker %d exceeded the restart budget; "
+                       "its ranges will be stolen\n", i);
+        }
+      }
+    }
+
+    if (fatal) {
+      for (WorkerSlot& slot : slots) {
+        if (!live(slot)) continue;
+        ::kill(slot.pid, SIGTERM);
+        int status = 0;
+        ::waitpid(slot.pid, &status, 0);
+        slot.pid = -1;
+      }
+      break;
+    }
+
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+
+  std::signal(SIGINT, saved_int);
+  std::signal(SIGTERM, saved_term);
+  result.ok = !fatal;
+  return result;
+}
+
+}  // namespace sesp::shard

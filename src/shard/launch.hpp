@@ -1,0 +1,68 @@
+#pragma once
+
+// Worker process management for sharded sweeps (docs/robustness.md
+// "Sharded execution"), shared by the in-tool coordinator
+// (tools/cli_recovery.hpp, --workers=N) and the sesp_shard launcher.
+//
+// run_workers() fork+execs N copies of the given command — each with
+// --worker-id=<i> appended and stdout/stderr redirected (appending) to
+// <dir>/worker-<i>.log — then monitors them:
+//
+//   exit 0 / 1        worker finished its run: done.
+//   exit 75           drained interrupt (EX_TEMPFAIL): restart to resume.
+//   exit 2            usage/config error: fatal, every worker is stopped.
+//   killed by signal  restart, while the shared restart budget lasts; a
+//                     worker past the budget is abandoned (its leases
+//                     expire and live peers steal the ranges).
+//
+// A KillPlan injects one fault deterministically: once the worker
+// journals hold `after_records` slot records in total, the chosen worker
+// is sent the chosen signal (the kill-and-steal chaos tests and the CI
+// smoke job drive this). SIGINT/SIGTERM to the monitor are forwarded to
+// every live worker, which drain and exit 75; run_workers() then returns
+// with interrupted set.
+
+#include <csignal>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sesp::shard {
+
+struct KillPlan {
+  std::int64_t after_records = -1;  // < 0: disabled
+  int signo = SIGKILL;
+  std::int32_t worker = 0;
+};
+
+struct LaunchOptions {
+  std::string dir;
+  std::int32_t workers = 2;
+  std::int32_t max_restarts = 100;  // shared across all workers
+  KillPlan kill;
+};
+
+struct LaunchResult {
+  bool ok = false;
+  bool interrupted = false;
+  std::string error;
+  std::int32_t restarts = 0;
+  std::int32_t kills = 0;
+  std::int32_t abandoned = 0;  // workers past the restart budget
+};
+
+// `command` is the full worker argv (executable first) *without*
+// --worker-id; each spawn appends its own. Blocks until every worker is
+// done, fatal, or abandoned.
+LaunchResult run_workers(const std::vector<std::string>& command,
+                         const LaunchOptions& opt);
+
+// Total verified slot records across every worker journal in `dir` — the
+// KillPlan trigger's progress measure.
+std::int64_t count_slot_records(const std::string& dir);
+
+// The running executable's path (/proc/self/exe), or `fallback` when the
+// link cannot be read.
+std::string self_exe_path(const std::string& fallback);
+
+}  // namespace sesp::shard

@@ -1,0 +1,167 @@
+#include "shard/lease.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "recovery/journal.hpp"
+
+namespace sesp::shard {
+
+namespace {
+
+constexpr char kSchema[] = "sesp-claim/1";
+
+// Checksum input mirrors the lease journal record: order-fixed,
+// '|'-joined fields.
+std::string claim_checksum(std::int32_t worker, std::uint64_t lo,
+                           std::uint64_t len, std::int64_t deadline_ms,
+                           bool done) {
+  std::ostringstream os;
+  os << worker << '|' << lo << '|' << len << '|' << deadline_ms << '|'
+     << (done ? 1 : 0);
+  return recovery::fnv1a_hex(recovery::fnv1a(os.str()));
+}
+
+std::string claim_line(std::int32_t worker, std::uint64_t lo,
+                       std::uint64_t len, std::int64_t deadline_ms,
+                       bool done) {
+  std::ostringstream os;
+  os << kSchema << " worker=" << worker << " lo=" << lo << " len=" << len
+     << " deadline=" << deadline_ms << " done=" << (done ? 1 : 0)
+     << " sum=" << claim_checksum(worker, lo, len, deadline_ms, done)
+     << '\n';
+  return os.str();
+}
+
+// Parses one claim file into *state (gen/path already set by the caller);
+// leaves valid == false on any mismatch.
+void parse_claim_file(const std::string& path, ClaimState* state) {
+  std::ifstream in(path);
+  if (!in) return;
+  std::string line;
+  std::getline(in, line);
+  std::istringstream ls(line);
+  std::string schema, kv;
+  ls >> schema;
+  if (schema != kSchema) return;
+  std::int32_t worker = -1;
+  std::uint64_t lo = 0, len = 0;
+  std::int64_t deadline = 0;
+  int done = 0;
+  std::string sum;
+  while (ls >> kv) {
+    const std::size_t eq = kv.find('=');
+    if (eq == std::string::npos) return;
+    const std::string key = kv.substr(0, eq);
+    const std::string value = kv.substr(eq + 1);
+    try {
+      if (key == "worker") worker = std::stoi(value);
+      else if (key == "lo") lo = std::stoull(value);
+      else if (key == "len") len = std::stoull(value);
+      else if (key == "deadline") deadline = std::stoll(value);
+      else if (key == "done") done = std::stoi(value);
+      else if (key == "sum") sum = value;
+      else return;
+    } catch (...) {
+      return;
+    }
+  }
+  if (sum != claim_checksum(worker, lo, len, deadline, done != 0)) return;
+  state->valid = true;
+  state->worker = worker;
+  state->lo = lo;
+  state->len = len;
+  state->deadline_ms = deadline;
+  state->done = done != 0;
+}
+
+}  // namespace
+
+std::int64_t unix_ms_now() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+std::string stage_key(const std::string& stage) {
+  std::string clean = stage;
+  for (char& c : clean) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '.' || c == '_' ||
+                    c == '-';
+    if (!ok) c = '_';
+  }
+  return clean + "-" + recovery::fnv1a_hex(recovery::fnv1a(stage)).substr(8);
+}
+
+std::string claim_path(const std::string& claims_dir,
+                       const std::string& stage, std::uint64_t lo,
+                       std::int32_t gen) {
+  std::ostringstream os;
+  os << claims_dir << '/' << stage_key(stage) << '.' << lo << ".g" << gen;
+  return os.str();
+}
+
+ClaimState read_claim(const std::string& claims_dir,
+                      const std::string& stage, std::uint64_t lo) {
+  ClaimState state;
+  state.lo = lo;
+  // Generations are created in order with no gaps (g+1 only after g was
+  // observed), so the first missing generation bounds the scan.
+  for (std::int32_t gen = 1;; ++gen) {
+    const std::string path = claim_path(claims_dir, stage, lo, gen);
+    if (::access(path.c_str(), F_OK) != 0) break;
+    state.gen = gen;
+    state.path = path;
+  }
+  if (state.gen > 0) parse_claim_file(state.path, &state);
+  return state;
+}
+
+bool create_claim(const std::string& claims_dir, const std::string& stage,
+                  std::uint64_t lo, std::uint64_t len, std::int32_t gen,
+                  std::int32_t worker, std::int64_t deadline_ms,
+                  std::string* path_out) {
+  const std::string path = claim_path(claims_dir, stage, lo, gen);
+  const int fd =
+      ::open(path.c_str(), O_WRONLY | O_CREAT | O_EXCL, 0644);
+  if (fd < 0) return false;  // EEXIST: somebody else won this generation
+  const std::string line = claim_line(worker, lo, len, deadline_ms, false);
+  std::size_t off = 0;
+  while (off < line.size()) {
+    const ssize_t n = ::write(fd, line.data() + off, line.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;  // torn claim: readers treat it as expired, which is safe
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  ::close(fd);
+  if (path_out) *path_out = path;
+  return true;
+}
+
+bool rewrite_claim(const std::string& path, std::int32_t worker,
+                   std::uint64_t lo, std::uint64_t len,
+                   std::int64_t deadline_ms, bool done) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) return false;
+    out << claim_line(worker, lo, len, deadline_ms, done);
+    if (!out) return false;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace sesp::shard

@@ -1,0 +1,79 @@
+#pragma once
+
+// Claim files — the sharded execution layer's mutual-exclusion primitive
+// (docs/robustness.md "Sharded execution"). Each slot range of a stage is
+// guarded by a generation-numbered file under <shard-dir>/claims/:
+//
+//   claims/<stage-key>.<lo>.g<gen>
+//   sesp-claim/1 worker=<id> lo=<lo> len=<len> deadline=<unix-ms>
+//       done=<0|1> sum=<fnv1a-hex16>            (one line)
+//
+// Ownership is arbitrated entirely by the filesystem: O_EXCL-creating
+// generation 1 claims an unclaimed range; O_EXCL-creating generation g+1
+// steals a range whose generation-g lease has expired (exactly one stealer
+// wins the create race). The owner renews its deadline and marks
+// completion by atomically rewriting its own generation file (write-temp +
+// rename), which never disturbs a concurrent O_EXCL on the next
+// generation. A claim that fails to parse or checksum — a torn rename on a
+// dying worker — counts as expired: stealing a range that is secretly
+// still being computed is safe, because slot payloads are deterministic
+// and the journals deduplicate.
+//
+// Wall-clock deadlines (not monotonic) are deliberate: leases must be
+// comparable across worker processes, and all workers share one machine's
+// clock (the eventually-timely reasoning of docs/robustness.md).
+
+#include <cstdint>
+#include <string>
+
+namespace sesp::shard {
+
+// Current wall clock in unix milliseconds — the lease timebase.
+std::int64_t unix_ms_now();
+
+// Stable filename key for a stage: sanitized to [A-Za-z0-9._-] plus an
+// fnv1a suffix, so distinct stages ("a#2" vs "a_2") never collide after
+// sanitization.
+std::string stage_key(const std::string& stage);
+
+std::string claim_path(const std::string& claims_dir,
+                       const std::string& stage, std::uint64_t lo,
+                       std::int32_t gen);
+
+// The highest-generation claim on (stage, lo). gen == 0 means unclaimed;
+// valid == false means the file exists but is torn/corrupt (treated as
+// expired by the stealing rule).
+struct ClaimState {
+  std::int32_t gen = 0;
+  bool valid = false;
+  std::int32_t worker = -1;
+  std::uint64_t lo = 0;
+  std::uint64_t len = 0;
+  std::int64_t deadline_ms = 0;
+  bool done = false;
+  std::string path;
+
+  bool exists() const noexcept { return gen > 0; }
+  bool expired(std::int64_t now_ms) const noexcept {
+    return !valid || deadline_ms < now_ms;
+  }
+};
+
+ClaimState read_claim(const std::string& claims_dir,
+                      const std::string& stage, std::uint64_t lo);
+
+// O_EXCL-creates generation `gen` of (stage, lo). True iff this call won
+// the creation race; *path_out (optional) receives the claim path.
+bool create_claim(const std::string& claims_dir, const std::string& stage,
+                  std::uint64_t lo, std::uint64_t len, std::int32_t gen,
+                  std::int32_t worker, std::int64_t deadline_ms,
+                  std::string* path_out);
+
+// Atomically rewrites an owned claim file: heartbeat renewal (fresh
+// deadline) or completion (done = true). False on I/O errors — the caller
+// degrades (an unrenewed lease merely invites a redundant steal).
+bool rewrite_claim(const std::string& path, std::int32_t worker,
+                   std::uint64_t lo, std::uint64_t len,
+                   std::int64_t deadline_ms, bool done);
+
+}  // namespace sesp::shard

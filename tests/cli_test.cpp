@@ -34,6 +34,7 @@ const std::string kCli = SESP_CLI_PATH;
 const std::string kAttack = SESP_ATTACK_PATH;
 const std::string kConformance = SESP_CONFORMANCE_PATH;
 const std::string kBenchMerge = SESP_BENCH_MERGE_PATH;
+const std::string kShard = SESP_SHARD_PATH;
 
 // Drops the tool's stderr (resume hints, recovery chatter) so the captured
 // output is exactly the stdout the byte-identity contract covers.
@@ -224,6 +225,104 @@ TEST(CliTest, BenchMergeSkipsTruncatedRecords) {
   std::remove(torn.c_str());
   std::remove(bad.c_str());
   std::remove(out.c_str());
+}
+
+// Sharded execution end to end (docs/robustness.md "Sharded execution"):
+// real worker processes lease disjoint slot ranges through a shared shard
+// directory, and the coordinator's merged replay prints a stdout
+// byte-identical to the plain run — with and without a worker SIGKILLed
+// mid-sweep.
+TEST(CliTest, ShardedSweepMatchesPlainRunEvenUnderSigkill) {
+  const std::string sweep =
+      kCli + " --substrate=mpm --model=sporadic --adversary=worst"
+             " --s=3 --n=3 --c1=1 --d1=1 --d2=4 --jobs=2";
+  const auto plain = run_command(stdout_only(sweep));
+  ASSERT_EQ(plain.status, 0) << plain.output;
+
+  // Coordinator mode: the tool spawns its own workers and replays the
+  // merge.
+  const std::string dir1 = ::testing::TempDir() + "/cli_shard_coord";
+  run_command("rm -rf " + dir1);
+  const auto coord = run_command(stdout_only(
+      "SESP_JOURNAL_FSYNC=0 " + sweep + " --shard-dir=" + dir1 +
+      " --workers=3"));
+  EXPECT_EQ(coord.status, 0) << coord.output;
+  EXPECT_EQ(coord.output, plain.output);
+
+  // Chaos harness: SIGKILL one worker mid-sweep; survivors steal its
+  // ranges and the final replay is still byte-identical.
+  const std::string dir2 = ::testing::TempDir() + "/cli_shard_kill";
+  run_command("rm -rf " + dir2);
+  const auto chaos = run_command(stdout_only(
+      "SESP_JOURNAL_FSYNC=0 " + kShard + " --shard-dir=" + dir2 +
+      " --workers=3 --kill-after=2 --kill-signal=KILL --kill-worker=1"
+      " -- " + sweep));
+  EXPECT_EQ(chaos.status, 0) << chaos.output;
+  EXPECT_EQ(chaos.output, plain.output);
+
+  // The standalone merge of the same shard directory is deterministic.
+  const auto merge = run_command(kShard + " merge --shard-dir=" + dir2);
+  EXPECT_EQ(merge.status, 0) << merge.output;
+  EXPECT_NE(merge.output.find("merged"), std::string::npos) << merge.output;
+
+  run_command("rm -rf " + dir1 + " " + dir2);
+}
+
+TEST(CliTest, JournalInspectDescribesRecordsAndLeases) {
+  const std::string journal =
+      ::testing::TempDir() + "/cli_inspect.journal";
+  std::remove(journal.c_str());
+  const std::string sweep =
+      kCli + " --substrate=mpm --model=sporadic --adversary=worst"
+             " --s=3 --n=3 --c1=1 --d1=1 --d2=4";
+  const auto interrupted = run_command(
+      "SESP_STOP_AFTER=2 SESP_JOURNAL_FSYNC=0 " + sweep +
+      " --journal=" + journal);
+  ASSERT_EQ(interrupted.status, 75) << interrupted.output;
+
+  const auto human =
+      run_command(kCli + " --journal-inspect=" + journal);
+  EXPECT_EQ(human.status, 0) << human.output;
+  EXPECT_NE(human.output.find("tool:"), std::string::npos) << human.output;
+  EXPECT_NE(human.output.find("sesp_cli"), std::string::npos);
+  EXPECT_NE(human.output.find("records:"), std::string::npos);
+  EXPECT_NE(human.output.find("torn tail:"), std::string::npos);
+
+  const auto json =
+      run_command(kCli + " --journal-inspect=" + journal + " --json");
+  EXPECT_EQ(json.status, 0) << json.output;
+  EXPECT_NE(json.output.find("\"schema\":\"sesp-journal-inspect/1\""),
+            std::string::npos)
+      << json.output;
+  EXPECT_NE(json.output.find("\"records\":2"), std::string::npos)
+      << json.output;
+
+  // Bare --json only modifies --journal-inspect; alone it is an error
+  // (metric output stays --json=FILE).
+  EXPECT_EQ(run_command(kCli + " --json").status, 2);
+  // Inspecting a missing or headerless file is an error, not a crash.
+  EXPECT_EQ(
+      run_command(kCli + " --journal-inspect=/definitely/missing").status,
+      2);
+  std::remove(journal.c_str());
+}
+
+TEST(CliTest, ShardFlagValidationExitsTwo) {
+  // Worker/coordinator flags require --shard-dir and vice versa.
+  EXPECT_EQ(run_command(kCli + " --workers=2").status, 2);
+  EXPECT_EQ(run_command(kCli + " --worker-id=0").status, 2);
+  EXPECT_EQ(run_command(kCli + " --shard-dir=/tmp/nope_sd").status, 2);
+  // Sharding and single-file journaling are mutually exclusive, as are the
+  // two shard roles.
+  EXPECT_EQ(run_command(kCli + " --shard-dir=/tmp/nope_sd --workers=2"
+                               " --journal=/tmp/nope.journal").status,
+            2);
+  EXPECT_EQ(run_command(kCli + " --shard-dir=/tmp/nope_sd --workers=2"
+                               " --worker-id=0").status,
+            2);
+  // sesp_shard itself: no tool command after -- is a usage error.
+  EXPECT_EQ(run_command(kShard + " --shard-dir=/tmp/nope_sd").status, 2);
+  EXPECT_EQ(run_command(kShard + " --bogus").status, 2);
 }
 
 TEST(CliTest, TraceDumpParsesBack) {

@@ -488,6 +488,32 @@ TEST_F(BenchRecordTest, AggregateSkipsTruncatedRecordsWithoutFailing) {
   EXPECT_FALSE(empty.all_ok());
 }
 
+// sesp_bench_merge maps all_ok()+truncated>0 to exit 3 and !all_ok() to
+// exit 1; a malformed record must take the failure path even when torn
+// records were also skipped, or corruption could hide behind a kill.
+TEST_F(BenchRecordTest, MalformedRecordFailsAggregateDespiteTruncation) {
+  obs::BenchRecorder good("agg_mixed_good");
+  good.add_row(sample_row(true));
+  const std::string full = good.render(true);
+  const std::string torn = full.substr(0, full.size() / 2);
+  std::string corrupt = full;
+  corrupt[corrupt.find(':')] = ';';
+  good.finish(true);
+
+  const obs::BenchAggregate agg = obs::aggregate_bench_records(
+      {{"good.json", full},
+       {"torn.json", torn},
+       {"corrupt.json", corrupt}});
+  EXPECT_EQ(agg.records, 1);
+  EXPECT_EQ(agg.failed, 0);
+  EXPECT_EQ(agg.truncated, 1);
+  EXPECT_EQ(agg.malformed, 1);
+  EXPECT_FALSE(agg.all_ok());
+  ASSERT_EQ(agg.failures.size(), 1u);
+  EXPECT_EQ(agg.failures[0].rfind("corrupt.json", 0), 0u)
+      << agg.failures[0];
+}
+
 // --- report / summary JSON mirrors -----------------------------------------
 
 TEST(ReportJsonTest, WriteJsonMatchesRenderedTable) {

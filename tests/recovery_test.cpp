@@ -202,6 +202,64 @@ TEST(JournalTest, MissingFileAndCorruptHeaderAreErrors) {
   std::remove(path.c_str());
 }
 
+TEST(JournalTest, LeaseRecordsRoundTripAndNeverAffectReplay) {
+  const std::string path = temp_path("journal_leases.journal");
+  std::remove(path.c_str());
+  std::string error;
+  {
+    auto journal = recovery::RunJournal::create(path, "unit", 5, &error);
+    ASSERT_NE(journal, nullptr) << error;
+    journal->set_fsync(false);
+    recovery::LeaseRecord claim;
+    claim.worker = 2;
+    claim.stage = "sweep";
+    claim.lo = 0;
+    claim.len = 4;
+    claim.deadline_ms = 123456789;
+    claim.event = "claim";
+    ASSERT_TRUE(journal->append_lease(claim));
+    ASSERT_TRUE(journal->append("sweep", 0, "payload 0"));
+    recovery::LeaseRecord done = claim;
+    done.deadline_ms = 0;
+    done.event = "done";
+    ASSERT_TRUE(journal->append_lease(done));
+  }
+
+  // open_resume replays slots only; lease events surface via leases().
+  auto journal = recovery::RunJournal::open_resume(path, &error);
+  ASSERT_NE(journal, nullptr) << error;
+  EXPECT_EQ(journal->records(), 1);
+  ASSERT_NE(journal->lookup("sweep", 0), nullptr);
+  EXPECT_EQ(*journal->lookup("sweep", 0), "payload 0");
+  const std::vector<recovery::LeaseRecord> leases = journal->leases();
+  ASSERT_EQ(leases.size(), 2u);
+  EXPECT_EQ(leases[0].worker, 2);
+  EXPECT_EQ(leases[0].stage, "sweep");
+  EXPECT_EQ(leases[0].lo, 0u);
+  EXPECT_EQ(leases[0].len, 4u);
+  EXPECT_EQ(leases[0].deadline_ms, 123456789);
+  EXPECT_EQ(leases[0].event, "claim");
+  EXPECT_EQ(leases[1].event, "done");
+  EXPECT_EQ(leases[1].deadline_ms, 0);
+
+  // The snapshot loader sees the same picture, and a torn lease tail (a
+  // mid-append kill) drops cleanly without taking the intact prefix along.
+  recovery::JournalSnapshot snap = recovery::read_journal_snapshot(path);
+  ASSERT_TRUE(snap.ok) << snap.error;
+  EXPECT_EQ(snap.records.size(), 1u);
+  EXPECT_EQ(snap.leases.size(), 2u);
+  {
+    std::ofstream out(path, std::ios::app);
+    out << "L 2 sweep 4 4 99";  // torn: no event, checksum, or newline
+  }
+  snap = recovery::read_journal_snapshot(path);
+  ASSERT_TRUE(snap.ok) << snap.error;
+  EXPECT_EQ(snap.records.size(), 1u);
+  EXPECT_EQ(snap.leases.size(), 2u);
+  EXPECT_EQ(snap.dropped, 1);
+  std::remove(path.c_str());
+}
+
 // --- supervisor -------------------------------------------------------------
 
 std::unique_ptr<recovery::RunJournal> fresh_journal(const std::string& path,
@@ -346,6 +404,41 @@ TEST(SupervisorTest, DeadlineOverrunBecomesStructuredFailure) {
   EXPECT_EQ(failure->kind, recovery::TaskFailure::Kind::kDeadline);
   EXPECT_EQ(failure->attempts, 2);
   EXPECT_GE(sup.stats().deadline_exceeded, 1);
+}
+
+TEST(SupervisorTest, RetryBackoffIsDeterministicJitteredAndCapped) {
+  recovery::TaskPolicy policy;
+  policy.backoff_ms = 100;
+
+  // The first attempt never waits; retries do.
+  EXPECT_EQ(recovery::retry_backoff_ms(policy, 7, 3, 0), 0);
+  EXPECT_EQ(recovery::retry_backoff_ms(policy, 7, 3, 1), 0);
+
+  // Pure function of (policy, digest, slot, attempt): identical across
+  // resumes and shard workers — no clock, no global state.
+  for (std::int32_t attempt = 2; attempt <= 6; ++attempt) {
+    const std::int64_t a = recovery::retry_backoff_ms(policy, 7, 3, attempt);
+    const std::int64_t b = recovery::retry_backoff_ms(policy, 7, 3, attempt);
+    EXPECT_EQ(a, b) << "attempt " << attempt;
+    // Base doubles per retry, capped at 1s; jitter adds at most 25%.
+    const std::int64_t base = std::min<std::int64_t>(
+        policy.backoff_ms << (attempt - 2), 1000);
+    EXPECT_GE(a, base) << "attempt " << attempt;
+    EXPECT_LE(a, base + base / 4) << "attempt " << attempt;
+  }
+
+  // Distinct slots and configs decorrelate: at least one of a handful of
+  // neighbours lands on a different jitter.
+  const std::int64_t here = recovery::retry_backoff_ms(policy, 7, 3, 2);
+  bool differs = false;
+  for (std::size_t slot = 0; slot < 16 && !differs; ++slot)
+    differs = recovery::retry_backoff_ms(policy, 7, slot, 2) != here ||
+              recovery::retry_backoff_ms(policy, 8, slot, 2) != here;
+  EXPECT_TRUE(differs);
+
+  // Tiny bases stay exact (jitter range collapses to base/4 = 0).
+  policy.backoff_ms = 1;
+  EXPECT_EQ(recovery::retry_backoff_ms(policy, 7, 0, 2), 1);
 }
 
 TEST(SupervisorTest, StopAfterSkipsPendingSlots) {

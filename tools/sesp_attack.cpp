@@ -274,7 +274,7 @@ int main(int argc, char** argv) {
   // emitted when the scope closes.
   sesp::ObservationScope observation(opt->obs, "sesp_attack");
   sesp::RecoveryScope recovery(opt->recovery, "sesp_attack",
-                               sesp::config_digest(*opt));
+                               sesp::config_digest(*opt), argc, argv);
   if (recovery.error()) return 2;
   std::cout << "construction: " << opt->construction
             << "  target: " << opt->alg << "  instance: s=" << opt->spec.s

@@ -6,10 +6,13 @@
 //   sesp_bench_merge --out=bench_results.json BENCH_table1_sync.json ...
 //
 // Exit status: 0 when every record parses, validates against sesp-bench/1
-// and reports ok=true; 1 when any record fails or is malformed; 2 when no
-// record files were given or one cannot be read; 3 when the only blemish is
-// truncated records (torn by a killed writer — skipped with a warning, so a
-// bench interrupted mid-write degrades the merge instead of failing it).
+// and reports ok=true; 1 when any record fails or is malformed (mid-text
+// corruption or a wrong schema — a real bug, never produced by a clean
+// kill); 2 when no record files were given or one cannot be read; 3 when
+// the ONLY blemish is truncated records (torn by a killed writer — skipped
+// with a warning, so a bench interrupted mid-write degrades the merge
+// instead of failing it). 1 beats 3: a malformed record still fails the
+// merge even when truncated records were also skipped.
 
 #include <fstream>
 #include <iostream>
@@ -30,7 +33,14 @@ int main(int argc, char** argv) {
       continue;
     }
     if (arg == "--help" || arg == "-h") {
-      std::cout << "usage: sesp_bench_merge [--out=FILE] BENCH_*.json...\n";
+      std::cout << "usage: sesp_bench_merge [--out=FILE] BENCH_*.json...\n"
+                   "exit status:\n"
+                   "  0  every record parsed, validated and reported ok\n"
+                   "  1  a record failed validation or was malformed\n"
+                   "     (corrupt mid-text or wrong schema: a real bug)\n"
+                   "  2  no records given, or a file cannot be read\n"
+                   "  3  only blemish was truncated records (torn by a\n"
+                   "     killed writer: skipped, rerun those benches)\n";
       return 0;
     }
     std::ifstream in(arg);
@@ -44,7 +54,8 @@ int main(int argc, char** argv) {
   }
   if (named_texts.empty()) {
     std::cerr << "no bench records given\n"
-              << "usage: sesp_bench_merge [--out=FILE] BENCH_*.json...\n";
+              << "usage: sesp_bench_merge [--out=FILE] BENCH_*.json...\n"
+              << "(--help lists the exit-status protocol)\n";
     return 2;
   }
 

@@ -9,6 +9,7 @@
 //   sesp_cli --substrate=smm --model=periodic --s=4 --n=9 --b=3
 //   sesp_cli --substrate=p2p --model=async --topology=ring --s=3 --n=8
 //   sesp_cli --check-certificate=cert.txt
+//   sesp_cli --journal-inspect=run.journal [--json]
 //
 // Exit status: 0 when the run solves the instance (or the certificate is
 // valid), 1 otherwise, 2 on usage errors, 75 (EX_TEMPFAIL) when a
@@ -41,6 +42,8 @@
 #include "analysis/timeline.hpp"
 #include "model/trace_io.hpp"
 #include "p2p/p2p_simulator.hpp"
+#include "obs/json.hpp"
+#include "shard/lease.hpp"
 #include "sim/experiment.hpp"
 #include "cli_observation.hpp"
 #include "cli_recovery.hpp"
@@ -56,6 +59,8 @@ struct Options {
   std::string faults;
   std::string dump_trace;
   std::string check_certificate;
+  std::string journal_inspect;
+  bool inspect_json = false;
   bool degradation = false;
   ProblemSpec spec{3, 3, 2};
   Ratio c1 = 1, c2 = 2, d1 = 0, d2 = 4;
@@ -105,7 +110,10 @@ void usage(std::ostream& os) {
         "  --timeline                   render an ASCII timeline\n"
         "  --stats                      per-session statistics\n"
         "  --dump-trace=FILE            write sesp-trace format\n"
-        "  --check-certificate=FILE     re-validate a violation certificate\n";
+        "  --check-certificate=FILE     re-validate a violation certificate\n"
+        "  --journal-inspect=FILE       describe a run journal (records,\n"
+        "                               config digest, torn tail, leases);\n"
+        "                               bare --json for machine output\n";
   ObservationOptions::usage(os);
   RecoveryOptions::usage(os);
 }
@@ -119,9 +127,17 @@ std::optional<Options> parse(int argc, char** argv) {
     const std::string value =
         eq == std::string::npos ? "" : arg.substr(eq + 1);
     auto ratio = [&value]() { return ratio_from_text(value); };
+    // Bare --json (no =FILE) selects --journal-inspect's machine output;
+    // intercepted before the observability flags, which only define
+    // --json=FILE.
+    if (key == "--json" && eq == std::string::npos) {
+      opt.inspect_json = true;
+      continue;
+    }
     if (opt.obs.consume(key, value)) continue;
     if (opt.recovery.consume(key, value)) continue;
-    if (key == "--substrate") opt.substrate = value;
+    if (key == "--journal-inspect") opt.journal_inspect = value;
+    else if (key == "--substrate") opt.substrate = value;
     else if (key == "--model") opt.model = value;
     else if (key == "--adversary") opt.adversary = value;
     else if (key == "--topology") opt.topology = value;
@@ -162,6 +178,11 @@ std::optional<Options> parse(int argc, char** argv) {
       std::cerr << "unknown option: " << key << "\n";
       return std::nullopt;
     }
+  }
+  if (opt.inspect_json && opt.journal_inspect.empty()) {
+    std::cerr << "bare --json requires --journal-inspect "
+                 "(use --json=FILE for run metrics)\n";
+    return std::nullopt;
   }
   return opt;
 }
@@ -246,6 +267,110 @@ void maybe_dump(const Options& opt, const TimedComputation& trace) {
     out << to_text(trace);
     std::cout << "trace written to " << opt.dump_trace << "\n";
   }
+}
+
+// --journal-inspect: a read-only description of a sesp-journal/1 file —
+// record counts per stage, failure payloads, torn-tail status, and the
+// lease events of sharded runs with their current state (the first thing
+// to look at when a shard appears stuck). Exit 0 on a readable journal,
+// 2 otherwise.
+int run_journal_inspect(const Options& opt) {
+  const recovery::JournalSnapshot snap =
+      recovery::read_journal_snapshot(opt.journal_inspect);
+  if (!snap.ok) {
+    std::cerr << snap.error << "\n";
+    return 2;
+  }
+
+  // Per-stage rollup in first-appearance order; failures are slots whose
+  // payload is an encoded TaskFailure.
+  struct StageStats {
+    std::int64_t slots = 0;
+    std::int64_t failures = 0;
+  };
+  std::vector<std::pair<std::string, StageStats>> stages;
+  for (const recovery::JournalRecord& r : snap.records) {
+    auto it = stages.begin();
+    for (; it != stages.end(); ++it)
+      if (it->first == r.stage) break;
+    if (it == stages.end()) {
+      stages.emplace_back(r.stage, StageStats{});
+      it = stages.end() - 1;
+    }
+    ++it->second.slots;
+    if (recovery::decode_task_failure(r.payload)) ++it->second.failures;
+  }
+
+  const std::int64_t now = shard::unix_ms_now();
+  const auto lease_state = [now](const recovery::LeaseRecord& lease) {
+    if (lease.event == "done") return std::string("done");
+    if (lease.deadline_ms >= now)
+      return "active (" + std::to_string(lease.deadline_ms - now) +
+             " ms left)";
+    return std::string("expired");
+  };
+
+  if (opt.inspect_json) {
+    obs::JsonWriter w(std::cout);
+    w.begin_object();
+    w.field("schema", "sesp-journal-inspect/1");
+    w.field("path", opt.journal_inspect);
+    w.field("tool", snap.tool);
+    w.field("config", recovery::fnv1a_hex(snap.config_digest));
+    w.field("records", static_cast<std::int64_t>(snap.records.size()));
+    w.field("torn_dropped", snap.dropped);
+    w.key("stages");
+    w.begin_array();
+    for (const auto& [stage, stats] : stages) {
+      w.begin_object();
+      w.field("stage", stage);
+      w.field("slots", stats.slots);
+      w.field("failures", stats.failures);
+      w.end_object();
+    }
+    w.end_array();
+    w.key("leases");
+    w.begin_array();
+    for (const recovery::LeaseRecord& lease : snap.leases) {
+      w.begin_object();
+      w.field("worker", static_cast<std::int64_t>(lease.worker));
+      w.field("stage", lease.stage);
+      w.field("lo", static_cast<std::int64_t>(lease.lo));
+      w.field("len", static_cast<std::int64_t>(lease.len));
+      w.field("deadline_ms", lease.deadline_ms);
+      w.field("event", lease.event);
+      w.field("state", lease_state(lease));
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    std::cout << "\n";
+    return 0;
+  }
+
+  std::cout << "journal:     " << opt.journal_inspect << "\n"
+            << "tool:        " << snap.tool << "\n"
+            << "config:      " << recovery::fnv1a_hex(snap.config_digest)
+            << "\n"
+            << "records:     " << snap.records.size() << " slot(s) across "
+            << stages.size() << " stage(s)\n";
+  for (const auto& [stage, stats] : stages) {
+    std::cout << "  " << stage << ": " << stats.slots << " slot(s)";
+    if (stats.failures > 0)
+      std::cout << ", " << stats.failures << " failure(s)";
+    std::cout << "\n";
+  }
+  std::cout << "torn tail:   "
+            << (snap.dropped > 0
+                    ? std::to_string(snap.dropped) + " record(s) dropped"
+                    : std::string("none"))
+            << "\n"
+            << "leases:      " << snap.leases.size() << " event(s)\n";
+  for (const recovery::LeaseRecord& lease : snap.leases)
+    std::cout << "  worker " << lease.worker << "  " << lease.stage << "  ["
+              << lease.lo << "," << (lease.lo + lease.len) << ")  "
+              << lease.event << "  " << lease_state(lease) << "\n";
+  return 0;
 }
 
 int run_certificate_check(const Options& opt) {
@@ -465,6 +590,8 @@ int main(int argc, char** argv) {
     sesp::usage(std::cerr);
     return 2;
   }
+  if (!opt->journal_inspect.empty())
+    return sesp::run_journal_inspect(*opt);
   if (!opt->check_certificate.empty())
     return sesp::run_certificate_check(*opt);
 
@@ -475,7 +602,7 @@ int main(int argc, char** argv) {
   // families, degradation grids): journal flags are validated before any
   // work runs, and a drained SIGINT/SIGTERM maps to exit 75 in finish().
   sesp::RecoveryScope recovery(opt->recovery, "sesp_cli",
-                               sesp::config_digest(*opt));
+                               sesp::config_digest(*opt), argc, argv);
   if (recovery.error()) return 2;
 
   std::cout << "substrate:   " << opt->substrate << "\n"

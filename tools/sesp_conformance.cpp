@@ -291,7 +291,7 @@ int run(int argc, char** argv) {
 
   ObservationScope scope(opt.obs, "sesp_conformance");
   RecoveryScope recovery(opt.recovery, "sesp_conformance",
-                         config_digest(opt));
+                         config_digest(opt), argc, argv);
   if (recovery.error()) return 2;
   if (!opt.replay_file.empty()) return replay_witness_file(opt);
   if (!opt.emit_golden.empty()) return emit_golden(opt);
