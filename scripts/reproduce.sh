@@ -70,7 +70,7 @@ if [ "${SESP_SKIP_SHARD_SMOKE:-0}" != "1" ]; then
 fi
 
 # Bench stage: every bench binary writes a machine-readable perf record
-# (BENCH_<name>.json, schema sesp-bench/1); the verdict comes from the
+# (BENCH_<name>.json, schema sesp-bench/2); the verdict comes from the
 # structured ok / solved / admissible / upper_ok fields via sesp_bench_merge,
 # not from grepping the tables. SESP_BENCH_QUICK=1 shrinks the substrate
 # microbenchmark sweeps (CI uses it); the BoundReport benches are unaffected.
@@ -85,3 +85,13 @@ done
 echo
 echo "Verdicts (from BENCH_*.json):"
 build/tools/sesp_bench_merge --out=bench_results.json BENCH_*.json
+
+# Perf-history stage: fold the merged results into the append-only ledger
+# and gate against the rolling baseline (docs/observability.md "Bench
+# history & regression gate"). The check is a soft warning here — local
+# machines are not comparable to the ledger's baseline hardware.
+commit="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+build/tools/sesp_perf record --results=bench_results.json \
+  --history=bench_history.jsonl --commit="$commit"
+build/tools/sesp_perf check --history=bench_history.jsonl \
+  || echo "warning: sesp_perf flagged a perf regression against the ledger"

@@ -297,9 +297,12 @@ ExhaustiveResult explore_mpm(const ProblemSpec& spec,
     recovery::supervised_sweep(
         "explore_mpm", subtrees,
         [&](std::size_t b) {
+          obs::Observer* const o = shards[b].observer();
+          obs::ProfileScope exec_scope(o ? o->profiler : nullptr,
+                                       obs::ProfilePhase::kExecTask);
           return encode_exhaustive(explore_subtree(
               spec, constraints, factory, gap_choices, delay_choices,
-              digits_of(b), fan_out, max_runs, shards[b].observer()));
+              digits_of(b), fan_out, max_runs, o));
         },
         [&](std::size_t b, const std::string& payload) {
           shards[b].merge_into_parent();

@@ -47,6 +47,7 @@ MpmSimulator::MpmSimulator(const ProblemSpec& spec,
 MpmRunResult MpmSimulator::run(const MpmRunLimits& limits) {
   const std::int32_t n = spec_.n;
   obs::Observer* const o = obs::resolve(observer_);
+  obs::Profiler* const prof = o ? o->profiler : nullptr;
   obs::Span run_span(o ? o->trace : nullptr, "mpm.run", "sim",
                      o && o->trace
                          ? obs::args_object(
@@ -89,6 +90,7 @@ MpmRunResult MpmSimulator::run(const MpmRunLimits& limits) {
   // and rejecting schedules that run backwards in time.
   auto schedule_step = [&](ProcessId p, std::optional<Time> prev,
                            std::int64_t index) -> bool {
+    obs::ProfileScope ps(prof, obs::ProfilePhase::kSchedule);
     Time t = scheduler_.next_step_time(p, prev, index);
     const Time floor = prev.value_or(Time(0));
     if (faults_) {
@@ -121,8 +123,12 @@ MpmRunResult MpmSimulator::run(const MpmRunLimits& limits) {
   std::int64_t stagnant_events = 0;
 
   while (!queue.empty() && non_idle > 0) {
-    const Event ev = queue.top();
-    queue.pop();
+    const Event ev = [&] {
+      obs::ProfileScope pop_scope(prof, obs::ProfilePhase::kEventQueuePop);
+      const Event top = queue.top();
+      queue.pop();
+      return top;
+    }();
     if (o && o->event_queue_depth)
       o->event_queue_depth->set(static_cast<std::int64_t>(queue.size()) + 1);
 
@@ -162,6 +168,7 @@ MpmRunResult MpmSimulator::run(const MpmRunLimits& limits) {
     }
 
     if (ev.kind == EventKind::kDeliver) {
+      obs::ProfileScope deliver_scope(prof, obs::ProfilePhase::kDeliver);
       if (auto err = network.deliver(ev.message)) {
         err->step_index = static_cast<std::int64_t>(trace.steps().size());
         err->time = ev.time;
@@ -199,6 +206,7 @@ MpmRunResult MpmSimulator::run(const MpmRunLimits& limits) {
       continue;
     }
 
+    obs::ProfileScope step_scope(prof, obs::ProfilePhase::kProcessStep);
     network.drain_buffer_into(p, received);
     const MpmStepResult action = algs[pi]->on_step(
         std::span<const MpmMessage>(received.data(), received.size()));

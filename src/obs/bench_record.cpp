@@ -5,6 +5,7 @@
 #include <fstream>
 #include <iostream>
 #include <sstream>
+#include <string_view>
 
 #include "obs/json.hpp"
 
@@ -14,6 +15,9 @@ BenchRecorder::BenchRecorder(std::string name)
     : name_(std::move(name)),
       observer_(&metrics_, nullptr),
       start_(std::chrono::steady_clock::now()) {
+  const char* profile_env = std::getenv("SESP_BENCH_PROFILE");
+  if (!profile_env || std::string_view(profile_env) != "0")
+    observer_.profiler = &profiler_;
   previous_default_ = set_default_observer(&observer_);
 }
 
@@ -55,7 +59,7 @@ std::string BenchRecorder::render(bool ok) const {
   std::ostringstream os;
   JsonWriter w(os);
   w.begin_object();
-  w.field("schema", "sesp-bench/1");
+  w.field("schema", "sesp-bench/2");
   w.field("bench", name_);
   w.field("ok", ok);
   w.field("wall_seconds", wall);
@@ -87,6 +91,8 @@ std::string BenchRecorder::render(bool ok) const {
   w.end_object();
   w.key("metrics");
   metrics_.write_json(w);
+  w.key("profile");
+  profiler_.write_json(w);
   w.end_object();
 
   // Splice the pre-rendered notes into the (empty) notes object; doing the
@@ -171,11 +177,17 @@ bool validate_bench_record(const std::string& text, std::string* error) {
     return true;
   };
   if (!require("schema", JsonValue::Kind::kString)) return false;
-  if (doc->find("schema")->string != "sesp-bench/1") {
-    if (error) *error = "unknown schema \"" + doc->find("schema")->string +
-                        "\" (want sesp-bench/1)";
+  const std::string& schema = doc->find("schema")->string;
+  if (schema != "sesp-bench/1" && schema != "sesp-bench/2") {
+    if (error) *error = "unknown schema \"" + schema +
+                        "\" (want sesp-bench/1 or sesp-bench/2)";
     return false;
   }
+  // /2 added the per-phase profiler dump; /1 records (older ledgers) have
+  // none and must keep validating.
+  if (schema == "sesp-bench/2" &&
+      !require("profile", JsonValue::Kind::kObject))
+    return false;
   if (!require("bench", JsonValue::Kind::kString)) return false;
   if (!require("ok", JsonValue::Kind::kBool)) return false;
   if (!require("wall_seconds", JsonValue::Kind::kNumber)) return false;

@@ -7,7 +7,7 @@
 // `BENCH_<name>.json` next to the ASCII table output:
 //
 //   {
-//     "schema": "sesp-bench/1",
+//     "schema": "sesp-bench/2",
 //     "bench": "table1_sync",
 //     "ok": true,                  // the binary's exit verdict
 //     "wall_seconds": 0.42,
@@ -20,13 +20,19 @@
 //                "admissible": true, "upper_ok": true,
 //                "lower_reached": true}, ... ],
 //     "notes": { ... },            // bench-specific scalars
-//     "metrics": { ... }           // full MetricsRegistry dump
+//     "metrics": { ... },          // full MetricsRegistry dump
+//     "profile": { ... }           // per-phase Profiler dump (/2 only)
 //   }
 //
 // The output directory is the working directory unless SESP_BENCH_JSON_DIR
 // is set. scripts/reproduce.sh and CI aggregate the records with
 // sesp_bench_merge and derive the final verdict from the structured ok /
 // solved / admissible / upper_ok fields instead of grepping stdout.
+//
+// Schema history: sesp-bench/1 had no "profile" section; the validator
+// accepts both (sesp_perf and old ledger entries keep parsing), new records
+// are always written as /2. SESP_BENCH_PROFILE=0 disables the profiler but
+// the (then all-zero) profile section is still emitted.
 
 #include <chrono>
 #include <cstdint>
@@ -68,6 +74,7 @@ class BenchRecorder {
 
   MetricsRegistry& metrics() noexcept { return metrics_; }
   Observer& observer() noexcept { return observer_; }
+  Profiler& profiler() noexcept { return profiler_; }
 
   void add_row(PerfRow row);
   // Bench-specific scalar facts ("overhead_percent": 1.3, "mode": "quick").
@@ -88,6 +95,7 @@ class BenchRecorder {
 
   std::string name_;
   MetricsRegistry metrics_;
+  Profiler profiler_;
   Observer observer_;
   Observer* previous_default_ = nullptr;
   std::chrono::steady_clock::time_point start_;
@@ -124,7 +132,7 @@ BenchAggregate aggregate_bench_records(
     const std::vector<std::pair<std::string, std::string>>& named_texts);
 
 // Schema check used by the aggregator and obs_test: returns true iff `text`
-// parses as a valid sesp-bench/1 record; fills *error otherwise.
+// parses as a valid sesp-bench/1 or /2 record; fills *error otherwise.
 bool validate_bench_record(const std::string& text, std::string* error);
 
 // Three-way classification behind the aggregator: a record whose JSON parse

@@ -249,6 +249,19 @@ class Parser {
       fail("unexpected end of input");
       return false;
     }
+    if (depth_ >= kMaxDepth) {
+      // A recursion cap, not a truncation: adversarial nesting ("[[[[...")
+      // must fail cleanly before the call stack does.
+      fail("nesting too deep");
+      return false;
+    }
+    ++depth_;
+    const bool ok = parse_value_inner(out);
+    --depth_;
+    return ok;
+  }
+
+  bool parse_value_inner(JsonValue& out) {
     const char c = text_[pos_];
     switch (c) {
       case 'n':
@@ -359,10 +372,13 @@ class Parser {
     }
   }
 
+  static constexpr int kMaxDepth = 256;
+
   std::string_view text_;
   std::string* error_;
   std::size_t* error_offset_;
   std::size_t pos_ = 0;
+  int depth_ = 0;
 };
 
 }  // namespace
@@ -373,6 +389,40 @@ std::optional<JsonValue> parse_json(std::string_view text,
   std::string scratch;
   Parser parser(text, error ? error : &scratch, error_offset);
   return parser.parse();
+}
+
+void write_json_value(JsonWriter& w, const JsonValue& value) {
+  switch (value.kind) {
+    case JsonValue::Kind::kNull: w.null_value(); return;
+    case JsonValue::Kind::kBool: w.value(value.boolean); return;
+    case JsonValue::Kind::kNumber: {
+      // Integral values round-trip as integers (ts/pid/tid stay clean).
+      const double d = value.number;
+      if (std::isfinite(d) && d >= -9.0e18 && d <= 9.0e18) {
+        const auto i = static_cast<std::int64_t>(d);
+        if (static_cast<double>(i) == d) {
+          w.value(i);
+          return;
+        }
+      }
+      w.value(d);
+      return;
+    }
+    case JsonValue::Kind::kString: w.value(value.string); return;
+    case JsonValue::Kind::kArray:
+      w.begin_array();
+      for (const JsonValue& elem : value.array) write_json_value(w, elem);
+      w.end_array();
+      return;
+    case JsonValue::Kind::kObject:
+      w.begin_object();
+      for (const auto& [name, member] : value.object) {
+        w.key(name);
+        write_json_value(w, member);
+      }
+      w.end_object();
+      return;
+  }
 }
 
 }  // namespace sesp::obs

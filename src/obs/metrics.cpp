@@ -1,5 +1,6 @@
 #include "obs/metrics.hpp"
 
+#include <algorithm>
 #include <cstdlib>
 #include <ostream>
 #include <sstream>
@@ -143,13 +144,30 @@ void MetricsRegistry::merge_from(const MetricsRegistry& other) {
 }
 
 std::string MetricsRegistry::to_string() const {
+  // Aligned human table for --metrics: one row per instrument, names padded
+  // to a common column, gauges with their high-water mark and histograms
+  // with the exact-Ratio extrema (the values compared against the paper's
+  // bounds). Pinned byte-for-byte by obs_test's golden rendering test.
+  std::size_t width = 0;
+  for (const auto& [name, c] : counters_) width = std::max(width, name.size());
+  for (const auto& [name, g] : gauges_) width = std::max(width, name.size());
+  for (const auto& [name, h] : histograms_)
+    width = std::max(width, name.size());
   std::ostringstream os;
-  for (const auto& [name, c] : counters_)
-    os << "  " << name << " = " << c.value() << "\n";
-  for (const auto& [name, g] : gauges_)
-    os << "  " << name << " = " << g.value() << " (max " << g.max() << ")\n";
+  const auto pad = [&](const std::string& name) {
+    os << "  " << name << std::string(width - name.size(), ' ');
+  };
+  for (const auto& [name, c] : counters_) {
+    pad(name);
+    os << "  counter    " << c.value() << "\n";
+  }
+  for (const auto& [name, g] : gauges_) {
+    pad(name);
+    os << "  gauge      " << g.value() << " (max " << g.max() << ")\n";
+  }
   for (const auto& [name, h] : histograms_) {
-    os << "  " << name << " : count=" << h.count();
+    pad(name);
+    os << "  histogram  count=" << h.count();
     if (!h.empty())
       os << " min=" << h.min().to_string() << " max=" << h.max().to_string()
          << " mean=" << h.mean();

@@ -47,14 +47,18 @@ ObservationShard::ObservationShard(Observer* parent) : parent_(parent) {
   if (!parent_) return;
   if (parent_->metrics) metrics_.emplace();
   if (parent_->trace) trace_.emplace();
+  if (parent_->profiler) profiler_.emplace();
   observer_ = Observer(metrics_ ? &*metrics_ : nullptr,
                        trace_ ? &*trace_ : nullptr);
+  observer_.profiler = profiler_ ? &*profiler_ : nullptr;
 }
 
 void ObservationShard::merge_into_parent() {
   if (!parent_) return;
   if (metrics_ && parent_->metrics) parent_->metrics->merge_from(*metrics_);
   if (trace_ && parent_->trace) parent_->trace->merge_from(*trace_);
+  if (profiler_ && parent_->profiler)
+    parent_->profiler->merge_from(*profiler_);
 }
 
 Observer* default_observer() noexcept { return g_default_observer; }

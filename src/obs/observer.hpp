@@ -24,6 +24,7 @@
 #include "faults/sim_error.hpp"
 #include "model/ids.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 #include "obs/trace.hpp"
 #include "util/ratio.hpp"
 
@@ -36,6 +37,9 @@ struct Observer {
 
   MetricsRegistry* metrics = nullptr;
   TraceSink* trace = nullptr;
+  // Optional phase profiler (--profile, BenchRecorder); null = unprofiled.
+  // Hot loops hoist `o ? o->profiler : nullptr` once per run.
+  Profiler* profiler = nullptr;
 
   // Pre-resolved hot-path instruments; all null iff metrics is null. Names
   // are documented in docs/observability.md.
@@ -99,6 +103,7 @@ class ObservationShard {
   Observer* parent_ = nullptr;
   std::optional<MetricsRegistry> metrics_;
   std::optional<TraceSink> trace_;
+  std::optional<Profiler> profiler_;
   Observer observer_;
 };
 

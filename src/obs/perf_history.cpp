@@ -1,0 +1,241 @@
+#include "obs/perf_history.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <sstream>
+
+#include "obs/json.hpp"
+
+namespace sesp::obs {
+
+namespace {
+
+// Folds a sesp-bench/2 "profile" object ({phase: {count, total_ns, ...}})
+// down to the two trajectory-relevant numbers per phase; phases that never
+// fired ({"count": 0}) are dropped.
+std::vector<PerfPhase> fold_profile(const JsonValue* profile) {
+  std::vector<PerfPhase> out;
+  if (!profile || !profile->is_object()) return out;
+  for (const auto& [name, stat] : profile->object) {
+    if (!stat.is_object()) continue;
+    const JsonValue* count = stat.find("count");
+    if (!count || !count->is_number() || count->as_int64() <= 0) continue;
+    PerfPhase phase;
+    phase.name = name;
+    phase.count = count->as_int64();
+    const JsonValue* total = stat.find("total_ns");
+    if (total && total->is_number()) phase.total_ns = total->as_int64();
+    out.push_back(std::move(phase));
+  }
+  return out;
+}
+
+double median(std::vector<double> xs) {
+  std::sort(xs.begin(), xs.end());
+  const std::size_t n = xs.size();
+  if (n == 0) return 0.0;
+  return n % 2 == 1 ? xs[n / 2] : (xs[n / 2 - 1] + xs[n / 2]) / 2.0;
+}
+
+}  // namespace
+
+bool entries_from_results(const std::string& results_text,
+                          const std::string& commit,
+                          std::int64_t recorded_unix_ms, bool quick,
+                          std::vector<PerfEntry>* out, std::string* error) {
+  const std::optional<JsonValue> doc = parse_json(results_text, error);
+  if (!doc) return false;
+  const JsonValue* schema = doc->find("schema");
+  if (!schema || !schema->is_string() ||
+      schema->string != "sesp-bench-results/1") {
+    if (error) *error = "not a sesp-bench-results/1 document";
+    return false;
+  }
+  const JsonValue* benches = doc->find("benches");
+  if (!benches || !benches->is_array()) {
+    if (error) *error = "missing \"benches\" array";
+    return false;
+  }
+  for (const JsonValue& record : benches->array) {
+    const JsonValue* bench = record.find("bench");
+    const JsonValue* ok = record.find("ok");
+    const JsonValue* wall = record.find("wall_seconds");
+    const JsonValue* steps = record.find("steps");
+    const JsonValue* rate = record.find("steps_per_sec");
+    const JsonValue* runs = record.find("runs");
+    if (!bench || !bench->is_string() || !ok || !ok->is_bool()) continue;
+    PerfEntry e;
+    e.bench = bench->string;
+    e.commit = commit;
+    e.recorded_unix_ms = recorded_unix_ms;
+    e.quick = quick;
+    e.ok = ok->boolean;
+    if (wall && wall->is_number()) e.wall_seconds = wall->number;
+    if (steps && steps->is_number()) e.steps = steps->as_int64();
+    if (rate && rate->is_number()) e.steps_per_sec = rate->number;
+    if (runs && runs->is_number()) e.runs = runs->as_int64();
+    e.profile = fold_profile(record.find("profile"));
+    out->push_back(std::move(e));
+  }
+  return true;
+}
+
+std::string render_perf_entry(const PerfEntry& entry) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.begin_object();
+  w.field("schema", "sesp-perf/1");
+  w.field("bench", entry.bench);
+  w.field("commit", entry.commit);
+  w.field("recorded_unix_ms", entry.recorded_unix_ms);
+  w.field("quick", entry.quick);
+  w.field("ok", entry.ok);
+  w.field("wall_seconds", entry.wall_seconds);
+  w.field("steps", entry.steps);
+  w.field("steps_per_sec", entry.steps_per_sec);
+  w.field("runs", entry.runs);
+  w.key("profile");
+  w.begin_object();
+  for (const PerfPhase& phase : entry.profile) {
+    w.key(phase.name);
+    w.begin_object();
+    w.field("count", phase.count);
+    w.field("total_ns", phase.total_ns);
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+  return os.str();
+}
+
+bool parse_perf_entry(const std::string& line, PerfEntry* out,
+                      std::string* error) {
+  const std::optional<JsonValue> doc = parse_json(line, error);
+  if (!doc) return false;
+  const JsonValue* schema = doc->find("schema");
+  if (!schema || !schema->is_string() || schema->string != "sesp-perf/1") {
+    if (error) *error = "not a sesp-perf/1 entry";
+    return false;
+  }
+  const JsonValue* bench = doc->find("bench");
+  const JsonValue* rate = doc->find("steps_per_sec");
+  if (!bench || !bench->is_string() || !rate || !rate->is_number()) {
+    if (error) *error = "entry missing bench/steps_per_sec";
+    return false;
+  }
+  PerfEntry e;
+  e.bench = bench->string;
+  e.steps_per_sec = rate->number;
+  if (const JsonValue* v = doc->find("commit"); v && v->is_string())
+    e.commit = v->string;
+  if (const JsonValue* v = doc->find("recorded_unix_ms");
+      v && v->is_number())
+    e.recorded_unix_ms = v->as_int64();
+  if (const JsonValue* v = doc->find("quick"); v && v->is_bool())
+    e.quick = v->boolean;
+  if (const JsonValue* v = doc->find("ok"); v && v->is_bool())
+    e.ok = v->boolean;
+  if (const JsonValue* v = doc->find("wall_seconds"); v && v->is_number())
+    e.wall_seconds = v->number;
+  if (const JsonValue* v = doc->find("steps"); v && v->is_number())
+    e.steps = v->as_int64();
+  if (const JsonValue* v = doc->find("runs"); v && v->is_number())
+    e.runs = v->as_int64();
+  e.profile = fold_profile(doc->find("profile"));
+  *out = std::move(e);
+  return true;
+}
+
+std::vector<PerfEntry> parse_perf_ledger(const std::string& text,
+                                         std::int64_t* skipped) {
+  std::vector<PerfEntry> out;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    PerfEntry entry;
+    std::string error;
+    if (parse_perf_entry(line, &entry, &error))
+      out.push_back(std::move(entry));
+    else if (skipped)
+      ++*skipped;
+  }
+  return out;
+}
+
+std::vector<PerfCheck> check_history(const std::vector<PerfEntry>& entries,
+                                     const PerfCheckOptions& opt) {
+  // Series keyed by (bench, quick) in first-seen order.
+  std::vector<std::pair<std::pair<std::string, bool>,
+                        std::vector<const PerfEntry*>>> series;
+  for (const PerfEntry& e : entries) {
+    const auto key = std::make_pair(e.bench, e.quick);
+    auto it = std::find_if(series.begin(), series.end(),
+                           [&](const auto& s) { return s.first == key; });
+    if (it == series.end()) {
+      series.push_back({key, {}});
+      it = series.end() - 1;
+    }
+    it->second.push_back(&e);
+  }
+
+  std::vector<PerfCheck> out;
+  for (const auto& [key, line] : series) {
+    const PerfEntry& current = *line.back();
+    PerfCheck check;
+    check.bench = key.first;
+    check.quick = key.second;
+    check.current = current.steps_per_sec;
+
+    char buf[256];
+    if (!current.ok) {
+      check.regression = true;
+      check.note = check.bench + ": newest entry reports ok=false";
+      out.push_back(std::move(check));
+      continue;
+    }
+
+    // Rolling baseline: up to `window` most recent ok priors.
+    std::vector<double> priors;
+    for (std::size_t i = line.size() - 1; i-- > 0;) {
+      if (!line[i]->ok) continue;
+      priors.push_back(line[i]->steps_per_sec);
+      if (static_cast<int>(priors.size()) >= opt.window) break;
+    }
+    check.samples = static_cast<int>(priors.size());
+    if (check.samples < opt.min_samples) {
+      std::snprintf(buf, sizeof(buf),
+                    "%s: only %d prior sample(s); gate needs %d — pass",
+                    check.bench.c_str(), check.samples, opt.min_samples);
+      check.note = buf;
+      out.push_back(std::move(check));
+      continue;
+    }
+
+    const double base = median(priors);
+    check.baseline = base;
+    std::vector<double> deviations;
+    deviations.reserve(priors.size());
+    for (const double x : priors) deviations.push_back(std::fabs(x - base));
+    const double mad = median(deviations);
+    check.allowed_drop =
+        base > 0.0 ? std::max(opt.min_drop, opt.mad_mult * mad / base)
+                   : opt.min_drop;
+    const double floor = base * (1.0 - check.allowed_drop);
+    check.regression = check.current < floor;
+    std::snprintf(buf, sizeof(buf),
+                  "%s%s: %.0f steps/s vs baseline %.0f (n=%d, "
+                  "allowed drop %.0f%%) — %s",
+                  check.bench.c_str(), check.quick ? " [quick]" : "",
+                  check.current, base, check.samples,
+                  check.allowed_drop * 100.0,
+                  check.regression ? "REGRESSION" : "ok");
+    check.note = buf;
+    out.push_back(std::move(check));
+  }
+  return out;
+}
+
+}  // namespace sesp::obs

@@ -1,0 +1,95 @@
+#pragma once
+
+// Bench-history ledger and regression gate (docs/observability.md "Bench
+// history & regression gate"). Each merged bench_results.json is folded
+// into an append-only JSONL ledger — one sesp-perf/1 line per bench record:
+//
+//   {"schema": "sesp-perf/1", "bench": "faults", "commit": "5685dcb",
+//    "recorded_unix_ms": 1754600000000, "quick": false, "ok": true,
+//    "wall_seconds": 4.8, "steps": 3301868, "steps_per_sec": 686678.9,
+//    "runs": 81, "profile": {"sim.step": {"count": N, "total_ns": T}, ...}}
+//
+// check_history() then compares, per (bench, quick) series, the newest
+// steps_per_sec against the median of a rolling window of prior entries,
+// with a noise-aware tolerance: the allowed drop is the larger of a fixed
+// floor and a multiple of the window's median absolute deviation, so noisy
+// benches get wide gates and stable benches tight ones. Fewer than
+// `min_samples` priors passes with a note — a fresh ledger never fails.
+//
+// The ledger is plain JSONL so `git log -p bench_history.jsonl` reads as a
+// perf trajectory; unknown future fields are preserved by readers that
+// re-render (parse → write_json_value round-trips).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sesp::obs {
+
+struct PerfPhase {
+  std::string name;  // profile phase, e.g. "sim.step"
+  std::int64_t count = 0;
+  std::int64_t total_ns = 0;
+};
+
+struct PerfEntry {
+  std::string bench;
+  std::string commit;  // short hash or "unknown" — never derived in-tool
+  std::int64_t recorded_unix_ms = 0;
+  bool quick = false;  // SESP_BENCH_QUICK runs form their own series
+  bool ok = false;
+  double wall_seconds = 0.0;
+  std::int64_t steps = 0;
+  double steps_per_sec = 0.0;
+  std::int64_t runs = 0;
+  std::vector<PerfPhase> profile;  // phases with count > 0 only
+};
+
+// Extracts one PerfEntry per embedded bench record from a merged
+// sesp-bench-results/1 document. Accepts sesp-bench/1 records (empty
+// profile) and /2 (profile folded to count/total_ns per phase). Returns
+// false (and fills *error) when the document itself is malformed; a
+// well-formed document with zero benches yields an empty vector.
+bool entries_from_results(const std::string& results_text,
+                          const std::string& commit,
+                          std::int64_t recorded_unix_ms, bool quick,
+                          std::vector<PerfEntry>* out, std::string* error);
+
+// One sesp-perf/1 ledger line (no trailing newline).
+std::string render_perf_entry(const PerfEntry& entry);
+
+// Parses one ledger line; false on malformed input or wrong schema.
+bool parse_perf_entry(const std::string& line, PerfEntry* out,
+                      std::string* error);
+
+// Loads every parseable entry of a JSONL ledger text in file order;
+// malformed lines are counted into *skipped (torn tails tolerated — the
+// ledger is append-only and a killed writer may tear its last line).
+std::vector<PerfEntry> parse_perf_ledger(const std::string& text,
+                                         std::int64_t* skipped);
+
+struct PerfCheckOptions {
+  int window = 8;        // prior samples considered per series
+  int min_samples = 3;   // fewer priors → pass with a note
+  double min_drop = 0.25;   // always-allowed fractional slowdown
+  double mad_mult = 6.0;    // noise width multiplier
+};
+
+struct PerfCheck {
+  std::string bench;
+  bool quick = false;
+  double current = 0.0;       // newest steps_per_sec
+  double baseline = 0.0;      // median of the prior window
+  double allowed_drop = 0.0;  // fraction of baseline tolerated
+  int samples = 0;            // priors actually used
+  bool regression = false;
+  std::string note;  // human-readable verdict line
+};
+
+// Verdict per (bench, quick) series: the last entry in file order is the
+// candidate, earlier entries the history. Entries with ok=false are
+// excluded from baselines (a failed bench's throughput is meaningless).
+std::vector<PerfCheck> check_history(const std::vector<PerfEntry>& entries,
+                                     const PerfCheckOptions& opt);
+
+}  // namespace sesp::obs

@@ -6,7 +6,11 @@
 
 namespace sesp::obs {
 
-TraceSink::TraceSink() : epoch_(std::chrono::steady_clock::now()) {}
+TraceSink::TraceSink()
+    : epoch_(std::chrono::steady_clock::now()),
+      epoch_unix_us_(std::chrono::duration_cast<std::chrono::microseconds>(
+                         std::chrono::system_clock::now().time_since_epoch())
+                         .count()) {}
 
 std::int64_t TraceSink::now_ns() const {
   return std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -24,11 +28,17 @@ void TraceSink::record(TraceEvent ev) {
 
 void TraceSink::instant(std::string name, std::string category,
                         std::string args_json) {
+  instant_at(now_ns(), std::move(name), std::move(category),
+             std::move(args_json));
+}
+
+void TraceSink::instant_at(std::int64_t start_ns, std::string name,
+                           std::string category, std::string args_json) {
   TraceEvent ev;
   ev.phase = TraceEvent::Phase::kInstant;
   ev.name = std::move(name);
   ev.category = std::move(category);
-  ev.start_ns = now_ns();
+  ev.start_ns = start_ns;
   ev.depth = depth_;
   ev.args_json = std::move(args_json);
   record(std::move(ev));
@@ -52,6 +62,24 @@ void TraceSink::merge_from(const TraceSink& other) {
 }
 
 void TraceSink::write_jsonl(std::ostream& os) const {
+  {
+    // Leading metadata line: anchors this file's ts=0 to wall-clock time so
+    // sesp_trace_merge can align traces from different processes.
+    JsonWriter w(os);
+    w.begin_object();
+    w.field("name", "trace.meta");
+    w.field("cat", "meta");
+    w.field("ph", "M");
+    w.field("ts", 0.0);
+    w.field("pid", static_cast<std::int64_t>(1));
+    w.field("tid", static_cast<std::int64_t>(1));
+    w.key("args");
+    w.begin_object();
+    w.field("epoch_unix_us", epoch_unix_us_);
+    w.end_object();
+    w.end_object();
+    os << '\n';
+  }
   for (const TraceEvent& ev : events_) {
     JsonWriter w(os);
     w.begin_object();

@@ -49,6 +49,7 @@ P2pSimulator::P2pSimulator(const ProblemSpec& spec,
 P2pRunResult P2pSimulator::run(const P2pRunLimits& limits) {
   const std::int32_t n = spec_.n;
   obs::Observer* const o = obs::resolve(observer_);
+  obs::Profiler* const prof = o ? o->profiler : nullptr;
   obs::Span run_span(o ? o->trace : nullptr, "p2p.run", "sim",
                      o && o->trace
                          ? obs::args_object(
@@ -96,6 +97,7 @@ P2pRunResult P2pSimulator::run(const P2pRunLimits& limits) {
 
   auto schedule_step = [&](ProcessId p, std::optional<Time> prev,
                            std::int64_t index) -> bool {
+    obs::ProfileScope ps(prof, obs::ProfilePhase::kSchedule);
     Time t = scheduler_.next_step_time(p, prev, index);
     const Time floor = prev.value_or(Time(0));
     if (faults_) {
@@ -128,8 +130,12 @@ P2pRunResult P2pSimulator::run(const P2pRunLimits& limits) {
   std::int64_t stagnant_events = 0;
 
   while (!queue.empty() && non_idle > 0) {
-    const Event ev = queue.top();
-    queue.pop();
+    const Event ev = [&] {
+      obs::ProfileScope pop_scope(prof, obs::ProfilePhase::kEventQueuePop);
+      const Event top = queue.top();
+      queue.pop();
+      return top;
+    }();
     if (o && o->event_queue_depth)
       o->event_queue_depth->set(static_cast<std::int64_t>(queue.size()) + 1);
     if (result.compute_steps >= limits.max_steps ||
@@ -166,6 +172,7 @@ P2pRunResult P2pSimulator::run(const P2pRunLimits& limits) {
     }
 
     if (ev.kind == EventKind::kDeliver) {
+      obs::ProfileScope deliver_scope(prof, obs::ProfilePhase::kDeliver);
       const auto flight = in_flight.find(ev.message);
       if (flight == in_flight.end()) {
         SimError err;
@@ -211,6 +218,7 @@ P2pRunResult P2pSimulator::run(const P2pRunLimits& limits) {
     // Receive: merge all delivered payloads. The step is appended after the
     // algorithm runs (its idle flag is part of the record), so the index is
     // the prospective one.
+    obs::ProfileScope step_scope(prof, obs::ProfilePhase::kProcessStep);
     const std::size_t step_index = trace.steps().size();
     for (const MsgId id : pending[pi]) {
       const auto it = buffered.find(id);

@@ -334,7 +334,11 @@ void Supervisor::shard_for_each_slot(
   // worker applies — and prints — the complete canonical report.
   std::int64_t executed = 0;
   while (!interrupted() && missing_count() > 0) {
-    shard_->gather_peers(stage, &payloads);
+    {
+      obs::ProfileScope gather_scope(o ? o->profiler : nullptr,
+                                     obs::ProfilePhase::kShardGather);
+      shard_->gather_peers(stage, &payloads);
+    }
     if (missing_count() == 0) break;
     std::size_t live_leases = 0;
     const auto range = shard_->acquire_range(stage, count, chunk, payloads,
@@ -370,14 +374,33 @@ void Supervisor::shard_for_each_slot(
         },
         jobs);
     shard_->stop_heartbeat();
+    if (o && o->trace) {
+      // The heartbeat thread only records wall-clock stamps (the sink is
+      // single-writer); flush them as instants now that it has joined.
+      for (const std::int64_t renew_ms : shard_->take_renewals())
+        o->trace->instant_at(
+            o->trace->ns_for_unix_ms(renew_ms), "shard.lease.renew", "shard",
+            obs::args_object(
+                {obs::arg_str("stage", stage),
+                 obs::arg_int("lo", static_cast<std::int64_t>(range->lo))}));
+    }
 
     bool complete = true;
     for (const std::size_t slot : pending) {
       if (payloads[slot]) ++executed;
       else complete = false;
     }
-    if (complete && !interrupted())
+    if (complete && !interrupted()) {
       shard_->complete_range(stage, *range, journal_.get());
+      if (o && o->trace)
+        o->trace->instant(
+            "shard.range.done", "shard",
+            obs::args_object(
+                {obs::arg_str("stage", stage),
+                 obs::arg_int("lo", static_cast<std::int64_t>(range->lo)),
+                 obs::arg_int(
+                     "len", static_cast<std::int64_t>(range->hi - range->lo))}));
+    }
   }
 
   // Apply phase: identical to the plain path — serial, global slot order,

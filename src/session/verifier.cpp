@@ -6,19 +6,26 @@ Verdict verify(const TimedComputation& tc, const ProblemSpec& spec,
                const TimingConstraints& constraints,
                obs::Observer* observer) {
   obs::Observer* const o = obs::resolve(observer);
+  obs::Profiler* const prof = o ? o->profiler : nullptr;
   obs::Span span(o ? o->trace : nullptr, "verify.run", "verify");
   Verdict v;
-  const AdmissibilityReport adm = check_admissible(tc, constraints);
-  v.admissible = adm.admissible;
-  v.admissibility_violation = adm.violation;
-  v.violation_site = adm.site;
+  {
+    obs::ProfileScope ps(prof, obs::ProfilePhase::kAdmissibility);
+    const AdmissibilityReport adm = check_admissible(tc, constraints);
+    v.admissible = adm.admissible;
+    v.admissibility_violation = adm.violation;
+    v.violation_site = adm.site;
+  }
 
-  v.sessions = count_sessions(tc).sessions;
-  v.all_ports_idle = tc.all_ports_idle();
-  v.solves = v.sessions >= spec.s && v.all_ports_idle;
-  v.termination_time = tc.termination_time();
-  v.rounds = count_rounds(tc);
-  v.gamma = tc.gamma();
+  {
+    obs::ProfileScope ps(prof, obs::ProfilePhase::kSessionCount);
+    v.sessions = count_sessions(tc).sessions;
+    v.all_ports_idle = tc.all_ports_idle();
+    v.solves = v.sessions >= spec.s && v.all_ports_idle;
+    v.termination_time = tc.termination_time();
+    v.rounds = count_rounds(tc);
+    v.gamma = tc.gamma();
+  }
   if (o) {
     if (o->verified_runs) o->verified_runs->inc();
     if (o->sessions && v.sessions > 0) o->sessions->inc(v.sessions);

@@ -11,6 +11,7 @@
 #include <thread>
 
 #include "recovery/journal.hpp"
+#include "shard/lease.hpp"
 #include "shard/shard.hpp"
 
 namespace sesp::shard {
@@ -92,10 +93,16 @@ LaunchResult run_workers(const std::vector<std::string>& command,
   void (*saved_int)(int) = std::signal(SIGINT, launch_signal_handler);
   void (*saved_term)(int) = std::signal(SIGTERM, launch_signal_handler);
 
+  const auto note = [&result](std::int32_t worker, const char* kind) {
+    result.events.push_back(LaunchEvent{worker, unix_ms_now(), kind});
+  };
+
   std::vector<WorkerSlot> slots(static_cast<std::size_t>(opt.workers));
-  for (std::int32_t i = 0; i < opt.workers; ++i)
+  for (std::int32_t i = 0; i < opt.workers; ++i) {
     slots[static_cast<std::size_t>(i)].pid =
         spawn_worker(command, i, opt.dir);
+    note(i, "spawn");
+  }
 
   bool kill_pending = opt.kill.after_records >= 0;
   bool forwarded = false;
@@ -125,6 +132,7 @@ LaunchResult run_workers(const std::vector<std::string>& command,
       if (live(slots[target])) {
         ::kill(slots[target].pid, opt.kill.signo);
         ++result.kills;
+        note(static_cast<std::int32_t>(target), "kill");
       }
       kill_pending = false;
     }
@@ -142,6 +150,7 @@ LaunchResult run_workers(const std::vector<std::string>& command,
         const int code = WEXITSTATUS(status);
         if (code == 0 || code == 1) {
           slot.done = true;
+          note(i, "exit");
         } else if (code == 2) {
           // Usage/config error: deterministic, a restart cannot help.
           fatal = true;
@@ -161,12 +170,15 @@ LaunchResult run_workers(const std::vector<std::string>& command,
       if (restart) {
         if (g_launch_stop) {
           slot.done = true;  // it drained our forwarded SIGTERM
+          note(i, "exit");
         } else if (result.restarts < opt.max_restarts) {
           ++result.restarts;
           slot.pid = spawn_worker(command, i, opt.dir);
+          note(i, "restart");
         } else {
           slot.abandoned = true;
           ++result.abandoned;
+          note(i, "abandon");
           std::fprintf(stderr,
                        "shard: worker %d exceeded the restart budget; "
                        "its ranges will be stolen\n", i);

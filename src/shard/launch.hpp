@@ -42,6 +42,16 @@ struct LaunchOptions {
   KillPlan kill;
 };
 
+// One worker lifecycle transition, stamped with wall-clock time so the
+// coordinator can replay the launch timeline into its trace (and
+// sesp_trace_merge can line it up against the workers' own traces).
+// kind is one of "spawn", "restart", "kill", "exit", "abandon".
+struct LaunchEvent {
+  std::int32_t worker = 0;
+  std::int64_t unix_ms = 0;
+  std::string kind;
+};
+
 struct LaunchResult {
   bool ok = false;
   bool interrupted = false;
@@ -49,6 +59,7 @@ struct LaunchResult {
   std::int32_t restarts = 0;
   std::int32_t kills = 0;
   std::int32_t abandoned = 0;  // workers past the restart budget
+  std::vector<LaunchEvent> events;
 };
 
 // `command` is the full worker argv (executable first) *without*

@@ -168,6 +168,9 @@ struct ShardContext::Heartbeat {
   std::mutex mu;
   std::condition_variable cv;
   bool stop = false;
+  // Unix-ms stamps of each renewal, appended under mu by the heartbeat
+  // thread. Read via take_renewals() only after stop_heartbeat() joins.
+  std::vector<std::int64_t> renewals;
 };
 
 ShardContext::ShardContext(const ShardOptions& opt)
@@ -304,7 +307,9 @@ void ShardContext::start_heartbeat(const Acquired& range) {
     while (!hb->stop) {
       hb->cv.wait_for(lk, std::chrono::milliseconds(interval));
       if (hb->stop) break;
-      rewrite_claim(path, worker, lo, len, unix_ms_now() + lease, false);
+      const std::int64_t now = unix_ms_now();
+      rewrite_claim(path, worker, lo, len, now + lease, false);
+      hb->renewals.push_back(now);
     }
   });
 }
@@ -317,7 +322,15 @@ void ShardContext::stop_heartbeat() {
   }
   heartbeat_->cv.notify_all();
   heartbeat_->thread.join();
+  renewals_.insert(renewals_.end(), heartbeat_->renewals.begin(),
+                   heartbeat_->renewals.end());
   heartbeat_.reset();
+}
+
+std::vector<std::int64_t> ShardContext::take_renewals() {
+  std::vector<std::int64_t> out;
+  out.swap(renewals_);
+  return out;
 }
 
 void ShardContext::complete_range(const std::string& stage,

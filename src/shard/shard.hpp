@@ -100,6 +100,11 @@ class ShardContext {
   void start_heartbeat(const Acquired& range);
   void stop_heartbeat();
 
+  // Unix-ms stamps of lease renewals made by heartbeats stopped so far;
+  // clears the accumulated list. Safe to call between ranges (the
+  // heartbeat thread is joined before its stamps become visible here).
+  std::vector<std::int64_t> take_renewals();
+
   // Marks the claim done and appends the "done" lease record.
   void complete_range(const std::string& stage, const Acquired& range,
                       recovery::RunJournal* journal);
@@ -121,6 +126,7 @@ class ShardContext {
   std::int64_t claimed_ = 0;
   std::int64_t stolen_ = 0;
   std::int64_t expired_ = 0;
+  std::vector<std::int64_t> renewals_;
 
   struct Heartbeat;
   std::unique_ptr<Heartbeat> heartbeat_;

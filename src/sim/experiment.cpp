@@ -288,6 +288,8 @@ WorstCase mpm_worst_case(const ProblemSpec& spec,
       [&](std::size_t i) {
         Adversary& adv = family[i];
         obs::Observer* const o = shards[i].observer();
+        obs::ProfileScope exec_scope(o ? o->profiler : nullptr,
+                                     obs::ProfilePhase::kExecTask);
         obs::Span span(
             o ? o->trace : nullptr, "adversary.mpm_worst_case", "adversary",
             o && o->trace
@@ -366,6 +368,8 @@ WorstCase smm_worst_case(const ProblemSpec& spec,
       [&](std::size_t i) {
         Adversary& adv = family[i];
         obs::Observer* const o = shards[i].observer();
+        obs::ProfileScope exec_scope(o ? o->profiler : nullptr,
+                                     obs::ProfilePhase::kExecTask);
         obs::Span span(
             o ? o->trace : nullptr, "adversary.smm_worst_case", "adversary",
             o && o->trace
@@ -525,6 +529,8 @@ DegradationReport mpm_degradation(const ProblemSpec& spec,
         const std::int32_t k = grid[i].k;
         const std::int32_t p = grid[i].p;
         obs::Observer* const o = shards[i].observer();
+        obs::ProfileScope exec_scope(o ? o->profiler : nullptr,
+                                     obs::ProfilePhase::kExecTask);
         obs::Span span(o ? o->trace : nullptr, "degradation.mpm_cell", "sim",
                        o && o->trace
                            ? obs::args_object({obs::arg_int("crashes", k),
@@ -579,6 +585,8 @@ DegradationReport smm_degradation(
         const std::int32_t k = grid[i].k;
         const std::int32_t p = grid[i].p;
         obs::Observer* const o = shards[i].observer();
+        obs::ProfileScope exec_scope(o ? o->profiler : nullptr,
+                                     obs::ProfilePhase::kExecTask);
         obs::Span span(o ? o->trace : nullptr, "degradation.smm_cell", "sim",
                        o && o->trace
                            ? obs::args_object({obs::arg_int("crashes", k),
@@ -735,6 +743,8 @@ ChaosReport mpm_chaos_sweep(const ProblemSpec& spec,
       [&](std::size_t i) {
         const std::uint64_t run_seed = seed + 2654435761ULL * i;
         obs::Observer* const o = shards[i].observer();
+        obs::ProfileScope exec_scope(o ? o->profiler : nullptr,
+                                     obs::ProfilePhase::kExecTask);
         obs::Span span(
             o ? o->trace : nullptr, "chaos.mpm_run", "sim",
             o && o->trace
@@ -774,6 +784,8 @@ ChaosReport smm_chaos_sweep(const ProblemSpec& spec,
       [&](std::size_t i) {
         const std::uint64_t run_seed = seed + 2654435761ULL * i;
         obs::Observer* const o = shards[i].observer();
+        obs::ProfileScope exec_scope(o ? o->profiler : nullptr,
+                                     obs::ProfilePhase::kExecTask);
         obs::Span span(
             o ? o->trace : nullptr, "chaos.smm_run", "sim",
             o && o->trace

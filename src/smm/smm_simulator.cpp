@@ -43,6 +43,7 @@ SmmSimulator::SmmSimulator(const ProblemSpec& spec,
 SmmRunResult SmmSimulator::run(const SmmRunLimits& limits) {
   const std::int32_t n = spec_.n;
   obs::Observer* const o = obs::resolve(observer_);
+  obs::Profiler* const prof = o ? o->profiler : nullptr;
   obs::Span run_span(o ? o->trace : nullptr, "smm.run", "sim",
                      o && o->trace
                          ? obs::args_object(
@@ -110,6 +111,7 @@ SmmRunResult SmmSimulator::run(const SmmRunLimits& limits) {
 
   auto schedule_step = [&](ProcessId p, std::optional<Time> prev,
                            std::int64_t index) -> bool {
+    obs::ProfileScope ps(prof, obs::ProfilePhase::kSchedule);
     Time t = scheduler_.next_step_time(p, prev, index);
     const Time floor = prev.value_or(Time(0));
     if (faults_) {
@@ -142,8 +144,12 @@ SmmRunResult SmmSimulator::run(const SmmRunLimits& limits) {
   std::int64_t stagnant_events = 0;
 
   while (!queue.empty() && ports_non_idle > 0) {
-    const Event ev = queue.top();
-    queue.pop();
+    const Event ev = [&] {
+      obs::ProfileScope pop_scope(prof, obs::ProfilePhase::kEventQueuePop);
+      const Event top = queue.top();
+      queue.pop();
+      return top;
+    }();
     if (o && o->event_queue_depth)
       o->event_queue_depth->set(static_cast<std::int64_t>(queue.size()) + 1);
     if (result.compute_steps >= limits.max_steps ||
@@ -191,6 +197,7 @@ SmmRunResult SmmSimulator::run(const SmmRunLimits& limits) {
       continue;
     }
 
+    obs::ProfileScope step_scope(prof, obs::ProfilePhase::kProcessStep);
     StepRecord st;
     st.kind = StepKind::kCompute;
     st.process = p;

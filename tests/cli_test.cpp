@@ -8,7 +8,11 @@
 #include <array>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <sstream>
 #include <string>
+
+#include "obs/json.hpp"
 
 namespace sesp {
 namespace {
@@ -35,6 +39,8 @@ const std::string kAttack = SESP_ATTACK_PATH;
 const std::string kConformance = SESP_CONFORMANCE_PATH;
 const std::string kBenchMerge = SESP_BENCH_MERGE_PATH;
 const std::string kShard = SESP_SHARD_PATH;
+const std::string kPerf = SESP_PERF_PATH;
+const std::string kTraceMerge = SESP_TRACE_MERGE_PATH;
 
 // Drops the tool's stderr (resume hints, recovery chatter) so the captured
 // output is exactly the stdout the byte-identity contract covers.
@@ -323,6 +329,154 @@ TEST(CliTest, ShardFlagValidationExitsTwo) {
   // sesp_shard itself: no tool command after -- is a usage error.
   EXPECT_EQ(run_command(kShard + " --shard-dir=/tmp/nope_sd").status, 2);
   EXPECT_EQ(run_command(kShard + " --bogus").status, 2);
+}
+
+// Profiling must never disturb report bytes (docs/observability.md
+// "Profiling"): --profile at any --jobs value, and across a sharded
+// 3-worker run, leaves stdout byte-identical to the unprofiled run. The
+// profile table itself rides on stderr.
+TEST(CliTest, ProfiledRunsKeepStdoutByteIdentical) {
+  const std::string sweep =
+      kCli + " --substrate=mpm --model=sporadic --adversary=worst"
+             " --s=3 --n=3 --c1=1 --d1=1 --d2=4";
+  const auto plain = run_command(stdout_only(sweep));
+  ASSERT_EQ(plain.status, 0) << plain.output;
+
+  for (const std::string jobs : {" --jobs=1", " --jobs=2", " --jobs=8"}) {
+    const auto profiled =
+        run_command(stdout_only(sweep + jobs + " --profile"));
+    EXPECT_EQ(profiled.status, 0) << profiled.output;
+    EXPECT_EQ(profiled.output, plain.output) << "jobs variant:" << jobs;
+  }
+
+  // With stderr kept, the per-phase table appears (and only there).
+  const auto noisy = run_command(sweep + " --profile");
+  EXPECT_EQ(noisy.status, 0) << noisy.output;
+  EXPECT_NE(noisy.output.find("profile (phase / count"), std::string::npos)
+      << noisy.output;
+
+  const std::string dir = ::testing::TempDir() + "/cli_profile_shard";
+  run_command("rm -rf " + dir);
+  const auto sharded = run_command(stdout_only(
+      "SESP_JOURNAL_FSYNC=0 " + sweep + " --profile --jobs=2 --shard-dir=" +
+      dir + " --workers=3"));
+  EXPECT_EQ(sharded.status, 0) << sharded.output;
+  EXPECT_EQ(sharded.output, plain.output);
+  run_command("rm -rf " + dir);
+}
+
+// Cross-process trace aggregation end to end (docs/observability.md "Trace
+// aggregation"): a sharded run leaves per-participant trace JSONL files in
+// the shard directory, and sesp_trace_merge folds them into one Chrome
+// trace-event document with a pid lane per participant.
+TEST(CliTest, TraceMergeFoldsCoordinatorAndWorkerTraces) {
+  const std::string dir = ::testing::TempDir() + "/cli_trace_merge";
+  run_command("rm -rf " + dir);
+  const auto coord = run_command(stdout_only(
+      "SESP_JOURNAL_FSYNC=0 " + kCli +
+      " --substrate=mpm --model=sporadic --adversary=worst"
+      " --s=3 --n=3 --c1=1 --d1=1 --d2=4 --trace-events=trace.jsonl"
+      " --shard-dir=" + dir + " --workers=3"));
+  ASSERT_EQ(coord.status, 0) << coord.output;
+
+  const std::string merged = dir + "/merged_trace.json";
+  const auto merge =
+      run_command(kTraceMerge + " --shard-dir=" + dir + " --out=" + merged);
+  ASSERT_EQ(merge.status, 0) << merge.output;
+  EXPECT_NE(merge.output.find("merged"), std::string::npos) << merge.output;
+
+  std::ifstream in(merged);
+  ASSERT_TRUE(in.good()) << merged;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  std::string error;
+  const auto doc = obs::parse_json(buf.str(), &error);
+  ASSERT_TRUE(doc) << error;
+  const obs::JsonValue* events = doc->find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_GT(events->array.size(), 0u);
+
+  // One process_name metadata lane per participant, distinct pids, and the
+  // coordinator's worker-lifecycle instants all survive the merge.
+  int lanes = 0;
+  bool saw_coordinator = false, saw_worker = false, saw_spawn = false;
+  for (const obs::JsonValue& ev : events->array) {
+    const obs::JsonValue* name = ev.find("name");
+    if (!name) continue;
+    if (name->string == "process_name") {
+      ++lanes;
+      const std::string label = ev.find("args")->find("name")->string;
+      saw_coordinator = saw_coordinator || label == "coordinator";
+      saw_worker = saw_worker || label.rfind("worker-", 0) == 0;
+    }
+    saw_spawn = saw_spawn || name->string == "shard.worker.spawn";
+  }
+  EXPECT_EQ(lanes, 4) << buf.str().substr(0, 400);
+  EXPECT_TRUE(saw_coordinator);
+  EXPECT_TRUE(saw_worker);
+  EXPECT_TRUE(saw_spawn);
+
+  // Merging an empty directory is an error, not an empty document.
+  const std::string empty_dir = ::testing::TempDir() + "/cli_trace_empty";
+  run_command("rm -rf " + empty_dir + " && mkdir -p " + empty_dir);
+  EXPECT_EQ(run_command(kTraceMerge + " --shard-dir=" + empty_dir).status,
+            2);
+  run_command("rm -rf " + dir + " " + empty_dir);
+}
+
+// The bench-history regression gate end to end (docs/observability.md
+// "Bench history & regression gate"): the self-test proves the gate flags
+// an injected 2x slowdown, and record/check round-trip through a real
+// ledger file — steady history passes, a slow newest entry fails.
+TEST(CliTest, PerfGateSelfTestAndRecordCheckRoundTrip) {
+  const auto self_test = run_command(kPerf + " self-test");
+  EXPECT_EQ(self_test.status, 0) << self_test.output;
+  EXPECT_NE(self_test.output.find("[OK]"), std::string::npos)
+      << self_test.output;
+
+  const std::string dir = ::testing::TempDir();
+  const std::string history = dir + "/cli_perf_history.jsonl";
+  std::remove(history.c_str());
+
+  // A missing ledger never gates.
+  const auto fresh = run_command(kPerf + " check --history=" + history);
+  EXPECT_EQ(fresh.status, 0) << fresh.output;
+
+  const auto results_doc = [&](double rate) {
+    return "{\"schema\":\"sesp-bench-results/1\",\"benches\":[{"
+           "\"schema\":\"sesp-bench/1\",\"bench\":\"unit\",\"ok\":true,"
+           "\"wall_seconds\":1.0,\"steps\":1000,\"steps_per_sec\":" +
+           std::to_string(rate) +
+           ",\"runs\":1,\"rows\":[],\"notes\":{},\"metrics\":{}}]}";
+  };
+  const std::string results = dir + "/cli_perf_results.json";
+  for (const double rate : {1000.0, 1020.0, 990.0, 1010.0}) {
+    write_file(results, results_doc(rate));
+    const auto rec = run_command(kPerf + " record --results=" + results +
+                                 " --history=" + history +
+                                 " --commit=test");
+    ASSERT_EQ(rec.status, 0) << rec.output;
+  }
+  const auto steady = run_command(kPerf + " check --history=" + history);
+  EXPECT_EQ(steady.status, 0) << steady.output;
+  EXPECT_NE(steady.output.find("[ OK ]"), std::string::npos)
+      << steady.output;
+
+  // Inject a 2x slowdown; the gate must exit nonzero and say why.
+  write_file(results, results_doc(500.0));
+  ASSERT_EQ(run_command(kPerf + " record --results=" + results +
+                        " --history=" + history + " --commit=test")
+                .status,
+            0);
+  const auto slow = run_command(kPerf + " check --history=" + history);
+  EXPECT_EQ(slow.status, 1) << slow.output;
+  EXPECT_NE(slow.output.find("[FAIL]"), std::string::npos) << slow.output;
+
+  // Usage errors keep the distinct exit code.
+  EXPECT_EQ(run_command(kPerf + " record").status, 2);
+  EXPECT_EQ(run_command(kPerf + " --bogus").status, 2);
+  std::remove(results.c_str());
+  std::remove(history.c_str());
 }
 
 TEST(CliTest, TraceDumpParsesBack) {

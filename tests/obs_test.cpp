@@ -9,16 +9,21 @@
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <limits>
+#include <random>
 #include <sstream>
 
 #include "adversary/delay_strategies.hpp"
 #include "adversary/step_schedulers.hpp"
 #include "algorithms/mpm/sporadic_alg.hpp"
 #include "analysis/report.hpp"
+#include "exec/jobs.hpp"
 #include "obs/bench_record.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "obs/observer.hpp"
+#include "obs/perf_history.hpp"
+#include "obs/profiler.hpp"
 #include "obs/trace.hpp"
 #include "sim/experiment.hpp"
 #include "util/stats.hpp"
@@ -90,6 +95,24 @@ TEST(MetricsTest, JsonlLinesParse) {
   EXPECT_EQ(parsed, 3);
 }
 
+TEST(MetricsTest, GoldenHumanRendering) {
+  // Pins the --metrics table byte-for-byte: aligned names, gauge current
+  // value with its high-water mark, histogram count with exact-Ratio
+  // extrema.
+  obs::MetricsRegistry reg;
+  reg.counter("sim.steps").inc(42);
+  reg.gauge("sim.queue.depth").set(9);
+  reg.gauge("sim.queue.depth").set(3);
+  reg.histogram("verify.termination_time").observe(Ratio(7, 2));
+  reg.histogram("verify.termination_time").observe(Ratio(1, 2));
+  EXPECT_EQ(
+      reg.to_string(),
+      "  sim.steps                counter    42\n"
+      "  sim.queue.depth          gauge      3 (max 9)\n"
+      "  verify.termination_time  histogram  count=2 min=1/2 max=7/2"
+      " mean=2\n");
+}
+
 // --- json ------------------------------------------------------------------
 
 TEST(JsonTest, WriterParserRoundTrip) {
@@ -124,6 +147,121 @@ TEST(JsonTest, RejectsTrailingGarbage) {
   std::string error;
   EXPECT_FALSE(obs::parse_json("{} x", &error));
   EXPECT_FALSE(obs::parse_json("{\"a\":}", &error));
+}
+
+TEST(JsonTest, DepthCapFailsCleanlyAsMalformed) {
+  // 300 unclosed arrays trip the nesting cap — reported as corruption at
+  // an interior offset, never as a torn tail (the cap fires before the
+  // parser reaches end of input).
+  const std::string deep(300, '[');
+  std::string error;
+  std::size_t offset = 0;
+  EXPECT_FALSE(obs::parse_json(deep, &error, &offset));
+  EXPECT_EQ(error.rfind("nesting too deep", 0), 0u) << error;
+  EXPECT_LT(offset, deep.size());
+
+  // Just under the cap still parses.
+  std::string ok_doc(200, '[');
+  ok_doc += std::string(200, ']');
+  EXPECT_TRUE(obs::parse_json(ok_doc, &error)) << error;
+}
+
+TEST(JsonTest, TruncatedPrefixesAllFailCleanly) {
+  const std::string doc =
+      "{\"a\":[1,2,{\"b\":\"x\\\"y\"}],\"r\":\"7/2\",\"c\":3.5}";
+  ASSERT_TRUE(obs::parse_json(doc));
+  for (std::size_t cut = 0; cut < doc.size(); ++cut) {
+    std::string error;
+    const auto v = obs::parse_json(doc.substr(0, cut), &error);
+    EXPECT_FALSE(v) << "prefix of length " << cut << " parsed";
+    EXPECT_FALSE(error.empty());
+  }
+}
+
+// Random JsonValue trees for the round-trip fuzz below.
+obs::JsonValue fuzz_value(std::mt19937_64& rng, int depth) {
+  obs::JsonValue v;
+  const auto pick = [&rng](int n) {
+    return static_cast<int>(rng() % static_cast<std::uint64_t>(n));
+  };
+  const int kind = depth >= 4 ? pick(4) : pick(6);
+  switch (kind) {
+    case 0:
+      v.kind = obs::JsonValue::Kind::kNull;
+      break;
+    case 1:
+      v.kind = obs::JsonValue::Kind::kBool;
+      v.boolean = pick(2) == 0;
+      break;
+    case 2: {
+      v.kind = obs::JsonValue::Kind::kNumber;
+      switch (pick(6)) {
+        case 0: v.number = static_cast<double>(pick(1000) - 500); break;
+        case 1: v.number = 0.125 * pick(1000); break;
+        case 2: v.number = 1.0e20; break;     // outside int64 — stays double
+        case 3: v.number = -9.0e18; break;    // integral int64 edge
+        case 4: v.number = std::numeric_limits<double>::quiet_NaN(); break;
+        case 5: v.number = std::numeric_limits<double>::infinity(); break;
+      }
+      break;
+    }
+    case 3: {
+      v.kind = obs::JsonValue::Kind::kString;
+      // Exact-Ratio strings, quotes, backslashes, control chars.
+      const char* samples[] = {"7/2", "-13/4", "q\"q", "b\\b", "\ttab\n",
+                               "plain", ""};
+      v.string = samples[pick(7)];
+      break;
+    }
+    case 4: {
+      v.kind = obs::JsonValue::Kind::kArray;
+      const int n = pick(4);
+      for (int i = 0; i < n; ++i)
+        v.array.push_back(fuzz_value(rng, depth + 1));
+      break;
+    }
+    default: {
+      v.kind = obs::JsonValue::Kind::kObject;
+      const int n = pick(4);
+      for (int i = 0; i < n; ++i)
+        v.object.emplace_back("k" + std::to_string(i),
+                              fuzz_value(rng, depth + 1));
+      break;
+    }
+  }
+  return v;
+}
+
+std::string render_value(const obs::JsonValue& v) {
+  std::ostringstream os;
+  obs::JsonWriter w(os);
+  obs::write_json_value(w, v);
+  return os.str();
+}
+
+TEST(JsonTest, FuzzedValuesRoundTripThroughWriteAndParse) {
+  // write → parse → write is a fixpoint: whatever the first render chose
+  // (int64 vs double, null for non-finite), the second render repeats
+  // byte-for-byte. Seeds fixed for reproducibility.
+  std::mt19937_64 rng(0x5e5510'1992ULL);
+  for (int trial = 0; trial < 500; ++trial) {
+    const obs::JsonValue original = fuzz_value(rng, 0);
+    const std::string first = render_value(original);
+    std::string error;
+    const auto reparsed = obs::parse_json(first, &error);
+    ASSERT_TRUE(reparsed) << error << " in: " << first;
+    EXPECT_EQ(render_value(*reparsed), first) << "trial " << trial;
+  }
+}
+
+TEST(JsonTest, WriteJsonValuePreservesMemberOrderAndIntegers) {
+  const std::string doc =
+      "{\"z\":1,\"a\":[true,null,\"7/2\"],\"n\":-42,\"d\":0.5}";
+  const auto v = obs::parse_json(doc);
+  ASSERT_TRUE(v);
+  // Integral doubles in int64 range re-render as integers, so the exact
+  // input text survives the round trip (member order included).
+  EXPECT_EQ(render_value(*v), doc);
 }
 
 // --- tracing ---------------------------------------------------------------
@@ -175,12 +313,24 @@ TEST(TraceTest, JsonlRoundTripsThroughParser) {
   std::istringstream lines(os.str());
   std::string line;
   int parsed = 0;
+  bool meta_seen = false;
   while (std::getline(lines, line)) {
     std::string error;
     const auto v = obs::parse_json(line, &error);
     ASSERT_TRUE(v) << error << " in: " << line;
     ASSERT_TRUE(v->find("name"));
     ASSERT_TRUE(v->find("ph"));
+    if (v->find("name")->string == "trace.meta") {
+      // The leading wall-clock anchor sesp_trace_merge aligns files with.
+      EXPECT_EQ(parsed, 0);
+      EXPECT_EQ(v->find("ph")->string, "M");
+      const obs::JsonValue* args = v->find("args");
+      ASSERT_TRUE(args);
+      ASSERT_TRUE(args->find("epoch_unix_us"));
+      EXPECT_EQ(args->find("epoch_unix_us")->as_int64(),
+                sink.epoch_unix_us());
+      meta_seen = true;
+    }
     if (v->find("name")->string == "mpm.run") {
       const obs::JsonValue* args = v->find("args");
       ASSERT_TRUE(args);
@@ -189,7 +339,204 @@ TEST(TraceTest, JsonlRoundTripsThroughParser) {
     }
     ++parsed;
   }
-  EXPECT_EQ(parsed, 2);
+  EXPECT_TRUE(meta_seen);
+  EXPECT_EQ(parsed, 3);  // trace.meta anchor + 2 events
+}
+
+// --- profiler --------------------------------------------------------------
+
+TEST(ProfilerTest, RecordsCountsTotalsAndExtremes) {
+  obs::Profiler prof;
+  EXPECT_TRUE(prof.empty());
+  prof.record(obs::ProfilePhase::kProcessStep, 100);
+  prof.record(obs::ProfilePhase::kProcessStep, 40);
+  prof.record(obs::ProfilePhase::kProcessStep, 260);
+  prof.record(obs::ProfilePhase::kDeliver, 7);
+  EXPECT_FALSE(prof.empty());
+  const obs::PhaseStat& step = prof.stat(obs::ProfilePhase::kProcessStep);
+  EXPECT_EQ(step.count, 3);
+  EXPECT_EQ(step.total_ns, 400);
+  EXPECT_EQ(step.min_ns, 40);
+  EXPECT_EQ(step.max_ns, 260);
+  EXPECT_EQ(prof.total_ns(), 407);
+  EXPECT_EQ(prof.stat(obs::ProfilePhase::kSchedule).count, 0);
+}
+
+TEST(ProfilerTest, NullProfileScopeIsANoOp) {
+  obs::ProfileScope scope(nullptr, obs::ProfilePhase::kEventQueuePop);
+  // Nothing to assert beyond "does not crash / records nothing".
+}
+
+TEST(ProfilerTest, ScopeRecordsOneSample) {
+  obs::Profiler prof;
+  { obs::ProfileScope scope(&prof, obs::ProfilePhase::kAdmissibility); }
+  const obs::PhaseStat& s = prof.stat(obs::ProfilePhase::kAdmissibility);
+  EXPECT_EQ(s.count, 1);
+  EXPECT_GE(s.total_ns, 0);
+  EXPECT_EQ(s.total_ns, s.min_ns);
+  EXPECT_EQ(s.total_ns, s.max_ns);
+}
+
+TEST(ProfilerTest, RingKeepsLastSamplesInChronologicalOrder) {
+  obs::PhaseStat stat;
+  const int n = obs::PhaseStat::kRecentSamples + 5;
+  for (int i = 1; i <= n; ++i) stat.record(i);
+  EXPECT_EQ(stat.count, n);
+  const auto recent = stat.recent();
+  // Oldest surviving sample first: n - kRecentSamples + 1 ... n.
+  for (int i = 0; i < obs::PhaseStat::kRecentSamples; ++i)
+    EXPECT_EQ(recent[static_cast<std::size_t>(i)],
+              n - obs::PhaseStat::kRecentSamples + 1 + i);
+}
+
+TEST(ProfilerTest, MergeFoldsCountsExtremaAndRing) {
+  obs::Profiler a;
+  obs::Profiler b;
+  a.record(obs::ProfilePhase::kProcessStep, 50);
+  b.record(obs::ProfilePhase::kProcessStep, 10);
+  b.record(obs::ProfilePhase::kProcessStep, 90);
+  b.record(obs::ProfilePhase::kShardGather, 5);
+  a.merge_from(b);
+  const obs::PhaseStat& step = a.stat(obs::ProfilePhase::kProcessStep);
+  EXPECT_EQ(step.count, 3);
+  EXPECT_EQ(step.total_ns, 150);
+  EXPECT_EQ(step.min_ns, 10);
+  EXPECT_EQ(step.max_ns, 90);
+  const auto recent = step.recent();
+  EXPECT_EQ(recent[0], 50);  // ours first, other's appended after
+  EXPECT_EQ(recent[1], 10);
+  EXPECT_EQ(recent[2], 90);
+  EXPECT_EQ(a.stat(obs::ProfilePhase::kShardGather).count, 1);
+}
+
+TEST(ProfilerTest, MergedCountsAreSplitInvariant) {
+  // The job-count invariance in miniature: the same 60 samples split 1 / 2
+  // / 6 ways merge to identical counts, totals and extrema.
+  const auto run_split = [](int shards) {
+    obs::Profiler parent;
+    for (int s = 0; s < shards; ++s) {
+      obs::Profiler shard;
+      for (int i = 0; i < 60 / shards; ++i) {
+        const int k = s * (60 / shards) + i;
+        shard.record(obs::ProfilePhase::kProcessStep, 10 + k);
+        if (k % 3 == 0) shard.record(obs::ProfilePhase::kDeliver, 5);
+      }
+      parent.merge_from(shard);
+    }
+    return parent;
+  };
+  const obs::Profiler one = run_split(1);
+  for (const int shards : {2, 6}) {
+    const obs::Profiler split = run_split(shards);
+    for (int p = 0; p < obs::kProfilePhases; ++p) {
+      const auto phase = static_cast<obs::ProfilePhase>(p);
+      EXPECT_EQ(split.stat(phase).count, one.stat(phase).count);
+      EXPECT_EQ(split.stat(phase).total_ns, one.stat(phase).total_ns);
+      EXPECT_EQ(split.stat(phase).min_ns, one.stat(phase).min_ns);
+      EXPECT_EQ(split.stat(phase).max_ns, one.stat(phase).max_ns);
+    }
+  }
+}
+
+TEST(ProfilerTest, WriteJsonEmitsEveryPhaseKey) {
+  obs::Profiler prof;
+  prof.record(obs::ProfilePhase::kEventQueuePop, 12);
+  std::ostringstream os;
+  {
+    obs::JsonWriter w(os);
+    prof.write_json(w);
+  }
+  std::string error;
+  const auto v = obs::parse_json(os.str(), &error);
+  ASSERT_TRUE(v) << error;
+  for (int p = 0; p < obs::kProfilePhases; ++p) {
+    const auto phase = static_cast<obs::ProfilePhase>(p);
+    const obs::JsonValue* stat = v->find(obs::profile_phase_name(phase));
+    ASSERT_TRUE(stat) << obs::profile_phase_name(phase);
+    ASSERT_TRUE(stat->find("count"));
+    if (phase == obs::ProfilePhase::kEventQueuePop) {
+      EXPECT_EQ(stat->find("count")->as_int64(), 1);
+      EXPECT_EQ(stat->find("total_ns")->as_int64(), 12);
+      ASSERT_TRUE(stat->find("recent_ns"));
+      ASSERT_EQ(stat->find("recent_ns")->array.size(), 1u);
+    } else {
+      EXPECT_EQ(stat->find("count")->as_int64(), 0);
+      // Zero phases carry only the count — schema-stable but compact.
+      EXPECT_FALSE(stat->find("total_ns"));
+    }
+  }
+}
+
+TEST(ProfilerTest, ToStringSortsByTotalAndHandlesEmpty) {
+  obs::Profiler prof;
+  EXPECT_NE(prof.to_string().find("(no phases recorded)"), std::string::npos);
+  prof.record(obs::ProfilePhase::kDeliver, 1'000'000);
+  prof.record(obs::ProfilePhase::kProcessStep, 9'000'000);
+  const std::string table = prof.to_string();
+  const std::size_t step_at = table.find("sim.step");
+  const std::size_t deliver_at = table.find("sim.deliver");
+  ASSERT_NE(step_at, std::string::npos);
+  ASSERT_NE(deliver_at, std::string::npos);
+  EXPECT_LT(step_at, deliver_at);  // larger total first
+  EXPECT_EQ(table.find("sim.queue_pop"), std::string::npos);  // count 0
+}
+
+TEST(ProfilerTest, ObservationShardMirrorsAndMergesProfiler) {
+  obs::MetricsRegistry registry;
+  obs::Profiler profiler;
+  obs::Observer parent(&registry, nullptr);
+  parent.profiler = &profiler;
+  {
+    obs::ObservationShard shard(&parent);
+    ASSERT_NE(shard.observer(), nullptr);
+    ASSERT_NE(shard.observer()->profiler, nullptr);
+    EXPECT_NE(shard.observer()->profiler, &profiler);  // task-private
+    shard.observer()->profiler->record(obs::ProfilePhase::kExecTask, 77);
+    shard.merge_into_parent();
+  }
+  EXPECT_EQ(profiler.stat(obs::ProfilePhase::kExecTask).count, 1);
+  EXPECT_EQ(profiler.stat(obs::ProfilePhase::kExecTask).total_ns, 77);
+
+  // A parent without a profiler yields shards without one.
+  obs::Observer bare(&registry, nullptr);
+  obs::ObservationShard bare_shard(&bare);
+  EXPECT_EQ(bare_shard.observer()->profiler, nullptr);
+}
+
+TEST(ProfilerTest, SweepProfileCountsAreJobCountInvariant) {
+  // The real invariance: a profiled worst-case sweep records identical
+  // per-phase *counts* at --jobs=1/2/8 (durations differ, counts cannot).
+  const ProblemSpec spec{3, 3, 3};
+  const TimingConstraints constraints =
+      TimingConstraints::sporadic(Duration(1), Duration(1), Duration(5));
+  SporadicMpmFactory factory;
+
+  std::array<std::int64_t, obs::kProfilePhases> baseline{};
+  for (const int jobs : {1, 2, 8}) {
+    obs::MetricsRegistry registry;
+    obs::Profiler profiler;
+    obs::Observer observer(&registry, nullptr);
+    observer.profiler = &profiler;
+    obs::Observer* const prev = obs::set_default_observer(&observer);
+    const int prev_jobs = exec::set_default_jobs(jobs);
+    mpm_worst_case(spec, constraints, factory, 4);
+    exec::set_default_jobs(prev_jobs);
+    obs::set_default_observer(prev);
+    for (int p = 0; p < obs::kProfilePhases; ++p) {
+      const auto phase = static_cast<obs::ProfilePhase>(p);
+      if (jobs == 1) {
+        baseline[static_cast<std::size_t>(p)] = profiler.stat(phase).count;
+      } else {
+        EXPECT_EQ(profiler.stat(phase).count,
+                  baseline[static_cast<std::size_t>(p)])
+            << "phase " << obs::profile_phase_name(phase) << " at jobs="
+            << jobs;
+      }
+    }
+    // The sweep must actually have been profiled.
+    EXPECT_GT(profiler.stat(obs::ProfilePhase::kExecTask).count, 0);
+    EXPECT_GT(profiler.stat(obs::ProfilePhase::kProcessStep).count, 0);
+  }
 }
 
 // --- observer --------------------------------------------------------------
@@ -337,7 +684,7 @@ TEST_F(BenchRecordTest, FinishWritesValidatedRecord) {
   EXPECT_TRUE(obs::validate_bench_record(buf.str(), &error)) << error;
   const auto v = obs::parse_json(buf.str());
   ASSERT_TRUE(v);
-  EXPECT_EQ(v->find("schema")->string, "sesp-bench/1");
+  EXPECT_EQ(v->find("schema")->string, "sesp-bench/2");
   EXPECT_EQ(v->find("bench")->string, "unit");
   EXPECT_TRUE(v->find("ok")->boolean);
   ASSERT_EQ(v->find("rows")->array.size(), 1u);
@@ -348,6 +695,12 @@ TEST_F(BenchRecordTest, FinishWritesValidatedRecord) {
   EXPECT_EQ(v->find("notes")->find("mode")->string, "test");
   EXPECT_EQ(v->find("notes")->find("reps")->as_int64(), 3);
   ASSERT_TRUE(v->find("metrics"));
+  // /2 always carries the profile section (all-zero counts when the
+  // profiler saw nothing — SESP_BENCH_PROFILE=0 included).
+  const obs::JsonValue* profile = v->find("profile");
+  ASSERT_TRUE(profile);
+  EXPECT_TRUE(profile->is_object());
+  ASSERT_TRUE(profile->find("sim.step"));
 }
 
 TEST_F(BenchRecordTest, FirstFinishWins) {
@@ -512,6 +865,98 @@ TEST_F(BenchRecordTest, MalformedRecordFailsAggregateDespiteTruncation) {
   ASSERT_EQ(agg.failures.size(), 1u);
   EXPECT_EQ(agg.failures[0].rfind("corrupt.json", 0), 0u)
       << agg.failures[0];
+}
+
+// --- bench history / regression gate ---------------------------------------
+
+TEST_F(BenchRecordTest, PerfEntriesFoldFromMergedResults) {
+  obs::BenchRecorder rec("perf_fold");
+  rec.add_row(sample_row(true));
+  rec.profiler().record(obs::ProfilePhase::kProcessStep, 1234);
+  const obs::BenchAggregate agg =
+      obs::aggregate_bench_records({{"perf_fold.json", rec.render(true)}});
+  rec.finish(true);
+
+  std::vector<obs::PerfEntry> entries;
+  std::string error;
+  ASSERT_TRUE(obs::entries_from_results(agg.results_json, "abc1234", 1000,
+                                        false, &entries, &error))
+      << error;
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].bench, "perf_fold");
+  EXPECT_EQ(entries[0].commit, "abc1234");
+  EXPECT_TRUE(entries[0].ok);
+  ASSERT_EQ(entries[0].profile.size(), 1u);
+  EXPECT_EQ(entries[0].profile[0].name, "sim.step");
+  EXPECT_EQ(entries[0].profile[0].count, 1);
+  EXPECT_EQ(entries[0].profile[0].total_ns, 1234);
+
+  // Ledger line round-trips.
+  const std::string line = obs::render_perf_entry(entries[0]);
+  obs::PerfEntry parsed;
+  ASSERT_TRUE(obs::parse_perf_entry(line, &parsed, &error)) << error;
+  EXPECT_EQ(parsed.bench, entries[0].bench);
+  EXPECT_EQ(parsed.steps_per_sec, entries[0].steps_per_sec);
+  ASSERT_EQ(parsed.profile.size(), 1u);
+  EXPECT_EQ(parsed.profile[0].total_ns, 1234);
+
+  // And a ledger text with a torn last line loads the intact entries.
+  std::int64_t skipped = 0;
+  const std::vector<obs::PerfEntry> loaded = obs::parse_perf_ledger(
+      line + "\n" + line.substr(0, line.size() / 2), &skipped);
+  EXPECT_EQ(loaded.size(), 1u);
+  EXPECT_EQ(skipped, 1);
+}
+
+TEST(PerfHistoryTest, GateFlagsSlowdownAndToleratesNoise) {
+  const auto entry = [](const char* bench, double rate, bool ok = true) {
+    obs::PerfEntry e;
+    e.bench = bench;
+    e.ok = ok;
+    e.steps_per_sec = rate;
+    return e;
+  };
+  obs::PerfCheckOptions opt;
+
+  // Steady series, steady tail: pass.
+  std::vector<obs::PerfEntry> entries;
+  for (const double r : {1.00e6, 1.03e6, 0.98e6, 1.01e6, 1.00e6})
+    entries.push_back(entry("a", r));
+  auto checks = obs::check_history(entries, opt);
+  ASSERT_EQ(checks.size(), 1u);
+  EXPECT_FALSE(checks[0].regression);
+  EXPECT_EQ(checks[0].samples, 4);
+
+  // Injected 2x slowdown: flagged.
+  entries.push_back(entry("a", 0.5e6));
+  checks = obs::check_history(entries, opt);
+  ASSERT_EQ(checks.size(), 1u);
+  EXPECT_TRUE(checks[0].regression);
+
+  // A failing (ok=false) entry is excluded from baselines but flags
+  // itself when newest.
+  entries.push_back(entry("a", 1.0e6, /*ok=*/false));
+  checks = obs::check_history(entries, opt);
+  ASSERT_EQ(checks.size(), 1u);
+  EXPECT_TRUE(checks[0].regression);
+
+  // Too-short series never gates.
+  std::vector<obs::PerfEntry> young{entry("b", 1.0e6), entry("b", 0.1e6)};
+  checks = obs::check_history(young, opt);
+  ASSERT_EQ(checks.size(), 1u);
+  EXPECT_FALSE(checks[0].regression);
+  EXPECT_EQ(checks[0].samples, 1);
+
+  // Quick and full runs form separate series.
+  std::vector<obs::PerfEntry> mixed;
+  for (int i = 0; i < 4; ++i) mixed.push_back(entry("c", 1.0e6));
+  obs::PerfEntry quick = entry("c", 0.2e6);  // slow, but its own series
+  quick.quick = true;
+  mixed.push_back(quick);
+  checks = obs::check_history(mixed, opt);
+  ASSERT_EQ(checks.size(), 2u);
+  EXPECT_FALSE(checks[0].regression);
+  EXPECT_FALSE(checks[1].regression);  // only 0 quick priors — pass
 }
 
 // --- report / summary JSON mirrors -----------------------------------------

@@ -1,18 +1,27 @@
 #pragma once
 
-// Shared --metrics / --json=FILE / --trace-events=FILE handling for the
-// command-line tools. ObservationScope installs a process-wide default
-// observer for the duration of main(), so every layer underneath — the
-// simulators, verifier, adversaries, retimers, fault injector — reports into
-// one MetricsRegistry / TraceSink without any signature plumbing in the
-// tools themselves. When no flag is given nothing is installed and the run
-// keeps the zero-observer hot path.
+// Shared --metrics / --json=FILE / --trace-events=FILE / --profile handling
+// for the command-line tools. ObservationScope installs a process-wide
+// default observer for the duration of main(), so every layer underneath —
+// the simulators, verifier, adversaries, retimers, fault injector — reports
+// into one MetricsRegistry / TraceSink / Profiler without any signature
+// plumbing in the tools themselves. When no flag is given nothing is
+// installed and the run keeps the zero-observer hot path.
 //
 // Outputs at scope exit:
 //   --metrics            human-readable metrics table on stdout
 //   --json=FILE          {"schema": "sesp-run/1", "tool": ..., "metrics":
-//                        {...}, "trace_events": N, "trace_dropped": N}
+//                        {...}, "profile": {...}, "trace_events": N,
+//                        "trace_dropped": N}
 //   --trace-events=FILE  Chrome-trace-flavoured JSONL span/instant stream
+//   --profile            per-phase wall-clock table on stderr (stderr so a
+//                        profiled run's stdout stays byte-identical to an
+//                        unprofiled one)
+//
+// Shard workers call rebase_for_shard() before constructing the scope: the
+// worker's trace and JSON outputs are rerouted to per-worker files inside
+// the shard directory and the "written to" notices move to stderr, keeping
+// the coordinator's stdout a pure function of the merged journal.
 
 #include <fstream>
 #include <iostream>
@@ -20,30 +29,54 @@
 
 #include "obs/json.hpp"
 #include "obs/observer.hpp"
+#include "obs/profiler.hpp"
 
 namespace sesp {
 
 struct ObservationOptions {
   bool metrics = false;
+  bool profile = false;
   std::string json_out;
   std::string trace_events;
+  // When nonempty, file outputs were rerouted into this shard directory and
+  // console notices must go to stderr (stdout is reserved for report bytes).
+  std::string shard_rebased_dir;
 
   bool any() const {
-    return metrics || !json_out.empty() || !trace_events.empty();
+    return metrics || profile || !json_out.empty() || !trace_events.empty();
   }
 
   // Returns true when `key` (with `value` from a --key=value split) is one
   // of the observability flags; parse loops try this before their own keys.
   bool consume(const std::string& key, const std::string& value) {
     if (key == "--metrics") metrics = true;
+    else if (key == "--profile") profile = true;
     else if (key == "--json") json_out = value;
     else if (key == "--trace-events") trace_events = value;
     else return false;
     return true;
   }
 
+  // Reroutes file outputs for a shard participant so concurrent workers
+  // never collide on one path. Workers (worker_id >= 0) write
+  // <dir>/worker-<id>.trace.jsonl and <dir>/worker-<id>.run.json; the
+  // coordinator keeps only its trace, at <dir>/coordinator.trace.jsonl.
+  // No-op for outputs that were not requested.
+  void rebase_for_shard(const std::string& dir, std::int32_t worker_id) {
+    shard_rebased_dir = dir;
+    const std::string stem = worker_id >= 0
+        ? "worker-" + std::to_string(worker_id)
+        : "coordinator";
+    if (!trace_events.empty())
+      trace_events = dir + "/" + stem + ".trace.jsonl";
+    if (!json_out.empty()) {
+      if (worker_id >= 0) json_out = dir + "/" + stem + ".run.json";
+    }
+  }
+
   static void usage(std::ostream& os) {
     os << "  --metrics                    print the metrics table at exit\n"
+          "  --profile                    print per-phase timings on stderr\n"
           "  --json=FILE                  write metrics as JSON at exit\n"
           "  --trace-events=FILE          write span/instant trace JSONL\n";
   }
@@ -56,13 +89,17 @@ class ObservationScope {
     if (!opt_.any()) return;
     observer_ = obs::Observer(&registry_,
                               opt_.trace_events.empty() ? nullptr : &sink_);
+    if (opt_.profile) observer_.profiler = &profiler_;
     previous_ = obs::set_default_observer(&observer_);
   }
 
   ~ObservationScope() {
     if (!opt_.any()) return;
     obs::set_default_observer(previous_);
+    std::ostream& notices =
+        opt_.shard_rebased_dir.empty() ? std::cout : std::cerr;
     if (opt_.metrics) std::cout << registry_.to_string();
+    if (opt_.profile) std::cerr << profiler_.to_string();
     if (!opt_.json_out.empty()) {
       std::ofstream out(opt_.json_out);
       if (!out) {
@@ -74,12 +111,14 @@ class ObservationScope {
         w.field("tool", tool_);
         w.key("metrics");
         registry_.write_json(w);
+        w.key("profile");
+        profiler_.write_json(w);
         w.field("trace_events",
                 static_cast<std::int64_t>(sink_.events().size()));
         w.field("trace_dropped", sink_.dropped());
         w.end_object();
         out << "\n";
-        std::cout << "metrics written to " << opt_.json_out << "\n";
+        notices << "metrics written to " << opt_.json_out << "\n";
       }
     }
     if (!opt_.trace_events.empty()) {
@@ -88,11 +127,11 @@ class ObservationScope {
         std::cerr << "cannot open " << opt_.trace_events << "\n";
       } else {
         sink_.write_jsonl(out);
-        std::cout << "trace events written to " << opt_.trace_events << " ("
-                  << sink_.events().size() << " events";
-        if (sink_.dropped() > 0) std::cout << ", " << sink_.dropped()
-                                           << " dropped";
-        std::cout << ")\n";
+        notices << "trace events written to " << opt_.trace_events << " ("
+                << sink_.events().size() << " events";
+        if (sink_.dropped() > 0) notices << ", " << sink_.dropped()
+                                         << " dropped";
+        notices << ")\n";
       }
     }
   }
@@ -100,11 +139,15 @@ class ObservationScope {
   ObservationScope(const ObservationScope&) = delete;
   ObservationScope& operator=(const ObservationScope&) = delete;
 
+  obs::TraceSink& sink() noexcept { return sink_; }
+  bool tracing() const noexcept { return !opt_.trace_events.empty(); }
+
  private:
   ObservationOptions opt_;
   std::string tool_;
   obs::MetricsRegistry registry_;
   obs::TraceSink sink_;
+  obs::Profiler profiler_;
   obs::Observer observer_;
   obs::Observer* previous_ = nullptr;
 };

@@ -305,6 +305,15 @@ class RecoveryScope {
     obs::Observer* const o = obs::default_observer();
     if (o && o->metrics)
       o->metrics->counter("shard.worker.restarts").inc(launch.restarts);
+    if (o && o->trace) {
+      // Replay the launch timeline (wall-clock stamped) into the
+      // coordinator's trace so sesp_trace_merge can align worker lanes
+      // against spawn/kill/restart instants.
+      for (const shard::LaunchEvent& ev : launch.events)
+        o->trace->instant_at(
+            o->trace->ns_for_unix_ms(ev.unix_ms), "shard.worker." + ev.kind,
+            "shard", obs::args_object({obs::arg_int("worker", ev.worker)}));
+    }
     if (!launch.ok) {
       std::cerr << launch.error << "\n";
       error_ = true;

@@ -597,7 +597,13 @@ int main(int argc, char** argv) {
 
   // Installed for the whole dispatch so every nested layer reports into it;
   // the metrics / JSON / trace outputs are emitted when the scope closes.
-  sesp::ObservationScope observation(opt->obs, "sesp_cli");
+  // Shard participants reroute file outputs into the shard directory so
+  // concurrent workers never collide on one path.
+  sesp::ObservationOptions obs_opt = opt->obs;
+  if (!opt->recovery.shard_dir.empty())
+    obs_opt.rebase_for_shard(opt->recovery.shard_dir,
+                             opt->recovery.worker_id);
+  sesp::ObservationScope observation(obs_opt, "sesp_cli");
   // Checkpoint/resume supervision for the sweeps underneath (worst-case
   // families, degradation grids): journal flags are validated before any
   // work runs, and a drained SIGINT/SIGTERM maps to exit 75 in finish().

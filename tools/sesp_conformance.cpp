@@ -289,6 +289,8 @@ int run(int argc, char** argv) {
     }
   }
 
+  if (!opt.recovery.shard_dir.empty())
+    opt.obs.rebase_for_shard(opt.recovery.shard_dir, opt.recovery.worker_id);
   ObservationScope scope(opt.obs, "sesp_conformance");
   RecoveryScope recovery(opt.recovery, "sesp_conformance",
                          config_digest(opt), argc, argv);

@@ -25,12 +25,14 @@
 
 #include <csignal>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include <unistd.h>
 
+#include "obs/trace.hpp"
 #include "recovery/supervisor.hpp"
 #include "shard/launch.hpp"
 #include "shard/shard.hpp"
@@ -138,12 +140,27 @@ int run_merge(const Options& opt) {
   return 0;
 }
 
+// Writes the launcher's own trace lane — the worker lifecycle timeline
+// (spawn/kill/restart/exit instants, wall-clock stamped by run_workers)
+// plus the merge summary — so sesp_trace_merge can fold it alongside the
+// per-worker traces. Best-effort: a failed write only warns on stderr.
+void write_coordinator_trace(const Options& opt, const obs::TraceSink& sink) {
+  const std::string path = opt.dir + "/coordinator.trace.jsonl";
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "sesp_shard: cannot write " << path << "\n";
+    return;
+  }
+  sink.write_jsonl(out);
+}
+
 int run(const Options& opt) {
   std::string error;
   if (!shard::ensure_shard_dir(opt.dir, &error)) {
     std::cerr << error << "\n";
     return 2;
   }
+  obs::TraceSink sink;
 
   // Workers get the tool command plus the shard flags; run_workers
   // appends each one's --worker-id. The manifest is created by whichever
@@ -163,11 +180,17 @@ int run(const Options& opt) {
   std::cerr << "sesp_shard: spawning " << opt.workers << " worker(s) in "
             << opt.dir << "\n";
   const shard::LaunchResult launch = shard::run_workers(command, lopt);
+  for (const shard::LaunchEvent& ev : launch.events)
+    sink.instant_at(sink.ns_for_unix_ms(ev.unix_ms),
+                    "shard.worker." + ev.kind, "shard",
+                    obs::args_object({obs::arg_int("worker", ev.worker)}));
   if (!launch.ok) {
+    write_coordinator_trace(opt, sink);
     std::cerr << launch.error << "\n";
     return 2;
   }
   if (launch.interrupted) {
+    write_coordinator_trace(opt, sink);
     std::cerr << "sesp_shard: interrupted; re-run the same command to "
                  "resume\n";
     return recovery::kExitInterrupted;
@@ -180,9 +203,16 @@ int run(const Options& opt) {
 
   const shard::MergeStats merge = shard::merge_shard_dir(opt.dir, opt.out);
   if (!merge.ok) {
+    write_coordinator_trace(opt, sink);
     std::cerr << "merge failed: " << merge.error << "\n";
     return 2;
   }
+  sink.instant("shard.merge", "shard",
+               obs::args_object(
+                   {obs::arg_int("workers", merge.workers),
+                    obs::arg_int("records", merge.records),
+                    obs::arg_int("duplicates", merge.duplicates)}));
+  write_coordinator_trace(opt, sink);
   std::cerr << "sesp_shard: merged " << merge.records << " record(s) into "
             << merge.out_path << "\n";
   if (!opt.replay) return 0;

@@ -1,0 +1,204 @@
+// sesp_trace_merge — folds the per-process trace files of a sharded sweep
+// into one Chrome trace-event JSON document (docs/observability.md "Trace
+// aggregation").
+//
+//   sesp_trace_merge --shard-dir=DIR [--out=FILE]
+//
+// Reads DIR/coordinator.trace.jsonl plus every DIR/worker-K.trace.jsonl.
+// Each file is the JSONL stream TraceSink::write_jsonl emits: a leading
+// "ph":"M" trace.meta line whose args.epoch_unix_us anchors that file's
+// ts=0 to wall-clock time, then one event per line with microsecond
+// steady-clock timestamps. The merge rebases every timestamp onto the
+// earliest epoch across the inputs and assigns one pid lane per process
+// (coordinator = 1, worker K = 2 + K), emitting process_name metadata so
+// chrome://tracing / Perfetto label the lanes. Event payloads travel
+// through parse_json + write_json_value, so unknown fields survive.
+//
+// Output (default DIR/merged_trace.json): {"traceEvents":[...]} — the
+// trace-viewer object form.
+//
+// Exit status: 0 on success (malformed lines are skipped with a stderr
+// count), 2 when no trace file could be read or the output cannot be
+// written.
+
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace sesp {
+namespace {
+
+struct TraceFile {
+  std::string path;
+  std::string label;         // "coordinator" | "worker-K"
+  std::int64_t pid = 1;      // merged lane
+  std::int64_t epoch_unix_us = 0;
+  bool have_epoch = false;
+  std::vector<obs::JsonValue> events;  // non-meta lines, parsed
+};
+
+void usage(std::ostream& os) {
+  os << "usage: sesp_trace_merge --shard-dir=DIR [--out=FILE]\n"
+        "  --shard-dir=DIR              shard directory holding the\n"
+        "                               *.trace.jsonl files (required)\n"
+        "  --out=FILE                   merged trace path (default\n"
+        "                               DIR/merged_trace.json)\n";
+}
+
+// Loads one JSONL trace file; returns false when the file cannot be
+// opened. Malformed lines are counted into *skipped and dropped.
+bool load_trace_file(const std::string& path, const std::string& label,
+                     std::int64_t pid, std::int64_t* skipped,
+                     std::vector<TraceFile>* out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  TraceFile file;
+  file.path = path;
+  file.label = label;
+  file.pid = pid;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::string error;
+    std::optional<obs::JsonValue> v = obs::parse_json(line, &error);
+    if (!v || !v->is_object()) {
+      ++*skipped;
+      continue;
+    }
+    const obs::JsonValue* ph = v->find("ph");
+    const obs::JsonValue* name = v->find("name");
+    if (ph && ph->is_string() && ph->string == "M" && name &&
+        name->is_string() && name->string == "trace.meta") {
+      const obs::JsonValue* args = v->find("args");
+      const obs::JsonValue* epoch =
+          args ? args->find("epoch_unix_us") : nullptr;
+      if (epoch && epoch->is_number()) {
+        file.epoch_unix_us = epoch->as_int64();
+        file.have_epoch = true;
+      }
+      continue;
+    }
+    file.events.push_back(std::move(*v));
+  }
+  out->push_back(std::move(file));
+  return true;
+}
+
+int run(const std::string& dir, std::string out_path) {
+  if (out_path.empty()) out_path = dir + "/merged_trace.json";
+
+  std::int64_t skipped = 0;
+  std::vector<TraceFile> files;
+  load_trace_file(dir + "/coordinator.trace.jsonl", "coordinator", 1,
+                  &skipped, &files);
+  for (std::int32_t k = 0; k < 4096; ++k) {
+    const std::string path =
+        dir + "/worker-" + std::to_string(k) + ".trace.jsonl";
+    if (!load_trace_file(path, "worker-" + std::to_string(k), 2 + k,
+                         &skipped, &files)) {
+      // Worker trace files are contiguous (worker ids count up from 0);
+      // the first gap ends the scan.
+      break;
+    }
+  }
+  if (files.empty()) {
+    std::cerr << "no trace files found in " << dir << "\n";
+    return 2;
+  }
+
+  // Global origin: the earliest wall-clock epoch among the inputs. Files
+  // without a trace.meta line (foreign or hand-made) stay unshifted.
+  std::int64_t origin = 0;
+  bool have_origin = false;
+  for (const TraceFile& f : files)
+    if (f.have_epoch && (!have_origin || f.epoch_unix_us < origin)) {
+      origin = f.epoch_unix_us;
+      have_origin = true;
+    }
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::cerr << "cannot write " << out_path << "\n";
+    return 2;
+  }
+  obs::JsonWriter w(out);
+  w.begin_object();
+  w.key("traceEvents");
+  w.begin_array();
+  std::int64_t total = 0;
+  for (TraceFile& f : files) {
+    // Lane label so the viewer shows "coordinator" / "worker-K" rows.
+    w.begin_object();
+    w.field("name", "process_name");
+    w.field("ph", "M");
+    w.field("pid", f.pid);
+    w.field("tid", static_cast<std::int64_t>(1));
+    w.key("args");
+    w.begin_object();
+    w.field("name", f.label);
+    w.end_object();
+    w.end_object();
+
+    const double shift_us =
+        f.have_epoch && have_origin
+            ? static_cast<double>(f.epoch_unix_us - origin)
+            : 0.0;
+    for (obs::JsonValue& ev : f.events) {
+      for (auto& member : ev.object) {
+        if (member.first == "ts" && member.second.is_number())
+          member.second.number += shift_us;
+        else if (member.first == "pid" && member.second.is_number())
+          member.second.number = static_cast<double>(f.pid);
+      }
+      obs::write_json_value(w, ev);
+      ++total;
+    }
+  }
+  w.end_array();
+  w.end_object();
+  out << "\n";
+
+  std::cerr << "sesp_trace_merge: " << total << " event(s) from "
+            << files.size() << " trace file(s) into " << out_path;
+  if (skipped > 0) std::cerr << " (" << skipped << " malformed line(s) "
+                             << "skipped)";
+  std::cerr << "\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace sesp
+
+int main(int argc, char** argv) {
+  std::string dir;
+  std::string out;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const std::size_t eq = arg.find('=');
+    const std::string key = arg.substr(0, eq);
+    const std::string value =
+        eq == std::string::npos ? "" : arg.substr(eq + 1);
+    if (key == "--shard-dir") dir = value;
+    else if (key == "--out") out = value;
+    else if (key == "--help" || key == "-h") {
+      sesp::usage(std::cout);
+      return 0;
+    } else {
+      std::cerr << "unknown option: " << key << "\n";
+      sesp::usage(std::cerr);
+      return 2;
+    }
+  }
+  if (dir.empty()) {
+    std::cerr << "--shard-dir is required\n";
+    sesp::usage(std::cerr);
+    return 2;
+  }
+  return sesp::run(dir, out);
+}
