@@ -1,7 +1,5 @@
 #include "algorithms/mpm/sporadic_alg.hpp"
 
-#include <set>
-#include <utility>
 #include <vector>
 
 namespace sesp {
@@ -14,6 +12,9 @@ class SporadicMpm final : public MpmAlgorithm {
               bool enable_condition2)
       : self_(self), s_(s), n_(n), B_(B),
         enable_condition2_(enable_condition2),
+        seen_(static_cast<std::size_t>(n) *
+                  static_cast<std::size_t>(s > 0 ? s : 0),
+              false),
         temp_has_(static_cast<std::size_t>(n), false) {}
 
   MpmStepResult on_step(std::span<const MpmMessage> received) override {
@@ -26,10 +27,15 @@ class SporadicMpm final : public MpmAlgorithm {
       return r;
     }
 
-    // read buf_i; msg_buf := msg_buf ∪ M
+    // read buf_i; msg_buf := msg_buf ∪ M. msg_buf is only ever queried for
+    // membership of (j, session_) with session_ in [0, s), so a flat n x s
+    // seen-matrix represents it exactly (out-of-range sessions can never
+    // match a query and need not be stored).
     for (const MpmMessage& m : received) {
-      if (m.sender >= 0 && m.sender < n_)
-        msg_buf_.insert({m.sender, m.session});
+      if (m.sender >= 0 && m.sender < n_ && m.session >= 0 && m.session < s_)
+        seen_[static_cast<std::size_t>(m.sender) *
+                  static_cast<std::size_t>(s_) +
+              static_cast<std::size_t>(m.session)] = true;
     }
 
     if (condition1()) {
@@ -64,7 +70,9 @@ class SporadicMpm final : public MpmAlgorithm {
   // for all j in [n], m(j, session) in msg_buf
   bool condition1() const {
     for (std::int32_t j = 0; j < n_; ++j)
-      if (msg_buf_.find({j, session_}) == msg_buf_.end()) return false;
+      if (!seen_[static_cast<std::size_t>(j) * static_cast<std::size_t>(s_) +
+                 static_cast<std::size_t>(session_)])
+        return false;
     return true;
   }
 
@@ -83,7 +91,7 @@ class SporadicMpm final : public MpmAlgorithm {
 
   std::int64_t count_ = 0;
   std::int64_t session_ = 0;
-  std::set<std::pair<ProcessId, std::int64_t>> msg_buf_;
+  std::vector<char> seen_;      // msg_buf as an n x s seen-matrix
   std::vector<bool> temp_has_;  // temp_buf, reduced to "has m(j, *)"
   bool idle_ = false;
 };

@@ -26,10 +26,10 @@ bool FaultInjector::chance(std::uint32_t percent) {
 
 bool FaultInjector::crash_now(ProcessId p, std::int64_t step_index,
                               const Time& t) {
-  if (crashed_.count(p) != 0) return true;
+  if (crashed(p)) return true;
   for (const CrashFault& c : plan_.crashes) {
     if (c.process == p && c.at_step <= step_index) {
-      crashed_.insert(p);
+      crashed_.push_back(p);
       log_.push_back(InjectedFault{FaultKind::kCrash, p, kNoMsg, step_index, t,
                                    "crash-stop"});
       return true;
@@ -50,10 +50,11 @@ MessageAction FaultInjector::on_send(MsgId id, ProcessId sender,
 
   if (drop_listed || chance(mf.drop_percent)) {
     act.drop = true;
-    std::ostringstream os;
-    os << sender << "->" << recipient;
+    // Direct concatenation: an ostringstream here costs a locale lookup per
+    // dropped message, which dominates lossy sweeps (docs/performance.md).
     log_.push_back(InjectedFault{FaultKind::kDropMessage, sender, id, -1, t,
-                                 os.str()});
+                                 std::to_string(sender) + "->" +
+                                     std::to_string(recipient)});
     return act;
   }
   if (dup_listed || chance(mf.dup_percent)) {

@@ -10,8 +10,8 @@
 // The hooks are deliberately cheap no-ops for empty plans; simulators accept
 // a nullable injector and skip the calls entirely when none is attached.
 
+#include <algorithm>
 #include <cstdint>
-#include <set>
 #include <string>
 #include <vector>
 
@@ -51,7 +51,9 @@ class FaultInjector {
   // step. Idempotent per process (crash-stop is absorbing); the first hit is
   // logged.
   bool crash_now(ProcessId p, std::int64_t step_index, const Time& t);
-  bool crashed(ProcessId p) const { return crashed_.count(p) != 0; }
+  bool crashed(ProcessId p) const {
+    return std::find(crashed_.begin(), crashed_.end(), p) != crashed_.end();
+  }
   std::int32_t crash_count() const {
     return static_cast<std::int32_t>(crashed_.size());
   }
@@ -79,7 +81,9 @@ class FaultInjector {
 
   FaultPlan plan_;
   Rng rng_;
-  std::set<ProcessId> crashed_;
+  // Flat list, first-crash order; crash_now runs once per compute step, and
+  // linear scans of a handful of ids beat a node-based set there.
+  std::vector<ProcessId> crashed_;
   std::int64_t eligible_writes_ = 0;
   std::vector<InjectedFault> log_;
 };

@@ -1,9 +1,65 @@
 #include "model/timed_computation.hpp"
 
+#include <cstdint>
 #include <map>
 #include <sstream>
 
+#ifdef __linux__
+#include <sys/mman.h>
+#endif
+
 namespace sesp {
+
+namespace {
+
+// Thread-local log-buffer stash (docs/performance.md "Data layout"). Only
+// buffers past this capacity are worth recycling; everything smaller is
+// cheaper to let the allocator handle.
+constexpr std::size_t kStashMin = std::size_t{1} << 12;
+
+thread_local std::vector<StepRecord> stashed_steps;
+thread_local std::vector<MessageRecord> stashed_messages;
+
+// Ask the kernel to back a large log buffer with huge pages where it can
+// (Linux THP runs in madvise-only mode on most hosts, so without the hint
+// the multi-megabyte arenas sit on 4K pages and the hot loops pay TLB
+// walks — and whether khugepaged happens to promote them is what made
+// run-to-run wall times bimodal). Capacity-only, advisory, and invisible
+// to every observable.
+template <typename T>
+void advise_huge(std::vector<T>& v) {
+#ifdef __linux__
+  const std::size_t bytes = v.capacity() * sizeof(T);
+  if (bytes < (std::size_t{4} << 20)) return;
+  auto addr = reinterpret_cast<std::uintptr_t>(v.data());
+  const std::uintptr_t end = addr + bytes;
+  const std::uintptr_t first = (addr + 0xFFF) & ~std::uintptr_t{0xFFF};
+  if (end > first)
+    madvise(reinterpret_cast<void*>(first), end - first, MADV_HUGEPAGE);
+#endif
+}
+
+template <typename T>
+void take_from_stash(std::vector<T>& dst, std::vector<T>& stash,
+                     std::size_t want) {
+  if (dst.capacity() < want && dst.empty() && stash.capacity() >= want) {
+    dst = std::move(stash);
+    dst.clear();
+    stash = {};
+  }
+  dst.reserve(want);
+  advise_huge(dst);
+}
+
+template <typename T>
+void donate_to_stash(std::vector<T>& src, std::vector<T>& stash) {
+  if (src.capacity() >= kStashMin && src.capacity() > stash.capacity()) {
+    stash = std::move(src);
+    stash.clear();
+  }
+}
+
+}  // namespace
 
 TimedComputation::TimedComputation(Substrate substrate,
                                    std::int32_t num_processes,
@@ -11,6 +67,16 @@ TimedComputation::TimedComputation(Substrate substrate,
     : substrate_(substrate),
       num_processes_(num_processes),
       num_ports_(num_ports) {}
+
+TimedComputation::~TimedComputation() {
+  donate_to_stash(steps_, stashed_steps);
+  donate_to_stash(messages_, stashed_messages);
+}
+
+void TimedComputation::reserve(std::size_t steps, std::size_t messages) {
+  take_from_stash(steps_, stashed_steps, steps);
+  take_from_stash(messages_, stashed_messages, messages);
+}
 
 std::size_t TimedComputation::append(StepRecord step) {
   steps_.push_back(std::move(step));
@@ -83,16 +149,27 @@ std::size_t TimedComputation::active_prefix_length() const {
 
 std::optional<Duration> TimedComputation::gamma() const {
   const std::size_t prefix = active_prefix_length();
-  std::map<ProcessId, Time> last;
+  // Flat per-process predecessor times; "no step yet" and the virtual
+  // time-0 predecessor coincide, so zero-initialization is the map's
+  // semantics. Out-of-range ids (possible only in hand-built traces) keep
+  // the old map behavior via the fallback.
+  std::vector<Time> last(static_cast<std::size_t>(
+                             num_processes_ > 0 ? num_processes_ : 0),
+                         Time(0));
+  std::map<ProcessId, Time> stray;
   std::optional<Duration> best;
   for (std::size_t i = 0; i < prefix; ++i) {
     const StepRecord& st = steps_[i];
     if (!st.is_compute()) continue;
-    const auto it = last.find(st.process);
-    const Time prev = it == last.end() ? Time(0) : it->second;
-    const Duration gap = st.time - prev;
+    Time* slot;
+    if (st.process >= 0 && st.process < num_processes_) {
+      slot = &last[static_cast<std::size_t>(st.process)];
+    } else {
+      slot = &stray.try_emplace(st.process, Time(0)).first->second;
+    }
+    const Duration gap = st.time - *slot;
     if (!best || *best < gap) best = gap;
-    last[st.process] = st.time;
+    *slot = st.time;
   }
   return best;
 }

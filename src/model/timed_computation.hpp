@@ -24,6 +24,13 @@ class TimedComputation {
  public:
   TimedComputation(Substrate substrate, std::int32_t num_processes,
                    std::int32_t num_ports);
+  TimedComputation(const TimedComputation&) = default;
+  TimedComputation& operator=(const TimedComputation&) = default;
+  TimedComputation(TimedComputation&&) = default;
+  TimedComputation& operator=(TimedComputation&&) = default;
+  // Donates large log buffers to a thread-local stash for the next trace
+  // (see reserve()).
+  ~TimedComputation();
 
   Substrate substrate() const noexcept { return substrate_; }
 
@@ -40,6 +47,27 @@ class TimedComputation {
 
   std::size_t append(StepRecord step);
   MsgId append_message(MessageRecord msg);  // assigns and returns the id
+
+  // In-place variants for the simulator hot loops: append a
+  // default-initialized record and return a reference for the caller to
+  // fill, skipping the build-then-copy of the by-value forms. The reference
+  // is invalidated by the next append to the same log (steps and messages
+  // are separate logs). append_message_slot() assigns the id.
+  StepRecord& append_slot() { return steps_.emplace_back(); }
+  MessageRecord& append_message_slot() {
+    MessageRecord& m = messages_.emplace_back();
+    m.id = static_cast<MsgId>(messages_.size() - 1);
+    return m;
+  }
+
+  // Pre-sizes the step/message logs (capacity only; a hot-loop hint from
+  // simulators that know their step budget, so budget-bounded runs never
+  // pay the log's geometric reallocations). Reuses buffers donated by
+  // earlier traces on this thread when they are big enough — sweeps build
+  // and discard one multi-megabyte trace per run, and recycling the arena
+  // keeps its pages mapped instead of re-faulting them in every run.
+  // Capacity is not an observable, so reuse cannot change a recorded byte.
+  void reserve(std::size_t steps, std::size_t messages);
 
   // Time of the last recorded step, or 0 for the empty trace.
   Time end_time() const noexcept;

@@ -19,35 +19,41 @@ std::optional<SimError> Network::send(MsgId id, const MpmMessage& m,
     err.process = m.sender;
     return err;
   }
-  net_.push_back(InTransit{id, m, recipient});
+  net_ids_.push_back(id);
+  net_messages_.push_back(m);
+  net_recipients_.push_back(recipient);
   if (id >= 0) {
     if (static_cast<std::size_t>(id) >= slot_of_.size())
       slot_of_.resize(static_cast<std::size_t>(id) + 1, -1);
     slot_of_[static_cast<std::size_t>(id)] =
-        static_cast<std::int32_t>(net_.size() - 1);
+        static_cast<std::int32_t>(net_ids_.size() - 1);
   }
   return std::nullopt;
 }
 
 std::optional<SimError> Network::deliver(MsgId id) {
-  std::size_t i = net_.size();
+  std::size_t i = net_ids_.size();
   if (id >= 0 && static_cast<std::size_t>(id) < slot_of_.size()) {
     const std::int32_t slot = slot_of_[static_cast<std::size_t>(id)];
     if (slot >= 0) i = static_cast<std::size_t>(slot);
   } else {
     // Ids outside the dense range (never produced by the trace, but
     // reachable through injected faults) take the old scan.
-    for (i = 0; i < net_.size(); ++i)
-      if (net_[i].id == id) break;
+    for (i = 0; i < net_ids_.size(); ++i)
+      if (net_ids_[i] == id) break;
   }
-  if (i < net_.size() && net_[i].id == id) {
-    bufs_[static_cast<std::size_t>(net_[i].recipient)].push_back(
-        net_[i].message);
-    if (net_[i].id >= 0) slot_of_[static_cast<std::size_t>(net_[i].id)] = -1;
-    net_[i] = net_.back();
-    net_.pop_back();
-    if (i < net_.size() && net_[i].id >= 0)
-      slot_of_[static_cast<std::size_t>(net_[i].id)] =
+  if (i < net_ids_.size() && net_ids_[i] == id) {
+    bufs_[static_cast<std::size_t>(net_recipients_[i])].push_back(
+        net_messages_[i]);
+    if (net_ids_[i] >= 0) slot_of_[static_cast<std::size_t>(id)] = -1;
+    net_ids_[i] = net_ids_.back();
+    net_messages_[i] = net_messages_.back();
+    net_recipients_[i] = net_recipients_.back();
+    net_ids_.pop_back();
+    net_messages_.pop_back();
+    net_recipients_.pop_back();
+    if (i < net_ids_.size() && net_ids_[i] >= 0)
+      slot_of_[static_cast<std::size_t>(net_ids_[i])] =
           static_cast<std::int32_t>(i);
     return std::nullopt;
   }

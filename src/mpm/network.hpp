@@ -45,7 +45,7 @@ class Network {
   // their capacity, so steady-state steps do no heap traffic.
   void drain_buffer_into(ProcessId p, std::vector<MpmMessage>& out);
 
-  std::size_t in_transit() const noexcept { return net_.size(); }
+  std::size_t in_transit() const noexcept { return net_ids_.size(); }
   std::size_t buffered(ProcessId p) const;
 
  private:
@@ -53,19 +53,19 @@ class Network {
     return p >= 0 && p < num_regular_;
   }
 
-  struct InTransit {
-    MsgId id;
-    MpmMessage message;
-    ProcessId recipient;
-  };
-
   std::int32_t num_regular_;
-  std::vector<InTransit> net_;
+  // net, structure-of-arrays: slot i holds message i's id, payload, and
+  // recipient in parallel vectors (docs/performance.md "Data layout").
+  // deliver() touches only ids_/recipients_ plus one payload copy, so the
+  // hot columns stay dense in cache; removal is swap-with-back per column.
+  std::vector<MsgId> net_ids_;
+  std::vector<MpmMessage> net_messages_;
+  std::vector<ProcessId> net_recipients_;
   std::vector<std::vector<MpmMessage>> bufs_;
-  // MsgId -> index into net_ (-1 when not in transit), so deliver() is O(1)
-  // instead of a scan of everything in flight. Ids are assigned densely by
-  // the trace, so a flat vector indexed by id works; out-of-range or
-  // negative ids fall back to the scan (and its structured error).
+  // MsgId -> slot (-1 when not in transit), so deliver() is O(1) instead of
+  // a scan of everything in flight. Ids are assigned densely by the trace,
+  // so a flat vector indexed by id works; out-of-range or negative ids fall
+  // back to the scan (and its structured error).
   std::vector<std::int32_t> slot_of_;
 };
 

@@ -206,9 +206,28 @@ std::vector<PerfCheck> check_history(const std::vector<PerfEntry>& entries,
     }
     check.samples = static_cast<int>(priors.size());
     if (check.samples < opt.min_samples) {
-      std::snprintf(buf, sizeof(buf),
-                    "%s: only %d prior sample(s); gate needs %d — pass",
-                    check.bench.c_str(), check.samples, opt.min_samples);
+      // A candidate whose quick flag differs from every prior run of the
+      // same bench means the recording mode flipped: report "no baseline"
+      // by name instead of the generic short-series note, so a flipped
+      // flag can't read like a healthy gated pass.
+      std::size_t other_flavor = 0;
+      for (const auto& s : series)
+        if (s.first.first == check.bench && s.first.second != check.quick)
+          other_flavor = s.second.size();
+      if (check.samples == 0 && other_flavor > 0) {
+        std::snprintf(buf, sizeof(buf),
+                      "%s%s: no baseline — all %zu prior entr%s for this "
+                      "bench %s quick=%s; record matching runs to gate — "
+                      "pass",
+                      check.bench.c_str(), check.quick ? " [quick]" : "",
+                      other_flavor, other_flavor == 1 ? "y" : "ies",
+                      other_flavor == 1 ? "is" : "are",
+                      check.quick ? "false" : "true");
+      } else {
+        std::snprintf(buf, sizeof(buf),
+                      "%s: only %d prior sample(s); gate needs %d — pass",
+                      check.bench.c_str(), check.samples, opt.min_samples);
+      }
       check.note = buf;
       out.push_back(std::move(check));
       continue;

@@ -102,6 +102,47 @@ class Profiler {
   std::array<PhaseStat, kProfilePhases> stats_{};
 };
 
+// Deterministically sampled batch timer for the per-event hot loops
+// (docs/performance.md "Reading --profile tables"). The calendar-queue
+// simulator cores process events in same-time lane runs; timing every run
+// with a ProfileScope would put two clock reads on paths that now cost tens
+// of nanoseconds. A SampledPhaseTimer instead times every kEvery-th
+// begin()/end() bracket (counter-based, so which batches get timed is a
+// deterministic function of the event stream — profile COUNTS stay
+// invariant across --jobs and worker counts, the obs_test contract).
+// count in the resulting PhaseStat is the number of SAMPLED batches, not
+// events; total_ns scales accordingly.
+class SampledPhaseTimer {
+ public:
+  static constexpr std::uint32_t kEvery = 64;  // power of two
+
+  SampledPhaseTimer(Profiler* profiler, ProfilePhase phase) noexcept
+      : profiler_(profiler), phase_(phase) {}
+
+  void begin() noexcept {
+    if (profiler_ != nullptr && (counter_++ & (kEvery - 1)) == 0) {
+      timing_ = true;
+      start_ = Profiler::clock::now();
+    }
+  }
+  void end() noexcept {
+    if (timing_) {
+      timing_ = false;
+      profiler_->record(
+          phase_, std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      Profiler::clock::now() - start_)
+                      .count());
+    }
+  }
+
+ private:
+  Profiler* profiler_;
+  ProfilePhase phase_;
+  std::uint32_t counter_ = 0;
+  bool timing_ = false;
+  Profiler::clock::time_point start_;
+};
+
 // RAII phase timer. Null profiler: one branch, no clock reads.
 class ProfileScope {
  public:

@@ -10,47 +10,115 @@ PortInfo join(const PortInfo& a, const PortInfo& b) {
                   a.done || b.done};
 }
 
+const Knowledge::Entry* Knowledge::find(ProcessId p) const noexcept {
+  // Entries are few (ports + relays); a contiguous scan beats binary search
+  // at these sizes and the sorted order lets it stop early.
+  for (const Entry& e : facts_) {
+    if (e.process == p) return &e;
+    if (e.process > p) break;
+  }
+  return nullptr;
+}
+
 PortInfo Knowledge::about(ProcessId p) const {
-  const auto it = facts_.find(p);
-  return it == facts_.end() ? PortInfo{} : it->second;
+  const Entry* e = find(p);
+  return e == nullptr ? PortInfo{} : e->info;
 }
 
 void Knowledge::record(ProcessId p, const PortInfo& info) {
-  auto [it, inserted] = facts_.try_emplace(p, info);
-  if (!inserted) it->second = join(it->second, info);
+  std::size_t i = 0;
+  while (i < facts_.size() && facts_[i].process < p) ++i;
+  if (i < facts_.size() && facts_[i].process == p) {
+    const PortInfo joined = join(facts_[i].info, info);
+    if (joined == facts_[i].info) return;  // fact unchanged; cache holds
+    facts_[i].info = joined;
+    touch();
+    return;
+  }
+  facts_.insert(facts_.begin() + static_cast<std::ptrdiff_t>(i),
+                Entry{p, info});
+  touch();
 }
 
 void Knowledge::merge(const Knowledge& other) {
-  for (const auto& [p, info] : other.facts_) record(p, info);
+  if (other.facts_.empty()) return;
+  if (facts_.empty()) {
+    facts_ = other.facts_;
+    stamp_ = other.stamp_;  // content adopted wholesale: share the stamp
+    cached_digest_ = other.cached_digest_;
+    digest_valid_ = other.digest_valid_;
+    return;
+  }
+  // Two-pointer join of sorted runs, in place: common ids are joined
+  // pointwise; ids only in `other` are batched into one tail merge. Once
+  // the join saturates (livelocked gossip replays the same facts), no
+  // entry changes and the digest cache survives the merge.
+  std::size_t i = 0;
+  bool changed = false;
+  std::vector<Entry> missing;
+  for (const Entry& e : other.facts_) {
+    while (i < facts_.size() && facts_[i].process < e.process) ++i;
+    if (i < facts_.size() && facts_[i].process == e.process) {
+      const PortInfo joined = join(facts_[i].info, e.info);
+      if (joined != facts_[i].info) {
+        facts_[i].info = joined;
+        changed = true;
+      }
+    } else {
+      missing.push_back(e);
+    }
+  }
+  if (changed) touch();
+  if (missing.empty()) return;
+  touch();
+  facts_.insert(facts_.end(), missing.begin(), missing.end());
+  std::inplace_merge(facts_.begin(),
+                     facts_.end() - static_cast<std::ptrdiff_t>(missing.size()),
+                     facts_.end(),
+                     [](const Entry& a, const Entry& b) {
+                       return a.process < b.process;
+                     });
 }
 
 bool Knowledge::all_have_steps(std::int32_t n, std::int64_t threshold,
                                ProcessId except) const {
+  std::size_t i = 0;
   for (ProcessId p = 0; p < n; ++p) {
     if (p == except) continue;
-    if (about(p).steps < threshold) return false;
+    while (i < facts_.size() && facts_[i].process < p) ++i;
+    if (i >= facts_.size() || facts_[i].process != p ||
+        facts_[i].info.steps < threshold)
+      return false;
   }
   return true;
 }
 
 bool Knowledge::all_have_session(std::int32_t n, std::int64_t threshold,
                                  ProcessId except) const {
+  std::size_t i = 0;
   for (ProcessId p = 0; p < n; ++p) {
     if (p == except) continue;
-    if (about(p).session < threshold) return false;
+    while (i < facts_.size() && facts_[i].process < p) ++i;
+    if (i >= facts_.size() || facts_[i].process != p ||
+        facts_[i].info.session < threshold)
+      return false;
   }
   return true;
 }
 
 bool Knowledge::all_done(std::int32_t n, ProcessId except) const {
+  std::size_t i = 0;
   for (ProcessId p = 0; p < n; ++p) {
     if (p == except) continue;
-    if (!about(p).done) return false;
+    while (i < facts_.size() && facts_[i].process < p) ++i;
+    if (i >= facts_.size() || facts_[i].process != p || !facts_[i].info.done)
+      return false;
   }
   return true;
 }
 
 std::uint64_t Knowledge::digest() const {
+  if (digest_valid_) return cached_digest_;
   std::uint64_t h = 1469598103934665603ULL;  // FNV offset basis
   auto mix = [&h](std::uint64_t v) {
     for (int i = 0; i < 8; ++i) {
@@ -58,12 +126,14 @@ std::uint64_t Knowledge::digest() const {
       h *= 1099511628211ULL;  // FNV prime
     }
   };
-  for (const auto& [p, info] : facts_) {
-    mix(static_cast<std::uint64_t>(static_cast<std::int64_t>(p)));
-    mix(static_cast<std::uint64_t>(info.steps));
-    mix(static_cast<std::uint64_t>(info.session));
-    mix(info.done ? 1 : 0);
+  for (const Entry& e : facts_) {
+    mix(static_cast<std::uint64_t>(static_cast<std::int64_t>(e.process)));
+    mix(static_cast<std::uint64_t>(e.info.steps));
+    mix(static_cast<std::uint64_t>(e.info.session));
+    mix(e.info.done ? 1 : 0);
   }
+  cached_digest_ = h;
+  digest_valid_ = true;
   return h;
 }
 
@@ -71,11 +141,11 @@ std::string Knowledge::to_string() const {
   std::ostringstream os;
   os << "{";
   bool first = true;
-  for (const auto& [p, info] : facts_) {
+  for (const Entry& e : facts_) {
     if (!first) os << ", ";
     first = false;
-    os << "p" << p << ":(steps=" << info.steps << ",sess=" << info.session
-       << (info.done ? ",done)" : ")");
+    os << "p" << e.process << ":(steps=" << e.info.steps
+       << ",sess=" << e.info.session << (e.info.done ? ",done)" : ")");
   }
   os << "}";
   return os.str();

@@ -7,10 +7,20 @@
 // pointwise maximum of those facts; merging is a commutative, idempotent
 // join, which is what makes the tree-relay gossip of Section 3 correct
 // regardless of interleaving.
+//
+// Representation (docs/performance.md "Data layout"): a flat vector of
+// (process, fact) entries kept sorted by process id — no per-node heap
+// allocation. Process counts are tiny (ports + relays), so lookups are a
+// short contiguous scan, merging is a linear two-pointer join, and copying
+// a value (the P2P simulator copies one per in-flight message) is a single
+// buffer copy. Iteration order is ascending process id — exactly the order
+// the previous std::map representation produced — so digest() and
+// to_string() are byte-stable across the layout change; the golden corpus
+// pins this.
 
 #include <cstdint>
-#include <map>
 #include <string>
+#include <vector>
 
 #include "model/ids.hpp"
 
@@ -36,7 +46,7 @@ class Knowledge {
 
   // The recorded fact about p, or a default PortInfo if none.
   PortInfo about(ProcessId p) const;
-  bool has(ProcessId p) const { return facts_.count(p) != 0; }
+  bool has(ProcessId p) const { return find(p) != nullptr; }
 
   // Joins `info` into the fact recorded about p.
   void record(ProcessId p, const PortInfo& info);
@@ -54,15 +64,52 @@ class Knowledge {
 
   // Deterministic digest (FNV-1a over the sorted entries); used to compare
   // variable values across reordered computations in the lower-bound
-  // machinery.
+  // machinery. Memoized: record() and merge() only invalidate the cache
+  // when they actually change a fact, so the simulators' before/after
+  // digests of a saturated variable are O(1) (docs/performance.md).
   std::uint64_t digest() const;
+
+  // Content stamp: equal stamps imply equal contents. Every mutation that
+  // changes a fact restamps with a fresh thread-unique nonzero value;
+  // copies carry the stamp with the content; stamp 0 is exactly the empty
+  // value. A caller that remembers the stamps of two values after joining
+  // them can prove a later join of the same (unchanged) pair is a no-op
+  // and skip it — the SMM relay gossip loop does this once its subtree
+  // saturates (docs/performance.md "Verifier hot path").
+  std::uint64_t stamp() const noexcept { return stamp_; }
 
   std::string to_string() const;
 
-  friend bool operator==(const Knowledge&, const Knowledge&) = default;
+  friend bool operator==(const Knowledge& a, const Knowledge& b) {
+    return a.facts_ == b.facts_;
+  }
 
  private:
-  std::map<ProcessId, PortInfo> facts_;
+  struct Entry {
+    ProcessId process;
+    PortInfo info;
+
+    friend bool operator==(const Entry&, const Entry&) = default;
+  };
+
+  const Entry* find(ProcessId p) const noexcept;
+
+  // Fresh thread-unique nonzero stamp (see stamp()).
+  static std::uint64_t next_stamp() noexcept {
+    thread_local std::uint64_t counter = 0;
+    return ++counter;
+  }
+  void touch() noexcept {
+    stamp_ = next_stamp();
+    digest_valid_ = false;
+  }
+
+  // Sorted by process id, unique. Sortedness makes default equality
+  // coincide with map equality.
+  std::vector<Entry> facts_;
+  std::uint64_t stamp_ = 0;
+  mutable std::uint64_t cached_digest_ = 0;
+  mutable bool digest_valid_ = false;
 };
 
 }  // namespace sesp

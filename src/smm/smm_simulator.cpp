@@ -1,26 +1,18 @@
 #include "smm/smm_simulator.hpp"
 
-#include <queue>
+#include <algorithm>
+#include <utility>
 #include <vector>
+
+#include "sim/calendar_queue.hpp"
 
 namespace sesp {
 
-namespace {
-
-struct Event {
-  Time time;
-  std::uint64_t seq;
-  ProcessId process;
-};
-
-struct EventAfter {
-  bool operator()(const Event& a, const Event& b) const {
-    if (a.time != b.time) return b.time < a.time;
-    return a.seq > b.seq;
-  }
-};
-
-}  // namespace
+// Only compute events exist in the SMM (relay gossip is itself a compute
+// step on a shared variable), so the calendar queue degenerates to one FIFO
+// lane per distinct time — which is exactly the old (time, seq) heap order.
+// Hot-phase timers are sampled (obs::SampledPhaseTimer) so the profiled run
+// no longer pays two clock reads per event.
 
 std::int32_t smm_total_processes(std::int32_t n, std::int32_t b) {
   SharedMemory scratch(std::max(b, 2));
@@ -92,6 +84,13 @@ SmmRunResult SmmSimulator::run(const SmmRunLimits& limits) {
                       std::nullopt,
                       {}};
   TimedComputation& trace = result.trace;
+  // Pre-size the step log to the budget (SMM traces carry no messages), so
+  // budget-bounded runs never pay the log's geometric reallocations; capped
+  // so unbounded budgets stay lazy (docs/performance.md "Data layout").
+  if (limits.max_steps > 0)
+    trace.reserve(static_cast<std::size_t>(std::min<std::int64_t>(
+                      limits.max_steps + total, std::int64_t{1} << 18)),
+                  0);
 
   std::vector<std::unique_ptr<SmmPortAlgorithm>> algs;
   algs.reserve(static_cast<std::size_t>(n));
@@ -103,15 +102,35 @@ SmmRunResult SmmSimulator::run(const SmmRunLimits& limits) {
       static_cast<std::size_t>(tree.num_relays()));
   std::vector<std::size_t> relay_pos(
       static_cast<std::size_t>(tree.num_relays()), 0);
+  // Per (relay, rotation slot): the (variable, relay) content stamps after
+  // the last gossip exchange there. Matching stamps prove the exchange
+  // would join two unchanged values again — a no-op — and skip it; once a
+  // livelocked run saturates its subtree's knowledge, every relay visit
+  // takes this skip (Knowledge::stamp()). 0 is a real stamp (the empty
+  // value), so the sentinel is max.
+  constexpr std::uint64_t kNoStamp = ~std::uint64_t{0};
+  std::vector<std::vector<std::pair<std::uint64_t, std::uint64_t>>>
+      relay_memo(static_cast<std::size_t>(tree.num_relays()));
+  for (std::size_t r = 0; r < relay_memo.size(); ++r)
+    relay_memo[r].assign(tree.relays()[r].rotation.size(),
+                         {kNoStamp, kNoStamp});
 
-  std::priority_queue<Event, std::vector<Event>, EventAfter> queue;
-  std::uint64_t seq = 0;
+  CalendarQueue queue;
+  obs::SampledPhaseTimer pop_timer(prof, obs::ProfilePhase::kEventQueuePop);
+  obs::SampledPhaseTimer step_timer(prof, obs::ProfilePhase::kProcessStep);
+  obs::SampledPhaseTimer sched_timer(prof, obs::ProfilePhase::kSchedule);
+
   std::vector<std::int64_t> step_count(static_cast<std::size_t>(total), 0);
   std::int32_t ports_non_idle = n;
+  // Hot-loop observer instruments, resolved once (the compiler cannot hoist
+  // the loads past the loop's stores itself).
+  obs::Gauge* const g_queue_depth = o ? o->event_queue_depth : nullptr;
+  obs::Counter* const c_shared_reads = o ? o->shared_reads : nullptr;
+  obs::Counter* const c_steps = o ? o->steps : nullptr;
 
   auto schedule_step = [&](ProcessId p, std::optional<Time> prev,
                            std::int64_t index) -> bool {
-    obs::ProfileScope ps(prof, obs::ProfilePhase::kSchedule);
+    sched_timer.begin();
     Time t = scheduler_.next_step_time(p, prev, index);
     const Time floor = prev.value_or(Time(0));
     if (faults_) {
@@ -128,9 +147,11 @@ SmmRunResult SmmSimulator::run(const SmmRunLimits& limits) {
       err.step_index = static_cast<std::int64_t>(trace.steps().size());
       err.time = floor;
       result.error = std::move(err);
+      sched_timer.end();
       return false;
     }
-    queue.push(Event{t, seq++, p});
+    queue.push_compute(t, p);
+    sched_timer.end();
     return true;
   };
 
@@ -142,16 +163,15 @@ SmmRunResult SmmSimulator::run(const SmmRunLimits& limits) {
 
   Time last_event_time(0);
   std::int64_t stagnant_events = 0;
+  CalendarQueue::Popped ev;
 
   while (!queue.empty() && ports_non_idle > 0) {
-    const Event ev = [&] {
-      obs::ProfileScope pop_scope(prof, obs::ProfilePhase::kEventQueuePop);
-      const Event top = queue.top();
-      queue.pop();
-      return top;
-    }();
-    if (o && o->event_queue_depth)
-      o->event_queue_depth->set(static_cast<std::int64_t>(queue.size()) + 1);
+    pop_timer.begin();
+    const std::size_t depth = queue.size();
+    queue.pop(ev);
+    pop_timer.end();
+    if (g_queue_depth)
+      g_queue_depth->set(static_cast<std::int64_t>(depth));
     if (result.compute_steps >= limits.max_steps ||
         limits.max_time < ev.time) {
       result.hit_limit = true;
@@ -197,8 +217,8 @@ SmmRunResult SmmSimulator::run(const SmmRunLimits& limits) {
       continue;
     }
 
-    obs::ProfileScope step_scope(prof, obs::ProfilePhase::kProcessStep);
-    StepRecord st;
+    step_timer.begin();
+    StepRecord& st = trace.append_slot();
     st.kind = StepKind::kCompute;
     st.process = p;
     st.time = ev.time;
@@ -234,8 +254,8 @@ SmmRunResult SmmSimulator::run(const SmmRunLimits& limits) {
         alg.on_tree_snapshot(value);
         st.value_after_digest = value.digest();
       }
-      if (o && o->shared_reads) {
-        o->shared_reads->inc();
+      if (c_shared_reads) {
+        c_shared_reads->inc();
         o->shared_writes->inc();
       }
       idle = alg.is_idle();
@@ -244,7 +264,8 @@ SmmRunResult SmmSimulator::run(const SmmRunLimits& limits) {
       // Relay gossip step.
       const auto r = static_cast<std::size_t>(p - n);
       const RelaySpec& spec = tree.relays()[r];
-      const VarId v = spec.rotation[relay_pos[r] % spec.rotation.size()];
+      const std::size_t slot = relay_pos[r] % spec.rotation.size();
+      const VarId v = spec.rotation[slot];
       ++relay_pos[r];
       Knowledge& value = mem.access(v, p);
       st.var = v;
@@ -253,19 +274,24 @@ SmmRunResult SmmSimulator::run(const SmmRunLimits& limits) {
         obs::observe_fault(o, "corrupt", p, ev.time);
         value = Knowledge{};
       }
-      value.merge(relay_knowledge[r]);
-      relay_knowledge[r].merge(value);
+      auto& memo = relay_memo[r][slot];
+      if (memo.first != value.stamp() ||
+          memo.second != relay_knowledge[r].stamp()) {
+        value.merge(relay_knowledge[r]);
+        relay_knowledge[r].merge(value);
+        memo = {value.stamp(), relay_knowledge[r].stamp()};
+      }
       st.value_after_digest = value.digest();
-      if (o && o->shared_reads) {
-        o->shared_reads->inc();
+      if (c_shared_reads) {
+        c_shared_reads->inc();
         o->shared_writes->inc();
       }
     }
 
-    trace.append(st);
     ++result.compute_steps;
-    if (o && o->steps) o->steps->inc();
+    if (c_steps) c_steps->inc();
     ++step_count[pi];
+    step_timer.end();
 
     if (idle) {
       --ports_non_idle;

@@ -1,7 +1,7 @@
 #include "timing/admissibility.hpp"
 
-#include <map>
 #include <sstream>
+#include <vector>
 
 namespace sesp {
 
@@ -37,10 +37,66 @@ std::string describe_gap(ProcessId p, std::size_t step_index, const Time& prev,
 
 }  // namespace
 
+AdmissibilityScan::AdmissibilityScan(const TimedComputation& tc,
+                                     const TimingConstraints& c)
+    : tc_(tc),
+      c_(c),
+      model_(c.model),
+      num_processes_(tc.num_processes()),
+      prev_time_(0),
+      delay_lo_(0),
+      delay_hi_(c.d2) {
+  no_gap_bounds_ = model_ == TimingModel::kAsynchronous &&
+                   tc.substrate() == Substrate::kSharedMemory;
+  const auto n =
+      static_cast<std::size_t>(num_processes_ > 0 ? num_processes_ : 0);
+  ok_ = num_processes_ >= 0 &&
+        (model_ != TimingModel::kPeriodic || c.periods.size() >= n);
+  idle_.assign(n, false);
+  last_.assign(n, Time(0));
+  pending_.resize(n);
+  switch (model_) {
+    case TimingModel::kSynchronous:
+      delay_exact_ = true;
+      delay_lo_ = c.d2;
+      break;
+    case TimingModel::kSporadic:
+      delay_lo_ = c.d1;
+      break;
+    case TimingModel::kPeriodic:
+    case TimingModel::kSemiSynchronous:
+    case TimingModel::kAsynchronous:
+      break;  // [0, d2]
+  }
+}
+
+void AdmissibilityScan::messages() {
+  if (!ok_) return;
+  // Every message consumed by the send cursor, every claimed delivery
+  // vouched by its delivery step, every claimed receipt vouched by its
+  // recipient's compute step — otherwise some per-message check is
+  // unproven and the precise path decides.
+  ok_ = next_send_ == tc_.messages().size() &&
+        matched_deliver_ == delivered_total_ &&
+        matched_receive_ == received_total_;
+}
+
 AdmissibilityReport check_admissible(const TimedComputation& tc,
                                      const TimingConstraints& constraints) {
   if (auto err = constraints.validate())
     return violation("invalid constraints: " + *err);
+  // Fast path: one fused pass proving every check below holds at once. Any
+  // anomaly falls through to the precise sequence, whose error selection
+  // and wording are the compatibility contract.
+  {
+    AdmissibilityScan scan(tc, constraints);
+    for (const StepRecord& st : tc.steps()) {
+      scan.step(st);
+      if (!scan.proven()) break;
+    }
+    scan.messages();
+    if (scan.proven()) return AdmissibilityReport{};
+  }
   if (auto err = tc.structural_error())
     return violation("structural: " + *err);
 
@@ -53,16 +109,26 @@ AdmissibilityReport check_admissible(const TimedComputation& tc,
     return violation("periodic: fewer periods than processes");
 
   // Per-process step-gap constraints, with time 0 as virtual predecessor.
-  std::map<ProcessId, Time> last;
+  // Flat per-process array (docs/performance.md): the structural check above
+  // already rejected out-of-range process ids, and "no step yet" and the
+  // virtual time-0 predecessor coincide, so no presence flags are needed.
+  // The asynchronous SMM puts no bound on gaps at all, so the whole loop
+  // would only compute differences and discard them — skip it outright
+  // (livelocked async traces are the longest ones the bench verifies).
+  const bool no_gap_bounds = model == TimingModel::kAsynchronous && smm;
+  std::vector<Time> last(static_cast<std::size_t>(tc.num_processes()),
+                         Time(0));
   const auto& steps = tc.steps();
-  for (std::size_t i = 0; i < steps.size(); ++i) {
+  for (std::size_t i = 0; !no_gap_bounds && i < steps.size(); ++i) {
     const StepRecord& st = steps[i];
     if (!st.is_compute()) continue;
-    const auto it = last.find(st.process);
-    const Time prev = it == last.end() ? Time(0) : it->second;
+    Time& slot = last[static_cast<std::size_t>(st.process)];
+    const Time prev = slot;
     const Duration gap = st.time - prev;
-    last[st.process] = st.time;
-    const auto site = step_site(i, st.process, st.time);
+    slot = st.time;
+    // Violations are rare; build the site lazily so the admissible path
+    // does no per-step ViolationSite work.
+    const auto site = [&] { return step_site(i, st.process, st.time); };
 
     switch (model) {
       case TimingModel::kSynchronous:
@@ -71,7 +137,7 @@ AdmissibilityReport check_admissible(const TimedComputation& tc,
                                                           st.time) +
                                ", expected exactly " +
                                constraints.c2.to_string(),
-                           site);
+                           site());
         break;
       case TimingModel::kPeriodic: {
         const Duration period =
@@ -80,7 +146,7 @@ AdmissibilityReport check_admissible(const TimedComputation& tc,
           return violation("periodic: " +
                                describe_gap(st.process, i, prev, st.time) +
                                ", expected exactly " + period.to_string(),
-                           site);
+                           site());
         break;
       }
       case TimingModel::kSemiSynchronous:
@@ -89,14 +155,14 @@ AdmissibilityReport check_admissible(const TimedComputation& tc,
                                describe_gap(st.process, i, prev, st.time) +
                                ", expected in [" + constraints.c1.to_string() +
                                ", " + constraints.c2.to_string() + "]",
-                           site);
+                           site());
         break;
       case TimingModel::kSporadic:
         if (gap < constraints.c1)
           return violation("sporadic: " +
                                describe_gap(st.process, i, prev, st.time) +
                                ", expected >= " + constraints.c1.to_string(),
-                           site);
+                           site());
         break;
       case TimingModel::kAsynchronous:
         if (smm) break;  // no bounds in the shared memory form ([2])
@@ -105,7 +171,7 @@ AdmissibilityReport check_admissible(const TimedComputation& tc,
                                describe_gap(st.process, i, prev, st.time) +
                                ", expected in (0, " +
                                constraints.c2.to_string() + "]",
-                           site);
+                           site());
         break;
     }
   }

@@ -479,6 +479,59 @@ TEST(CliTest, PerfGateSelfTestAndRecordCheckRoundTrip) {
   std::remove(history.c_str());
 }
 
+// The sim-core floor inside self-test: the newest full-mode "faults" entry
+// must hold >= 5x the seeded first entry (docs/performance.md).
+TEST(CliTest, PerfSelfTestHoldsTheSimCoreFloor) {
+  const std::string history =
+      ::testing::TempDir() + "/cli_perf_floor_history.jsonl";
+  const auto faults_line = [](double rate) {
+    return "{\"schema\":\"sesp-perf/1\",\"bench\":\"faults\","
+           "\"commit\":\"t\",\"recorded_unix_ms\":0,\"quick\":false,"
+           "\"ok\":true,\"wall_seconds\":1.0,\"steps\":1000,"
+           "\"steps_per_sec\":" +
+           std::to_string(rate) + ",\"runs\":1,\"profile\":{}}\n";
+  };
+
+  // Newest >= 5x seeded: passes and says so.
+  write_file(history, faults_line(1.0e6) + faults_line(5.5e6));
+  auto r = run_command(kPerf + " self-test --history=" + history);
+  EXPECT_EQ(r.status, 0) << r.output;
+  EXPECT_NE(r.output.find("sim-core floor"), std::string::npos) << r.output;
+
+  // Newest below the floor: self-test fails.
+  write_file(history, faults_line(1.0e6) + faults_line(4.0e6));
+  r = run_command(kPerf + " self-test --history=" + history);
+  EXPECT_EQ(r.status, 1) << r.output;
+  EXPECT_NE(r.output.find("[FAIL] sim-core floor"), std::string::npos)
+      << r.output;
+
+  // A single-entry (or absent) ledger skips the floor rather than failing.
+  write_file(history, faults_line(1.0e6));
+  r = run_command(kPerf + " self-test --history=" + history);
+  EXPECT_EQ(r.status, 0) << r.output;
+  EXPECT_NE(r.output.find("[SKIP] sim-core floor"), std::string::npos)
+      << r.output;
+  std::remove(history.c_str());
+
+  // And the repo ledger contract itself: a quick-flag flip away from all
+  // priors reports "no baseline" instead of a bare short-series pass.
+  const std::string flip =
+      ::testing::TempDir() + "/cli_perf_flip_history.jsonl";
+  std::string text;
+  for (const double rate : {1.0e6, 1.01e6, 0.99e6, 1.0e6})
+    text += faults_line(rate);
+  text +=
+      "{\"schema\":\"sesp-perf/1\",\"bench\":\"faults\",\"commit\":\"t\","
+      "\"recorded_unix_ms\":0,\"quick\":true,\"ok\":true,"
+      "\"wall_seconds\":1.0,\"steps\":1000,\"steps_per_sec\":300000.0,"
+      "\"runs\":1,\"profile\":{}}\n";
+  write_file(flip, text);
+  r = run_command(kPerf + " check --history=" + flip);
+  EXPECT_EQ(r.status, 0) << r.output;
+  EXPECT_NE(r.output.find("no baseline"), std::string::npos) << r.output;
+  std::remove(flip.c_str());
+}
+
 TEST(CliTest, TraceDumpParsesBack) {
   const std::string trace = ::testing::TempDir() + "/sesp_cli_test_trace.txt";
   const auto r = run_command(

@@ -956,7 +956,60 @@ TEST(PerfHistoryTest, GateFlagsSlowdownAndToleratesNoise) {
   checks = obs::check_history(mixed, opt);
   ASSERT_EQ(checks.size(), 2u);
   EXPECT_FALSE(checks[0].regression);
-  EXPECT_FALSE(checks[1].regression);  // only 0 quick priors — pass
+  EXPECT_FALSE(checks[1].regression);  // 0 quick priors — pass, but loudly
+}
+
+TEST(PerfHistoryTest, QuickFlagFlipReportsNoBaseline) {
+  const auto entry = [](const char* bench, double rate, bool quick) {
+    obs::PerfEntry e;
+    e.bench = bench;
+    e.ok = true;
+    e.quick = quick;
+    e.steps_per_sec = rate;
+    return e;
+  };
+  obs::PerfCheckOptions opt;
+
+  // Full-mode history, then a single quick-mode candidate: its series has
+  // no priors at all, and the verdict must say "no baseline" by name — a
+  // flipped recording mode must not read like a healthy gated pass.
+  std::vector<obs::PerfEntry> flipped;
+  for (const double r : {1.00e6, 1.01e6, 0.99e6, 1.00e6})
+    flipped.push_back(entry("faults", r, /*quick=*/false));
+  flipped.push_back(entry("faults", 0.3e6, /*quick=*/true));
+  auto checks = obs::check_history(flipped, opt);
+  ASSERT_EQ(checks.size(), 2u);
+  EXPECT_FALSE(checks[1].regression);
+  EXPECT_TRUE(checks[1].quick);
+  EXPECT_EQ(checks[1].samples, 0);
+  EXPECT_NE(checks[1].note.find("no baseline"), std::string::npos)
+      << checks[1].note;
+  EXPECT_NE(checks[1].note.find("quick=false"), std::string::npos)
+      << checks[1].note;
+
+  // The reverse flip (quick history, full candidate) names the other
+  // flavor too.
+  std::vector<obs::PerfEntry> reverse;
+  for (const double r : {1.00e6, 1.01e6})
+    reverse.push_back(entry("faults", r, /*quick=*/true));
+  reverse.push_back(entry("faults", 1.0e6, /*quick=*/false));
+  checks = obs::check_history(reverse, opt);
+  ASSERT_EQ(checks.size(), 2u);
+  const obs::PerfCheck& full = checks[1];
+  EXPECT_FALSE(full.quick);
+  EXPECT_NE(full.note.find("no baseline"), std::string::npos) << full.note;
+  EXPECT_NE(full.note.find("quick=true"), std::string::npos) << full.note;
+
+  // A genuinely young series (same flavor throughout) keeps the plain
+  // short-series note — "no baseline" is reserved for the flag flip.
+  std::vector<obs::PerfEntry> young{entry("young", 1.0e6, false),
+                                    entry("young", 0.9e6, false)};
+  checks = obs::check_history(young, opt);
+  ASSERT_EQ(checks.size(), 1u);
+  EXPECT_EQ(checks[0].note.find("no baseline"), std::string::npos)
+      << checks[0].note;
+  EXPECT_NE(checks[0].note.find("prior sample"), std::string::npos)
+      << checks[0].note;
 }
 
 // --- report / summary JSON mirrors -----------------------------------------

@@ -6,6 +6,7 @@
 #include <tuple>
 #include <vector>
 
+#include "util/packed_ratio.hpp"
 #include "util/rng.hpp"
 
 namespace sesp {
@@ -286,6 +287,148 @@ TEST(RatioDeath, OverflowAborts) {
         (void)r;
       },
       "overflow");
+}
+
+// --- Interned representation (PackedRatio / RatioIntern) --------------------
+//
+// The calendar queue keys buckets on PackedRatio words, so the interned
+// form must round-trip exactly, compare exactly like Ratio, and keep
+// equality == word equality across the inline/pooled boundary.
+
+TEST(PackedRatioTest, DefaultIsInlineZero) {
+  const PackedRatio zero;
+  EXPECT_TRUE(zero.is_inline());
+  EXPECT_EQ(zero.inline_num(), 0);
+  EXPECT_EQ(zero.inline_den(), 1);
+  RatioIntern intern;
+  EXPECT_EQ(intern.unpack(zero), Ratio(0));
+  EXPECT_EQ(intern.pack(Ratio(0)), zero);
+}
+
+TEST(PackedRatioTest, InlineOverflowBoundaries) {
+  RatioIntern intern;
+  // Extremes of the inline numerator field, exact round-trip.
+  const Ratio num_max(PackedRatio::kNumMax);
+  const Ratio num_min(PackedRatio::kNumMin);
+  EXPECT_TRUE(intern.pack(num_max).is_inline());
+  EXPECT_TRUE(intern.pack(num_min).is_inline());
+  EXPECT_EQ(intern.unpack(intern.pack(num_max)), num_max);
+  EXPECT_EQ(intern.unpack(intern.pack(num_min)), num_min);
+  // One past the field: promotion to the pooled exact form.
+  const Ratio num_over(PackedRatio::kNumMax + 1);
+  const Ratio num_under(PackedRatio::kNumMin - 1);
+  EXPECT_TRUE(intern.pack(num_over).is_pooled());
+  EXPECT_TRUE(intern.pack(num_under).is_pooled());
+  EXPECT_EQ(intern.unpack(intern.pack(num_over)), num_over);
+  EXPECT_EQ(intern.unpack(intern.pack(num_under)), num_under);
+  // Same for the denominator field (prime-ish values dodge normalization).
+  const Ratio den_max(1, PackedRatio::kDenMax);
+  const Ratio den_over(1, PackedRatio::kDenMax + 1);
+  EXPECT_TRUE(intern.pack(den_max).is_inline());
+  EXPECT_TRUE(intern.pack(den_over).is_pooled());
+  EXPECT_EQ(intern.unpack(intern.pack(den_max)), den_max);
+  EXPECT_EQ(intern.unpack(intern.pack(den_over)), den_over);
+}
+
+TEST(PackedRatioTest, PromotionToPoolAndBack) {
+  RatioIntern intern;
+  // A pooled value whose arithmetic lands back on an inline value: the two
+  // representations must agree through the round trip.
+  const Ratio big(PackedRatio::kNumMax + 5);
+  const PackedRatio packed_big = intern.pack(big);
+  ASSERT_TRUE(packed_big.is_pooled());
+  const Ratio back = intern.unpack(packed_big) - Ratio(5);
+  const PackedRatio packed_back = intern.pack(back);
+  EXPECT_TRUE(packed_back.is_inline());
+  EXPECT_EQ(intern.unpack(packed_back), Ratio(PackedRatio::kNumMax));
+}
+
+TEST(PackedRatioTest, PoolDedupesToIdenticalWords) {
+  RatioIntern intern;
+  const Ratio huge(INT64_MAX / 3, 7);
+  const PackedRatio a = intern.pack(huge);
+  const PackedRatio b = intern.pack(Ratio(INT64_MAX / 3, 7));
+  EXPECT_TRUE(a.is_pooled());
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.word(), b.word());
+  EXPECT_EQ(intern.pool_size(), 1u);
+  // A different value gets a different word even with an equal hash bucket.
+  const PackedRatio c = intern.pack(Ratio(INT64_MAX / 3, 11));
+  EXPECT_NE(a.word(), c.word());
+  EXPECT_EQ(intern.pool_size(), 2u);
+}
+
+TEST(PackedRatioTest, HashAndCompareConsistentWithEquality) {
+  RatioIntern intern;
+  Rng rng(0x9ac7'ed01ULL);
+  std::vector<Ratio> values;
+  for (int i = 0; i < 200; ++i) {
+    const std::int64_t num = rng.next_int(0, 2'000'000) - 1'000'000;
+    switch (rng.next_below(3)) {
+      case 0:
+        values.push_back(Ratio(num, rng.next_int(1, 1000)));
+        break;
+      case 1:  // outside the inline numerator field
+        values.push_back(Ratio(PackedRatio::kNumMax + 1 + (num & 0xffff)));
+        break;
+      default:  // outside the inline denominator field
+        values.push_back(
+            Ratio(num | 1, PackedRatio::kDenMax + rng.next_int(1, 1000)));
+        break;
+    }
+  }
+  for (const Ratio& a : values)
+    for (const Ratio& b : values) {
+      const PackedRatio pa = intern.pack(a);
+      const PackedRatio pb = intern.pack(b);
+      ASSERT_EQ(a == b, pa == pb)
+          << a.to_string() << " vs " << b.to_string();
+      ASSERT_EQ(a <=> b, intern.compare(pa, pb))
+          << a.to_string() << " <=> " << b.to_string();
+      ASSERT_EQ(intern.less(pa, pb), a < b);
+      if (a == b) ASSERT_EQ(pa.hash(), pb.hash());
+    }
+}
+
+TEST(PackedRatioTest, FuzzMixedInlineAndPooledExpressions) {
+  // Mixed expressions: accumulate times the way the simulator does (t +
+  // delay), alternating inline-size and pool-size operands, and check the
+  // packed comparisons track the exact Ratio order at every step.
+  RatioIntern intern;
+  Rng rng(0x51c7'beefULL);
+  Ratio t(0);
+  PackedRatio packed_t = intern.pack(t);
+  // One fixed oversize denominator: repeated adds stay on its grid, so the
+  // exact accumulator never overflows while every touch of it is pooled.
+  const std::int64_t big_den = PackedRatio::kDenMax + 98;
+  for (int iter = 0; iter < 2'000; ++iter) {
+    Ratio delta;
+    switch (rng.next_below(4)) {
+      case 0:  // power-of-two grid: denominators stay bounded under lcm
+        delta = Ratio(rng.next_int(0, 1000),
+                      std::int64_t{1} << rng.next_below(7));
+        break;
+      case 1:  // denominator blowup: forces pooled intermediates
+        delta = Ratio(rng.next_int(1, 7), big_den);
+        break;
+      case 2:
+        delta = Ratio(rng.next_int(0, 3));
+        break;
+      default:
+        delta = Ratio(rng.next_int(0, 10'000), 3);
+        break;
+    }
+    const Ratio next = t + delta;
+    const PackedRatio packed_next = intern.pack(next);
+    ASSERT_EQ(intern.unpack(packed_next), next);
+    ASSERT_EQ(intern.compare(packed_t, packed_next), t <=> next);
+    ASSERT_EQ(intern.less(packed_t, packed_next), t < next);
+    ASSERT_EQ(packed_t == packed_next, t == next);
+    t = next;
+    packed_t = packed_next;
+  }
+  // The pool only ever saw the pooled forms; inline values never intern.
+  EXPECT_GT(intern.pool_size(), 0u);
 }
 
 }  // namespace

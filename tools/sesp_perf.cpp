@@ -15,7 +15,9 @@
 // exits nonzero on any regression. `self-test` drives the gate against
 // synthetic series — a steady one must pass and an injected 2x slowdown
 // must be flagged — so CI can prove the gate itself works before trusting
-// a green check.
+// a green check; it also holds the sim-core floor: the newest full-mode
+// "faults" ledger entry must stay >= 5x the seeded baseline
+// (docs/performance.md).
 //
 // Exit status: 0 ok; 1 regression detected (check) or self-test failure;
 // 2 usage/file errors. `check` on a missing or too-short history exits 0
@@ -40,7 +42,7 @@ void usage(std::ostream& os) {
         "       sesp_perf check [--history=FILE] [--window=N]\n"
         "                       [--min-samples=N] [--min-drop=F]\n"
         "                       [--mad-mult=F]\n"
-        "       sesp_perf self-test\n"
+        "       sesp_perf self-test [--history=FILE]\n"
         "  --results=FILE               merged bench_results.json to fold\n"
         "  --history=FILE               ledger path (default\n"
         "                               bench_history.jsonl)\n"
@@ -134,9 +136,45 @@ int run_check(const std::string& history_path,
   return 0;
 }
 
+// Sim-core throughput floor: the newest full-mode "faults" entry must hold
+// at least 5x the seeded (first) full-mode entry — the calendar-queue
+// rewrite's recorded gain must never silently erode. Skipped with a note
+// when the ledger is missing or still holds fewer than two full-mode
+// entries (a fresh repo has nothing to hold the floor against).
+int check_sim_core_floor(const std::string& history_path) {
+  std::string text;
+  if (!read_file(history_path, &text)) {
+    std::cout << "[SKIP] sim-core floor: no history at " << history_path
+              << "\n";
+    return 0;
+  }
+  std::int64_t skipped = 0;
+  std::vector<double> full_faults;
+  for (const obs::PerfEntry& e : obs::parse_perf_ledger(text, &skipped))
+    if (e.bench == "faults" && !e.quick && e.ok)
+      full_faults.push_back(e.steps_per_sec);
+  if (full_faults.size() < 2) {
+    std::cout << "[SKIP] sim-core floor: " << full_faults.size()
+              << " full-mode faults entr"
+              << (full_faults.size() == 1 ? "y" : "ies") << " in "
+              << history_path << "\n";
+    return 0;
+  }
+  const double seeded = full_faults.front();
+  const double newest = full_faults.back();
+  if (seeded > 0.0 && newest < 5.0 * seeded) {
+    std::cout << "[FAIL] sim-core floor: newest faults entry " << newest
+              << " steps/s < 5x seeded baseline " << seeded << "\n";
+    return 1;
+  }
+  std::cout << "[ OK ] sim-core floor: " << newest << " steps/s >= 5x seeded "
+            << seeded << "\n";
+  return 0;
+}
+
 // The gate gating itself: a steady series must pass, a 2x slowdown must be
 // flagged, and a too-short series must pass with a note.
-int run_self_test() {
+int run_self_test(const std::string& history_path) {
   obs::PerfCheckOptions opt;
   const auto entry = [](const std::string& bench, double rate) {
     obs::PerfEntry e;
@@ -191,6 +229,8 @@ int run_self_test() {
               << ")\n";
     return 1;
   }
+
+  if (const int rc = check_sim_core_floor(history_path); rc != 0) return rc;
 
   std::cout << "[OK] sesp_perf self-test passed\n";
   return 0;
@@ -247,7 +287,7 @@ int main(int argc, char** argv) {
     return sesp::run_record(results, history, commit, quick);
   }
   if (mode == "check") return sesp::run_check(history, opt);
-  if (mode == "self-test") return sesp::run_self_test();
+  if (mode == "self-test") return sesp::run_self_test(history);
   std::cerr << "unknown mode: " << mode << "\n";
   sesp::usage(std::cerr);
   return 2;
