@@ -1,0 +1,276 @@
+// Serve-layer benchmark: sustained request throughput of an in-process
+// sesp_serve core over real localhost sockets (docs/serving.md). Three
+// workloads, each pipelined on its own connection:
+//
+//   * health — pure request-path overhead (parse + dispatch + reply write);
+//   * bound  — Table-1 cells from the digest-keyed LRU (one miss, then all
+//              hits; replies must stay byte-identical across the flood);
+//   * run    — lockstep simulator runs through the heavy pool, plus one
+//              degradation sweep through the exclusive executor.
+//
+// The ok-gate is the robustness contract, not a throughput number (CI boxes
+// vary): every reply is Ok, bound replies are byte-identical, and the
+// server drains cleanly. The measured health/bound/run QPS land in
+// BENCH_serve.json as notes; steps_per_sec (the gated perf-trajectory
+// figure) comes from the simulator work the run/sweep workloads push
+// through the server, folded into the recorder when the server stops.
+//
+// SESP_BENCH_QUICK=1 shrinks the request counts for CI.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "obs/bench_record.hpp"
+#include "serve/server.hpp"
+
+using namespace sesp;
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+// Minimal blocking line-framed client (the bench-local twin of sesp_client).
+class Client {
+ public:
+  explicit Client(std::uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+      ::close(fd_);
+      fd_ = -1;
+      return;
+    }
+    int one = 1;
+    ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  }
+  ~Client() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  bool connected() const { return fd_ >= 0; }
+
+  bool send_line(const std::string& line) {
+    const std::string framed = line + "\n";
+    std::size_t off = 0;
+    while (off < framed.size()) {
+      const ssize_t k =
+          ::send(fd_, framed.data() + off, framed.size() - off, MSG_NOSIGNAL);
+      if (k < 0 && errno == EINTR) continue;
+      if (k <= 0) return false;
+      off += static_cast<std::size_t>(k);
+    }
+    return true;
+  }
+
+  std::optional<std::string> read_line(std::int64_t timeout_ms = 60'000) {
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(timeout_ms);
+    for (;;) {
+      const std::size_t nl = buffer_.find('\n');
+      if (nl != std::string::npos) {
+        std::string line = buffer_.substr(0, nl);
+        buffer_.erase(0, nl + 1);
+        return line;
+      }
+      if (std::chrono::steady_clock::now() >= deadline) return std::nullopt;
+      pollfd p{fd_, POLLIN, 0};
+      const int pr = ::poll(&p, 1, 100);
+      if (pr < 0 && errno != EINTR) return std::nullopt;
+      if (pr <= 0) continue;
+      char chunk[8192];
+      const ssize_t k = ::recv(fd_, chunk, sizeof chunk, 0);
+      if (k == 0) return std::nullopt;
+      if (k < 0) {
+        if (errno == EINTR || errno == EAGAIN) continue;
+        return std::nullopt;
+      }
+      buffer_.append(chunk, static_cast<std::size_t>(k));
+    }
+  }
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+bool has_status_ok(const std::string& reply) {
+  return reply.find("\"status\":\"Ok\"") != std::string::npos;
+}
+
+// Pipelines `count` copies of `request` (with a fresh id each) and returns
+// QPS, or nullopt on any transport failure or non-Ok reply. When
+// `identical` is set, every reply past the first must be byte-identical to
+// the first after normalizing the id field — which the fixed id 1 makes a
+// plain string compare.
+std::optional<double> flood(Client& client, const std::string& request,
+                            std::int64_t count, std::string* first_reply) {
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::int64_t i = 0; i < count; ++i)
+    if (!client.send_line(request)) return std::nullopt;
+  for (std::int64_t i = 0; i < count; ++i) {
+    const auto reply = client.read_line();
+    if (!reply || !has_status_ok(*reply)) return std::nullopt;
+    if (first_reply != nullptr) {
+      if (first_reply->empty()) {
+        *first_reply = *reply;
+      } else if (*reply != *first_reply) {
+        return std::nullopt;  // byte-identity violated
+      }
+    }
+  }
+  const double elapsed = seconds_since(t0);
+  return elapsed > 0 ? static_cast<double>(count) / elapsed : 0.0;
+}
+
+// Submits one sweep and polls its ticket until done.
+bool run_sweep(Client& client, std::uint64_t seed) {
+  if (!client.send_line(
+          R"({"id":1,"op":"sweep","substrate":"mpm","model":"semisync","seed":)" +
+          std::to_string(seed) + "}"))
+    return false;
+  const auto submitted = client.read_line();
+  if (!submitted || !has_status_ok(*submitted)) return false;
+  const std::size_t at = submitted->find("\"ticket\":\"");
+  if (at == std::string::npos) return false;
+  const std::string ticket = submitted->substr(at + 10, 16);
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(120);
+  std::int64_t id = 2;
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (!client.send_line("{\"id\":" + std::to_string(id++) +
+                          ",\"op\":\"poll\",\"ticket\":\"" + ticket + "\"}"))
+      return false;
+    const auto reply = client.read_line();
+    if (!reply || !has_status_ok(*reply)) return false;
+    if (reply->find("\"state\":\"done\"") != std::string::npos) return true;
+    if (reply->find("\"state\":\"interrupted\"") != std::string::npos)
+      return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  return false;
+}
+
+}  // namespace
+
+int main() {
+  obs::BenchRecorder recorder("serve");
+  const bool quick = std::getenv("SESP_BENCH_QUICK") != nullptr;
+  recorder.note("mode", std::string(quick ? "quick" : "full"));
+  ::setenv("SESP_JOURNAL_FSYNC", "0", 0);  // benches measure compute, not disk
+
+  const std::int64_t health_count = quick ? 2'000 : 20'000;
+  const std::int64_t bound_count = quick ? 1'000 : 10'000;
+  const std::int64_t run_count = quick ? 32 : 128;
+  const int sweeps = quick ? 1 : 2;
+
+  serve::ServerConfig config;
+  // The bench floods from a handful of pipelined connections; per-connection
+  // rate limiting would measure the limiter, not the server.
+  config.admission.rate_per_sec = 1e9;
+  config.admission.burst = 1e9;
+  const std::filesystem::path journal_dir =
+      std::filesystem::temp_directory_path() /
+      ("sesp-bench-serve-" + std::to_string(::getpid()));
+  std::filesystem::remove_all(journal_dir);
+  config.journal_dir = journal_dir.string();
+
+  serve::Server server(config);
+  std::string error;
+  if (!server.start(&error)) {
+    std::cerr << "bench_serve: start failed: " << error << "\n";
+    return recorder.finish(false);
+  }
+
+  bool ok = true;
+
+  {
+    Client client(server.port());
+    ok = ok && client.connected();
+    const auto qps =
+        ok ? flood(client, R"({"id":1,"op":"health"})", health_count, nullptr)
+           : std::nullopt;
+    ok = ok && qps.has_value();
+    recorder.note("health_requests", health_count);
+    recorder.note("health_qps", qps.value_or(0.0));
+    std::cout << "health: " << health_count << " requests, "
+              << qps.value_or(0.0) << " qps\n";
+  }
+
+  {
+    Client client(server.port());
+    ok = ok && client.connected();
+    std::string first;
+    const auto qps =
+        ok ? flood(client,
+                   R"({"id":1,"op":"bound","model":"semisync","side":"mp"})",
+                   bound_count, &first)
+           : std::nullopt;
+    ok = ok && qps.has_value();
+    recorder.note("bound_requests", bound_count);
+    recorder.note("bound_qps", qps.value_or(0.0));
+    recorder.note("bound_byte_identical", std::string(qps ? "yes" : "NO"));
+    std::cout << "bound: " << bound_count << " requests, " << qps.value_or(0.0)
+              << " qps, byte-identical " << (qps ? "yes" : "NO") << "\n";
+  }
+
+  {
+    Client client(server.port());
+    ok = ok && client.connected();
+    const auto t0 = std::chrono::steady_clock::now();
+    // Distinct seeds defeat coalescing: every request is a real run.
+    if (ok) {
+      for (std::int64_t i = 0; i < run_count; ++i)
+        ok = ok &&
+             client.send_line(
+                 R"({"id":1,"op":"run","adversary":"lockstep","seed":)" +
+                 std::to_string(10'000 + i) + "}");
+      for (std::int64_t i = 0; ok && i < run_count; ++i) {
+        const auto reply = client.read_line();
+        ok = ok && reply && has_status_ok(*reply);
+      }
+    }
+    for (int i = 0; ok && i < sweeps; ++i)
+      ok = ok && run_sweep(client, 1992 + static_cast<std::uint64_t>(i));
+    const double elapsed = seconds_since(t0);
+    recorder.note("run_requests", run_count);
+    recorder.note("sweeps", static_cast<std::int64_t>(sweeps));
+    recorder.note("run_seconds", elapsed);
+    recorder.note("run_qps",
+                  elapsed > 0 ? static_cast<double>(run_count) / elapsed : 0.0);
+    std::cout << "run: " << run_count << " runs + " << sweeps << " sweeps in "
+              << elapsed << "s\n";
+  }
+
+  // stop() folds the server-private metrics (sim.steps from every run and
+  // sweep) and the serve.* counters into the recorder's registry.
+  server.request_drain();
+  server.stop();
+  ok = ok && !server.interrupted();
+  const auto& counters = server.counters();
+  ok = ok && counters.bad_request.load() == 0 &&
+       counters.overloaded.load() == 0 && counters.timeout.load() == 0 &&
+       counters.connections_dropped.load() == 0;
+  recorder.note("cache_hits", server.cache_stats().hits);
+  std::filesystem::remove_all(journal_dir);
+
+  std::cout << (ok ? "SERVE CONTRACT HOLDS" : "SERVE CONTRACT VIOLATED")
+            << "\n";
+  return recorder.finish(ok);
+}

@@ -69,6 +69,13 @@ if [ "${SESP_SKIP_SHARD_SMOKE:-0}" != "1" ]; then
   echo "shard smoke: killed-worker sharded run merged byte-identically"
 fi
 
+# Serve smoke: chaos-interrupt a served sweep mid-flight, resume the server,
+# and require the served report to be byte-identical to the offline CLI run
+# (docs/serving.md). Skip with SESP_SKIP_SERVE_SMOKE=1.
+if [ "${SESP_SKIP_SERVE_SMOKE:-0}" != "1" ]; then
+  scripts/serve_smoke.sh build
+fi
+
 # Bench stage: every bench binary writes a machine-readable perf record
 # (BENCH_<name>.json, schema sesp-bench/2); the verdict comes from the
 # structured ok / solved / admissible / upper_ok fields via sesp_bench_merge,

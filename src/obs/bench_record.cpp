@@ -29,18 +29,27 @@ BenchRecorder::~BenchRecorder() {
 void BenchRecorder::add_row(PerfRow row) { rows_.push_back(std::move(row)); }
 
 void BenchRecorder::note(const std::string& key, double value) {
-  std::ostringstream os;
-  JsonWriter w(os);
-  w.value(value);
-  notes_.emplace_back(key, os.str());
+  Note n;
+  n.key = key;
+  n.kind = Note::Kind::kDouble;
+  n.number = value;
+  notes_.push_back(std::move(n));
 }
 
 void BenchRecorder::note(const std::string& key, std::int64_t value) {
-  notes_.emplace_back(key, std::to_string(value));
+  Note n;
+  n.key = key;
+  n.kind = Note::Kind::kInt;
+  n.integer = value;
+  notes_.push_back(std::move(n));
 }
 
 void BenchRecorder::note(const std::string& key, const std::string& value) {
-  notes_.emplace_back(key, "\"" + json_escape(value) + "\"");
+  Note n;
+  n.key = key;
+  n.kind = Note::Kind::kString;
+  n.text = value;
+  notes_.push_back(std::move(n));
 }
 
 std::string BenchRecorder::output_path() const {
@@ -88,30 +97,21 @@ std::string BenchRecorder::render(bool ok) const {
   w.end_array();
   w.key("notes");
   w.begin_object();
+  for (const Note& n : notes_) {
+    w.key(n.key);
+    switch (n.kind) {
+      case Note::Kind::kDouble: w.value(n.number); break;
+      case Note::Kind::kInt: w.value(n.integer); break;
+      case Note::Kind::kString: w.value(n.text); break;
+    }
+  }
   w.end_object();
   w.key("metrics");
   metrics_.write_json(w);
   w.key("profile");
   profiler_.write_json(w);
   w.end_object();
-
-  // Splice the pre-rendered notes into the (empty) notes object; doing the
-  // string surgery here keeps JsonWriter single-pass.
-  std::string text = os.str();
-  if (!notes_.empty()) {
-    std::string rendered;
-    bool first = true;
-    for (const auto& [key, value] : notes_) {
-      if (!first) rendered += ',';
-      first = false;
-      rendered += "\"" + json_escape(key) + "\":" + value;
-    }
-    const std::string marker = "\"notes\":{}";
-    const std::size_t at = text.find(marker);
-    if (at != std::string::npos)
-      text.replace(at, marker.size(), "\"notes\":{" + rendered + "}");
-  }
-  return text;
+  return os.str();
 }
 
 int BenchRecorder::finish(bool ok) {
@@ -218,32 +218,21 @@ bool validate_bench_record(const std::string& text, std::string* error) {
 BenchAggregate aggregate_bench_records(
     const std::vector<std::pair<std::string, std::string>>& named_texts) {
   BenchAggregate agg;
-  std::ostringstream os;
-  JsonWriter w(os);
-  w.begin_object();
-  w.field("schema", "sesp-bench-results/1");
 
-  // First pass: classify, so the summary fields precede the bulk payload.
-  struct Entry {
-    std::string name;
-    const std::string* text;
-    bool valid = false;
-    bool ok = false;
-  };
-  std::vector<Entry> entries;
+  // First pass: classify (and keep the parsed documents), so the summary
+  // fields can precede the bulk payload in one writer pass.
+  std::vector<JsonValue> valid_docs;
   for (const auto& [name, text] : named_texts) {
-    Entry e{name, &text, false, false};
     std::string error;
     switch (classify_bench_record(text, &error)) {
       case BenchRecordCheck::kValid: {
-        e.valid = true;
-        const auto doc = parse_json(text);
-        e.ok = doc->find("ok")->boolean;
+        auto doc = parse_json(text);
         ++agg.records;
-        if (!e.ok) {
+        if (!doc->find("ok")->boolean) {
           ++agg.failed;
           agg.failures.push_back(doc->find("bench")->string);
         }
+        valid_docs.push_back(std::move(*doc));
         break;
       }
       case BenchRecordCheck::kTruncated:
@@ -255,9 +244,12 @@ BenchAggregate aggregate_bench_records(
         agg.failures.push_back(name + " (" + error + ")");
         break;
     }
-    entries.push_back(std::move(e));
   }
 
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.begin_object();
+  w.field("schema", "sesp-bench-results/1");
   w.field("records", agg.records);
   w.field("failed", agg.failed);
   w.field("malformed", agg.malformed);
@@ -271,27 +263,15 @@ BenchAggregate aggregate_bench_records(
   w.begin_array();
   for (const std::string& s : agg.skipped) w.value(s);
   w.end_array();
+  // Embed the validated records through the writer (parse → write is a
+  // fixpoint for JsonWriter-produced records, so the bytes match what the
+  // bench wrote) — no string surgery on the finished document.
+  w.key("benches");
+  w.begin_array();
+  for (const JsonValue& doc : valid_docs) write_json_value(w, doc);
+  w.end_array();
   w.end_object();
-
-  // Embed the validated records verbatim (they are known-valid JSON), again
-  // via string surgery to keep the writer single-pass.
-  std::string text = os.str();
-  text.pop_back();  // trailing '}'
-  text += ",\"benches\":[";
-  bool first = true;
-  for (const Entry& e : entries) {
-    if (!e.valid) continue;
-    if (!first) text += ',';
-    first = false;
-    std::string body = *e.text;
-    // Trim trailing whitespace/newline from the on-disk record.
-    while (!body.empty() && (body.back() == '\n' || body.back() == '\r' ||
-                             body.back() == ' '))
-      body.pop_back();
-    text += body;
-  }
-  text += "]}";
-  agg.results_json = std::move(text);
+  agg.results_json = os.str();
   return agg;
 }
 

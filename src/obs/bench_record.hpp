@@ -100,8 +100,17 @@ class BenchRecorder {
   Observer* previous_default_ = nullptr;
   std::chrono::steady_clock::time_point start_;
   std::vector<PerfRow> rows_;
-  // Insertion-ordered notes; values pre-rendered as JSON scalars.
-  std::vector<std::pair<std::string, std::string>> notes_;
+  // Insertion-ordered typed notes, emitted through the one JsonWriter pass
+  // in render() — never spliced into the text afterwards.
+  struct Note {
+    enum class Kind : std::uint8_t { kDouble, kInt, kString };
+    std::string key;
+    Kind kind = Kind::kDouble;
+    double number = 0.0;
+    std::int64_t integer = 0;
+    std::string text;
+  };
+  std::vector<Note> notes_;
   bool finished_ = false;
   bool first_ok_ = false;
 };

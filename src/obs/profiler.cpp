@@ -19,6 +19,8 @@ const char* profile_phase_name(ProfilePhase phase) noexcept {
     case ProfilePhase::kSessionCount: return "verify.count";
     case ProfilePhase::kExecTask: return "exec.task";
     case ProfilePhase::kShardGather: return "shard.gather";
+    case ProfilePhase::kServeRequest: return "serve.request";
+    case ProfilePhase::kServeExec: return "serve.exec";
     case ProfilePhase::kCount: break;
   }
   return "unknown";

@@ -39,6 +39,8 @@ enum class ProfilePhase : std::uint8_t {
   kSessionCount,       // verify.count     — session/round counting
   kExecTask,           // exec.task        — one parallel sweep task
   kShardGather,        // shard.gather     — peer-journal gathering
+  kServeRequest,       // serve.request    — parse→reply for one request
+  kServeExec,          // serve.exec       — compute under a serve job
   kCount
 };
 

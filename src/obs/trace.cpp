@@ -92,7 +92,17 @@ void TraceSink::write_jsonl(std::ostream& os) const {
     w.field("depth", static_cast<std::int64_t>(ev.depth));
     w.field("pid", static_cast<std::int64_t>(1));
     w.field("tid", static_cast<std::int64_t>(1));
-    if (!ev.args_json.empty()) os << ",\"args\":" << ev.args_json;
+    if (!ev.args_json.empty()) {
+      w.key("args");
+      // Fragments are caller-rendered; route them through the parser +
+      // writer so a malformed fragment cannot poison the line — it travels
+      // as an escaped string instead, and well-formed fragments re-render
+      // byte-identically (parse → write fixpoint).
+      if (const auto doc = parse_json(ev.args_json))
+        write_json_value(w, *doc);
+      else
+        w.value(ev.args_json);
+    }
     w.end_object();
     os << '\n';
   }

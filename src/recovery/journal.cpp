@@ -12,7 +12,6 @@ namespace sesp::recovery {
 
 namespace {
 
-constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
 constexpr char kSchema[] = "sesp-journal/1";
 
 bool fsync_enabled_from_env() {
@@ -61,39 +60,10 @@ std::string frame_lease(const LeaseRecord& lease) {
 }
 
 bool parse_hex16(const std::string& hex, std::uint64_t* out) {
-  if (hex.size() != 16) return false;
-  std::uint64_t v = 0;
-  for (const char c : hex) {
-    v <<= 4;
-    if (c >= '0' && c <= '9') v |= static_cast<std::uint64_t>(c - '0');
-    else if (c >= 'a' && c <= 'f')
-      v |= static_cast<std::uint64_t>(c - 'a' + 10);
-    else
-      return false;
-  }
-  *out = v;
-  return true;
+  return util::parse_fnv1a_hex(hex, out);
 }
 
 }  // namespace
-
-std::uint64_t fnv1a(std::string_view text, std::uint64_t h) noexcept {
-  for (const char c : text) {
-    h ^= static_cast<std::uint8_t>(c);
-    h *= kFnvPrime;
-  }
-  return h;
-}
-
-std::string fnv1a_hex(std::uint64_t h) {
-  static const char digits[] = "0123456789abcdef";
-  std::string out(16, '0');
-  for (int i = 15; i >= 0; --i) {
-    out[static_cast<std::size_t>(i)] = digits[h & 0xF];
-    h >>= 4;
-  }
-  return out;
-}
 
 bool parse_journal_header(std::string_view line, std::string* tool,
                           std::uint64_t* config_digest, std::string* error) {

@@ -40,14 +40,18 @@
 #include <utility>
 #include <vector>
 
+#include "util/digest.hpp"
+
 namespace sesp::recovery {
 
-// FNV-1a, the same digest the conformance harness uses; exposed here for
-// the tools' config digests.
-std::uint64_t fnv1a(std::string_view text,
-                    std::uint64_t h = 1469598103934665603ULL) noexcept;
-// Canonical 16-hex-digit rendering used in headers and frames.
-std::string fnv1a_hex(std::uint64_t h);
+// The journal's digest is the shared util/digest FNV-1a (one definition for
+// the journal guard, the shard leases and the serve cache keys); these
+// aliases keep the historical recovery:: spelling the call sites use.
+inline std::uint64_t fnv1a(std::string_view text,
+                           std::uint64_t h = util::kFnv1aOffsetBasis) noexcept {
+  return util::fnv1a(text, h);
+}
+inline std::string fnv1a_hex(std::uint64_t h) { return util::fnv1a_hex(h); }
 
 // One lease event in a worker's journal: worker `worker` claimed / stole /
 // finished the slot range [lo, lo+len) of `stage`, holding it until the

@@ -1,0 +1,124 @@
+#pragma once
+
+// Admission control for the serve layer (docs/serving.md "Degradation
+// matrix"): every resource a client can consume is bounded up front —
+// connections, queued heavy jobs, request rate, reply-write time — and
+// every bound degrades to a structured reply (Overloaded with a
+// retry-after hint), never to an unbounded buffer or a blocked thread.
+//
+// The primitives are deliberately clock-injectable (TokenBucket) and
+// lock-simple (BoundedCounter): serve_test drives them to their limits
+// deterministically without real time or real sockets.
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+
+namespace sesp::serve {
+
+// Every admission knob of the server in one struct, so the tool's flag
+// parsing, the tests and the docs share a single source of truth.
+struct AdmissionConfig {
+  std::int32_t max_connections = 64;   // concurrent client connections
+  std::int32_t heavy_workers = 2;      // run/replay executor threads
+  std::int32_t max_queue = 8;          // queued heavy jobs past the workers
+  std::int32_t max_sweep_queue = 4;    // queued sweeps past the executor
+  double rate_per_sec = 200.0;         // per-connection request rate
+  double burst = 40.0;                 // per-connection burst allowance
+  std::int64_t default_deadline_ms = 10'000;  // per-request wall clock
+  std::int64_t retry_after_ms = 250;   // hint in Overloaded replies
+  std::int64_t write_timeout_ms = 5'000;  // slow-client reply writes
+  std::int64_t idle_timeout_ms = 60'000;  // silent connections are dropped
+  std::size_t cache_capacity = 1024;   // bound-result LRU entries
+  // Test hook: artificial per-heavy-job delay, so overload tests can fill
+  // queues and expire deadlines deterministically. Never set in production.
+  std::int64_t test_heavy_delay_ms = 0;
+};
+
+// Token-bucket rate limiter, one per connection. Not thread-safe (each
+// connection thread owns its own). The clock is passed in, so tests drive
+// it with synthetic time.
+class TokenBucket {
+ public:
+  using clock = std::chrono::steady_clock;
+
+  TokenBucket(double rate_per_sec, double burst) noexcept
+      : rate_(rate_per_sec), burst_(burst), tokens_(burst) {}
+
+  // Consumes one token if available at `now`; false = rate-limited.
+  bool admit(clock::time_point now) noexcept {
+    if (last_ == clock::time_point{}) last_ = now;
+    const double elapsed =
+        std::chrono::duration_cast<std::chrono::duration<double>>(now - last_)
+            .count();
+    last_ = now;
+    tokens_ = tokens_ + elapsed * rate_;
+    if (tokens_ > burst_) tokens_ = burst_;
+    if (tokens_ < 1.0) return false;
+    tokens_ -= 1.0;
+    return true;
+  }
+
+  // Milliseconds until one token accrues (the retry-after hint); 0 when a
+  // token is already available.
+  std::int64_t retry_after_ms(clock::time_point now) const noexcept {
+    if (tokens_ >= 1.0 || rate_ <= 0.0) return 0;
+    const double need = 1.0 - tokens_;
+    (void)now;
+    return static_cast<std::int64_t>(need / rate_ * 1000.0) + 1;
+  }
+
+  double tokens() const noexcept { return tokens_; }
+
+ private:
+  double rate_;
+  double burst_;
+  double tokens_;
+  clock::time_point last_{};
+};
+
+// Bounded occupancy counter — the admission gate in front of a queue or a
+// connection set. try_acquire() never blocks; the bound is the contract.
+class BoundedCounter {
+ public:
+  explicit BoundedCounter(std::int32_t limit) noexcept : limit_(limit) {}
+
+  bool try_acquire() noexcept {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (count_ >= limit_) {
+      ++rejected_;
+      return false;
+    }
+    ++count_;
+    if (count_ > peak_) peak_ = count_;
+    return true;
+  }
+
+  void release() noexcept {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (count_ > 0) --count_;
+  }
+
+  std::int32_t count() const noexcept {
+    std::lock_guard<std::mutex> lk(mu_);
+    return count_;
+  }
+  std::int32_t peak() const noexcept {
+    std::lock_guard<std::mutex> lk(mu_);
+    return peak_;
+  }
+  std::int64_t rejected() const noexcept {
+    std::lock_guard<std::mutex> lk(mu_);
+    return rejected_;
+  }
+  std::int32_t limit() const noexcept { return limit_; }
+
+ private:
+  mutable std::mutex mu_;
+  std::int32_t limit_;
+  std::int32_t count_ = 0;
+  std::int32_t peak_ = 0;
+  std::int64_t rejected_ = 0;
+};
+
+}  // namespace sesp::serve

@@ -1,0 +1,92 @@
+#pragma once
+
+// Bound-result cache (docs/serving.md "Bound cache"): a mutex-guarded LRU
+// keyed by the request digest (util/digest), holding the *rendered* result
+// object bytes. Replies splice the cached bytes verbatim, so a cell's reply
+// is byte-identical on every hit, before/during/after overload, and across
+// server restarts (the bytes are a pure function of the request) — the
+// property serve_test pins.
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+namespace sesp::serve {
+
+struct CacheStats {
+  std::int64_t hits = 0;
+  std::int64_t misses = 0;
+  std::int64_t evictions = 0;
+  std::int64_t entries = 0;
+};
+
+class ResultCache {
+ public:
+  explicit ResultCache(std::size_t capacity) : capacity_(capacity) {}
+
+  ResultCache(const ResultCache&) = delete;
+  ResultCache& operator=(const ResultCache&) = delete;
+
+  // Copies the cached rendered bytes into *out and refreshes recency.
+  bool lookup(std::uint64_t key, std::string* out) {
+    std::lock_guard<std::mutex> lk(mu_);
+    const auto it = map_.find(key);
+    if (it == map_.end()) {
+      ++misses_;
+      return false;
+    }
+    order_.splice(order_.begin(), order_, it->second);
+    ++hits_;
+    *out = it->second->rendered;
+    return true;
+  }
+
+  // Inserts (or refreshes) a rendered result; evicts the least recently
+  // used entry past capacity. First insertion wins on a race — concurrent
+  // computations of the same key rendered identical bytes anyway.
+  void insert(std::uint64_t key, const std::string& rendered) {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (capacity_ == 0) return;
+    const auto it = map_.find(key);
+    if (it != map_.end()) {
+      order_.splice(order_.begin(), order_, it->second);
+      return;
+    }
+    order_.push_front(Entry{key, rendered});
+    map_[key] = order_.begin();
+    if (map_.size() > capacity_) {
+      const Entry& oldest = order_.back();
+      map_.erase(oldest.key);
+      order_.pop_back();
+      ++evictions_;
+    }
+  }
+
+  CacheStats stats() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    CacheStats s;
+    s.hits = hits_;
+    s.misses = misses_;
+    s.evictions = evictions_;
+    s.entries = static_cast<std::int64_t>(map_.size());
+    return s;
+  }
+
+ private:
+  struct Entry {
+    std::uint64_t key;
+    std::string rendered;
+  };
+
+  mutable std::mutex mu_;
+  std::size_t capacity_;
+  std::list<Entry> order_;  // front = most recent
+  std::unordered_map<std::uint64_t, std::list<Entry>::iterator> map_;
+  std::int64_t hits_ = 0;
+  std::int64_t misses_ = 0;
+  std::int64_t evictions_ = 0;
+};
+
+}  // namespace sesp::serve

@@ -1,0 +1,30 @@
+#include "util/digest.hpp"
+
+namespace sesp::util {
+
+std::string fnv1a_hex(std::uint64_t h) {
+  static const char digits[] = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = digits[h & 0xF];
+    h >>= 4;
+  }
+  return out;
+}
+
+bool parse_fnv1a_hex(std::string_view hex, std::uint64_t* out) noexcept {
+  if (hex.size() != 16) return false;
+  std::uint64_t v = 0;
+  for (const char c : hex) {
+    v <<= 4;
+    if (c >= '0' && c <= '9') v |= static_cast<std::uint64_t>(c - '0');
+    else if (c >= 'a' && c <= 'f')
+      v |= static_cast<std::uint64_t>(c - 'a' + 10);
+    else
+      return false;
+  }
+  *out = v;
+  return true;
+}
+
+}  // namespace sesp::util

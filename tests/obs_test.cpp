@@ -343,6 +343,47 @@ TEST(TraceTest, JsonlRoundTripsThroughParser) {
   EXPECT_EQ(parsed, 3);  // trace.meta anchor + 2 events
 }
 
+// A caller-rendered args fragment is normalized through parse_json +
+// write_json_value at serialization time: a malformed fragment must not
+// poison the line (it travels as an escaped string), and a well-formed one
+// must re-render byte-identically.
+TEST(TraceTest, MalformedArgsFragmentCannotPoisonTheLine) {
+  obs::TraceSink sink;
+  sink.instant("bad", "sim", "{broken");
+  sink.instant("good", "sim",
+               obs::args_object({obs::arg_int("k", 7),
+                                 obs::arg_str("s", "a\"b\\c")}));
+  std::ostringstream os;
+  sink.write_jsonl(os);
+  std::istringstream lines(os.str());
+  std::string line;
+  int seen = 0;
+  while (std::getline(lines, line)) {
+    std::string error;
+    const auto v = obs::parse_json(line, &error);
+    ASSERT_TRUE(v) << error << " in: " << line;
+    if (v->find("name")->string == "bad") {
+      // The fragment survives, quoted, for post-mortem inspection.
+      ASSERT_TRUE(v->find("args"));
+      EXPECT_TRUE(v->find("args")->is_string());
+      EXPECT_EQ(v->find("args")->string, "{broken");
+      ++seen;
+    }
+    if (v->find("name")->string == "good") {
+      ASSERT_TRUE(v->find("args"));
+      ASSERT_TRUE(v->find("args")->is_object());
+      EXPECT_EQ(v->find("args")->find("k")->as_int64(), 7);
+      EXPECT_EQ(v->find("args")->find("s")->string, "a\"b\\c");
+      // Byte-identity of the normalized well-formed fragment.
+      EXPECT_NE(line.find("\"args\":{\"k\":7,\"s\":\"a\\\"b\\\\c\"}"),
+                std::string::npos)
+          << line;
+      ++seen;
+    }
+  }
+  EXPECT_EQ(seen, 2);
+}
+
 // --- profiler --------------------------------------------------------------
 
 TEST(ProfilerTest, RecordsCountsTotalsAndExtremes) {
@@ -865,6 +906,38 @@ TEST_F(BenchRecordTest, MalformedRecordFailsAggregateDespiteTruncation) {
   ASSERT_EQ(agg.failures.size(), 1u);
   EXPECT_EQ(agg.failures[0].rfind("corrupt.json", 0), 0u)
       << agg.failures[0];
+}
+
+// Notes are emitted through the one JsonWriter pass, not spliced into the
+// rendered text afterwards — so a row or note whose *value* happens to
+// contain the old splice marker ("notes":{}) can no longer corrupt the
+// record, and every note type round-trips with full escaping.
+TEST_F(BenchRecordTest, MarkerLookalikeValuesCannotCorruptTheRecord) {
+  obs::BenchRecorder rec("marker_lookalike");
+  obs::PerfRow row = sample_row(true);
+  row.cell = "evil \"notes\":{} cell";
+  rec.add_row(row);
+  rec.note("payload", std::string("also \"notes\":{} here \\ \n"));
+  rec.note("count", std::int64_t{-7});
+  rec.note("ratio", 0.1);  // no exact double rendering surprises
+  const std::string text = rec.render(true);
+  rec.finish(true);
+
+  std::string error;
+  ASSERT_TRUE(obs::validate_bench_record(text, &error)) << error;
+  const auto v = obs::parse_json(text, &error);
+  ASSERT_TRUE(v) << error;
+  EXPECT_EQ(v->find("rows")->array[0].find("cell")->string,
+            "evil \"notes\":{} cell");
+  const obs::JsonValue* notes = v->find("notes");
+  ASSERT_TRUE(notes && notes->is_object());
+  EXPECT_EQ(notes->find("payload")->string, "also \"notes\":{} here \\ \n");
+  EXPECT_EQ(notes->find("count")->as_int64(), -7);
+  EXPECT_DOUBLE_EQ(notes->find("ratio")->number, 0.1);
+  // Member order is insertion order — the schema contract for notes.
+  ASSERT_EQ(notes->object.size(), 3u);
+  EXPECT_EQ(notes->object[0].first, "payload");
+  EXPECT_EQ(notes->object[2].first, "ratio");
 }
 
 // --- bench history / regression gate ---------------------------------------
